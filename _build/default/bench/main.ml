@@ -1,0 +1,583 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Table 1, Figures 5-10), plus an ablation of the §4.3
+   compilation optimizations and Bechamel micro-benchmarks.
+
+     dune exec bench/main.exe              # everything, laptop scale
+     dune exec bench/main.exe -- fig6      # one experiment
+     dune exec bench/main.exe -- --help
+
+   Absolute numbers differ from the paper (a simulator instead of a
+   hardware testbed, OCaml instead of Python); the shapes are what is
+   reproduced.  EXPERIMENTS.md records paper-vs-measured per figure. *)
+
+open Sdx_net
+open Sdx_ixp
+
+let section title = Format.printf "@.==== %s ====@." title
+let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+
+let run_table1 ~seed ~scale =
+  section "Table 1: IXP datasets (synthetic traces, scaled)";
+  note
+    "paper: AMS-IX 11.2M updates / 9.88%% prefixes updated; DE-CIX 30.9M / \
+     13.64%%; LINX 16.7M / 12.67%%";
+  note "trace scale factor: %g (counts below are scaled; fractions are not)"
+    scale;
+  let week = 6.0 *. 24.0 *. 3600.0 in
+  Format.printf "  %-8s %11s %9s %9s %14s %15s@." "IXP" "peers/total"
+    "prefixes" "updates" "pfx updated" "<=3-pfx bursts";
+  List.iter
+    (fun (profile : Trace.profile) ->
+      let rng = Rng.create ~seed in
+      let scaled = Trace.scale profile scale in
+      let trace = Trace.generate rng scaled ~duration_s:week () in
+      let stats = Trace.stats scaled trace in
+      Format.printf "  %-8s %7d/%3d %9d %9d %13.2f%% %14.1f%%@."
+        profile.name profile.collector_peers profile.total_peers
+        scaled.prefixes stats.total_updates
+        (100.0 *. stats.updated_fraction)
+        (100.0 *. stats.bursts_at_most_3))
+    [ Trace.ams_ix; Trace.de_cix; Trace.linx ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5                                                            *)
+
+let print_timeline samples sinks ~every =
+  Format.printf "  %8s" "t(s)";
+  List.iter (fun s -> Format.printf " %18s" s) sinks;
+  Format.printf "@.";
+  List.iter
+    (fun (s : Sdx_fabric.Deployment.sample) ->
+      if s.time mod every = 0 then begin
+        Format.printf "  %8d" s.time;
+        List.iter
+          (fun sink ->
+            Format.printf " %13.1f Mbps" (Sdx_fabric.Deployment.rate s sink))
+          sinks;
+        Format.printf "@."
+      end)
+    samples
+
+let run_fig5a () =
+  section "Figure 5a: application-specific peering (live experiment)";
+  note
+    "paper: port-80 traffic shifts to AS B at t=565s (policy), all traffic \
+     back via AS A at t=1253s (withdrawal)";
+  let scenario = Sdx_fabric.Scenarios.Fig5a.scenario () in
+  let samples = Sdx_fabric.Deployment.run ~sample_every:1 scenario in
+  print_timeline samples [ "AS-A"; "AS-B" ] ~every:150;
+  let at t =
+    List.find (fun (s : Sdx_fabric.Deployment.sample) -> s.time = t) samples
+  in
+  let a t = Sdx_fabric.Deployment.rate (at t) "AS-A"
+  and b t = Sdx_fabric.Deployment.rate (at t) "AS-B" in
+  note
+    "check: before policy A=%.0f B=%.0f; after policy A=%.0f B=%.0f; after \
+     withdrawal A=%.0f B=%.0f"
+    (a 300) (b 300) (a 900) (b 900) (a 1500) (b 1500)
+
+let run_fig5b () =
+  section "Figure 5b: wide-area load balance (live experiment)";
+  note
+    "paper: at t=246s the tenant's policy shifts source 204.57.0.67 to AWS \
+     instance #2";
+  let scenario = Sdx_fabric.Scenarios.Fig5b.scenario () in
+  let samples = Sdx_fabric.Deployment.run ~sample_every:1 scenario in
+  print_timeline samples [ "AWS Instance #1"; "AWS Instance #2" ] ~every:60;
+  let at t =
+    List.find (fun (s : Sdx_fabric.Deployment.sample) -> s.time = t) samples
+  in
+  let i1 t = Sdx_fabric.Deployment.rate (at t) "AWS Instance #1"
+  and i2 t = Sdx_fabric.Deployment.rate (at t) "AWS Instance #2" in
+  note "check: before policy #1=%.0f #2=%.0f; after policy #1=%.0f #2=%.0f"
+    (i1 120) (i2 120) (i1 400) (i2 400)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                            *)
+
+let average values =
+  List.fold_left ( + ) 0 values / max 1 (List.length values)
+
+let run_fig6 ~seed ~scale ~repeats =
+  section "Figure 6: prefix groups vs prefixes with SDX policies";
+  note "paper: sub-linear growth; ~1,400 groups at 25k prefixes / 300 participants";
+  note "scale factor %g on prefix counts; averaged over %d run(s)" scale repeats;
+  let participant_counts = [ 100; 200; 300 ] in
+  let xs =
+    List.map
+      (fun x -> max 10 (int_of_float (float_of_int x *. scale)))
+      [ 2_500; 5_000; 10_000; 15_000; 20_000; 25_000 ]
+  in
+  Format.printf "  %12s" "prefixes";
+  List.iter (fun n -> Format.printf " %9d-part" n) participant_counts;
+  Format.printf "@.";
+  let universe_size = max 10 (int_of_float (25_000.0 *. scale)) in
+  let universe = Prefixes.table universe_size in
+  List.iter
+    (fun x ->
+      Format.printf "  %12d" x;
+      List.iter
+        (fun n ->
+          let groups_per_run =
+            List.init repeats (fun rep ->
+                let rng = Rng.create ~seed:(seed + n + (1000 * rep)) in
+                let sets =
+                  Workload.announcement_sets rng ~participants:n
+                    ~prefixes:universe_size
+                in
+                (* Sample x prefixes "with SDX policies" from the announced
+                   table and restrict each announcement set to the sample,
+                   as the paper's Figure 6 experiment does. *)
+                let px = Prefix.Set.of_list (Rng.sample rng universe x) in
+                let restricted = List.map (Prefix.Set.inter px) sets in
+                Sdx_core.Fec.group_count ~sets:restricted
+                  ~default_key:(fun _ -> 0))
+          in
+          Format.printf " %14d" (average groups_per_run))
+        participant_counts;
+      Format.printf "@.")
+    xs
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7 and 8 (one workload sweep feeds both)                     *)
+
+type sweep_point = {
+  participants : int;
+  prefixes : int;
+  groups : int;
+  rules : int;
+  compile_s : float;
+  memo_hits : int;
+}
+
+let sweep_workload ~seed ~scale ~repeats ~participant_counts ~prefix_points =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun raw_x ->
+          let x = max 50 (int_of_float (float_of_int raw_x *. scale)) in
+          (* Transit policies scale with the table so the sweep spans the
+             paper's prefix-group axis (their transit networks pin one
+             group per policy; more prefixes, more pinned groups). *)
+          let transit_picks = max 1 (x / 500) in
+          let runs =
+            List.init repeats (fun rep ->
+                let rng = Rng.create ~seed:(seed + n + raw_x + (1000 * rep)) in
+                let w =
+                  Workload.build rng ~participants:n ~prefixes:x ~transit_picks ()
+                in
+                let runtime = Workload.runtime w in
+                Sdx_core.Compile.stats (Sdx_core.Runtime.compiled runtime))
+          in
+          let avg f = average (List.map f runs) in
+          let avg_f f =
+            List.fold_left (fun acc r -> acc +. f r) 0.0 runs
+            /. float_of_int (max 1 repeats)
+          in
+          {
+            participants = n;
+            prefixes = x;
+            groups = avg (fun (r : Sdx_core.Compile.stats) -> r.group_count);
+            rules = avg (fun r -> r.rule_count);
+            compile_s = avg_f (fun r -> r.elapsed_s);
+            memo_hits = avg (fun r -> r.memo_hits);
+          })
+        prefix_points)
+    participant_counts
+
+let default_prefix_points = [ 2_500; 5_000; 10_000; 15_000; 20_000; 25_000 ]
+
+let run_fig7_fig8 ~seed ~scale ~repeats =
+  let points =
+    sweep_workload ~seed ~scale ~repeats ~participant_counts:[ 100; 200; 300 ]
+      ~prefix_points:default_prefix_points
+  in
+  section "Figure 7: forwarding rules vs prefix groups";
+  note "paper: linear growth; ~28k rules at 1,000 groups / 300 participants";
+  Format.printf "  %12s %12s %12s %12s@." "participants" "prefixes" "groups"
+    "rules";
+  List.iter
+    (fun p ->
+      Format.printf "  %12d %12d %12d %12d@." p.participants p.prefixes
+        p.groups p.rules)
+    points;
+  section "Figure 8: initial compilation time vs prefix groups";
+  note
+    "paper: super-linear growth, minutes at 1,000 groups (Python/Pyretic); \
+     ours is an optimized OCaml compiler, so absolute times are far smaller";
+  Format.printf "  %12s %12s %12s %12s %12s@." "participants" "prefixes"
+    "groups" "compile(s)" "memo hits";
+  List.iter
+    (fun p ->
+      Format.printf "  %12d %12d %12d %12.3f %12d@." p.participants p.prefixes
+        p.groups p.compile_s p.memo_hits)
+    points
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9                                                            *)
+
+let run_fig9 ~seed ~scale =
+  section "Figure 9: additional forwarding rules after a BGP update burst";
+  note
+    "paper: linear in burst size; ~2,500 extra rules for a 100-update burst \
+     at 300 participants";
+  let prefixes = max 200 (int_of_float (10_000.0 *. scale)) in
+  Format.printf "  %12s %12s %12s %12s@." "participants" "burst size"
+    "extra rules" "per update";
+  List.iter
+    (fun n ->
+      let rng = Rng.create ~seed:(seed + n) in
+      let w = Workload.build rng ~participants:n ~prefixes () in
+      let runtime = Workload.runtime w in
+      List.iter
+        (fun size ->
+          let updates = Workload.burst rng w ~size in
+          ignore (Sdx_core.Runtime.handle_burst runtime updates);
+          let extra = Sdx_core.Runtime.extra_rule_count runtime in
+          Format.printf "  %12d %12d %12d %12.1f@." n size extra
+            (float_of_int extra /. float_of_int size);
+          ignore (Sdx_core.Runtime.reoptimize runtime))
+        [ 10; 20; 40; 60; 80; 100 ])
+    [ 100; 200; 300 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10                                                           *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(int_of_float (p *. float_of_int (n - 1)))
+
+let run_fig10 ~seed ~scale ~samples =
+  section "Figure 10: time to process a single BGP update (CDF)";
+  note "paper: < 100 ms most of the time, sub-second overall";
+  let prefixes = max 200 (int_of_float (10_000.0 *. scale)) in
+  Format.printf "  %12s %10s %10s %10s %10s %10s@." "participants" "p10(ms)"
+    "p50(ms)" "p90(ms)" "p99(ms)" "max(ms)";
+  List.iter
+    (fun n ->
+      let rng = Rng.create ~seed:(seed + n) in
+      let w = Workload.build rng ~participants:n ~prefixes () in
+      let runtime = Workload.runtime w in
+      let times =
+        List.filter_map
+          (fun u ->
+            let stats = Sdx_core.Runtime.handle_update runtime u in
+            if stats.best_changed then Some (1000.0 *. stats.processing_s)
+            else None)
+          (List.init samples (fun _ ->
+               Workload.random_best_changing_update rng w))
+      in
+      let arr = Array.of_list times in
+      Array.sort Float.compare arr;
+      Format.printf "  %12d %10.3f %10.3f %10.3f %10.3f %10.3f@." n
+        (percentile arr 0.10) (percentile arr 0.50) (percentile arr 0.90)
+        (percentile arr 0.99)
+        (if Array.length arr = 0 then nan else arr.(Array.length arr - 1)))
+    [ 100; 200; 300 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: §4.3.1 optimizations on vs off                            *)
+
+let run_ablation ~seed =
+  section "Ablation: optimized vs naive (literal Pyretic-style) compilation";
+  note
+    "the naive composition compiles (P1+..+Pn) >> (P1+..+Pn) through the \
+     policy compiler; it explodes quickly, which is why §4.3 exists";
+  Format.printf "  %12s %10s %14s %14s %12s %12s@." "participants" "prefixes"
+    "optimized(s)" "naive(s)" "opt rules" "naive rules";
+  List.iter
+    (fun (n, x) ->
+      let build opt =
+        let rng = Rng.create ~seed in
+        let w = Workload.build rng ~participants:n ~prefixes:x () in
+        Sdx_core.Runtime.create ~optimized:opt w.Workload.config
+      in
+      let r_opt = build true in
+      let s_opt = Sdx_core.Compile.stats (Sdx_core.Runtime.compiled r_opt) in
+      let r_naive = build false in
+      let s_naive = Sdx_core.Compile.stats (Sdx_core.Runtime.compiled r_naive) in
+      Format.printf "  %12d %10d %14.3f %14.3f %12d %12d@." n x s_opt.elapsed_s
+        s_naive.elapsed_s s_opt.rule_count s_naive.rule_count)
+    [ (10, 100); (20, 200); (30, 300) ];
+  note "";
+  note
+    "memoization in isolation (4.3.1's third optimization; larger \
+     workload, same rules either way):";
+  Format.printf "  %12s %10s %17s %17s %12s@." "participants" "prefixes"
+    "memoized(s)" "unmemoized(s)" "memo hits";
+  List.iter
+    (fun (n, x) ->
+      let build memoize =
+        let rng = Rng.create ~seed in
+        let w = Workload.build rng ~participants:n ~prefixes:x () in
+        let vnh = Sdx_core.Vnh.create () in
+        Sdx_core.Compile.stats
+          (Sdx_core.Compile.compile ~memoize w.Workload.config vnh)
+      in
+      let with_memo = build true in
+      let without = build false in
+      Format.printf "  %12d %10d %17.3f %17.3f %12d@." n x with_memo.elapsed_s
+        without.elapsed_s with_memo.memo_hits)
+    [ (100, 1000); (300, 2500) ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: §4.2 VMAC data-plane compression                          *)
+
+let run_vmac_ablation ~seed ~scale =
+  section "Ablation: VMAC tagging vs per-prefix rules (4.2)";
+  note
+    "without the multi-stage FIB, every group rule becomes one rule per \
+     prefix; at the paper's 500k-prefix table this is what makes the SDX \
+     fit in a hardware switch at all";
+  note
+    "the 'aggregated' column is the conventional-prefix-aggregation \
+     alternative 4.2 dismisses: groups are rarely contiguous, so it \
+     recovers almost nothing";
+  Format.printf "  %12s %10s %10s %14s %16s %14s %9s@." "participants"
+    "prefixes" "groups" "rules (VMAC)" "rules (no VMAC)" "(aggregated)"
+    "factor";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun raw_x ->
+          let x = max 50 (int_of_float (float_of_int raw_x *. scale)) in
+          let rng = Rng.create ~seed:(seed + n + raw_x) in
+          let w = Workload.build rng ~participants:n ~prefixes:x () in
+          let runtime = Workload.runtime w in
+          let compiled = Sdx_core.Runtime.compiled runtime in
+          let stats = Sdx_core.Compile.stats compiled in
+          let unagg = Sdx_core.Compile.unaggregated_rule_estimate compiled in
+          let agg = Sdx_core.Compile.aggregated_rule_estimate compiled in
+          Format.printf "  %12d %10d %10d %14d %16d %14d %8.1fx@." n x
+            stats.group_count stats.rule_count unagg agg
+            (float_of_int unagg /. float_of_int (max 1 stats.rule_count)))
+        [ 10_000; 25_000 ])
+    [ 100; 300 ]
+
+(* ------------------------------------------------------------------ *)
+(* Multi-switch fabrics                                                *)
+
+let run_multiswitch ~seed ~scale =
+  section "Extension: splitting the classifier across a multi-switch fabric (4.1)";
+  note
+    "per-switch tables hold only local ingress rules plus the shared \
+     dst-MAC layer; totals grow mildly with switch count";
+  let x = max 100 (int_of_float (10_000.0 *. scale)) in
+  let rng = Rng.create ~seed in
+  let w = Workload.build rng ~participants:60 ~prefixes:x () in
+  let runtime = Workload.runtime w in
+  let classifier = Sdx_core.Runtime.classifier runtime in
+  let port_count = Sdx_core.Config.port_count w.Workload.config in
+  let all_ports = List.init port_count (fun i -> i + 1) in
+  Format.printf "  %10s %16s %16s %14s@." "switches" "logical rules"
+    "largest switch" "total rules";
+  List.iter
+    (fun k ->
+      let switches = List.init k (fun i -> i) in
+      let links = List.init (k - 1) (fun i -> (i, i + 1)) in
+      let port_home = List.map (fun p -> (p, p mod k)) all_ports in
+      let topo = Sdx_fabric.Topology.create ~switches ~links ~port_home in
+      let fabric = Sdx_fabric.Topology.build topo classifier in
+      let largest =
+        List.fold_left
+          (fun m s -> max m (Sdx_fabric.Topology.rule_count fabric s))
+          0 switches
+      in
+      Format.printf "  %10d %16d %16d %14d@." k
+        (Sdx_policy.Classifier.rule_count classifier)
+        largest
+        (Sdx_fabric.Topology.total_rules fabric))
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace replay: the end-to-end §4.3.2 evaluation                      *)
+
+let run_replay ~seed ~scale =
+  section "Trace replay: a day of AMS-IX-like churn through the runtime";
+  note
+    "fast path per burst, background re-optimization in quiet gaps — the \
+     full two-stage strategy of 4.3.2";
+  let prefixes = max 200 (int_of_float (10_000.0 *. scale)) in
+  List.iter
+    (fun n ->
+      let rng = Rng.create ~seed:(seed + n) in
+      let w = Workload.build rng ~participants:n ~prefixes () in
+      let runtime = Workload.runtime w in
+      let profile = Trace.scale Trace.ams_ix (0.01 *. scale) in
+      let trace =
+        Replay.trace_for_workload rng w ~profile ~duration_s:86_400.0
+      in
+      let result = Replay.run runtime trace in
+      Format.printf "  -- %d participants --@.  %a@." n Replay.pp_result result)
+    [ 100; 300 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+
+let run_bechamel () =
+  section "Bechamel micro-benchmarks (monotonic clock, ns/run)";
+  let open Bechamel in
+  let seed = 42 in
+  (* Pre-build inputs outside the timed closures. *)
+  let rng = Rng.create ~seed in
+  let w = Workload.build rng ~participants:50 ~prefixes:500 () in
+  let runtime = Workload.runtime w in
+  let sets =
+    Workload.announcement_sets (Rng.create ~seed) ~participants:100
+      ~prefixes:1000
+  in
+  let big_pred =
+    Sdx_policy.Pred.disj
+      (List.init 64 (fun i ->
+           Sdx_policy.Pred.dst_mac (Mac.of_int (0x020000000000 + i))))
+  in
+  let pipeline =
+    Sdx_policy.Classifier.compile
+      (Sdx_policy.Policy.if_
+         (Sdx_policy.Pred.src_ip (Prefix.of_string "0.0.0.0/1"))
+         (Sdx_policy.Policy.fwd 2) (Sdx_policy.Policy.fwd 3))
+  in
+  let upd_rng = Rng.create ~seed:(seed + 1) in
+  let tests =
+    [
+      Test.make ~name:"classifier-seq-64xpipeline"
+        (Staged.stage (fun () ->
+             ignore
+               (Sdx_policy.Classifier.seq
+                  (Sdx_policy.Classifier.compile_pred big_pred)
+                  pipeline)));
+      Test.make ~name:"mds-partition-100x1000"
+        (Staged.stage (fun () ->
+             ignore (Sdx_core.Fec.group_count ~sets ~default_key:(fun _ -> 0))));
+      Test.make ~name:"incremental-update"
+        (Staged.stage (fun () ->
+             ignore
+               (Sdx_core.Runtime.handle_update runtime
+                  (Workload.random_best_changing_update upd_rng w))));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:true () in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"sdx" ~fmt:"%s/%s" tests)
+  in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> note "%-36s %14.0f ns/run" name est
+      | _ -> note "%-36s (no estimate)" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+
+let run_all ~seed ~scale ~samples ~repeats =
+  run_table1 ~seed ~scale;
+  run_fig5a ();
+  run_fig5b ();
+  run_fig6 ~seed ~scale ~repeats;
+  run_fig7_fig8 ~seed ~scale ~repeats;
+  run_fig9 ~seed ~scale;
+  run_fig10 ~seed ~scale ~samples;
+  run_ablation ~seed;
+  run_vmac_ablation ~seed ~scale;
+  run_multiswitch ~seed ~scale;
+  run_replay ~seed ~scale;
+  run_bechamel ();
+  Format.printf "@.done.@."
+
+open Cmdliner
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload random seed.")
+
+let scale_t =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "scale" ]
+        ~doc:
+          "Scale factor on paper-sized inputs (1.0 = full 25k-prefix sweeps \
+           and week-long traces).")
+
+let samples_t =
+  Arg.(
+    value
+    & opt int 150
+    & info [ "samples" ] ~doc:"Number of updates for the Figure 10 CDF.")
+
+let repeats_t =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "repeats" ]
+        ~doc:"Runs to average for Figures 6-8 (the paper uses 10).")
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let commands =
+  [
+    cmd "table1" "Table 1: IXP dataset statistics from synthetic traces."
+      Term.(const (fun seed scale -> run_table1 ~seed ~scale) $ seed_t $ scale_t);
+    cmd "fig5a" "Figure 5a: application-specific peering deployment."
+      Term.(const run_fig5a $ const ());
+    cmd "fig5b" "Figure 5b: wide-area load balance deployment."
+      Term.(const run_fig5b $ const ());
+    cmd "fig6" "Figure 6: prefix groups vs prefixes."
+      Term.(
+        const (fun seed scale repeats -> run_fig6 ~seed ~scale ~repeats)
+        $ seed_t $ scale_t $ repeats_t);
+    cmd "fig7" "Figures 7-8: rules and compile time vs prefix groups."
+      Term.(
+        const (fun seed scale repeats -> run_fig7_fig8 ~seed ~scale ~repeats)
+        $ seed_t $ scale_t $ repeats_t);
+    cmd "fig8" "Figures 7-8: rules and compile time vs prefix groups."
+      Term.(
+        const (fun seed scale repeats -> run_fig7_fig8 ~seed ~scale ~repeats)
+        $ seed_t $ scale_t $ repeats_t);
+    cmd "fig9" "Figure 9: additional rules vs BGP burst size."
+      Term.(const (fun seed scale -> run_fig9 ~seed ~scale) $ seed_t $ scale_t);
+    cmd "fig10" "Figure 10: per-update processing time CDF."
+      Term.(
+        const (fun seed scale samples -> run_fig10 ~seed ~scale ~samples)
+        $ seed_t $ scale_t $ samples_t);
+    cmd "ablation" "Optimized vs naive compilation."
+      Term.(const (fun seed -> run_ablation ~seed) $ seed_t);
+    cmd "vmac" "VMAC tagging vs per-prefix rules."
+      Term.(
+        const (fun seed scale -> run_vmac_ablation ~seed ~scale)
+        $ seed_t $ scale_t);
+    cmd "multiswitch" "Classifier split across a multi-switch fabric."
+      Term.(
+        const (fun seed scale -> run_multiswitch ~seed ~scale) $ seed_t $ scale_t);
+    cmd "replay" "Replay a day of IXP churn through the runtime."
+      Term.(const (fun seed scale -> run_replay ~seed ~scale) $ seed_t $ scale_t);
+    cmd "bechamel" "Bechamel micro-benchmarks."
+      Term.(const run_bechamel $ const ());
+    cmd "all" "Run every experiment."
+      Term.(
+        const (fun seed scale samples repeats ->
+            run_all ~seed ~scale ~samples ~repeats)
+        $ seed_t $ scale_t $ samples_t $ repeats_t);
+  ]
+
+let () =
+  let default =
+    Term.(
+      const (fun seed scale samples repeats ->
+          run_all ~seed ~scale ~samples ~repeats)
+      $ seed_t $ scale_t $ samples_t $ repeats_t)
+  in
+  let info =
+    Cmd.info "sdx-bench" ~doc:"Regenerate the SDX paper's tables and figures."
+  in
+  exit (Cmd.eval (Cmd.group ~default info commands))

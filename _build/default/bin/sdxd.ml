@@ -1,0 +1,270 @@
+(* sdxd: inspect the SDX controller pipeline from the command line.
+
+     dune exec bin/sdxd.exe -- demo                 # Figure 1 walkthrough
+     dune exec bin/sdxd.exe -- compile -n 50 -x 500 # compile a workload
+     dune exec bin/sdxd.exe -- trace --ixp de-cix   # Table 1 trace stats
+     dune exec bin/sdxd.exe -- --help *)
+
+open Sdx_net
+open Sdx_bgp
+open Sdx_core
+
+(* ------------------------------------------------------------------ *)
+(* demo: the Figure 1 scenario, end to end                             *)
+
+let run_demo verbose =
+  let mac = Mac.of_string and ip = Ipv4.of_string and pfx = Prefix.of_string in
+  let asn_a = Asn.of_int 100
+  and asn_b = Asn.of_int 200
+  and asn_c = Asn.of_int 300 in
+  let a =
+    Participant.make ~asn:asn_a
+      ~ports:[ (mac "aa:aa:aa:aa:aa:01", ip "172.0.0.1") ]
+      ~outbound:
+        [
+          Ppolicy.fwd (Sdx_policy.Pred.dst_port 80) (Ppolicy.Peer asn_b);
+          Ppolicy.fwd (Sdx_policy.Pred.dst_port 443) (Ppolicy.Peer asn_c);
+        ]
+      ()
+  in
+  let b =
+    Participant.make ~asn:asn_b
+      ~ports:
+        [ (mac "bb:bb:bb:bb:bb:01", ip "172.0.0.2");
+          (mac "bb:bb:bb:bb:bb:02", ip "172.0.0.3") ]
+      ~inbound:
+        [
+          Ppolicy.fwd (Sdx_policy.Pred.src_ip (pfx "0.0.0.0/1")) (Ppolicy.Phys 0);
+          Ppolicy.fwd (Sdx_policy.Pred.src_ip (pfx "128.0.0.0/1")) (Ppolicy.Phys 1);
+        ]
+      ()
+  in
+  let c = Participant.make ~asn:asn_c ~ports:[ (mac "cc:cc:cc:cc:cc:01", ip "172.0.0.4") ] () in
+  let config = Config.make [ a; b; c ] in
+  List.iter
+    (fun (peer, p, path) ->
+      ignore (Config.announce config ~peer ~port:0 ~as_path:path (pfx p)))
+    [
+      (asn_b, "20.0.1.0/24", [ asn_b; Asn.of_int 65001; Asn.of_int 65002 ]);
+      (asn_b, "20.0.3.0/24", [ asn_b; Asn.of_int 65001 ]);
+      (asn_c, "20.0.1.0/24", [ asn_c; Asn.of_int 65001 ]);
+      (asn_c, "20.0.3.0/24", [ asn_c; Asn.of_int 65001; Asn.of_int 65002 ]);
+      (asn_c, "20.0.4.0/24", [ asn_c; Asn.of_int 65001 ]);
+    ];
+  let runtime = Runtime.create config in
+  Format.printf "Participants:@.";
+  List.iter (fun p -> Format.printf "%a@.@." Participant.pp p) (Config.participants config);
+  Format.printf "Prefix groups:@.";
+  List.iter
+    (fun (g : Compile.group) ->
+      Format.printf "  group %d: vnh=%a vmac=%a {%s}@." g.id Ipv4.pp g.vnh Mac.pp
+        g.vmac
+        (String.concat ", " (List.map Prefix.to_string g.prefixes)))
+    (Compile.groups (Runtime.compiled runtime));
+  Format.printf "@.ARP responder (%d bindings):@."
+    (Sdx_arp.Responder.size (Runtime.arp runtime));
+  List.iter
+    (fun (ip, mac) -> Format.printf "  %a is-at %a@." Ipv4.pp ip Mac.pp mac)
+    (Sdx_arp.Responder.bindings (Runtime.arp runtime));
+  let stats = Compile.stats (Runtime.compiled runtime) in
+  Format.printf
+    "@.Compiled %d rules for %d groups in %.3f ms (%d sequential \
+     compositions, %d memo hits).@."
+    stats.rule_count stats.group_count (1000.0 *. stats.elapsed_s) stats.seq_ops
+    stats.memo_hits;
+  if verbose then begin
+    Format.printf "@.Flow table:@.%a@." Sdx_policy.Classifier.pp
+      (Runtime.classifier runtime)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* compile: a synthetic workload through the pipeline                  *)
+
+let run_compile participants prefixes seed naive =
+  let rng = Sdx_ixp.Rng.create ~seed in
+  let w = Sdx_ixp.Workload.build rng ~participants ~prefixes () in
+  let runtime = Runtime.create ~optimized:(not naive) w.Sdx_ixp.Workload.config in
+  let stats = Compile.stats (Runtime.compiled runtime) in
+  Format.printf "participants:       %d@." participants;
+  Format.printf "prefixes:           %d@." prefixes;
+  Format.printf "mode:               %s@." (if naive then "naive" else "optimized");
+  Format.printf "prefix groups:      %d@." stats.group_count;
+  Format.printf "flow rules:         %d@." stats.rule_count;
+  Format.printf "compile time:       %.3f s@." stats.elapsed_s;
+  Format.printf "seq compositions:   %d@." stats.seq_ops;
+  Format.printf "memo hits:          %d@." stats.memo_hits;
+  let policied =
+    List.length
+      (List.filter
+         (fun (p : Participant.t) -> p.outbound <> [] || p.inbound <> [])
+         (Config.participants w.Sdx_ixp.Workload.config))
+  in
+  Format.printf "policied ASes:      %d@." policied
+
+(* ------------------------------------------------------------------ *)
+(* load: run a scenario file                                           *)
+
+(* Probe syntax: AS100:10.0.0.1:20.0.1.9:80 (sender, src, dst, dstport). *)
+let parse_probe s =
+  match String.split_on_char ':' s with
+  | [ asn_s; src; dst; dport ] -> (
+      let asn_digits =
+        if String.length asn_s > 2 && String.sub asn_s 0 2 = "AS" then
+          String.sub asn_s 2 (String.length asn_s - 2)
+        else asn_s
+      in
+      match
+        ( int_of_string_opt asn_digits,
+          Ipv4.of_string_opt src,
+          Ipv4.of_string_opt dst,
+          int_of_string_opt dport )
+      with
+      | Some a, Some src, Some dst, Some dport ->
+          (Asn.of_int a, src, dst, dport)
+      | _ -> failwith (Printf.sprintf "bad probe %S" s))
+  | _ -> failwith (Printf.sprintf "bad probe %S (want AS:src:dst:dport)" s)
+
+let run_load path probes verbose =
+  match Scenario.load path with
+  | Error e -> Format.printf "%a@." Scenario.pp_error e
+  | Ok config ->
+      let runtime = Runtime.create config in
+      let stats = Compile.stats (Runtime.compiled runtime) in
+      Format.printf "%s: %d participants, %d ports, %d prefixes@." path
+        (List.length (Config.participants config))
+        (Config.port_count config)
+        (Route_server.prefix_count (Config.server config));
+      Format.printf "compiled: %d prefix groups, %d rules, %.3f ms@."
+        stats.group_count stats.rule_count (1000.0 *. stats.elapsed_s);
+      if verbose then
+        Format.printf "@.%a@." Sdx_policy.Classifier.pp (Runtime.classifier runtime);
+      if probes <> [] then begin
+        let net = Sdx_fabric.Network.create runtime in
+        Format.printf "@.probes:@.";
+        List.iter
+          (fun probe ->
+            let sender, src_ip, dst_ip, dst_port = parse_probe probe in
+            let packet = Packet.make ~src_ip ~dst_ip ~dst_port () in
+            match Sdx_fabric.Network.inject net ~from:sender packet with
+            | [] -> Format.printf "  %-36s -> dropped@." probe
+            | ds ->
+                List.iter
+                  (fun (d : Sdx_fabric.Network.delivery) ->
+                    Format.printf "  %-36s -> %s port %d@." probe
+                      (Asn.to_string d.receiver) d.receiver_port)
+                  ds)
+          probes
+      end
+
+(* ------------------------------------------------------------------ *)
+(* trace: Table 1 statistics                                           *)
+
+let run_trace ixp scale seed =
+  let profile =
+    match String.lowercase_ascii ixp with
+    | "ams-ix" | "ams" -> Sdx_ixp.Trace.ams_ix
+    | "de-cix" | "dec" -> Sdx_ixp.Trace.de_cix
+    | "linx" -> Sdx_ixp.Trace.linx
+    | other -> failwith (Printf.sprintf "unknown IXP %S (ams-ix|de-cix|linx)" other)
+  in
+  let rng = Sdx_ixp.Rng.create ~seed in
+  let scaled = Sdx_ixp.Trace.scale profile scale in
+  let trace = Sdx_ixp.Trace.generate rng scaled ~duration_s:(6.0 *. 86400.0) () in
+  Format.printf "%s (scale %g):@.%a@." profile.name scale Sdx_ixp.Trace.pp_stats
+    (Sdx_ixp.Trace.stats scaled trace)
+
+(* ------------------------------------------------------------------ *)
+(* replay: churn through the two-stage runtime                         *)
+
+let run_replay participants prefixes seed scale =
+  let rng = Sdx_ixp.Rng.create ~seed in
+  let w = Sdx_ixp.Workload.build rng ~participants ~prefixes () in
+  let runtime = Sdx_ixp.Workload.runtime w in
+  let profile = Sdx_ixp.Trace.scale Sdx_ixp.Trace.ams_ix scale in
+  let trace =
+    Sdx_ixp.Replay.trace_for_workload rng w ~profile ~duration_s:86_400.0
+  in
+  let result = Sdx_ixp.Replay.run runtime trace in
+  Format.printf "%a@." Sdx_ixp.Replay.pp_result result
+
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let demo_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also dump the flow table.")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Walk through the paper's Figure 1 scenario.")
+    Term.(const run_demo $ verbose)
+
+let compile_cmd =
+  let participants =
+    Arg.(value & opt int 50 & info [ "n"; "participants" ] ~doc:"Participant count.")
+  in
+  let prefixes =
+    Arg.(value & opt int 500 & info [ "x"; "prefixes" ] ~doc:"Prefix count.")
+  in
+  let naive =
+    Arg.(value & flag & info [ "naive" ] ~doc:"Disable the 4.3 optimizations.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a synthetic 6.1 workload and print statistics.")
+    Term.(
+      const (fun n x seed naive -> run_compile n x seed naive)
+      $ participants $ prefixes $ seed_t $ naive)
+
+let load_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Scenario file.")
+  in
+  let probes =
+    Arg.(
+      value & opt_all string []
+      & info [ "probe" ] ~docv:"AS:src:dst:dport"
+          ~doc:"Inject a probe packet and report where it lands (repeatable).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also dump the flow table.")
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Load a scenario file, compile it, and optionally probe it.")
+    Term.(const (fun path probes verbose -> run_load path probes verbose)
+          $ path $ probes $ verbose)
+
+let trace_cmd =
+  let ixp =
+    Arg.(value & opt string "ams-ix" & info [ "ixp" ] ~doc:"ams-ix, de-cix, or linx.")
+  in
+  let scale =
+    Arg.(value & opt float 0.01 & info [ "scale" ] ~doc:"Trace scale factor.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Generate a Table 1 BGP update trace and print its statistics.")
+    Term.(const (fun ixp scale seed -> run_trace ixp scale seed) $ ixp $ scale $ seed_t)
+
+let replay_cmd =
+  let participants =
+    Arg.(value & opt int 100 & info [ "n"; "participants" ] ~doc:"Participant count.")
+  in
+  let prefixes =
+    Arg.(value & opt int 1000 & info [ "x"; "prefixes" ] ~doc:"Prefix count.")
+  in
+  let scale =
+    Arg.(value & opt float 0.001 & info [ "scale" ] ~doc:"Trace scale factor.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a day of AMS-IX-like churn through the two-stage runtime.")
+    Term.(
+      const (fun n x seed scale -> run_replay n x seed scale)
+      $ participants $ prefixes $ seed_t $ scale)
+
+let () =
+  let info = Cmd.info "sdxd" ~doc:"SDX controller inspection tool." in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ demo_cmd; compile_cmd; load_cmd; trace_cmd; replay_cmd ]))

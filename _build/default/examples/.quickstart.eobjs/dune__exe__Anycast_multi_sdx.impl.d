@@ -1,0 +1,1 @@
+examples/anycast_multi_sdx.ml: Asn Config Format Ipv4 Mac Mods Packet Participant Ppolicy Pred Prefix Printf Runtime Sdx_bgp Sdx_core Sdx_fabric Sdx_net Sdx_policy String

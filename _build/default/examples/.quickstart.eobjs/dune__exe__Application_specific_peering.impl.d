@@ -1,0 +1,1 @@
+examples/application_specific_peering.ml: Deployment Format List Scenarios Sdx_fabric

@@ -1,0 +1,1 @@
+examples/bgp_gateway.ml: Asn Bytes Config Format Gateway Ipv4 List Mac Participant Peer Ppolicy Prefix Result Route Runtime Sdx_arp Sdx_bgp Sdx_core Sdx_net Sdx_policy String Update Wire

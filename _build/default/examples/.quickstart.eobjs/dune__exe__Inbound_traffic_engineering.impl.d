@@ -1,0 +1,1 @@
+examples/inbound_traffic_engineering.ml: Asn Config Format Ipv4 List Mac Packet Participant Ppolicy Pred Prefix Runtime Sdx_bgp Sdx_core Sdx_fabric Sdx_net Sdx_policy

@@ -1,0 +1,1 @@
+examples/middlebox_redirection.ml: As_path_regex Asn Config Format Ipv4 List Mac Packet Participant Ppolicy Pred Prefix Route_server Runtime Sdx_bgp Sdx_core Sdx_fabric Sdx_net Sdx_policy String

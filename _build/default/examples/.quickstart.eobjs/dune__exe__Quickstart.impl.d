@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asn Classifier Compile Config Format Ipv4 List Mac Packet Participant Ppolicy Pred Prefix Route Runtime Sdx_bgp Sdx_core Sdx_fabric Sdx_net Sdx_policy String

@@ -1,0 +1,1 @@
+examples/wide_area_load_balancer.ml: Deployment Format List Scenarios Sdx_fabric

@@ -1,0 +1,147 @@
+(* Quickstart: the running example of the paper's Figure 1.
+
+   AS A peers with AS B and AS C at the SDX.  A's outbound policy sends
+   web traffic via B and HTTPS via C; B's inbound policy splits traffic
+   across its two ports by source address; everything else follows the
+   BGP best routes computed by the route server.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Sdx_net
+open Sdx_policy
+open Sdx_bgp
+open Sdx_core
+
+let mac = Mac.of_string
+let ip = Ipv4.of_string
+let pfx = Prefix.of_string
+
+(* Prefixes p1..p5 of Figure 1b. *)
+let p1 = pfx "20.0.1.0/24"
+let p2 = pfx "20.0.2.0/24"
+let p3 = pfx "20.0.3.0/24"
+let p4 = pfx "20.0.4.0/24"
+let p5 = pfx "20.0.5.0/24"
+
+let asn_a = Asn.of_int 100
+let asn_b = Asn.of_int 200
+let asn_c = Asn.of_int 300
+let asn_d = Asn.of_int 400
+
+(* AS A: application-specific peering —
+     match(dstport = 80)  >> fwd(B)
+   + match(dstport = 443) >> fwd(C) *)
+let participant_a =
+  Participant.make ~asn:asn_a
+    ~ports:[ (mac "aa:aa:aa:aa:aa:01", ip "172.0.0.1") ]
+    ~outbound:
+      [
+        Ppolicy.fwd (Pred.dst_port 80) (Ppolicy.Peer asn_b);
+        Ppolicy.fwd (Pred.dst_port 443) (Ppolicy.Peer asn_c);
+      ]
+    ()
+
+(* AS B: inbound traffic engineering over its two ports —
+     match(srcip = 0.0.0.0/1)   >> fwd(B1)
+   + match(srcip = 128.0.0.0/1) >> fwd(B2) *)
+let participant_b =
+  Participant.make ~asn:asn_b
+    ~ports:
+      [
+        (mac "bb:bb:bb:bb:bb:01", ip "172.0.0.2");
+        (mac "bb:bb:bb:bb:bb:02", ip "172.0.0.3");
+      ]
+    ~inbound:
+      [
+        Ppolicy.fwd (Pred.src_ip (pfx "0.0.0.0/1")) (Ppolicy.Phys 0);
+        Ppolicy.fwd (Pred.src_ip (pfx "128.0.0.0/1")) (Ppolicy.Phys 1);
+      ]
+    ()
+
+let participant_c =
+  Participant.make ~asn:asn_c
+    ~ports:[ (mac "cc:cc:cc:cc:cc:01", ip "172.0.0.4") ]
+    ()
+
+let participant_d =
+  Participant.make ~asn:asn_d
+    ~ports:[ (mac "dd:dd:dd:dd:dd:01", ip "172.0.0.5") ]
+    ()
+
+let () =
+  let config =
+    Config.make [ participant_a; participant_b; participant_c; participant_d ]
+  in
+  (* Figure 1b's announcements: B announces p1-p3, C announces p1-p4 with
+     shorter paths for p1/p2 (so their best routes point at C), D
+     announces p5, which no policy touches. *)
+  let far1 = Asn.of_int 65001 and far2 = Asn.of_int 65002 in
+  List.iter
+    (fun (peer, prefix, as_path) ->
+      ignore (Config.announce config ~peer ~port:0 ~as_path prefix))
+    [
+      (asn_b, p1, [ asn_b; far1; far2 ]);
+      (asn_b, p2, [ asn_b; far1; far2 ]);
+      (asn_b, p3, [ asn_b; far1 ]);
+      (asn_c, p1, [ asn_c; far1 ]);
+      (asn_c, p2, [ asn_c; far1 ]);
+      (asn_c, p3, [ asn_c; far1; far2 ]);
+      (asn_c, p4, [ asn_c; far1 ]);
+      (asn_d, p5, [ asn_d; far1 ]);
+    ];
+  let runtime = Runtime.create config in
+  let compiled = Runtime.compiled runtime in
+
+  Format.printf "=== SDX quickstart (Figure 1) ===@.@.";
+  List.iter
+    (fun p -> Format.printf "%a@.@." Participant.pp p)
+    (Config.participants config);
+
+  Format.printf "--- Prefix groups (forwarding equivalence classes) ---@.";
+  List.iter
+    (fun (g : Compile.group) ->
+      Format.printf "group %d: vnh=%a vmac=%a prefixes={%s}@." g.id Ipv4.pp
+        g.vnh Mac.pp g.vmac
+        (String.concat ", " (List.map Prefix.to_string g.prefixes)))
+    (Compile.groups compiled);
+
+  Format.printf "@.--- Routes re-advertised to AS A ---@.";
+  List.iter
+    (fun prefix ->
+      match Runtime.announcement runtime ~receiver:asn_a prefix with
+      | Some r -> Format.printf "%a@." Route.pp r
+      | None -> Format.printf "%a: (no route)@." Prefix.pp prefix)
+    [ p1; p2; p3; p4; p5 ];
+
+  Format.printf "@.--- Fabric flow rules (%d) ---@."
+    (Runtime.rule_count runtime);
+  Format.printf "%a@." Classifier.pp (Runtime.classifier runtime);
+
+  (* Exercise the data plane end to end. *)
+  let network = Sdx_fabric.Network.create runtime in
+  let show ~label ~dst_ip ~dst_port ~src_ip =
+    let packet =
+      Packet.make ~src_ip:(ip src_ip) ~dst_ip:(ip dst_ip) ~dst_port ()
+    in
+    let deliveries = Sdx_fabric.Network.inject network ~from:asn_a packet in
+    match deliveries with
+    | [] -> Format.printf "%-28s -> dropped@." label
+    | ds ->
+        List.iter
+          (fun (d : Sdx_fabric.Network.delivery) ->
+            Format.printf "%-28s -> %s port %d@." label
+              (Asn.to_string d.receiver) d.receiver_port)
+          ds
+  in
+  Format.printf "@.--- Packets sent by AS A ---@.";
+  show ~label:"web to p1 (low src)" ~dst_ip:"20.0.1.9" ~dst_port:80
+    ~src_ip:"10.0.0.1";
+  show ~label:"web to p1 (high src)" ~dst_ip:"20.0.1.9" ~dst_port:80
+    ~src_ip:"192.168.0.1";
+  show ~label:"https to p4" ~dst_ip:"20.0.4.9" ~dst_port:443 ~src_ip:"10.0.0.1";
+  show ~label:"web to p4 (B exports none)" ~dst_ip:"20.0.4.9" ~dst_port:80
+    ~src_ip:"10.0.0.1";
+  show ~label:"other to p1 (default, C)" ~dst_ip:"20.0.1.9" ~dst_port:9999
+    ~src_ip:"10.0.0.1";
+  show ~label:"other to p5 (default, D)" ~dst_ip:"20.0.5.9" ~dst_port:9999
+    ~src_ip:"10.0.0.1"

@@ -1,0 +1,36 @@
+(* Wide-area server load balancing (§2, §3.1, §5.2, Figure 4b/5b).
+
+   A remote AWS tenant — a participant with no physical port at the
+   exchange — originates an anycast service prefix at the SDX and
+   rewrites request destinations to concrete instances in the middle of
+   the network, replacing slow DNS-based load balancing.  At t=246s it
+   installs a policy steering one client source to instance #2.
+
+   Run with: dune exec examples/wide_area_load_balancer.exe *)
+
+open Sdx_fabric
+
+let () =
+  Format.printf "=== Wide-area load balancer (Figure 5b) ===@.@.";
+  Format.printf
+    "The tenant (AS 14618, remote) originates 74.125.1.0/24 at the SDX.@.\
+     Base policy:  match(dstip=74.125.1.1) >> mod(dstip=instance#1)@.\
+     At t=246s:    match(dstip=74.125.1.1 && srcip=204.57.0.67) >> \
+     mod(dstip=instance#2)@.@.";
+  let scenario = Scenarios.Fig5b.scenario () in
+  let samples = Deployment.run ~sample_every:1 scenario in
+  Format.printf "%8s %15s %15s@." "t(s)" "instance #1" "instance #2";
+  List.iter
+    (fun (s : Deployment.sample) ->
+      if s.time mod 40 = 0 then
+        Format.printf "%8d %11.1f Mbps %11.1f Mbps@." s.time
+          (Deployment.rate s "AWS Instance #1")
+          (Deployment.rate s "AWS Instance #2"))
+    samples;
+  let at t = List.find (fun (s : Deployment.sample) -> s.time = t) samples in
+  assert (Deployment.rate (at 120) "AWS Instance #1" = 2.0);
+  assert (Deployment.rate (at 400) "AWS Instance #1" = 1.0);
+  assert (Deployment.rate (at 400) "AWS Instance #2" = 1.0);
+  Format.printf
+    "@.At t=246s the flow from 204.57.0.67 shifts to instance #2, as in \
+     Figure 5b.@."

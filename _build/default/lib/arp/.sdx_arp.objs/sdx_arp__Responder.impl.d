@@ -1,0 +1,1 @@
+lib/arp/responder.ml: Hashtbl Ipv4 List Mac Sdx_net

@@ -1,0 +1,1 @@
+lib/arp/responder.mli: Ipv4 Mac Sdx_net

@@ -1,0 +1,14 @@
+open Sdx_net
+
+type t = { table : (Ipv4.t, Mac.t) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 256 }
+let register t ip mac = Hashtbl.replace t.table ip mac
+let unregister t ip = Hashtbl.remove t.table ip
+let query t ip = Hashtbl.find_opt t.table ip
+let size t = Hashtbl.length t.table
+
+let bindings t =
+  List.sort
+    (fun (a, _) (b, _) -> Ipv4.compare a b)
+    (Hashtbl.fold (fun ip mac acc -> (ip, mac) :: acc) t.table [])

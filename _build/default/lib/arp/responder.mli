@@ -1,0 +1,24 @@
+(** The SDX ARP responder (§5.1).
+
+    Virtual next hops are virtual IP addresses, so the controller answers
+    ARP queries for them with the corresponding virtual MAC.  Real
+    next-hop interfaces can be registered too, so border routers resolve
+    both through one responder. *)
+
+open Sdx_net
+
+type t
+
+val create : unit -> t
+
+val register : t -> Ipv4.t -> Mac.t -> unit
+(** Later registrations for the same address overwrite earlier ones, as
+    the incremental compiler re-binds VNHs. *)
+
+val unregister : t -> Ipv4.t -> unit
+
+val query : t -> Ipv4.t -> Mac.t option
+(** The answer the responder would send for an ARP request, if any. *)
+
+val size : t -> int
+val bindings : t -> (Ipv4.t * Mac.t) list

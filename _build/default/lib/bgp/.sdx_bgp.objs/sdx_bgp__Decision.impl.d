@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: Asn Int Ipv4 List Route Sdx_net

@@ -1,0 +1,1 @@
+lib/bgp/fsm.ml: Format Wire

@@ -1,0 +1,1 @@
+lib/bgp/fsm.mli: Format Wire

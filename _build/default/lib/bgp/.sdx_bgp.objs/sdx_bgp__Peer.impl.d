@@ -1,0 +1,1 @@
+lib/bgp/peer.ml: Asn Buffer Bytes Char Fsm List String Wire

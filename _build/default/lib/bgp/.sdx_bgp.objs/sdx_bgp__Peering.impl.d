@@ -1,0 +1,1 @@
+lib/bgp/peering.ml: Asn List Route

@@ -1,0 +1,1 @@
+lib/bgp/peering.mli: Asn Route

@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: List Prefix_trie Route Sdx_net

@@ -1,0 +1,1 @@
+lib/bgp/rib.mli: Ipv4 Prefix Route Sdx_net

@@ -1,0 +1,1 @@
+lib/bgp/route.ml: Asn Format Ipv4 List Prefix Sdx_net Stdlib String

@@ -1,0 +1,1 @@
+lib/bgp/route.mli: Asn Format Ipv4 Prefix Sdx_net

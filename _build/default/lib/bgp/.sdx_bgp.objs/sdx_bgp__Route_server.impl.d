@@ -1,0 +1,1 @@
+lib/bgp/route_server.ml: As_path_regex Asn Decision Hashtbl List Option Prefix Prefix_trie Printf Rib Route Sdx_net Update

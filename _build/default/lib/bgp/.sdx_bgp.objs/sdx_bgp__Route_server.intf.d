@@ -1,0 +1,1 @@
+lib/bgp/route_server.mli: As_path_regex Asn Ipv4 Prefix Route Sdx_net Update

@@ -1,0 +1,1 @@
+lib/bgp/rpki.ml: Asn Format List Option Prefix Prefix_trie Printf Route Sdx_net

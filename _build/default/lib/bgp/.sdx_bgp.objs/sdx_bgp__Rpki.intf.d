@@ -1,0 +1,1 @@
+lib/bgp/rpki.mli: Asn Format Prefix Route Sdx_net

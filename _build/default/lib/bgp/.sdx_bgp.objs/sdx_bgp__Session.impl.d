@@ -1,0 +1,1 @@
+lib/bgp/session.ml: Asn List Prefix Route Sdx_net Update

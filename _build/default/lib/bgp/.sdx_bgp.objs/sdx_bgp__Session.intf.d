@@ -1,0 +1,1 @@
+lib/bgp/session.mli: Asn Prefix Route Sdx_net Update

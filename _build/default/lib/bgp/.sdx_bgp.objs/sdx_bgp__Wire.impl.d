@@ -1,0 +1,1 @@
+lib/bgp/wire.ml: Asn Buffer Bytes Format Ipv4 List Option Prefix Printf Route Sdx_net String Update

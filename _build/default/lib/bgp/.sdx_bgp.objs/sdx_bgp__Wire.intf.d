@@ -1,0 +1,1 @@
+lib/bgp/wire.mli: Asn Format Ipv4 Prefix Route Sdx_net Update

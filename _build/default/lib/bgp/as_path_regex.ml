@@ -1,0 +1,14 @@
+type t = { source : string; re : Re.re }
+
+let compile source =
+  match Re.Posix.compile_pat source with
+  | re -> { source; re }
+  | exception Re.Posix.Parse_error ->
+      invalid_arg (Printf.sprintf "As_path_regex.compile: bad expression %S" source)
+  | exception Re.Posix.Not_supported ->
+      invalid_arg
+        (Printf.sprintf "As_path_regex.compile: unsupported construct in %S" source)
+
+let matches t route = Re.execp t.re (Route.as_path_string route)
+let filter t routes = List.filter (matches t) routes
+let source t = t.source

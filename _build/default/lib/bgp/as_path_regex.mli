@@ -1,0 +1,18 @@
+(** AS-path regular expressions, used by SDX policies that group traffic
+    on BGP attributes (§3.2): e.g. [".*43515$"] selects all routes whose
+    path ends at AS 43515. *)
+
+type t
+
+val compile : string -> t
+(** POSIX-style regular expression over the route's AS-path rendered as
+    space-separated AS numbers.  Anchors [^]/[$] refer to the whole path.
+    @raise Invalid_argument on a malformed expression. *)
+
+val matches : t -> Route.t -> bool
+
+val filter : t -> Route.t list -> Route.t list
+(** Routes whose AS path matches. *)
+
+val source : t -> string
+(** The original expression, for display. *)

@@ -1,0 +1,22 @@
+type t = int
+
+let of_int n =
+  if n < 0 || n > 0xFFFF_FFFF then
+    invalid_arg (Printf.sprintf "Asn.of_int: %d out of range" n)
+  else n
+
+let to_int t = t
+let compare = Int.compare
+let equal = Int.equal
+let hash t = Hashtbl.hash t
+let to_string t = Printf.sprintf "AS%d" t
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

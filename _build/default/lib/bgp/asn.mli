@@ -1,0 +1,16 @@
+(** Autonomous system numbers. *)
+
+type t = private int
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative or >32-bit values. *)
+
+val to_int : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,37 @@
+open Sdx_net
+
+let origin_rank = function
+  | Route.Igp -> 0
+  | Route.Egp -> 1
+  | Route.Incomplete -> 2
+
+(* Returns > 0 when [a] is preferred over [b]. *)
+let prefer (a : Route.t) (b : Route.t) =
+  let steps =
+    [
+      (fun () -> Int.compare a.local_pref b.local_pref);
+      (fun () -> Int.compare (List.length b.as_path) (List.length a.as_path));
+      (fun () -> Int.compare (origin_rank b.origin) (origin_rank a.origin));
+      (fun () -> Int.compare b.med a.med);
+      (fun () ->
+        Int.compare
+          (Asn.to_int b.learned_from)
+          (Asn.to_int a.learned_from));
+      (fun () ->
+        Int.compare (Ipv4.to_int b.next_hop) (Ipv4.to_int a.next_hop));
+    ]
+  in
+  let rec go = function
+    | [] -> 0
+    | step :: rest ->
+        let c = step () in
+        if c <> 0 then c else go rest
+  in
+  go steps
+
+let best = function
+  | [] -> None
+  | r :: rest ->
+      Some (List.fold_left (fun acc r -> if prefer r acc > 0 then r else acc) r rest)
+
+let sort routes = List.sort (fun a b -> prefer b a) routes

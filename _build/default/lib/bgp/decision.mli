@@ -1,0 +1,14 @@
+(** The BGP decision process: a deterministic total preference order over
+    routes to the same prefix. *)
+
+val prefer : Route.t -> Route.t -> int
+(** [prefer a b > 0] when [a] is the better route.  Steps, in order:
+    higher local preference, shorter AS path, lower origin
+    ([Igp] < [Egp] < [Incomplete]), lower MED, then lowest neighbor ASN
+    and lowest next-hop address as deterministic tie-breakers. *)
+
+val best : Route.t list -> Route.t option
+(** The most preferred route of a candidate set. *)
+
+val sort : Route.t list -> Route.t list
+(** Candidates from most to least preferred. *)

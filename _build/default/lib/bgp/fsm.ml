@@ -1,0 +1,86 @@
+type state = Idle | Connect | Active | Open_sent | Open_confirm | Established
+
+type event =
+  | Manual_start
+  | Manual_stop
+  | Tcp_connected
+  | Tcp_failed
+  | Connect_retry_expired
+  | Open_received of Wire.open_msg
+  | Keepalive_received
+  | Update_received
+  | Notification_received
+  | Hold_timer_expired
+  | Keepalive_timer_expired
+
+type action =
+  | Start_connection
+  | Drop_connection
+  | Send_open
+  | Send_keepalive
+  | Send_notification of { code : int; subcode : int }
+  | Flush_routes
+
+type t = { mutable state : state; mutable retries : int }
+
+let create () = { state = Idle; retries = 0 }
+let state t = t.state
+let connect_retries t = t.retries
+
+(* Error codes used below: 4 = hold timer expired, 5 = FSM error. *)
+
+let handle t event =
+  let was_established = t.state = Established in
+  let goto s actions =
+    t.state <- s;
+    actions
+  in
+  let teardown ?(notify = None) () =
+    let notification =
+      match notify with
+      | Some (code, subcode) -> [ Send_notification { code; subcode } ]
+      | None -> []
+    in
+    goto Idle
+      (notification @ [ Drop_connection ]
+      @ if was_established then [ Flush_routes ] else [])
+  in
+  match (t.state, event) with
+  (* Session bring-up. *)
+  | Idle, Manual_start ->
+      t.retries <- t.retries + 1;
+      goto Connect [ Start_connection ]
+  | Connect, Tcp_connected | Active, Tcp_connected -> goto Open_sent [ Send_open ]
+  | Connect, Tcp_failed -> goto Active []
+  | (Connect | Active), Connect_retry_expired ->
+      t.retries <- t.retries + 1;
+      goto Connect [ Start_connection ]
+  | Open_sent, Open_received _ -> goto Open_confirm [ Send_keepalive ]
+  | Open_confirm, Keepalive_received -> goto Established []
+  (* Steady state. *)
+  | Established, Update_received | Established, Keepalive_received ->
+      goto Established []
+  | Established, Keepalive_timer_expired -> goto Established [ Send_keepalive ]
+  (* Orderly and failure teardown. *)
+  | _, Manual_stop -> teardown ()
+  | _, Notification_received -> teardown ()
+  | _, Tcp_failed -> teardown ()
+  | (Open_sent | Open_confirm | Established), Hold_timer_expired ->
+      teardown ~notify:(Some (4, 0)) ()
+  | Idle, (Tcp_connected | Connect_retry_expired | Hold_timer_expired
+          | Keepalive_timer_expired | Keepalive_received | Update_received
+          | Open_received _) ->
+      (* Events in Idle are ignored rather than errors. *)
+      goto Idle []
+  (* Everything else is an FSM error. *)
+  | _, _ -> teardown ~notify:(Some (5, 0)) ()
+
+let pp_state fmt s =
+  Format.pp_print_string fmt
+    (match s with
+    | Idle -> "Idle"
+    | Connect -> "Connect"
+    | Active -> "Active"
+    | Open_sent -> "OpenSent"
+    | Open_confirm -> "OpenConfirm"
+    | Established -> "Established")

@@ -1,0 +1,51 @@
+(** A route-server-side BGP session endpoint: the glue between the wire
+    format, the session FSM, and the route server.
+
+    The transport is abstract — callers push received bytes in with
+    {!feed} (any fragmentation; messages are reassembled from the length
+    header) and drain bytes to transmit with {!pending_output}.  Decoded
+    UPDATE messages surface as route-server updates attributed to the
+    session's peer. *)
+
+
+type t
+
+val create : local:Wire.open_msg -> peer_asn:Asn.t -> t
+(** [local] describes this side's OPEN parameters; [peer_asn] is the
+    participant the session belongs to (learned routes are attributed to
+    it). *)
+
+val state : t -> Fsm.state
+
+val connect : t -> unit
+(** Start the session: after the (modeled) TCP connection comes up, the
+    local OPEN is queued for transmission. *)
+
+val feed : t -> bytes -> (Update.t list, string) result
+(** Append received transport bytes (any framing) and process every
+    complete message: FSM transitions run, replies (KEEPALIVE,
+    NOTIFICATION) are queued, and the route-server updates implied by
+    UPDATE messages are returned.  An error tears the session down. *)
+
+val send_update : t -> Update.t -> unit
+(** Queue an outgoing UPDATE (a re-advertisement toward the peer).
+    Silently ignored unless the session is established. *)
+
+val keepalive_due : t -> unit
+(** The keepalive timer fired: queue a KEEPALIVE if appropriate. *)
+
+val hold_expired : t -> unit
+(** The hold timer fired: tear the session down with a notification. *)
+
+val pending_output : t -> bytes list
+(** Drain the bytes to transmit, in order. *)
+
+val flush_requested : t -> bool
+(** True once the FSM has asked for the peer's routes to be withdrawn
+    (session loss after establishment); reading it clears the flag, and
+    {!Session.reset} materializes the withdrawals. *)
+
+val peer_asn : t -> Asn.t
+
+val remote_open : t -> Wire.open_msg option
+(** The peer's OPEN parameters, once received. *)

@@ -1,0 +1,43 @@
+type matrix = advertiser:Asn.t -> receiver:Asn.t -> bool
+
+let open_policy ~advertiser:_ ~receiver:_ = true
+
+let normalize pairs =
+  List.concat_map (fun (a, b) -> [ (a, b); (b, a) ]) pairs
+
+let bilateral pairs =
+  let allowed = normalize pairs in
+  fun ~advertiser ~receiver ->
+    List.exists
+      (fun (a, b) -> Asn.equal a advertiser && Asn.equal b receiver)
+      allowed
+
+let deny_pairs pairs =
+  let denied = normalize pairs in
+  fun ~advertiser ~receiver ->
+    not
+      (List.exists
+         (fun (a, b) -> Asn.equal a advertiser && Asn.equal b receiver)
+         denied)
+
+let no_export = (65535, 65281)
+let do_not_announce_to asn = (0, Asn.to_int asn)
+let announce_only_to ~rs_asn asn = (Asn.to_int rs_asn, Asn.to_int asn)
+
+let blocked_by_no_export (route : Route.t) =
+  List.mem no_export route.communities
+
+let community_filter ~rs_asn (route : Route.t) ~receiver =
+  if blocked_by_no_export route then false
+  else if List.mem (0, Asn.to_int receiver) route.communities then false
+  else
+    let announce_only =
+      List.filter_map
+        (fun (high, low) ->
+          if high = Asn.to_int rs_asn then Some low else None)
+        route.communities
+    in
+    announce_only = [] || List.mem (Asn.to_int receiver) announce_only
+
+let tag (route : Route.t) communities =
+  { route with communities = route.communities @ communities }

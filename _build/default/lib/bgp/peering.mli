@@ -1,0 +1,44 @@
+(** Peering policy builders for the route server.
+
+    Real IXP route servers let participants control route distribution
+    with well-known and action communities — exactly the "indirect,
+    obscure mechanisms" the paper's introduction contrasts the SDX with,
+    and the baseline an SDX must remain compatible with.  This module
+    provides the standard conventions:
+
+    - the static export matrix ([open_policy], [bilateral], [deny_pairs]);
+    - per-route action communities: [(0, asn)] "do not announce to
+      [asn]", [(rs_asn, asn)] "announce only to [asn]" (once any
+      announce-only community is present, everything else is filtered),
+      and RFC 1997 NO_EXPORT which blocks re-advertisement entirely. *)
+
+
+type matrix = advertiser:Asn.t -> receiver:Asn.t -> bool
+
+val open_policy : matrix
+(** Everyone exchanges routes with everyone (the default). *)
+
+val bilateral : (Asn.t * Asn.t) list -> matrix
+(** Only the listed pairs exchange routes (in both directions). *)
+
+val deny_pairs : (Asn.t * Asn.t) list -> matrix
+(** Open, except the listed pairs (in both directions). *)
+
+val no_export : int * int
+(** RFC 1997 NO_EXPORT (65535, 65281). *)
+
+val do_not_announce_to : Asn.t -> int * int
+(** The [(0, asn)] action community. *)
+
+val announce_only_to : rs_asn:Asn.t -> Asn.t -> int * int
+(** The [(rs_asn, asn)] action community. *)
+
+val community_filter : rs_asn:Asn.t -> Route.t -> receiver:Asn.t -> bool
+(** The per-route filter implementing the conventions above, to pass as
+    {!Route_server.create}'s [route_filter]. *)
+
+(* Convenience predicates used by tests and tooling. *)
+
+val blocked_by_no_export : Route.t -> bool
+val tag : Route.t -> (int * int) list -> Route.t
+(** Returns the route with the communities appended. *)

@@ -1,0 +1,25 @@
+open Sdx_net
+
+module Adj_in = struct
+  type t = { mutable trie : Route.t Prefix_trie.t }
+
+  let create () = { trie = Prefix_trie.empty }
+  let add t (r : Route.t) = t.trie <- Prefix_trie.add r.prefix r t.trie
+  let remove t prefix = t.trie <- Prefix_trie.remove prefix t.trie
+  let find t prefix = Prefix_trie.find_opt prefix t.trie
+  let cardinal t = Prefix_trie.cardinal t.trie
+  let prefixes t = List.map fst (Prefix_trie.bindings t.trie)
+  let fold f t init = Prefix_trie.fold f t.trie init
+end
+
+module Loc = struct
+  type t = { mutable trie : Route.t Prefix_trie.t }
+
+  let create () = { trie = Prefix_trie.empty }
+  let set t prefix r = t.trie <- Prefix_trie.add prefix r t.trie
+  let clear t prefix = t.trie <- Prefix_trie.remove prefix t.trie
+  let find t prefix = Prefix_trie.find_opt prefix t.trie
+  let lookup t addr = Prefix_trie.longest_match addr t.trie
+  let cardinal t = Prefix_trie.cardinal t.trie
+  let fold f t init = Prefix_trie.fold f t.trie init
+end

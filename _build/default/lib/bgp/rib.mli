@@ -1,0 +1,36 @@
+(** Routing information bases.
+
+    An [Adj_in] holds the routes learned from one peer; the route server
+    keeps one per participant (Figure 1b's "Input RIBs") and derives the
+    per-participant local RIBs from them. *)
+
+open Sdx_net
+
+module Adj_in : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> Route.t -> unit
+  val remove : t -> Prefix.t -> unit
+  val find : t -> Prefix.t -> Route.t option
+  val cardinal : t -> int
+  val prefixes : t -> Prefix.t list
+  val fold : (Prefix.t -> Route.t -> 'a -> 'a) -> t -> 'a -> 'a
+end
+
+module Loc : sig
+  (** A participant's local RIB: its best route per prefix, as computed
+      and re-advertised by the route server. *)
+
+  type t
+
+  val create : unit -> t
+  val set : t -> Prefix.t -> Route.t -> unit
+  val clear : t -> Prefix.t -> unit
+  val find : t -> Prefix.t -> Route.t option
+  val lookup : t -> Ipv4.t -> (Prefix.t * Route.t) option
+  (** Longest-prefix match, as a forwarding table would do. *)
+
+  val cardinal : t -> int
+  val fold : (Prefix.t -> Route.t -> 'a -> 'a) -> t -> 'a -> 'a
+end

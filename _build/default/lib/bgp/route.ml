@@ -1,0 +1,41 @@
+open Sdx_net
+
+type origin = Igp | Egp | Incomplete
+
+type t = {
+  prefix : Prefix.t;
+  next_hop : Ipv4.t;
+  as_path : Asn.t list;
+  local_pref : int;
+  med : int;
+  origin : origin;
+  communities : (int * int) list;
+  learned_from : Asn.t;
+}
+
+let make ~prefix ~next_hop ~as_path ?(local_pref = 100) ?(med = 0)
+    ?(origin = Igp) ?(communities = []) ~learned_from () =
+  { prefix; next_hop; as_path; local_pref; med; origin; communities; learned_from }
+
+let origin_as t =
+  match List.rev t.as_path with
+  | [] -> None
+  | last :: _ -> Some last
+
+let as_path_string t =
+  String.concat " " (List.map (fun a -> string_of_int (Asn.to_int a)) t.as_path)
+
+let prepend asn t = { t with as_path = asn :: t.as_path }
+let with_next_hop next_hop t = { t with next_hop }
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp_origin fmt = function
+  | Igp -> Format.pp_print_string fmt "IGP"
+  | Egp -> Format.pp_print_string fmt "EGP"
+  | Incomplete -> Format.pp_print_string fmt "?"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>%a via %a path=[%s] lp=%d med=%d %a from %a@]"
+    Prefix.pp t.prefix Ipv4.pp t.next_hop (as_path_string t) t.local_pref t.med
+    pp_origin t.origin Asn.pp t.learned_from

@@ -1,0 +1,46 @@
+(** BGP routes: a destination prefix plus the path attributes the decision
+    process and the SDX runtime consume. *)
+
+open Sdx_net
+
+type origin = Igp | Egp | Incomplete
+
+type t = {
+  prefix : Prefix.t;
+  next_hop : Ipv4.t;  (** the advertising router's interface address *)
+  as_path : Asn.t list;  (** nearest AS first, origin AS last *)
+  local_pref : int;
+  med : int;
+  origin : origin;
+  communities : (int * int) list;
+  learned_from : Asn.t;  (** the IXP peer that announced this route *)
+}
+
+val make :
+  prefix:Prefix.t ->
+  next_hop:Ipv4.t ->
+  as_path:Asn.t list ->
+  ?local_pref:int ->
+  ?med:int ->
+  ?origin:origin ->
+  ?communities:(int * int) list ->
+  learned_from:Asn.t ->
+  unit ->
+  t
+(** [local_pref] defaults to 100, [med] to 0, [origin] to [Igp]. *)
+
+val origin_as : t -> Asn.t option
+(** The AS that originated the prefix (last element of the AS path). *)
+
+val as_path_string : t -> string
+(** AS path as space-separated plain numbers, e.g. ["3356 1299 43515"] —
+    the form AS-path regular expressions match against. *)
+
+val prepend : Asn.t -> t -> t
+(** Prepends an AS to the path (as done when re-advertising). *)
+
+val with_next_hop : Ipv4.t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+(** The SDX route server (§3.2, §5.1).
+
+    Collects announcements from every participant, runs the BGP decision
+    process on behalf of each participant (respecting export policies),
+    and exposes both the per-participant best route and the full feasible
+    set — the SDX lets a participant forward to {e any} feasible next-hop
+    AS, not only the best one. *)
+
+open Sdx_net
+
+type t
+
+type change = {
+  prefix : Prefix.t;
+  best_changed_for : Asn.t list;
+      (** receivers whose best route for [prefix] changed *)
+}
+
+val create :
+  ?export:(advertiser:Asn.t -> receiver:Asn.t -> bool) ->
+  ?route_filter:(Route.t -> receiver:Asn.t -> bool) ->
+  Asn.t list ->
+  t
+(** [create participants] builds a route server for the given peers.
+    [export] is the static export-policy matrix; [route_filter] is the
+    per-route refinement (e.g. the community conventions of
+    {!Peering.community_filter}).  Defaults export every route to every
+    other participant.  A route is never exported back to its
+    advertiser. *)
+
+val participants : t -> Asn.t list
+val is_participant : t -> Asn.t -> bool
+
+val exports_to : t -> advertiser:Asn.t -> receiver:Asn.t -> bool
+
+val loop_free : Route.t -> receiver:Asn.t -> bool
+(** Standard BGP loop prevention, applied on every export: a route whose
+    AS path contains the receiver's own AS number is never handed to it
+    (one half of §4.1's forwarding-loop invariants). *)
+
+val apply : t -> Update.t -> change
+(** Process one update; [change.best_changed_for] is empty when the
+    update did not alter any participant's best route.
+    @raise Invalid_argument if the update's peer is not a participant. *)
+
+val apply_burst : t -> Update.t list -> change list
+
+val candidates : t -> Prefix.t -> Route.t list
+(** Every route currently announced for the prefix, one per advertiser. *)
+
+val best : t -> receiver:Asn.t -> Prefix.t -> Route.t option
+(** The route the server advertises to [receiver] for this prefix. *)
+
+val feasible : t -> receiver:Asn.t -> Prefix.t -> Route.t list
+(** All routes exported to [receiver] for this prefix, best first.  SDX
+    policies may forward along any of them. *)
+
+val reachable_prefixes : t -> receiver:Asn.t -> via:Asn.t -> Prefix.t list
+(** Prefixes for which [via] announced a route exported to [receiver] —
+    the BGP filter inserted into outbound policies forwarding to [via]
+    (§4.1, "Enforcing consistency with BGP advertisements"). *)
+
+val all_prefixes : t -> Prefix.t list
+(** Every prefix with at least one candidate route, in prefix order. *)
+
+val prefix_count : t -> int
+
+val prefixes_of : t -> Asn.t -> Prefix.t list
+(** Prefixes currently announced by the given participant. *)
+
+val fold_best :
+  t -> receiver:Asn.t -> (Prefix.t -> Route.t -> 'a -> 'a) -> 'a -> 'a
+(** Folds over [receiver]'s local RIB (its best route per prefix). *)
+
+val lookup_best : t -> receiver:Asn.t -> Ipv4.t -> (Prefix.t * Route.t) option
+(** Longest-prefix match over [receiver]'s local RIB: the most specific
+    announced prefix containing the address that has a best route for
+    this receiver. *)
+
+val filter_prefixes_by_as_path :
+  t -> receiver:Asn.t -> As_path_regex.t -> Prefix.t list
+(** The paper's [RIB.filter('as_path', regex)]: prefixes whose best route
+    for [receiver] has a matching AS path. *)
+
+val filter_prefixes_by_community :
+  t -> receiver:Asn.t -> int * int -> Prefix.t list
+(** Prefixes whose best route for [receiver] carries the community —
+    the other attribute-based grouping §3.2 sketches. *)

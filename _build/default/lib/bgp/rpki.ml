@@ -1,0 +1,50 @@
+open Sdx_net
+
+type validity = Valid | Invalid | Not_found
+
+type roa = { max_length : int; origin : Asn.t }
+type t = { mutable roas : roa list Prefix_trie.t }
+
+let create () = { roas = Prefix_trie.empty }
+
+let add_roa t ~prefix ?max_length origin =
+  let max_length = Option.value max_length ~default:(Prefix.length prefix) in
+  if max_length < Prefix.length prefix || max_length > 32 then
+    invalid_arg
+      (Printf.sprintf "Rpki.add_roa: max_length %d out of range for %s"
+         max_length (Prefix.to_string prefix));
+  t.roas <-
+    Prefix_trie.update prefix
+      (fun existing ->
+        Some ({ max_length; origin } :: Option.value existing ~default:[]))
+      t.roas
+
+let roa_count t = Prefix_trie.fold (fun _ rs n -> n + List.length rs) t.roas 0
+
+(* Every ROA whose prefix covers the announced prefix is relevant. *)
+let covering t prefix =
+  Prefix_trie.matches (Prefix.network prefix) t.roas
+  |> List.filter (fun (roa_prefix, _) -> Prefix.subset prefix roa_prefix)
+  |> List.concat_map snd
+
+let validate_origin t ~prefix asn =
+  match covering t prefix with
+  | [] -> Not_found
+  | roas ->
+      if
+        List.exists
+          (fun roa ->
+            Asn.equal roa.origin asn && Prefix.length prefix <= roa.max_length)
+          roas
+      then Valid
+      else Invalid
+
+let validate t (route : Route.t) =
+  match Route.origin_as route with
+  | Some origin -> validate_origin t ~prefix:route.prefix origin
+  | None -> if covering t route.prefix = [] then Not_found else Invalid
+
+let pp_validity fmt = function
+  | Valid -> Format.pp_print_string fmt "valid"
+  | Invalid -> Format.pp_print_string fmt "invalid"
+  | Not_found -> Format.pp_print_string fmt "not-found"

@@ -1,0 +1,33 @@
+(** RPKI-style origin validation (§3.2: before originating a BGP route on
+    a participant's behalf, "the SDX would verify that AS D indeed owns
+    the IP prefix (e.g., using the RPKI)").
+
+    A Route Origin Authorization (ROA) authorizes one AS to originate a
+    prefix and, optionally, more-specific prefixes up to a maximum
+    length.  Validation follows RFC 6811: a route is [Valid] when some
+    covering ROA matches its origin AS and length, [Invalid] when covering
+    ROAs exist but none matches, and [Not_found] when no ROA covers it. *)
+
+open Sdx_net
+
+type validity = Valid | Invalid | Not_found
+
+type t
+
+val create : unit -> t
+
+val add_roa : t -> prefix:Prefix.t -> ?max_length:int -> Asn.t -> unit
+(** [max_length] defaults to the prefix's own length.
+    @raise Invalid_argument when [max_length] is shorter than the
+    prefix or longer than 32. *)
+
+val roa_count : t -> int
+
+val validate_origin : t -> prefix:Prefix.t -> Asn.t -> validity
+(** Validity of [asn] originating [prefix]. *)
+
+val validate : t -> Route.t -> validity
+(** Validity of a route, judged by its origin AS (the last AS-path
+    element); routes with an empty AS path are [Invalid] when covered. *)
+
+val pp_validity : Format.formatter -> validity -> unit

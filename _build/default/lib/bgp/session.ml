@@ -1,0 +1,32 @@
+open Sdx_net
+
+type state = Idle | Established
+type t = { peer : Asn.t; mutable state : state }
+
+let create ~peer = { peer; state = Idle }
+let peer t = t.peer
+let state t = t.state
+let establish t = t.state <- Established
+
+let reset t announced =
+  t.state <- Idle;
+  List.map (fun prefix -> Update.withdraw ~peer:t.peer prefix) announced
+
+let table_transfer t routes =
+  t.state <- Established;
+  List.map
+    (fun (r : Route.t) -> Update.announce { r with learned_from = t.peer })
+    routes
+
+let is_transfer_burst ~updates ~table_size =
+  if table_size = 0 then false
+  else
+    let announced =
+      List.fold_left
+        (fun acc u ->
+          if Update.is_announce u then Prefix.Set.add (Update.prefix u) acc
+          else acc)
+        Prefix.Set.empty updates
+    in
+    float_of_int (Prefix.Set.cardinal announced)
+    >= 0.9 *. float_of_int table_size

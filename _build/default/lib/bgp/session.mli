@@ -1,0 +1,28 @@
+(** Minimal BGP session state, enough to model the table-transfer bursts
+    that session resets inject into update traces (the paper discards
+    those updates from its Table 1 datasets, citing Zhang et al.). *)
+
+open Sdx_net
+
+type state = Idle | Established
+
+type t
+
+val create : peer:Asn.t -> t
+val peer : t -> Asn.t
+val state : t -> state
+
+val establish : t -> unit
+
+val reset : t -> Prefix.t list -> Update.t list
+(** [reset s announced] tears the session down and returns the implicit
+    withdrawals for every prefix the peer had announced. *)
+
+val table_transfer : t -> Route.t list -> Update.t list
+(** Re-announcements sent when the session comes back up; marks the
+    session established. *)
+
+val is_transfer_burst : updates:Update.t list -> table_size:int -> bool
+(** Heuristic used when cleaning traces: a burst of announcements from a
+    single peer covering at least 90% of its table is treated as a
+    session-reset table transfer rather than organic churn. *)

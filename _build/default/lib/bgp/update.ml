@@ -1,0 +1,25 @@
+open Sdx_net
+
+type t =
+  | Announce of Route.t
+  | Withdraw of { peer : Asn.t; prefix : Prefix.t }
+
+let announce r = Announce r
+let withdraw ~peer prefix = Withdraw { peer; prefix }
+
+let prefix = function
+  | Announce r -> r.Route.prefix
+  | Withdraw { prefix; _ } -> prefix
+
+let peer = function
+  | Announce r -> r.Route.learned_from
+  | Withdraw { peer; _ } -> peer
+
+let is_announce = function
+  | Announce _ -> true
+  | Withdraw _ -> false
+
+let pp fmt = function
+  | Announce r -> Format.fprintf fmt "announce %a" Route.pp r
+  | Withdraw { peer; prefix } ->
+      Format.fprintf fmt "withdraw %a from %a" Prefix.pp prefix Asn.pp peer

@@ -1,0 +1,17 @@
+(** BGP update messages as seen by the route server. *)
+
+open Sdx_net
+
+type t =
+  | Announce of Route.t
+  | Withdraw of { peer : Asn.t; prefix : Prefix.t }
+
+val announce : Route.t -> t
+val withdraw : peer:Asn.t -> Prefix.t -> t
+
+val prefix : t -> Prefix.t
+val peer : t -> Asn.t
+(** The participant the update came from. *)
+
+val is_announce : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/apps.ml: As_path_regex List Mods Ppolicy Pred Prefix Route_server Sdx_bgp Sdx_net Sdx_policy

@@ -1,0 +1,1 @@
+lib/core/apps.mli: Asn Ipv4 Ppolicy Pred Prefix Route_server Sdx_bgp Sdx_net Sdx_policy

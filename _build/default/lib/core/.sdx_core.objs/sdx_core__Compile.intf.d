@@ -1,0 +1,1 @@
+lib/core/compile.mli: Asn Classifier Config Ipv4 Mac Prefix Route Sdx_arp Sdx_bgp Sdx_net Sdx_policy Vnh

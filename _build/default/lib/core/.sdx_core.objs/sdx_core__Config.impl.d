@@ -1,0 +1,1 @@
+lib/core/config.ml: Asn Hashtbl Ipv4 List Option Participant Ppolicy Printf Route Route_server Sdx_bgp Sdx_net Update

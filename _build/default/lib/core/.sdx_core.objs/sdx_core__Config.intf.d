@@ -1,0 +1,1 @@
+lib/core/config.mli: Asn Ipv4 Participant Ppolicy Prefix Route_server Sdx_bgp Sdx_net

@@ -1,0 +1,1 @@
+lib/core/fec.ml: Hashtbl List Option Prefix Sdx_net

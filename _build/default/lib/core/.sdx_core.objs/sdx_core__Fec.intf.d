@@ -1,0 +1,1 @@
+lib/core/fec.mli: Prefix Sdx_net

@@ -1,0 +1,1 @@
+lib/core/gateway.ml: Asn Compile Config Fsm Hashtbl Ipv4 List Participant Peer Route_server Runtime Sdx_bgp Sdx_net Update Wire

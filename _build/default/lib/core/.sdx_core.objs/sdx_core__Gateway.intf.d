@@ -1,0 +1,1 @@
+lib/core/gateway.mli: Asn Ipv4 Peer Runtime Sdx_bgp Sdx_net

@@ -1,0 +1,1 @@
+lib/core/participant.ml: Asn Format Ipv4 List Mac Ppolicy Prefix Printf Sdx_bgp Sdx_net

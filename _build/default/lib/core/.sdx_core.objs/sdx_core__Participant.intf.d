@@ -1,0 +1,1 @@
+lib/core/participant.mli: Asn Format Ipv4 Mac Ppolicy Prefix Sdx_bgp Sdx_net

@@ -1,0 +1,1 @@
+lib/core/policy_parser.ml: Asn Format Ipv4 List Mac Mods Option Pattern Ppolicy Pred Prefix Printf Sdx_bgp Sdx_net Sdx_policy String

@@ -1,0 +1,1 @@
+lib/core/policy_parser.mli: Format Ppolicy Sdx_policy

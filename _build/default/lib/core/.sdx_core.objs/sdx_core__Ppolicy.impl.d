@@ -1,0 +1,1 @@
+lib/core/ppolicy.ml: Asn Format List Mods Pred Sdx_bgp Sdx_policy

@@ -1,0 +1,1 @@
+lib/core/ppolicy.mli: Asn Format Mods Pred Sdx_bgp Sdx_policy

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Asn Classifier Compile Config Ipv4 List Logs Option Participant Prefix Route Route_server Rpki Sdx_bgp Sdx_net Sdx_openflow Sdx_policy Unix Update Vnh

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Asn Classifier Compile Config Ppolicy Prefix Route Rpki Sdx_arp Sdx_bgp Sdx_net Sdx_openflow Sdx_policy Update

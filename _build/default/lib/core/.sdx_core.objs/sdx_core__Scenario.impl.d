@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Asn Buffer Config Format Fun Hashtbl Ipv4 List Mac Participant Policy_parser Ppolicy Prefix Printf Route Route_server Sdx_bgp Sdx_net String

@@ -1,0 +1,1 @@
+lib/core/vnh.ml: Mac Prefix Sdx_net

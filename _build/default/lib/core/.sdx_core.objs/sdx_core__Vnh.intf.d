@@ -1,0 +1,1 @@
+lib/core/vnh.mli: Ipv4 Mac Prefix Sdx_net

@@ -1,0 +1,49 @@
+open Sdx_net
+open Sdx_policy
+open Sdx_bgp
+
+let application_specific_peering ?dst ~ports ~via () =
+  List.map
+    (fun port ->
+      let pred =
+        match dst with
+        | Some prefix -> Pred.and_ (Pred.dst_ip prefix) (Pred.dst_port port)
+        | None -> Pred.dst_port port
+      in
+      Ppolicy.fwd pred (Ppolicy.Peer via))
+    ports
+
+let inbound_split_by_source splits =
+  List.map
+    (fun (src, port) -> Ppolicy.fwd (Pred.src_ip src) (Ppolicy.Phys port))
+    splits
+
+let wide_area_load_balancer ~service ~default_instance ~pinned =
+  let service_pred = Pred.dst_ip (Prefix.make service 32) in
+  List.map
+    (fun (client, instance) ->
+      Ppolicy.rewrite
+        (Pred.and_ service_pred (Pred.src_ip client))
+        (Mods.make ~dst_ip:instance ()))
+    pinned
+  @ [ Ppolicy.rewrite service_pred (Mods.make ~dst_ip:default_instance ()) ]
+
+let middlebox_steering ?(src = []) ?(ports = []) ~mbox () =
+  let src_pred =
+    match src with
+    | [] -> Pred.True
+    | prefixes -> Pred.disj (List.map Pred.src_ip prefixes)
+  in
+  let port_pred =
+    match ports with
+    | [] -> Pred.True
+    | ps -> Pred.disj (List.map Pred.dst_port ps)
+  in
+  [ Ppolicy.steer (Pred.and_ src_pred port_pred) mbox ]
+
+let firewall preds = List.map (fun p -> Ppolicy.fwd p Ppolicy.Drop) preds
+
+let steer_by_as_path server ~receiver ~regex ~mbox =
+  let re = As_path_regex.compile regex in
+  let prefixes = Route_server.filter_prefixes_by_as_path server ~receiver re in
+  middlebox_steering ~src:prefixes ~mbox ()

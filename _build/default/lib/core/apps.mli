@@ -1,0 +1,45 @@
+(** Ready-made SDX applications — parameterized builders for the four
+    wide-area traffic-delivery applications of §2, so a participant can
+    deploy one in a line instead of writing raw clauses. *)
+
+open Sdx_net
+open Sdx_policy
+open Sdx_bgp
+
+val application_specific_peering :
+  ?dst:Prefix.t -> ports:int list -> via:Asn.t -> unit -> Ppolicy.t
+(** Outbound: traffic for the given transport [ports] (optionally
+    restricted to destination [dst]) goes via the [via] peer; everything
+    else follows BGP.  The paper's flagship example. *)
+
+val inbound_split_by_source :
+  (Prefix.t * int) list -> Ppolicy.t
+(** Inbound traffic engineering: each (source prefix, own-port index)
+    pair pins matching traffic to a port — AS B's policy in §3.1. *)
+
+val wide_area_load_balancer :
+  service:Ipv4.t ->
+  default_instance:Ipv4.t ->
+  pinned:(Prefix.t * Ipv4.t) list ->
+  Ppolicy.t
+(** Inbound policy for a remote participant originating an anycast
+    [service] address: requests from each pinned client prefix are
+    rewritten to that instance; everything else goes to
+    [default_instance].  The §3.1 server load balancer. *)
+
+val middlebox_steering :
+  ?src:Prefix.t list -> ?ports:int list -> mbox:Asn.t -> unit -> Ppolicy.t
+(** Steer traffic from the given sources and/or transport ports through
+    a middlebox host (§2's redirection; compose several hosts'
+    policies for §8's service chaining). *)
+
+val firewall : Pred.t list -> Ppolicy.t
+(** Drop traffic matching any of the given predicates (inbound or
+    outbound). *)
+
+val steer_by_as_path :
+  Route_server.t -> receiver:Asn.t -> regex:string -> mbox:Asn.t -> Ppolicy.t
+(** The §3.2 BGP-attribute grouping: steer traffic {e sent by} networks
+    whose announced AS paths match [regex] (e.g. [".*43515$"] for
+    YouTube) through a middlebox.  The prefix list is snapshotted from
+    the route server's current RIB for [receiver]. *)

@@ -1,0 +1,869 @@
+open Sdx_net
+open Sdx_policy
+open Sdx_bgp
+
+let blackhole_port = 0
+
+type group = {
+  id : int;
+  vnh : Ipv4.t;
+  vmac : Mac.t;
+  prefixes : Prefix.t list;
+  default_variants : (Ipv4.t option * Asn.t list) list;
+}
+
+type stats = {
+  group_count : int;
+  rule_count : int;
+  elapsed_s : float;
+  seq_ops : int;
+  memo_hits : int;
+}
+
+(* An outbound clause together with the prefixes whose default behavior it
+   overrides — one element of the collection the MDS partition runs on. *)
+type ospec = {
+  sender : Participant.t;
+  clause : Ppolicy.clause;
+  via : Asn.t option;
+  prefix_set : Prefix.Set.t;
+}
+
+type counters = { mutable seq_ops : int; mutable memo_hits : int }
+
+type t = {
+  classifier : Classifier.t;
+  groups_ : group list;
+  by_prefix : (Prefix.t, group) Hashtbl.t;
+  arp_ : Sdx_arp.Responder.t;
+  mutable stats_ : stats;
+  ospecs : ospec list;
+  pipeline_cache : (Asn.t * Mods.t option, Classifier.t) Hashtbl.t;
+  memoize : bool;
+  counters : counters;
+  mutable next_group_id : int;
+}
+
+let classifier t = t.classifier
+let groups t = t.groups_
+let group_of_prefix t p = Hashtbl.find_opt t.by_prefix p
+let arp t = t.arp_
+let stats t = t.stats_
+
+(* ------------------------------------------------------------------ *)
+(* Destination-prefix restriction of a predicate.                      *)
+
+(* [Some ps] means the predicate implies dst_ip is inside one of [ps];
+   [None] means no destination constraint could be extracted.  Used to
+   narrow the set of prefixes a clause overrides — a conservative
+   over-approximation keeps correctness (the clause's own predicate is
+   still part of the compiled rule). *)
+let rec dst_restriction (p : Pred.t) : Prefix.t list option =
+  match p with
+  | Pred.Test pat -> Option.map (fun pre -> [ pre ]) pat.Pattern.dst_ip
+  | Pred.And (a, b) -> (
+      match (dst_restriction a, dst_restriction b) with
+      | Some xs, Some ys ->
+          Some
+            (List.concat_map
+               (fun x -> List.filter_map (fun y -> Prefix.inter x y) ys)
+               xs)
+      | (Some _ as r), None | None, (Some _ as r) -> r
+      | None, None -> None)
+  | Pred.Or (a, b) -> (
+      match (dst_restriction a, dst_restriction b) with
+      | Some xs, Some ys -> Some (xs @ ys)
+      | _ -> None)
+  | Pred.True | Pred.False | Pred.Not _ -> None
+
+let restrict_set restriction set =
+  match restriction with
+  | None -> set
+  | Some allowed ->
+      Prefix.Set.filter
+        (fun p -> List.exists (fun a -> Prefix.overlaps p a) allowed)
+        set
+
+(* ------------------------------------------------------------------ *)
+(* Default-forwarding keys (pass 2 of the VNH computation, §4.2).      *)
+
+(* Two prefixes share a default key iff every participant's best route
+   for them uses the same next-hop interface.  Keys are memoized on the
+   preference-ordered (advertiser, next hop) fingerprint: prefixes with
+   equal fingerprints necessarily yield equal per-receiver choices, so
+   the expensive per-receiver scan runs once per distinct fingerprint. *)
+module Default_keys = struct
+  type nonrec t = {
+    config : Config.t;
+    fp_ids : ((Asn.t * Ipv4.t) list, int) Hashtbl.t;
+    variants_of_id : (int, (Ipv4.t option * Asn.t list) list) Hashtbl.t;
+  }
+
+  let create config =
+    { config; fp_ids = Hashtbl.create 256; variants_of_id = Hashtbl.create 256 }
+
+  let variants_of_fingerprint t fp =
+    let server = Config.server t.config in
+    let receivers =
+      List.map (fun (p : Participant.t) -> p.asn) (Config.participants t.config)
+    in
+    let choice receiver =
+      let rec go = function
+        | [] -> None
+        | (advertiser, nh) :: rest ->
+            if Route_server.exports_to server ~advertiser ~receiver then
+              (* A next hop that resolves to no fabric port (an
+                 SDX-originated placeholder) gives no default. *)
+              if Option.is_some (Config.port_of_next_hop t.config nh) then
+                Some nh
+              else None
+            else go rest
+      in
+      go fp
+    in
+    let by_nh = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun r ->
+        let nh = choice r in
+        (match Hashtbl.find_opt by_nh nh with
+        | None ->
+            order := nh :: !order;
+            Hashtbl.replace by_nh nh [ r ]
+        | Some rs -> Hashtbl.replace by_nh nh (r :: rs)))
+      receivers;
+    List.rev_map (fun nh -> (nh, List.rev (Hashtbl.find by_nh nh))) !order
+
+  let key_of_prefix t prefix =
+    let server = Config.server t.config in
+    let sorted = Decision.sort (Route_server.candidates server prefix) in
+    let fp =
+      List.map (fun (r : Route.t) -> (r.learned_from, r.next_hop)) sorted
+    in
+    match Hashtbl.find_opt t.fp_ids fp with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length t.fp_ids in
+        Hashtbl.replace t.fp_ids fp id;
+        Hashtbl.replace t.variants_of_id id (variants_of_fingerprint t fp);
+        id
+
+  let variants t id = Hashtbl.find t.variants_of_id id
+
+  (* Variants for a single prefix, bypassing the fingerprint memo — used
+     by the incremental fast path, which must reflect the post-update
+     routes even though the memo may hold stale entries. *)
+  let variants_of_prefix t prefix =
+    let server = Config.server t.config in
+    let sorted = Decision.sort (Route_server.candidates server prefix) in
+    let fp =
+      List.map (fun (r : Route.t) -> (r.learned_from, r.next_hop)) sorted
+    in
+    variants_of_fingerprint t fp
+end
+
+(* ------------------------------------------------------------------ *)
+(* Policy construction helpers.                                        *)
+
+let in_ports_pred config (sender : Participant.t) =
+  Pred.any_of_ports (Config.switch_ports_of config sender.asn)
+
+let deliver_mods extra (port : Participant.port) switch_port =
+  Mods.then_ extra (Mods.make ~dst_mac:port.mac ~port:switch_port ())
+
+(* Resolve a [Default] clause: the packet's (possibly rewritten)
+   destination address is re-resolved through the receiver's local RIB
+   and delivered on the chosen route's port. *)
+let resolve_default config ~receiver (mods : Mods.t) =
+  match mods.Mods.dst_ip with
+  | None -> None
+  | Some addr -> (
+      match Route_server.lookup_best (Config.server config) ~receiver addr with
+      | None -> None
+      | Some (_, route) -> (
+          match Config.port_of_next_hop config route.next_hop with
+          | None -> None
+          | Some (_, port, n) -> Some (deliver_mods mods port n)))
+
+(* Delivery to a middlebox host's first port, bypassing BGP checks. *)
+let redirect_mods config (mods : Mods.t) mbox_asn =
+  let mbox = Config.participant config mbox_asn in
+  match mbox.ports with
+  | [] ->
+      invalid_arg
+        (Printf.sprintf "redirect target %s has no physical port"
+           (Asn.to_string mbox_asn))
+  | port :: _ ->
+      deliver_mods mods port (Config.switch_port config mbox_asn port.index)
+
+(* The action policy of one inbound clause of [receiver]. *)
+let inbound_action config (receiver : Participant.t) (c : Ppolicy.clause) =
+  match c.target with
+  | Ppolicy.Phys k ->
+      let port = Participant.port receiver k in
+      let n = Config.switch_port config receiver.asn k in
+      Policy.modify (deliver_mods c.mods port n)
+  | Ppolicy.Redirect mbox -> Policy.modify (redirect_mods config c.mods mbox)
+  | Ppolicy.Drop ->
+      Policy.modify (Mods.then_ c.mods (Mods.make ~port:blackhole_port ()))
+  | Ppolicy.Default -> (
+      match resolve_default config ~receiver:receiver.asn c.mods with
+      | Some m -> Policy.modify m
+      | None ->
+          (* No route for the rewritten destination: drop explicitly. *)
+          Policy.modify (Mods.then_ c.mods (Mods.make ~port:blackhole_port ())))
+  | Ppolicy.Peer asn ->
+      invalid_arg
+        (Printf.sprintf "inbound policy of %s forwards to peer %s"
+           (Asn.to_string receiver.asn) (Asn.to_string asn))
+
+(* A participant's inbound pipeline: its inbound clauses as an if_-chain,
+   falling through to default delivery (or an explicit blackhole for
+   remote participants, which have no port to deliver on).  Drops are
+   always expressed as forwards to the blackhole port, never as
+   empty-action rules: the layered classifier discards empty-action rules
+   as totality filler (see [keep_forwards]). *)
+let inbound_pipeline_ast config (receiver : Participant.t) ~default_deliver =
+  let base =
+    match default_deliver with
+    | Some m -> Policy.modify m
+    | None -> Policy.modify (Mods.make ~port:blackhole_port ())
+  in
+  List.fold_right
+    (fun (c : Ppolicy.clause) acc ->
+      Policy.if_ c.pred (inbound_action config receiver c) acc)
+    receiver.inbound base
+
+let compiled_pipeline t config (receiver : Participant.t) ~default_deliver =
+  let key = (receiver.Participant.asn, default_deliver) in
+  match if t.memoize then Hashtbl.find_opt t.pipeline_cache key else None with
+  | Some c ->
+      t.counters.memo_hits <- t.counters.memo_hits + 1;
+      c
+  | None ->
+      let c =
+        Classifier.compile (inbound_pipeline_ast config receiver ~default_deliver)
+      in
+      if t.memoize then Hashtbl.replace t.pipeline_cache key c;
+      c
+
+(* ------------------------------------------------------------------ *)
+(* Confinement: discarding totality filler.                            *)
+
+(* The final classifier is a concatenation of per-clause and per-group
+   blocks over a shared drop-all tail.  Within a block, every meaningful
+   decision is a forwarding action (explicit drops are blackhole
+   forwards), so empty-action rules are totality filler produced by
+   predicate compilation; they must be discarded or they would shadow
+   the blocks underneath.  Every surviving rule carries the block's
+   pinning constraint (sender in-port, or the group's VMAC) by
+   construction, since it passed the block's head filter. *)
+let keep_forwards (c : Classifier.t) =
+  List.filter (fun (r : Classifier.rule) -> r.action <> []) c
+
+(* ------------------------------------------------------------------ *)
+(* Per-clause rule generation (optimized path, §4.3.1).                *)
+
+(* The route [via] announced covering the group, used to pick the
+   delivery port on [via]'s router. *)
+let route_from_via config ~via group_prefixes =
+  let server = Config.server config in
+  let rec go = function
+    | [] -> None
+    | p :: rest -> (
+        match
+          List.find_opt
+            (fun (r : Route.t) -> Asn.equal r.learned_from via)
+            (Route_server.candidates server p)
+        with
+        | Some r -> Some r
+        | None -> go rest)
+  in
+  go group_prefixes
+
+let delivery_port_for_via config (via : Participant.t) group_prefixes =
+  let fallback () =
+    match via.ports with
+    | [] -> None
+    | port :: _ -> Some (port, Config.switch_port config via.asn port.index)
+  in
+  match route_from_via config ~via:via.asn group_prefixes with
+  | None -> fallback ()
+  | Some route -> (
+      match Config.port_of_next_hop config route.next_hop with
+      | Some (_, port, n) -> Some (port, n)
+      | None -> fallback ())
+
+(* Rules for one outbound clause applied to one prefix group: match the
+   sender's in-port, the clause predicate, and the group's VMAC; apply
+   the clause rewrites; hand to the target peer's inbound pipeline. *)
+let clause_group_rules t config (spec : ospec) (g : group) =
+  let sender_ports = Config.switch_ports_of config spec.sender.asn in
+  if sender_ports = [] then []
+  else
+    let head_pred =
+      Pred.conj [ in_ports_pred config spec.sender; spec.clause.pred; Pred.dst_mac g.vmac ]
+    in
+    let head =
+      Policy.seq [ Policy.filter head_pred; Policy.modify spec.clause.mods ]
+    in
+    let head_cls = Classifier.compile head in
+    match spec.via with
+    | Some via_asn -> (
+        let via = Config.participant config via_asn in
+        match delivery_port_for_via config via g.prefixes with
+        | None -> []
+        | Some (port, n) ->
+            let deliver = Some (deliver_mods Mods.identity port n) in
+            let pipeline = compiled_pipeline t config via ~default_deliver:deliver in
+            t.counters.seq_ops <- t.counters.seq_ops + 1;
+            keep_forwards (Classifier.seq head_cls pipeline))
+    | None -> []
+
+(* Rules for outbound clauses that do not target a peer (Drop, Default
+   with a rewrite, or a forward to the sender's own port).  These match
+   on the clause predicate directly rather than on a VMAC. *)
+let clause_direct_rules t config (spec : ospec) =
+  let sender = spec.sender in
+  let sender_ports = Config.switch_ports_of config sender.asn in
+  if sender_ports = [] then []
+  else
+    let head_pred = Pred.and_ (in_ports_pred config sender) spec.clause.pred in
+    let action =
+      match spec.clause.target with
+      | Ppolicy.Drop ->
+          Some
+            (Policy.modify
+               (Mods.then_ spec.clause.mods (Mods.make ~port:blackhole_port ())))
+      | Ppolicy.Phys k ->
+          let port = Participant.port sender k in
+          let n = Config.switch_port config sender.asn k in
+          Some (Policy.modify (deliver_mods spec.clause.mods port n))
+      | Ppolicy.Default -> (
+          match resolve_default config ~receiver:sender.asn spec.clause.mods with
+          | Some m -> Some (Policy.modify m)
+          | None -> None)
+      | Ppolicy.Redirect mbox ->
+          Some (Policy.modify (redirect_mods config spec.clause.mods mbox))
+      | Ppolicy.Peer _ -> None
+    in
+    match action with
+    | None -> []
+    | Some act ->
+        t.counters.seq_ops <- t.counters.seq_ops + 1;
+        keep_forwards
+          (Classifier.compile (Policy.seq [ Policy.filter head_pred; act ]))
+
+(* Default-forwarding rules for one group: traffic tagged with the
+   group's VMAC runs through the next-hop participant's inbound pipeline
+   (so inbound traffic engineering applies to default traffic too).
+
+   When participants disagree on the best next hop, minority variants are
+   pinned to their senders' in-ports and installed above one unpinned
+   rule block for the most common variant — so a dual-announced prefix
+   costs a couple of extra rules, not one rule per participant.  Variants
+   whose senders cannot emit tagged traffic at all (no resolvable next
+   hop and no originator pipeline) are dropped outright. *)
+let group_default_rules t config (g : group) ~originator =
+  let block_for pred nh_opt =
+    match nh_opt with
+    | Some nh -> (
+        match Config.port_of_next_hop config nh with
+        | None -> None
+        | Some (owner, port, n) ->
+            let deliver = Some (deliver_mods Mods.identity port n) in
+            let pipeline = compiled_pipeline t config owner ~default_deliver:deliver in
+            t.counters.seq_ops <- t.counters.seq_ops + 1;
+            Some (Classifier.seq (Classifier.compile_pred pred) pipeline))
+    | None -> (
+        (* No next hop: SDX-originated prefixes terminate at the
+           originator's inbound pipeline (wide-area load balancing). *)
+        match originator with
+        | None -> None
+        | Some owner ->
+            let pipeline = compiled_pipeline t config owner ~default_deliver:None in
+            t.counters.seq_ops <- t.counters.seq_ops + 1;
+            Some (Classifier.seq (Classifier.compile_pred pred) pipeline))
+  in
+  let vmac_pred = Pred.dst_mac g.vmac in
+  let emitting =
+    List.filter
+      (fun (nh_opt, _) ->
+        match nh_opt with
+        | Some nh -> Option.is_some (Config.port_of_next_hop config nh)
+        | None -> Option.is_some originator)
+      g.default_variants
+  in
+  match
+    List.sort
+      (fun (_, r1) (_, r2) -> Int.compare (List.length r2) (List.length r1))
+      emitting
+  with
+  | [] -> []
+  | (majority_nh, _) :: minorities ->
+      let minority_rules =
+        List.concat_map
+          (fun (nh_opt, receivers) ->
+            let ports =
+              List.concat_map
+                (fun asn -> Config.switch_ports_of config asn)
+                receivers
+            in
+            if ports = [] then []
+            else
+              let pred = Pred.and_ (Pred.any_of_ports ports) vmac_pred in
+              match block_for pred nh_opt with
+              | Some block -> keep_forwards block
+              | None -> [])
+          minorities
+      in
+      let majority_rules =
+        match block_for vmac_pred majority_nh with
+        | Some block -> keep_forwards block
+        | None -> []
+      in
+      minority_rules @ majority_rules
+
+(* MAC-learning rules for default-only (ungrouped) prefixes: the route
+   server leaves their next hop untouched, so packets arrive with the
+   real next-hop interface MAC; forward them on that interface's port
+   through the owner's inbound pipeline. *)
+let untagged_default_rules t config =
+  List.concat_map
+    (fun (p : Participant.t) ->
+      List.concat_map
+        (fun (port : Participant.port) ->
+          let n = Config.switch_port config p.asn port.index in
+          let deliver = Some (deliver_mods Mods.identity port n) in
+          let pipeline = compiled_pipeline t config p ~default_deliver:deliver in
+          t.counters.seq_ops <- t.counters.seq_ops + 1;
+          keep_forwards
+            (Classifier.seq (Classifier.compile_pred (Pred.dst_mac port.mac)) pipeline))
+        p.ports)
+    (Config.participants config)
+
+(* ------------------------------------------------------------------ *)
+(* Collecting outbound specs and originated prefixes.                  *)
+
+let collect_ospecs config =
+  let server = Config.server config in
+  List.concat_map
+    (fun (sender : Participant.t) ->
+      List.map
+        (fun (clause : Ppolicy.clause) ->
+          let restriction = dst_restriction clause.pred in
+          match clause.target with
+          | Ppolicy.Peer via ->
+              let reachable =
+                Prefix.Set.of_list
+                  (Route_server.reachable_prefixes server ~receiver:sender.asn ~via)
+              in
+              {
+                sender;
+                clause;
+                via = Some via;
+                prefix_set = restrict_set restriction reachable;
+              }
+          | Ppolicy.Drop | Ppolicy.Default | Ppolicy.Phys _ | Ppolicy.Redirect _ ->
+              (* These clauses compile to rules matching the predicate
+                 directly rather than a VMAC tag, so they impose no
+                 prefix-group structure. *)
+              { sender; clause; via = None; prefix_set = Prefix.Set.empty })
+        sender.outbound)
+    (Config.participants config)
+
+let originated_sets config =
+  List.filter_map
+    (fun (p : Participant.t) ->
+      match p.originated with
+      | [] -> None
+      | prefixes -> Some (p, Prefix.Set.of_list prefixes))
+    (Config.participants config)
+
+let originator_of config prefix =
+  List.find_opt
+    (fun (p : Participant.t) -> List.exists (Prefix.equal prefix) p.originated)
+    (Config.participants config)
+
+(* ------------------------------------------------------------------ *)
+(* Group computation.                                                  *)
+
+let compute_groups config vnh_alloc ospecs =
+  let keys = Default_keys.create config in
+  let origin_sets = List.map snd (originated_sets config) in
+  let sets = List.map (fun s -> s.prefix_set) ospecs @ origin_sets in
+  let parts =
+    Fec.partition ~sets ~default_key:(Default_keys.key_of_prefix keys)
+  in
+  List.mapi
+    (fun id prefixes ->
+      let vnh, vmac = Vnh.fresh vnh_alloc in
+      let key = Default_keys.key_of_prefix keys (List.hd prefixes) in
+      { id; vnh; vmac; prefixes; default_variants = Default_keys.variants keys key })
+    parts
+
+(* ------------------------------------------------------------------ *)
+(* The optimized pipeline.                                             *)
+
+let drop_all_rule = Classifier.drop_all
+
+let build_optimized t config =
+  let groups_by_spec spec =
+    List.filter
+      (fun g -> Prefix.Set.mem (List.hd g.prefixes) spec.prefix_set)
+      t.groups_
+  in
+  let sender_rules =
+    List.concat_map
+      (fun spec ->
+        match spec.via with
+        | Some _ ->
+            List.concat_map (fun g -> clause_group_rules t config spec g)
+              (groups_by_spec spec)
+        | None -> clause_direct_rules t config spec)
+      t.ospecs
+  in
+  let default_rules =
+    List.concat_map
+      (fun g ->
+        let originator = originator_of config (List.hd g.prefixes) in
+        group_default_rules t config g ~originator)
+      t.groups_
+  in
+  sender_rules @ default_rules @ untagged_default_rules t config @ drop_all_rule
+
+(* ------------------------------------------------------------------ *)
+(* The naive pipeline (ablation): literal Pyretic-style composition.   *)
+
+let build_naive t config =
+  let default_ast =
+    let group_terms =
+      List.concat_map
+        (fun g ->
+          let originator = originator_of config (List.hd g.prefixes) in
+          List.filter_map
+            (fun (nh_opt, receivers) ->
+              let pipeline =
+                match nh_opt with
+                | Some nh -> (
+                    match Config.port_of_next_hop config nh with
+                    | None -> None
+                    | Some (owner, port, n) ->
+                        Some
+                          (inbound_pipeline_ast config owner
+                             ~default_deliver:
+                               (Some (deliver_mods Mods.identity port n))))
+                | None ->
+                    Option.map
+                      (fun owner ->
+                        inbound_pipeline_ast config owner ~default_deliver:None)
+                      originator
+              in
+              (* Each variant only applies to the senders whose best route
+                 it is — without the pin, a packet would match every
+                 variant's term and be multicast. *)
+              let ports =
+                List.concat_map
+                  (fun asn -> Config.switch_ports_of config asn)
+                  receivers
+              in
+              Option.map
+                (fun pl ->
+                  Policy.seq
+                    [
+                      Policy.filter
+                        (Pred.and_ (Pred.any_of_ports ports) (Pred.dst_mac g.vmac));
+                      pl;
+                    ])
+                pipeline)
+            g.default_variants)
+        t.groups_
+    in
+    let port_terms =
+      List.concat_map
+        (fun (p : Participant.t) ->
+          List.map
+            (fun (port : Participant.port) ->
+              let n = Config.switch_port config p.asn port.index in
+              Policy.seq
+                [
+                  Policy.filter (Pred.dst_mac port.mac);
+                  inbound_pipeline_ast config p
+                    ~default_deliver:(Some (deliver_mods Mods.identity port n));
+                ])
+            p.ports)
+        (Config.participants config)
+    in
+    Policy.union (group_terms @ port_terms)
+  in
+  let sender_ast (sender : Participant.t) =
+    let peer_clause_action spec via_asn g =
+      let via = Config.participant config via_asn in
+      match delivery_port_for_via config via g.prefixes with
+      | None -> Policy.drop
+      | Some (port, n) ->
+          Policy.seq
+            [
+              Policy.modify spec.clause.mods;
+              inbound_pipeline_ast config via
+                ~default_deliver:(Some (deliver_mods Mods.identity port n));
+            ]
+    in
+    (* Direct clauses (drop, own port, rewrite-and-default, middlebox
+       steering) match the predicate itself, with no VMAC involved. *)
+    let direct_clause_action spec =
+      match spec.clause.target with
+      | Ppolicy.Drop ->
+          Policy.modify
+            (Mods.then_ spec.clause.mods (Mods.make ~port:blackhole_port ()))
+      | Ppolicy.Phys k ->
+          let port = Participant.port sender k in
+          let n = Config.switch_port config sender.asn k in
+          Policy.modify (deliver_mods spec.clause.mods port n)
+      | Ppolicy.Redirect mbox ->
+          Policy.modify (redirect_mods config spec.clause.mods mbox)
+      | Ppolicy.Default -> (
+          match resolve_default config ~receiver:sender.asn spec.clause.mods with
+          | Some m -> Policy.modify m
+          | None ->
+              Policy.modify
+                (Mods.then_ spec.clause.mods (Mods.make ~port:blackhole_port ())))
+      | Ppolicy.Peer _ -> Policy.drop
+    in
+    let specs =
+      List.filter (fun s -> Asn.equal s.sender.Participant.asn sender.asn) t.ospecs
+    in
+    let chain =
+      List.fold_right
+        (fun spec acc ->
+          match spec.via with
+          | Some via_asn ->
+              let groups =
+                List.filter
+                  (fun g -> Prefix.Set.mem (List.hd g.prefixes) spec.prefix_set)
+                  t.groups_
+              in
+              List.fold_right
+                (fun g acc ->
+                  Policy.if_
+                    (Pred.and_ spec.clause.pred (Pred.dst_mac g.vmac))
+                    (peer_clause_action spec via_asn g)
+                    acc)
+                groups acc
+          | None ->
+              Policy.if_ spec.clause.pred (direct_clause_action spec) acc)
+        specs default_ast
+    in
+    Policy.seq [ Policy.filter (in_ports_pred config sender); chain ]
+  in
+  let terms =
+    List.filter_map
+      (fun (p : Participant.t) ->
+        if Participant.is_remote p then None else Some (sender_ast p))
+      (Config.participants config)
+  in
+  Classifier.compile (Policy.union terms)
+
+(* ------------------------------------------------------------------ *)
+
+let register_arp t config =
+  List.iter (fun g -> Sdx_arp.Responder.register t.arp_ g.vnh g.vmac) t.groups_;
+  List.iter
+    (fun (p : Participant.t) ->
+      List.iter
+        (fun (port : Participant.port) ->
+          Sdx_arp.Responder.register t.arp_ port.ip port.mac)
+        p.ports)
+    (Config.participants config)
+
+let compile ?(optimized = true) ?(memoize = true) config vnh_alloc =
+  let t0 = Unix.gettimeofday () in
+  let ospecs = collect_ospecs config in
+  let groups_ = compute_groups config vnh_alloc ospecs in
+  let by_prefix = Hashtbl.create 1024 in
+  List.iter
+    (fun g -> List.iter (fun p -> Hashtbl.replace by_prefix p g) g.prefixes)
+    groups_;
+  let t =
+    {
+      classifier = [];
+      groups_;
+      by_prefix;
+      arp_ = Sdx_arp.Responder.create ();
+      stats_ =
+        { group_count = 0; rule_count = 0; elapsed_s = 0.; seq_ops = 0; memo_hits = 0 };
+      ospecs;
+      pipeline_cache = Hashtbl.create 64;
+      memoize;
+      counters = { seq_ops = 0; memo_hits = 0 };
+      next_group_id = List.length groups_;
+    }
+  in
+  let classifier =
+    if optimized then build_optimized t config else build_naive t config
+  in
+  register_arp t config;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let t = { t with classifier } in
+  t.stats_ <-
+    {
+      group_count = List.length groups_;
+      rule_count = Classifier.rule_count classifier;
+      elapsed_s = elapsed;
+      seq_ops = t.counters.seq_ops;
+      memo_hits = t.counters.memo_hits;
+    };
+  t
+
+let estimate_with_group_cost t cost_of_group =
+  let cost_of_vmac = Hashtbl.create 64 in
+  List.iter
+    (fun g -> Hashtbl.replace cost_of_vmac g.vmac (cost_of_group g))
+    t.groups_;
+  List.fold_left
+    (fun n (r : Classifier.rule) ->
+      match r.pattern.Pattern.dst_mac with
+      | Some m -> (
+          match Hashtbl.find_opt cost_of_vmac m with
+          | Some cost -> n + cost
+          | None -> n + 1)
+      | None -> n + 1)
+    0 t.classifier
+
+let unaggregated_rule_estimate t =
+  estimate_with_group_cost t (fun g -> List.length g.prefixes)
+
+let aggregated_rule_estimate t =
+  estimate_with_group_cost t (fun g -> List.length (Aggregate.minimize g.prefixes))
+
+let in_switch_tagging_table t config =
+  let keys = Default_keys.create config in
+  let server = Config.server config in
+  let tag_rule ?port prefix mac =
+    {
+      Classifier.pattern = Pattern.make ?port ~dst_ip:prefix ();
+      action = [ Mods.make ~dst_mac:mac () ];
+    }
+  in
+  let rules_for prefix =
+    match Hashtbl.find_opt t.by_prefix prefix with
+    | Some g -> [ tag_rule prefix g.vmac ]
+    | None -> (
+        (* Ungrouped prefixes carry the chosen next hop's real MAC; when
+           senders disagree, minority variants are pinned to their
+           in-ports under one unpinned majority rule, as in the default
+           layer. *)
+        let resolvable =
+          List.filter_map
+            (fun (nh_opt, receivers) ->
+              match nh_opt with
+              | Some nh -> (
+                  match Config.port_of_next_hop config nh with
+                  | Some (_, port, _) -> Some (port.Participant.mac, receivers)
+                  | None -> None)
+              | None -> None)
+            (Default_keys.variants_of_prefix keys prefix)
+        in
+        match
+          List.sort
+            (fun (_, r1) (_, r2) -> Int.compare (List.length r2) (List.length r1))
+            resolvable
+        with
+        | [] -> []
+        | (majority_mac, _) :: minorities ->
+            List.concat_map
+              (fun (mac, receivers) ->
+                List.concat_map
+                  (fun asn ->
+                    List.map
+                      (fun port -> tag_rule ~port prefix mac)
+                      (Config.switch_ports_of config asn))
+                  receivers)
+              minorities
+            @ [ tag_rule prefix majority_mac ])
+  in
+  let tagged = List.concat_map rules_for (Route_server.all_prefixes server) in
+  (* Longest prefix first, so overlapping announcements resolve like a
+     router's LPM lookup; untagged traffic passes through unchanged. *)
+  let by_specificity =
+    List.stable_sort
+      (fun (a : Classifier.rule) (b : Classifier.rule) ->
+        match (a.pattern.Pattern.dst_ip, b.pattern.Pattern.dst_ip) with
+        | Some pa, Some pb -> Int.compare (Prefix.length pb) (Prefix.length pa)
+        | _ -> 0)
+      tagged
+  in
+  by_specificity @ [ { Classifier.pattern = Pattern.all; action = [ Mods.identity ] } ]
+
+let announcement t config ~receiver prefix =
+  match Route_server.best (Config.server config) ~receiver prefix with
+  | None -> None
+  | Some route -> (
+      match group_of_prefix t prefix with
+      | Some g -> Some (Route.with_next_hop g.vnh route)
+      | None -> Some route)
+
+let fold_announcements t config ~receiver f init =
+  Route_server.fold_best (Config.server config) ~receiver
+    (fun prefix route acc ->
+      let route =
+        match group_of_prefix t prefix with
+        | Some g -> Route.with_next_hop g.vnh route
+        | None -> route
+      in
+      f prefix route acc)
+    init
+
+(* ------------------------------------------------------------------ *)
+(* Incremental fast path (§4.3.2).                                     *)
+
+type delta = {
+  delta_rules : Classifier.t;
+  delta_group : group;
+  delta_elapsed_s : float;
+}
+
+let compile_update t config vnh_alloc prefix =
+  let t0 = Unix.gettimeofday () in
+  let vnh, vmac = Vnh.fresh vnh_alloc in
+  let keys = Default_keys.create config in
+  let g =
+    {
+      id = t.next_group_id;
+      vnh;
+      vmac;
+      prefixes = [ prefix ];
+      default_variants = Default_keys.variants_of_prefix keys prefix;
+    }
+  in
+  t.next_group_id <- t.next_group_id + 1;
+  Hashtbl.replace t.by_prefix prefix g;
+  Sdx_arp.Responder.register t.arp_ vnh vmac;
+  let sender_rules =
+    let server = Config.server config in
+    List.concat_map
+      (fun spec ->
+        match spec.via with
+        | Some via when Prefix.Set.mem prefix spec.prefix_set ->
+            (* The clause's prefix set was computed at base-compile time;
+               re-check that [via] still announces and exports the prefix,
+               so a withdrawal immediately stops the diversion (§5.2's
+               "data plane stays in sync with BGP"). *)
+            let still_reachable =
+              Route_server.exports_to server ~advertiser:via
+                ~receiver:spec.sender.asn
+              && List.exists
+                   (fun (r : Route.t) -> Asn.equal r.learned_from via)
+                   (Route_server.candidates server prefix)
+            in
+            if still_reachable then clause_group_rules t config spec g else []
+        | _ -> [])
+      t.ospecs
+  in
+  let originator = originator_of config prefix in
+  let default_rules = group_default_rules t config g ~originator in
+  {
+    delta_rules = sender_rules @ default_rules;
+    delta_group = g;
+    delta_elapsed_s = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,83 @@
+open Sdx_net
+
+(* Signature of a prefix: the indices of the sets containing it, in
+   ascending order (built that way by iterating sets in index order). *)
+let signatures ~sets =
+  let memberships : (Prefix.t, int list) Hashtbl.t = Hashtbl.create 1024 in
+  List.iteri
+    (fun i set ->
+      Prefix.Set.iter
+        (fun p ->
+          let cur = Option.value (Hashtbl.find_opt memberships p) ~default:[] in
+          Hashtbl.replace memberships p (i :: cur))
+        set)
+    sets;
+  memberships
+
+let partition ~sets ~default_key =
+  let memberships = signatures ~sets in
+  let groups : (int list * int, Prefix.t list) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun p membership ->
+      let key = (membership, default_key p) in
+      let cur = Option.value (Hashtbl.find_opt groups key) ~default:[] in
+      Hashtbl.replace groups key (p :: cur))
+    memberships;
+  let all = Hashtbl.fold (fun _ prefixes acc -> List.sort Prefix.compare prefixes :: acc) groups [] in
+  (* Deterministic order: by the first (smallest) prefix of each group. *)
+  List.sort
+    (fun a b ->
+      match (a, b) with
+      | p :: _, q :: _ -> Prefix.compare p q
+      | _ -> 0)
+    all
+
+let group_count ~sets ~default_key =
+  let memberships = signatures ~sets in
+  let keys = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun p membership -> Hashtbl.replace keys (membership, default_key p) ())
+    memberships;
+  Hashtbl.length keys
+
+let is_valid_partition ~sets ~default_key groups =
+  let union =
+    List.fold_left (fun acc s -> Prefix.Set.union acc s) Prefix.Set.empty sets
+  in
+  let covered =
+    List.fold_left
+      (fun acc g -> List.fold_left (fun acc p -> Prefix.Set.add p acc) acc g)
+      Prefix.Set.empty groups
+  in
+  let total = List.fold_left (fun n g -> n + List.length g) 0 groups in
+  let disjoint_cover =
+    Prefix.Set.equal union covered && total = Prefix.Set.cardinal covered
+  in
+  let consistent g =
+    match g with
+    | [] -> false
+    | first :: rest ->
+        List.for_all
+          (fun set ->
+            let in_set = Prefix.Set.mem first set in
+            List.for_all (fun p -> Prefix.Set.mem p set = in_set) rest)
+          sets
+        && List.for_all (fun p -> default_key p = default_key first) rest
+  in
+  let signature g =
+    match g with
+    | [] -> ([], 0)
+    | first :: _ ->
+        ( List.filteri (fun _ _ -> true)
+            (List.concat
+               (List.mapi
+                  (fun i set -> if Prefix.Set.mem first set then [ i ] else [])
+                  sets)),
+          default_key first )
+  in
+  let maximal =
+    (* No two groups share a signature — otherwise they should be one. *)
+    let sigs = List.map signature groups in
+    List.length (List.sort_uniq compare sigs) = List.length sigs
+  in
+  disjoint_cover && List.for_all consistent groups && maximal

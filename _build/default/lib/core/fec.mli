@@ -1,0 +1,37 @@
+(** Forwarding Equivalence Classes (§4.2).
+
+    Given the collection of prefix sets touched by outbound policies
+    (pass 1) and a per-prefix default-forwarding key (pass 2), computes
+    the Minimum Disjoint Subset partition (pass 3): the coarsest grouping
+    in which any two prefixes of a group are members of exactly the same
+    policy sets and share the same default behavior.
+
+    The partition is computed by signature grouping — each prefix's
+    signature is the list of set indices containing it plus its default
+    key — which runs in time linear in the total size of the input sets
+    and is equivalent to the paper's polynomial-time MDS. *)
+
+open Sdx_net
+
+val partition :
+  sets:Prefix.Set.t list ->
+  default_key:(Prefix.t -> int) ->
+  Prefix.t list list
+(** Groups covering exactly the union of [sets]; prefixes outside every
+    set keep their default behavior and are not grouped (the route server
+    re-advertises them with their next hop unchanged).  Each returned
+    group is sorted; groups appear in a deterministic order. *)
+
+val group_count :
+  sets:Prefix.Set.t list -> default_key:(Prefix.t -> int) -> int
+(** [List.length (partition ...)] without materializing the groups. *)
+
+val is_valid_partition :
+  sets:Prefix.Set.t list ->
+  default_key:(Prefix.t -> int) ->
+  Prefix.t list list ->
+  bool
+(** Checks the MDS properties (used by tests): groups are disjoint, cover
+    the union of [sets], each group lies entirely inside or outside every
+    set, all members share a default key, and the partition is maximal
+    (no two groups could be merged). *)

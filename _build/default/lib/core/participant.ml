@@ -1,0 +1,35 @@
+open Sdx_net
+open Sdx_bgp
+
+type port = { index : int; mac : Mac.t; ip : Ipv4.t }
+
+type t = {
+  asn : Asn.t;
+  ports : port list;
+  inbound : Ppolicy.t;
+  outbound : Ppolicy.t;
+  originated : Prefix.t list;
+}
+
+let make ~asn ~ports ?(inbound = Ppolicy.empty) ?(outbound = Ppolicy.empty)
+    ?(originated = []) () =
+  let ports = List.mapi (fun index (mac, ip) -> { index; mac; ip }) ports in
+  { asn; ports; inbound; outbound; originated }
+
+let is_remote t = t.ports = []
+
+let port t index =
+  match List.find_opt (fun p -> p.index = index) t.ports with
+  | Some p -> p
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Participant.port: %s has no port %d"
+           (Asn.to_string t.asn) index)
+
+let port_with_ip t ip = List.find_opt (fun p -> Ipv4.equal p.ip ip) t.ports
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a (%d port(s))%s@,  inbound: %a@,  outbound: %a@]"
+    Asn.pp t.asn (List.length t.ports)
+    (if is_remote t then " [remote]" else "")
+    Ppolicy.pp t.inbound Ppolicy.pp t.outbound

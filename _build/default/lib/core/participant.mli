@@ -1,0 +1,42 @@
+(** SDX participants: an AS with zero or more physical ports on the
+    exchange fabric and the policies it installed.
+
+    A participant with no physical port is a {e remote} participant
+    (§3.1, wide-area server load balancing): it can announce prefixes and
+    install policies without exchanging packets at the IXP itself. *)
+
+open Sdx_net
+open Sdx_bgp
+
+type port = {
+  index : int;  (** participant-local port index: A1 is index 0 *)
+  mac : Mac.t;  (** the border router interface's real MAC *)
+  ip : Ipv4.t;  (** the interface address, used as BGP next-hop *)
+}
+
+type t = {
+  asn : Asn.t;
+  ports : port list;
+  inbound : Ppolicy.t;
+  outbound : Ppolicy.t;
+  originated : Prefix.t list;
+      (** prefixes the SDX originates in BGP on this participant's behalf
+          (the participant must own them; see §3.2) *)
+}
+
+val make :
+  asn:Asn.t ->
+  ports:(Mac.t * Ipv4.t) list ->
+  ?inbound:Ppolicy.t ->
+  ?outbound:Ppolicy.t ->
+  ?originated:Prefix.t list ->
+  unit ->
+  t
+(** Policies default to empty (pure BGP default forwarding). *)
+
+val is_remote : t -> bool
+val port : t -> int -> port
+(** @raise Invalid_argument on an unknown port index. *)
+
+val port_with_ip : t -> Ipv4.t -> port option
+val pp : Format.formatter -> t -> unit

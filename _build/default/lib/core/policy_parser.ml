@@ -1,0 +1,440 @@
+open Sdx_net
+open Sdx_policy
+open Sdx_bgp
+
+type error = { position : int; message : string }
+
+let pp_error fmt e =
+  Format.fprintf fmt "parse error at offset %d: %s" e.position e.message
+
+exception Error of error
+
+let fail position message = raise (Error { position; message })
+
+(* ------------------------------------------------------------------ *)
+(* Tokens                                                              *)
+
+type token =
+  | Ident of string  (** field names, keywords, AS123 *)
+  | Number of int
+  | Ip of Ipv4.t
+  | Cidr of Prefix.t
+  | Lparen
+  | Rparen
+  | Eq
+  | Plus
+  | Seq  (** [>>] *)
+  | AndAnd
+  | OrOr
+  | Bang
+  | Comma
+
+type spanned = { token : token; at : int }
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* A run of digits and dots, optionally followed by /len, is an address
+   or a prefix; a pure digit run is a number. *)
+let lex input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit at token = tokens := { token; at } :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let at = !i in
+    let c = input.[at] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (emit at Lparen; incr i)
+    else if c = ')' then (emit at Rparen; incr i)
+    else if c = '=' then (emit at Eq; incr i)
+    else if c = '+' then (emit at Plus; incr i)
+    else if c = ',' then (emit at Comma; incr i)
+    else if c = '!' then (emit at Bang; incr i)
+    else if c = '>' then
+      if at + 1 < n && input.[at + 1] = '>' then (emit at Seq; i := at + 2)
+      else fail at "expected '>>'"
+    else if c = '&' then
+      if at + 1 < n && input.[at + 1] = '&' then (emit at AndAnd; i := at + 2)
+      else fail at "expected '&&'"
+    else if c = '|' then
+      if at + 1 < n && input.[at + 1] = '|' then (emit at OrOr; i := at + 2)
+      else fail at "expected '||'"
+    else if is_digit c then begin
+      let j = ref at in
+      let dotted = ref false in
+      while
+        !j < n && (is_digit input.[!j] || input.[!j] = '.')
+      do
+        if input.[!j] = '.' then dotted := true;
+        incr j
+      done;
+      let body = String.sub input at (!j - at) in
+      if !dotted then begin
+        let addr =
+          match Ipv4.of_string_opt body with
+          | Some a -> a
+          | None -> fail at (Printf.sprintf "malformed address %S" body)
+        in
+        if !j < n && input.[!j] = '/' then begin
+          let k = ref (!j + 1) in
+          while !k < n && is_digit input.[!k] do incr k done;
+          let len = String.sub input (!j + 1) (!k - !j - 1) in
+          match int_of_string_opt len with
+          | Some l when l >= 0 && l <= 32 ->
+              emit at (Cidr (Prefix.make addr l));
+              i := !k
+          | _ -> fail !j "malformed prefix length"
+        end
+        else begin
+          emit at (Ip addr);
+          i := !j
+        end
+      end
+      else begin
+        emit at (Number (int_of_string body));
+        i := !j
+      end
+    end
+    else if is_ident_char c then begin
+      let j = ref at in
+      while !j < n && is_ident_char input.[!j] do incr j done;
+      emit at (Ident (String.sub input at (!j - at)));
+      i := !j
+    end
+    else fail at (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                        *)
+
+type state = { mutable rest : spanned list; len : int }
+
+let peek st =
+  match st.rest with
+  | [] -> None
+  | s :: _ -> Some s
+
+let advance st =
+  match st.rest with
+  | [] -> ()
+  | _ :: rest -> st.rest <- rest
+
+let here st =
+  match st.rest with
+  | [] -> st.len
+  | s :: _ -> s.at
+
+let expect st token message =
+  match peek st with
+  | Some s when s.token = token -> advance st
+  | _ -> fail (here st) message
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+
+let field_test st name at value_of =
+  ignore st;
+  let int_value () =
+    match value_of () with
+    | `Number v -> v
+    | `Ip _ | `Cidr _ -> fail at (Printf.sprintf "%s expects a number" name)
+  in
+  let prefix_value () =
+    match value_of () with
+    | `Cidr p -> p
+    | `Ip a -> Prefix.make a 32
+    | `Number _ -> fail at (Printf.sprintf "%s expects an address or prefix" name)
+  in
+  let mac_value () =
+    match value_of () with
+    | `Number v -> Mac.of_int v
+    | _ -> fail at (Printf.sprintf "%s expects a numeric MAC" name)
+  in
+  match String.lowercase_ascii name with
+  | "srcip" -> Pred.src_ip (prefix_value ())
+  | "dstip" -> Pred.dst_ip (prefix_value ())
+  | "srcport" -> Pred.src_port (int_value ())
+  | "dstport" -> Pred.dst_port (int_value ())
+  | "proto" -> Pred.proto (int_value ())
+  | "ethtype" -> Pred.eth_type (int_value ())
+  | "inport" -> Pred.port (int_value ())
+  | "srcmac" -> Pred.src_mac (mac_value ())
+  | "dstmac" -> Pred.dst_mac (mac_value ())
+  | _ -> fail at (Printf.sprintf "unknown field %S" name)
+
+let parse_value st =
+  match peek st with
+  | Some { token = Number v; _ } ->
+      advance st;
+      `Number v
+  | Some { token = Ip a; _ } ->
+      advance st;
+      `Ip a
+  | Some { token = Cidr p; _ } ->
+      advance st;
+      `Cidr p
+  | _ -> fail (here st) "expected a value"
+
+let rec parse_or st =
+  let left = parse_and st in
+  match peek st with
+  | Some { token = OrOr; _ } ->
+      advance st;
+      Pred.or_ left (parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_not st in
+  match peek st with
+  | Some { token = AndAnd; _ } | Some { token = Comma; _ } ->
+      advance st;
+      Pred.and_ left (parse_and st)
+  | _ -> left
+
+and parse_not st =
+  match peek st with
+  | Some { token = Bang; _ } ->
+      advance st;
+      Pred.not_ (parse_not st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Some { token = Lparen; _ } ->
+      advance st;
+      let p = parse_or st in
+      expect st Rparen "expected ')'";
+      p
+  | Some { token = Ident "true"; _ } ->
+      advance st;
+      Pred.True
+  | Some { token = Ident "false"; _ } ->
+      advance st;
+      Pred.False
+  | Some { token = Ident name; at } ->
+      advance st;
+      expect st Eq "expected '=' after field name";
+      field_test st name at (fun () -> parse_value st)
+  | _ -> fail (here st) "expected a test, 'true', 'false', '!' or '('"
+
+(* ------------------------------------------------------------------ *)
+(* Modifications                                                       *)
+
+let parse_assignment st (mods : Mods.t) =
+  match peek st with
+  | Some { token = Ident name; at } -> (
+      advance st;
+      expect st Eq "expected '=' in mod(...)";
+      let value = parse_value st in
+      let int_v () =
+        match value with
+        | `Number v -> v
+        | _ -> fail at (Printf.sprintf "%s expects a number" name)
+      in
+      let ip_v () =
+        match value with
+        | `Ip a -> a
+        | `Cidr p when Prefix.length p = 32 -> Prefix.network p
+        | _ -> fail at (Printf.sprintf "%s expects an address" name)
+      in
+      match String.lowercase_ascii name with
+      | "srcip" -> { mods with Mods.src_ip = Some (ip_v ()) }
+      | "dstip" -> { mods with Mods.dst_ip = Some (ip_v ()) }
+      | "srcport" -> { mods with Mods.src_port = Some (int_v ()) }
+      | "dstport" -> { mods with Mods.dst_port = Some (int_v ()) }
+      | "proto" -> { mods with Mods.proto = Some (int_v ()) }
+      | "ethtype" -> { mods with Mods.eth_type = Some (int_v ()) }
+      | "srcmac" -> { mods with Mods.src_mac = Some (Mac.of_int (int_v ())) }
+      | "dstmac" -> { mods with Mods.dst_mac = Some (Mac.of_int (int_v ())) }
+      | _ -> fail at (Printf.sprintf "cannot modify field %S" name))
+  | _ -> fail (here st) "expected a field assignment"
+
+let rec parse_assignments st mods =
+  let mods = parse_assignment st mods in
+  match peek st with
+  | Some { token = Comma; _ } ->
+      advance st;
+      parse_assignments st mods
+  | _ -> mods
+
+(* ------------------------------------------------------------------ *)
+(* Targets and clauses                                                 *)
+
+let parse_asn st =
+  match peek st with
+  | Some { token = Number v; _ } ->
+      advance st;
+      Asn.of_int v
+  | Some { token = Ident name; at }
+    when String.length name > 2
+         && String.sub name 0 2 = "AS"
+         && Option.is_some (int_of_string_opt (String.sub name 2 (String.length name - 2)))
+    ->
+      advance st;
+      ignore at;
+      Asn.of_int (int_of_string (String.sub name 2 (String.length name - 2)))
+  | _ -> fail (here st) "expected an AS number (e.g. AS200 or 200)"
+
+let parse_target st =
+  match peek st with
+  | Some { token = Ident "fwd"; _ } -> (
+      advance st;
+      expect st Lparen "expected '(' after fwd";
+      match peek st with
+      | Some { token = Ident "port"; _ } ->
+          advance st;
+          let k =
+            match peek st with
+            | Some { token = Number v; _ } ->
+                advance st;
+                v
+            | _ -> fail (here st) "expected a port index"
+          in
+          expect st Rparen "expected ')'";
+          Ppolicy.Phys k
+      | _ ->
+          let asn = parse_asn st in
+          expect st Rparen "expected ')'";
+          Ppolicy.Peer asn)
+  | Some { token = Ident "steer"; _ } ->
+      advance st;
+      expect st Lparen "expected '(' after steer";
+      let asn = parse_asn st in
+      expect st Rparen "expected ')'";
+      Ppolicy.Redirect asn
+  | Some { token = Ident "drop"; _ } ->
+      advance st;
+      Ppolicy.Drop
+  | Some { token = Ident "default"; _ } ->
+      advance st;
+      Ppolicy.Default
+  | _ -> fail (here st) "expected fwd(...), steer(...), drop, or default"
+
+(* clause := term (>> term)* ending in a target; terms are match(...)
+   filters (ANDed together) and at most one mod(...). *)
+let parse_clause st =
+  let pred = ref Pred.True in
+  let mods = ref Mods.identity in
+  let saw_mod = ref false in
+  let rec terms () =
+    match peek st with
+    | Some { token = Ident "match"; _ } ->
+        advance st;
+        expect st Lparen "expected '(' after match";
+        let p = parse_or st in
+        expect st Rparen "expected ')'";
+        pred := Pred.and_ !pred p;
+        expect st Seq "expected '>>' after match(...)";
+        terms ()
+    | Some { token = Ident "mod"; at } ->
+        if !saw_mod then fail at "only one mod(...) per clause";
+        saw_mod := true;
+        advance st;
+        expect st Lparen "expected '(' after mod";
+        mods := parse_assignments st !mods;
+        expect st Rparen "expected ')'";
+        expect st Seq "expected '>>' after mod(...)";
+        terms ()
+    | _ ->
+        let target = parse_target st in
+        Ppolicy.clause ~mods:!mods !pred target
+  in
+  terms ()
+
+let parse_policy st =
+  let rec go acc =
+    let clause = parse_clause st in
+    match peek st with
+    | Some { token = Plus; _ } ->
+        advance st;
+        go (clause :: acc)
+    | Some { at; _ } -> fail at "expected '+' or end of policy"
+    | None -> List.rev (clause :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+
+let run input parser_fn =
+  match
+    let st = { rest = lex input; len = String.length input } in
+    let result = parser_fn st in
+    (match peek st with
+    | Some s -> fail s.at "trailing input"
+    | None -> ());
+    result
+  with
+  | result -> Ok result
+  | exception Error e -> Error e
+
+let parse input = run input parse_policy
+let parse_pred input = run input parse_or
+
+let parse_exn input =
+  match parse input with
+  | Ok p -> p
+  | Error e ->
+      invalid_arg (Format.asprintf "Policy_parser.parse_exn: %a" pp_error e)
+
+(* ------------------------------------------------------------------ *)
+(* Printing back to the concrete syntax.                               *)
+
+let print_pattern_tests (p : Pattern.t) =
+  let tests = ref [] in
+  let add name v = tests := Printf.sprintf "%s=%s" name v :: !tests in
+  Option.iter (fun v -> add "inport" (string_of_int v)) p.port;
+  Option.iter (fun v -> add "srcmac" (string_of_int (Mac.to_int v))) p.src_mac;
+  Option.iter (fun v -> add "dstmac" (string_of_int (Mac.to_int v))) p.dst_mac;
+  Option.iter (fun v -> add "ethtype" (string_of_int v)) p.eth_type;
+  Option.iter (fun v -> add "srcip" (Prefix.to_string v)) p.src_ip;
+  Option.iter (fun v -> add "dstip" (Prefix.to_string v)) p.dst_ip;
+  Option.iter (fun v -> add "proto" (string_of_int v)) p.proto;
+  Option.iter (fun v -> add "srcport" (string_of_int v)) p.src_port;
+  Option.iter (fun v -> add "dstport" (string_of_int v)) p.dst_port;
+  match List.rev !tests with
+  | [] -> "true"
+  | ts -> String.concat " && " ts
+
+let rec print_pred (pred : Pred.t) =
+  match pred with
+  | Pred.True -> "true"
+  | Pred.False -> "false"
+  | Pred.Test p -> print_pattern_tests p
+  | Pred.And (a, b) ->
+      Printf.sprintf "(%s && %s)" (print_pred a) (print_pred b)
+  | Pred.Or (a, b) -> Printf.sprintf "(%s || %s)" (print_pred a) (print_pred b)
+  | Pred.Not a -> Printf.sprintf "!(%s)" (print_pred a)
+
+let print_mods (m : Mods.t) =
+  let parts = ref [] in
+  let add name v = parts := Printf.sprintf "%s=%s" name v :: !parts in
+  Option.iter (fun v -> add "srcmac" (string_of_int (Mac.to_int v))) m.src_mac;
+  Option.iter (fun v -> add "dstmac" (string_of_int (Mac.to_int v))) m.dst_mac;
+  Option.iter (fun v -> add "ethtype" (string_of_int v)) m.eth_type;
+  Option.iter (fun v -> add "srcip" (Ipv4.to_string v)) m.src_ip;
+  Option.iter (fun v -> add "dstip" (Ipv4.to_string v)) m.dst_ip;
+  Option.iter (fun v -> add "proto" (string_of_int v)) m.proto;
+  Option.iter (fun v -> add "srcport" (string_of_int v)) m.src_port;
+  Option.iter (fun v -> add "dstport" (string_of_int v)) m.dst_port;
+  String.concat ", " (List.rev !parts)
+
+let print_target = function
+  | Ppolicy.Peer asn -> Printf.sprintf "fwd(AS%d)" (Asn.to_int asn)
+  | Ppolicy.Phys k -> Printf.sprintf "fwd(port %d)" k
+  | Ppolicy.Redirect asn -> Printf.sprintf "steer(AS%d)" (Asn.to_int asn)
+  | Ppolicy.Default -> "default"
+  | Ppolicy.Drop -> "drop"
+
+let print_clause (c : Ppolicy.clause) =
+  let pieces = [ Printf.sprintf "match(%s)" (print_pred c.pred) ] in
+  let pieces =
+    if Mods.is_identity c.mods then pieces
+    else pieces @ [ Printf.sprintf "mod(%s)" (print_mods c.mods) ]
+  in
+  String.concat " >> " (pieces @ [ print_target c.target ])
+
+let print policy = String.concat " + " (List.map print_clause policy)

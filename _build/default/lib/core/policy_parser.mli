@@ -1,0 +1,41 @@
+(** Concrete syntax for participant policies — the notation the paper
+    writes its examples in (§3.1):
+
+    {v
+    match(dstport=80) >> fwd(AS200) + match(dstport=443) >> fwd(AS300)
+    match(srcip=0.0.0.0/1) >> fwd(port 0)
+    match(dstip=74.125.1.1) >> mod(dstip=184.72.0.97) >> default
+    match(srcip=208.65.152.0/22) >> steer(AS64512)
+    match(dstport=80 || dstport=8080) >> drop
+    v}
+
+    A policy is clauses separated by [+].  Each clause is one or more
+    [match(...)] filters and at most one [mod(...)] rewrite, sequenced
+    with [>>] into a final action: [fwd(ASn)] (peer), [fwd(port k)] (own
+    physical port), [steer(ASn)] (middlebox redirection), [default]
+    (re-resolve through BGP after the rewrite), or [drop].
+
+    Predicates support [&&], [||], [!], parentheses, and the header
+    fields [srcip], [dstip], [srcmac], [dstmac], [srcport], [dstport],
+    [proto], [ethtype], [inport].  IP values with a [/len] suffix match
+    as prefixes. *)
+
+type error = { position : int; message : string }
+
+val parse : string -> (Ppolicy.t, error) result
+(** Parses a full policy (clauses separated by [+]). *)
+
+val parse_exn : string -> Ppolicy.t
+(** @raise Invalid_argument with a located message on a parse error. *)
+
+val parse_pred : string -> (Sdx_policy.Pred.t, error) result
+(** Parses just a predicate (the inside of a [match(...)]). *)
+
+val print : Ppolicy.t -> string
+(** The policy in this module's concrete syntax —
+    [parse (print p)] always succeeds and yields a policy with the same
+    clauses (property-tested). *)
+
+val print_pred : Sdx_policy.Pred.t -> string
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,57 @@
+open Sdx_policy
+open Sdx_bgp
+
+type target =
+  | Peer of Asn.t
+  | Phys of int
+  | Redirect of Asn.t
+  | Default
+  | Drop
+
+type clause = { pred : Pred.t; mods : Mods.t; target : target }
+type t = clause list
+
+let empty = []
+let clause ?(mods = Mods.identity) pred target = { pred; mods; target }
+let fwd pred target = clause pred target
+let rewrite pred mods = clause ~mods pred Default
+let steer pred mbox = clause pred (Redirect mbox)
+
+let targets t =
+  List.rev
+    (List.fold_left
+       (fun acc c -> if List.mem c.target acc then acc else c.target :: acc)
+       [] t)
+
+let peers t =
+  List.filter_map
+    (function
+      | Peer asn -> Some asn
+      | Phys _ | Redirect _ | Default | Drop -> None)
+    (targets t)
+
+let clause_count = List.length
+
+let pp_target fmt = function
+  | Peer asn -> Format.fprintf fmt "fwd(%a)" Asn.pp asn
+  | Phys i -> Format.fprintf fmt "fwd(port %d)" i
+  | Redirect asn -> Format.fprintf fmt "steer(%a)" Asn.pp asn
+  | Default -> Format.pp_print_string fmt "default"
+  | Drop -> Format.pp_print_string fmt "drop"
+
+let pp_clause fmt c =
+  if Mods.is_identity c.mods then
+    Format.fprintf fmt "@[<h>match(%a) >> %a@]" Pred.pp c.pred pp_target c.target
+  else
+    Format.fprintf fmt "@[<h>match(%a) >> mod%a >> %a@]" Pred.pp c.pred Mods.pp
+      c.mods pp_target c.target
+
+let pp fmt t =
+  match t with
+  | [] -> Format.pp_print_string fmt "(default BGP forwarding)"
+  | _ ->
+      Format.fprintf fmt "@[<v>%a@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt " +@ ")
+           pp_clause)
+        t

@@ -1,0 +1,56 @@
+(** Participant policies, written against the participant's virtual SDX
+    switch (§3.1).
+
+    A policy is a parallel composition of clauses.  Each clause filters
+    packets with a header predicate, optionally rewrites headers, and
+    hands the packet to a target: a peer's virtual switch ([Peer]), one
+    of the participant's own physical ports ([Phys], inbound policies
+    only), BGP default forwarding re-resolved after the rewrite
+    ([Default], used by wide-area load balancing), or [Drop].
+
+    Traffic matched by no clause follows the participant's BGP default
+    (outbound) or is delivered on the best-route port (inbound) — clauses
+    override the default rather than replace it (§3.2). *)
+
+open Sdx_policy
+open Sdx_bgp
+
+type target =
+  | Peer of Asn.t
+  | Phys of int  (** participant-local port index *)
+  | Redirect of Asn.t
+      (** steer to another participant's port {e without} the BGP
+          reachability filter — the middlebox redirection of §2: the
+          target hosts a middlebox, it does not announce routes *)
+  | Default
+  | Drop
+
+type clause = { pred : Pred.t; mods : Mods.t; target : target }
+
+type t = clause list
+
+val empty : t
+
+val clause : ?mods:Mods.t -> Pred.t -> target -> clause
+
+val fwd : Pred.t -> target -> clause
+(** [fwd pred t] is [clause pred t] with no header rewrites — the paper's
+    [match(...) >> fwd(...)]. *)
+
+val rewrite : Pred.t -> Mods.t -> clause
+(** [rewrite pred mods] rewrites headers and re-applies default
+    forwarding — the paper's [match(...) >> mod(...)]. *)
+
+val steer : Pred.t -> Asn.t -> clause
+(** [steer pred mbox] redirects matched traffic to the participant
+    hosting a middlebox — the paper's
+    [match(srcip={YouTubePrefixes}) >> fwd(E1)]. *)
+
+val targets : t -> target list
+(** Distinct targets, in first-appearance order. *)
+
+val peers : t -> Asn.t list
+(** Distinct peer ASes the policy forwards to. *)
+
+val clause_count : t -> int
+val pp : Format.formatter -> t -> unit

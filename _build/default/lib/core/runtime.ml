@@ -1,0 +1,173 @@
+open Sdx_net
+open Sdx_policy
+open Sdx_bgp
+
+type t = {
+  mutable config : Config.t;
+  vnh : Vnh.t;
+  optimized : bool;
+  mutable compiled : Compile.t;
+  (* Fast-path rule blocks, most recent first, each with the stable
+     switch priority of its lowest rule.  Floors only grow, so
+     installing a new block never renumbers older rules — a BGP update
+     translates to a handful of flow-mods, not a table rewrite. *)
+  mutable extras : (Classifier.t * int) list;
+  rejected : (Asn.t * Prefix.t) list;
+}
+
+(* Switch priority layout: the base classifier descends from
+   [base_priority_top]; fast-path blocks stack upward from
+   [extras_floor]; when they would reach [extras_ceiling] the runtime
+   forces the background re-optimization. *)
+let base_priority_top = 30_000
+let extras_floor = 40_000
+let extras_ceiling = 65_000
+
+let log_src = Logs.Src.create "sdx.runtime" ~doc:"SDX runtime"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type update_stats = {
+  update : Update.t;
+  best_changed : bool;
+  processing_s : float;
+  extra_rules : int;
+}
+
+(* Placeholder next hop for SDX-originated prefixes: it resolves to no
+   fabric port, so the compiler treats those prefixes as SDX-terminated
+   and the route server still has a syntactically valid route. *)
+let originated_next_hop = Ipv4.of_string "0.0.0.1"
+
+let announce_originated ?rpki config =
+  let server = Config.server config in
+  List.fold_left
+    (fun rejected (p : Participant.t) ->
+      List.fold_left
+        (fun rejected prefix ->
+          let authorized =
+            match rpki with
+            | None -> true
+            | Some table -> Rpki.validate_origin table ~prefix p.asn = Rpki.Valid
+          in
+          if authorized then begin
+            let route =
+              Route.make ~prefix ~next_hop:originated_next_hop
+                ~as_path:[ p.asn ] ~learned_from:p.asn ()
+            in
+            ignore (Route_server.apply server (Update.announce route));
+            rejected
+          end
+          else begin
+            Log.warn (fun m ->
+                m "refusing to originate %a for %a: RPKI validation failed"
+                  Prefix.pp prefix Asn.pp p.asn);
+            (p.asn, prefix) :: rejected
+          end)
+        rejected p.originated)
+    []
+    (Config.participants config)
+
+let create ?(optimized = true) ?rpki config =
+  let rejected = announce_originated ?rpki config in
+  let vnh = Vnh.create () in
+  let compiled = Compile.compile ~optimized config vnh in
+  { config; vnh; optimized; compiled; extras = []; rejected }
+
+let rejected_originations t = t.rejected
+
+let config t = t.config
+let compiled t = t.compiled
+
+let classifier t =
+  List.concat
+    (List.rev_append
+       (List.rev_map fst t.extras)
+       [ Compile.classifier t.compiled ])
+
+let base_rule_count t = Classifier.rule_count (Compile.classifier t.compiled)
+
+let extra_rule_count t =
+  List.fold_left (fun n (c, _) -> n + Classifier.rule_count c) 0 t.extras
+
+let rule_count t = base_rule_count t + extra_rule_count t
+
+let flows t =
+  let base_cls = Compile.classifier t.compiled in
+  let count = Classifier.rule_count base_cls in
+  (* The base band holds ~30k rules; a bigger table pushes its top up
+     (one large resync) rather than wrapping priorities below zero. *)
+  let top = max base_priority_top count in
+  if top >= extras_floor then
+    Log.warn (fun m ->
+        m "base classifier (%d rules) overlaps the fast-path priority band"
+          count);
+  let base = Sdx_openflow.Flow.of_classifier ~base_priority:top base_cls in
+  let extra_flows =
+    List.concat_map
+      (fun (block, floor) ->
+        Sdx_openflow.Flow.of_classifier
+          ~base_priority:(floor + Classifier.rule_count block - 1)
+          block)
+      t.extras
+  in
+  extra_flows @ base
+let group_count t = List.length (Compile.groups t.compiled)
+let arp t = Compile.arp t.compiled
+let announcement t ~receiver prefix = Compile.announcement t.compiled t.config ~receiver prefix
+
+let reoptimize t =
+  Vnh.reset t.vnh;
+  let compiled = Compile.compile ~optimized:t.optimized t.config t.vnh in
+  t.compiled <- compiled;
+  t.extras <- [];
+  Compile.stats compiled
+
+let next_extras_floor t =
+  match t.extras with
+  | [] -> extras_floor
+  | (block, floor) :: _ -> floor + Classifier.rule_count block
+
+let handle_update t update =
+  let t0 = Unix.gettimeofday () in
+  let change = Route_server.apply (Config.server t.config) update in
+  if change.best_changed_for = [] then
+    { update; best_changed = false; processing_s = Unix.gettimeofday () -. t0; extra_rules = 0 }
+  else begin
+    let delta = Compile.compile_update t.compiled t.config t.vnh change.prefix in
+    let floor = next_extras_floor t in
+    t.extras <- (delta.delta_rules, floor) :: t.extras;
+    (* Priority space exhausted: run the background stage now. *)
+    if floor + Classifier.rule_count delta.delta_rules >= extras_ceiling then begin
+      Log.info (fun m ->
+          m "fast-path priority space exhausted; re-optimizing in place");
+      ignore (reoptimize t)
+    end;
+    {
+      update;
+      best_changed = true;
+      processing_s = Unix.gettimeofday () -. t0;
+      extra_rules = Classifier.rule_count delta.delta_rules;
+    }
+  end
+
+let handle_burst t updates = List.map (handle_update t) updates
+
+let set_policies t asn ~inbound ~outbound =
+  let config =
+    Config.with_policies t.config (fun (p : Participant.t) ->
+        if Asn.equal p.asn asn then (inbound, outbound) else (p.inbound, p.outbound))
+  in
+  t.config <- config;
+  (* Policy changes take the slow path (§4.3 tunes the incremental
+     engine for BGP updates, which are far more frequent). *)
+  reoptimize t
+
+let announce t ~peer ~port ?as_path prefix =
+  let p = Config.participant t.config peer in
+  let port = Participant.port p port in
+  let as_path = Option.value as_path ~default:[ peer ] in
+  let route = Route.make ~prefix ~next_hop:port.ip ~as_path ~learned_from:peer () in
+  handle_update t (Update.announce route)
+
+let withdraw t ~peer prefix = handle_update t (Update.withdraw ~peer prefix)

@@ -1,0 +1,82 @@
+(** The SDX runtime: owns the route server state, the compiled policy,
+    and the two-stage incremental update engine of §4.3.2.
+
+    BGP updates take the fast path: the affected prefix gets a fresh VNH
+    and only the related policy slice is recompiled and stacked above the
+    base rules.  {!reoptimize} is the background stage: a full
+    recompilation that rebuilds optimal prefix groups and retires the
+    stacked rules. *)
+
+open Sdx_net
+open Sdx_policy
+open Sdx_bgp
+
+type t
+
+val create : ?optimized:bool -> ?rpki:Rpki.t -> Config.t -> t
+(** Announces every participant's SDX-originated prefixes to the route
+    server, then runs the initial compilation.  When [rpki] is given,
+    each originated prefix must validate as [Valid] for its owner
+    (§3.2's ownership check); prefixes that fail are not originated and
+    a warning is logged. *)
+
+val rejected_originations : t -> (Asn.t * Prefix.t) list
+(** Originations refused by RPKI validation at creation time. *)
+
+val config : t -> Config.t
+val compiled : t -> Compile.t
+
+val classifier : t -> Classifier.t
+(** The effective ruleset: incremental rules (most recent first) stacked
+    above the base classifier. *)
+
+val flows : t -> Sdx_openflow.Flow.t list
+(** The same ruleset as prioritized OpenFlow entries, with a stable
+    layout: the base classifier descends from priority 30,000 and each
+    fast-path block keeps the priorities it was assigned when installed
+    (new blocks stack above older ones) — so successive calls differ only
+    in the entries an update actually touched, and
+    {!Sdx_openflow.Connection.sync} sends minimal flow-mods.  When the
+    fast-path priority space fills up, {!handle_update} re-optimizes
+    automatically. *)
+
+val base_rule_count : t -> int
+val extra_rule_count : t -> int
+(** Rules added by the fast path since the last {!reoptimize} — the
+    quantity Figure 9 plots. *)
+
+val rule_count : t -> int
+val group_count : t -> int
+val arp : t -> Sdx_arp.Responder.t
+
+val announcement : t -> receiver:Asn.t -> Prefix.t -> Route.t option
+(** What the SDX advertises to [receiver] (VNH-rewritten best route),
+    reflecting all updates processed so far. *)
+
+type update_stats = {
+  update : Update.t;
+  best_changed : bool;  (** whether any participant's best route moved *)
+  processing_s : float;  (** fast-path handling time — Figure 10 *)
+  extra_rules : int;  (** rules the fast path added for this update *)
+}
+
+val handle_update : t -> Update.t -> update_stats
+val handle_burst : t -> Update.t list -> update_stats list
+
+val reoptimize : t -> Compile.stats
+(** Background re-optimization: recomputes groups and the classifier
+    from scratch and clears the incremental rule stack. *)
+
+val set_policies :
+  t -> Asn.t -> inbound:Ppolicy.t -> outbound:Ppolicy.t -> Compile.stats
+(** A participant (re)installs its SDX application: policies are
+    replaced, everything is recompiled, and BGP state is untouched —
+    §4.3 treats policy changes as full recompilations since they are far
+    rarer than BGP updates.
+    @raise Invalid_argument if the new policies fail validation. *)
+
+val announce : t -> peer:Asn.t -> port:int -> ?as_path:Asn.t list -> Prefix.t -> update_stats
+(** Convenience wrapper building the announcement route from the
+    participant's port and running it through {!handle_update}. *)
+
+val withdraw : t -> peer:Asn.t -> Prefix.t -> update_stats

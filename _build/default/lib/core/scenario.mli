@@ -1,0 +1,43 @@
+(** Declarative SDX scenarios: a line-oriented text format describing an
+    exchange — participants, their policies (in {!Policy_parser} syntax),
+    SDX-originated prefixes, and BGP announcements — so a whole setup can
+    live in a file and be loaded by tools and tests.
+
+    {v
+    # the paper's Figure 1
+    participant AS100 port aa:aa:aa:aa:aa:01 172.0.0.1
+    participant AS200 port bb:bb:bb:bb:bb:01 172.0.0.2 port bb:bb:bb:bb:bb:02 172.0.0.3
+    outbound AS100 match(dstport=80) >> fwd(AS200) + match(dstport=443) >> fwd(AS300)
+    inbound AS200 match(srcip=0.0.0.0/1) >> fwd(port 0)
+    originate AS400 74.125.1.0/24
+    announce AS200 0 20.0.1.0/24 path 200,65001
+    v}
+
+    Blank lines and [#] comments are ignored.  [announce AS port prefix
+    path a,b,c] announces from the participant's [port]-th interface with
+    the given AS path (defaulting to the participant's own ASN). *)
+
+type error = { line : int; message : string }
+
+val parse : string -> (Config.t, error) result
+(** Parses scenario text and returns a wired configuration with all
+    announcements applied to its route server. *)
+
+val load : string -> (Config.t, error) result
+(** [parse] on a file's contents. *)
+
+val load_exn : string -> Config.t
+(** @raise Invalid_argument with a located message on failure. *)
+
+val to_string : Config.t -> string
+(** Serializes a configuration (participants, policies, originations,
+    and the route server's current announcements) back to scenario
+    syntax, such that [parse (to_string c)] reproduces an equivalent
+    exchange.  Announcements whose next hop is not a participant port
+    (SDX-originated placeholders) are represented by their [originate]
+    lines. *)
+
+val save : Config.t -> string -> unit
+(** [to_string] into a file. *)
+
+val pp_error : Format.formatter -> error -> unit

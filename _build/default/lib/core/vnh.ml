@@ -1,0 +1,28 @@
+open Sdx_net
+
+type t = {
+  pool : Prefix.t;
+  size : int;
+  mutable next : int;
+}
+
+let vmac_base = 0x02_00_00_00_00_00
+
+let create ?(pool = Prefix.of_string "172.16.0.0/12") () =
+  let size = 1 lsl (32 - Prefix.length pool) in
+  { pool; size; next = 0 }
+
+let fresh t =
+  (* Skip the network address itself so a VNH is never all-zero in the
+     host part. *)
+  if t.next + 1 >= t.size then failwith "Vnh.fresh: pool exhausted"
+  else begin
+    t.next <- t.next + 1;
+    let ip = Prefix.host t.pool t.next in
+    let mac = Mac.of_int (vmac_base + t.next) in
+    (ip, mac)
+  end
+
+let allocated t = t.next
+let reset t = t.next <- 0
+let is_virtual t ip = Prefix.mem ip t.pool

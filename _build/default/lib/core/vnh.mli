@@ -1,0 +1,26 @@
+(** Allocator of virtual next hops: (virtual IP, virtual MAC) pairs drawn
+    from a private pool (§4.2).  The virtual MAC is the data-plane tag;
+    the virtual IP is the control-plane signal carried in BGP next-hop
+    fields and resolved to the MAC by the ARP responder. *)
+
+open Sdx_net
+
+type t
+
+val create : ?pool:Prefix.t -> unit -> t
+(** [pool] defaults to [172.16.0.0/12].  Virtual MACs are drawn from the
+    locally-administered range starting at [02:00:00:00:00:00]. *)
+
+val fresh : t -> Ipv4.t * Mac.t
+(** @raise Failure when the pool is exhausted. *)
+
+val allocated : t -> int
+(** Number of live allocations. *)
+
+val reset : t -> unit
+(** Returns every allocation to the pool (used by the background
+    re-optimization, which rebuilds the VNH assignment from scratch). *)
+
+val is_virtual : t -> Ipv4.t -> bool
+(** Whether the address lies in the allocator's pool (so a next-hop can
+    be recognized as virtual). *)

@@ -1,0 +1,1 @@
+lib/fabric/border_router.ml: Asn Hashtbl Ipv4 Mac Option Packet Prefix_trie Route Sdx_arp Sdx_bgp Sdx_core Sdx_net

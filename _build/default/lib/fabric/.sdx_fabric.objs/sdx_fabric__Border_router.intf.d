@@ -1,0 +1,1 @@
+lib/fabric/border_router.mli: Asn Ipv4 Packet Sdx_bgp Sdx_core Sdx_net

@@ -1,0 +1,1 @@
+lib/fabric/deployment.ml: Asn Hashtbl Int List Network Option Packet Prefix Sdx_bgp Sdx_core Sdx_net

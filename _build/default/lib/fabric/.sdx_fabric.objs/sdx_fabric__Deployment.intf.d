@@ -1,0 +1,1 @@
+lib/fabric/deployment.mli: Asn Network Packet Prefix Sdx_bgp Sdx_core Sdx_net

@@ -1,0 +1,1 @@
+lib/fabric/middlebox.ml: List Packet Sdx_net

@@ -1,0 +1,1 @@
+lib/fabric/middlebox.mli: Ipv4 Packet Sdx_net

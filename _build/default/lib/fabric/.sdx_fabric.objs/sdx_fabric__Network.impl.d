@@ -1,0 +1,1 @@
+lib/fabric/network.ml: Asn Border_router Codec Hashtbl List Middlebox Packet Result Sdx_bgp Sdx_core Sdx_net Sdx_openflow Telemetry

@@ -1,0 +1,1 @@
+lib/fabric/network.mli: Asn Border_router Middlebox Packet Sdx_bgp Sdx_core Sdx_net Sdx_openflow Telemetry

@@ -1,0 +1,1 @@
+lib/fabric/scenarios.ml: Asn Deployment Ipv4 Mac Mods Network Packet Participant Ppolicy Pred Prefix Sdx_bgp Sdx_core Sdx_net Sdx_policy

@@ -1,0 +1,1 @@
+lib/fabric/scenarios.mli: Asn Deployment Sdx_bgp

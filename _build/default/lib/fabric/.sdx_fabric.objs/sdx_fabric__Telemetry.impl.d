@@ -1,0 +1,1 @@
+lib/fabric/telemetry.ml: Asn Hashtbl Int Ipv4 List Option Packet Sdx_bgp Sdx_net

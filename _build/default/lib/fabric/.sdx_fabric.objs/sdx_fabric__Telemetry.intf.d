@@ -1,0 +1,1 @@
+lib/fabric/telemetry.mli: Asn Ipv4 Packet Sdx_bgp Sdx_net

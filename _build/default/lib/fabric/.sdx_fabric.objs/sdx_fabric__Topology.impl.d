@@ -1,0 +1,1 @@
+lib/fabric/topology.ml: Classifier Hashtbl Int List Mods Option Packet Pattern Printf Queue Sdx_core Sdx_net Sdx_policy

@@ -1,0 +1,1 @@
+lib/fabric/topology.mli: Packet Sdx_net Sdx_policy

@@ -1,0 +1,53 @@
+open Sdx_net
+open Sdx_bgp
+
+type t = {
+  asn : Asn.t;
+  port : Sdx_core.Participant.port;
+  switch_port : int;
+  mutable fib : Ipv4.t Prefix_trie.t;  (* destination prefix -> next hop *)
+  mutable arp_cache : (Ipv4.t, Mac.t) Hashtbl.t;
+}
+
+let create config ~asn ~port =
+  let participant = Sdx_core.Config.participant config asn in
+  let port_rec = Sdx_core.Participant.port participant port in
+  {
+    asn;
+    port = port_rec;
+    switch_port = Sdx_core.Config.switch_port config asn port;
+    fib = Prefix_trie.empty;
+    arp_cache = Hashtbl.create 256;
+  }
+
+let asn t = t.asn
+let switch_port t = t.switch_port
+
+let sync t runtime =
+  let responder = Sdx_core.Runtime.arp runtime in
+  let fib, cache =
+    Sdx_core.Compile.fold_announcements
+      (Sdx_core.Runtime.compiled runtime)
+      (Sdx_core.Runtime.config runtime)
+      ~receiver:t.asn
+      (fun prefix (route : Route.t) (fib, cache) ->
+        (match Sdx_arp.Responder.query responder route.next_hop with
+        | Some mac -> Hashtbl.replace cache route.next_hop mac
+        | None -> ());
+        (Prefix_trie.add prefix route.next_hop fib, cache))
+      (Prefix_trie.empty, Hashtbl.create 256)
+  in
+  t.fib <- fib;
+  t.arp_cache <- cache
+
+let fib_size t = Prefix_trie.cardinal t.fib
+let next_hop t addr = Option.map snd (Prefix_trie.longest_match addr t.fib)
+
+let send t (pkt : Packet.t) =
+  match Prefix_trie.longest_match pkt.dst_ip t.fib with
+  | None -> None
+  | Some (_, nh) -> (
+      match Hashtbl.find_opt t.arp_cache nh with
+      | None -> None
+      | Some mac ->
+          Some { pkt with src_mac = t.port.mac; dst_mac = mac; port = t.switch_port })

@@ -1,0 +1,36 @@
+(** A participant's border router — stage 1 of the multi-stage FIB of
+    Figure 2.
+
+    The router consumes the routes the SDX re-advertises to its AS,
+    resolves each next hop through ARP (so virtual next hops resolve to
+    virtual MACs), and tags outgoing packets by setting their destination
+    MAC before handing them to the fabric.  This is exactly how the SDX
+    offloads the per-prefix table to unmodified BGP routers. *)
+
+open Sdx_net
+open Sdx_bgp
+
+type t
+
+val create : Sdx_core.Config.t -> asn:Asn.t -> port:int -> t
+(** Router attached through the participant's [port]-th interface.
+    @raise Invalid_argument if the participant has no such port. *)
+
+val asn : t -> Asn.t
+val switch_port : t -> int
+
+val sync : t -> Sdx_core.Runtime.t -> unit
+(** Rebuilds the FIB from the SDX's current announcements to this AS and
+    re-resolves every next hop through the controller's ARP responder. *)
+
+val fib_size : t -> int
+
+val next_hop : t -> Ipv4.t -> Ipv4.t option
+(** The FIB's next-hop address for a destination, if any. *)
+
+val send : t -> Packet.t -> Packet.t option
+(** Prepare a packet from this AS's network for the fabric: longest-
+    prefix-match the destination, set the source MAC to the router
+    interface, the destination MAC to the (virtual) next hop's MAC, and
+    the location to the fabric port.  [None] when the router has no
+    route or the next hop does not resolve. *)

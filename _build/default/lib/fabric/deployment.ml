@@ -1,0 +1,118 @@
+open Sdx_net
+open Sdx_bgp
+
+type event =
+  | Set_policies of { asn : Asn.t; inbound : Sdx_core.Ppolicy.t; outbound : Sdx_core.Ppolicy.t }
+  | Withdraw_route of { peer : Asn.t; prefix : Prefix.t }
+  | Announce_route of {
+      peer : Asn.t;
+      port : int;
+      prefix : Prefix.t;
+      as_path : Asn.t list option;
+    }
+
+type flow = { name : string; from : Asn.t; packet : Packet.t; rate_mbps : float }
+
+type scenario = {
+  participants : Sdx_core.Participant.t list;
+  seed_routes : (Asn.t * int * Prefix.t * Asn.t list) list;
+  flows : flow list;
+  events : (int * event) list;
+  duration : int;
+  classify : Network.delivery -> string option;
+}
+
+type sample = { time : int; rates : (string * float) list }
+
+type state = {
+  mutable participants : Sdx_core.Participant.t list;
+  (* Live routes: (peer, port index, prefix, as path), updated by
+     announce/withdraw events so a policy change can rebuild the world. *)
+  mutable routes : (Asn.t * int * Prefix.t * Asn.t list) list;
+  mutable network : Network.t;
+}
+
+let build participants routes =
+  let config = Sdx_core.Config.make participants in
+  List.iter
+    (fun (peer, port, prefix, as_path) ->
+      ignore (Sdx_core.Config.announce config ~peer ~port ~as_path prefix))
+    routes;
+  let runtime = Sdx_core.Runtime.create config in
+  Network.create runtime
+
+let apply_event st = function
+  | Set_policies { asn; inbound; outbound } ->
+      st.participants <-
+        List.map
+          (fun (p : Sdx_core.Participant.t) ->
+            if Asn.equal p.asn asn then { p with inbound; outbound } else p)
+          st.participants;
+      (* A policy change recompiles in place — BGP state and the other
+         participants' sessions are untouched (§4.3 treats policy changes
+         as full recompilations). *)
+      ignore
+        (Sdx_core.Runtime.set_policies (Network.runtime st.network) asn ~inbound
+           ~outbound);
+      Network.sync st.network
+  | Withdraw_route { peer; prefix } ->
+      st.routes <-
+        List.filter
+          (fun (p, _, pre, _) -> not (Asn.equal p peer && Prefix.equal pre prefix))
+          st.routes;
+      ignore
+        (Sdx_core.Runtime.withdraw (Network.runtime st.network) ~peer prefix);
+      Network.sync st.network
+  | Announce_route { peer; port; prefix; as_path } ->
+      let as_path = Option.value as_path ~default:[ peer ] in
+      st.routes <- (peer, port, prefix, as_path) :: st.routes;
+      ignore
+        (Sdx_core.Runtime.announce (Network.runtime st.network) ~peer ~port
+           ~as_path prefix);
+      Network.sync st.network
+
+let run ?(sample_every = 1) (scenario : scenario) =
+  let st =
+    {
+      participants = scenario.participants;
+      routes = scenario.seed_routes;
+      network = build scenario.participants scenario.seed_routes;
+    }
+  in
+  let events = List.sort (fun (a, _) (b, _) -> Int.compare a b) scenario.events in
+  let pending = ref events in
+  let samples = ref [] in
+  for time = 0 to scenario.duration - 1 do
+    let rec fire () =
+      match !pending with
+      | (at, ev) :: rest when at <= time ->
+          pending := rest;
+          apply_event st ev;
+          fire ()
+      | _ -> ()
+    in
+    fire ();
+    if time mod sample_every = 0 then begin
+      let tally = Hashtbl.create 8 in
+      List.iter
+        (fun flow ->
+          let deliveries = Network.inject st.network ~from:flow.from flow.packet in
+          List.iter
+            (fun d ->
+              match scenario.classify d with
+              | None -> ()
+              | Some sink ->
+                  let cur = Option.value (Hashtbl.find_opt tally sink) ~default:0. in
+                  Hashtbl.replace tally sink (cur +. flow.rate_mbps))
+            deliveries)
+        scenario.flows;
+      let rates =
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally [])
+      in
+      samples := { time; rates } :: !samples
+    end
+  done;
+  List.rev !samples
+
+let rate sample sink =
+  Option.value (List.assoc_opt sink sample.rates) ~default:0.

@@ -1,0 +1,51 @@
+(** Event-driven deployment experiments (§5.2, Figure 5).
+
+    A scenario wires participants into a network, seeds BGP routes,
+    generates constant-rate flows, and replays timed control-plane
+    events: policy installation, route announcements and withdrawals.
+    Each simulated second, every flow's packets are pushed through the
+    border routers and the fabric, and per-sink delivery rates are
+    sampled — the time series the paper's Figure 5 plots. *)
+
+open Sdx_net
+open Sdx_bgp
+
+type event =
+  | Set_policies of { asn : Asn.t; inbound : Sdx_core.Ppolicy.t; outbound : Sdx_core.Ppolicy.t }
+      (** a participant (re)installs its SDX application *)
+  | Withdraw_route of { peer : Asn.t; prefix : Prefix.t }
+  | Announce_route of {
+      peer : Asn.t;
+      port : int;
+      prefix : Prefix.t;
+      as_path : Asn.t list option;
+    }
+
+type flow = {
+  name : string;
+  from : Asn.t;  (** originating participant *)
+  packet : Packet.t;  (** header template *)
+  rate_mbps : float;
+}
+
+type scenario = {
+  participants : Sdx_core.Participant.t list;
+  seed_routes : (Asn.t * int * Prefix.t * Asn.t list) list;
+      (** (peer, port index, prefix, AS path) announced before t=0 *)
+  flows : flow list;
+  events : (int * event) list;  (** (time in seconds, event) *)
+  duration : int;
+  classify : Network.delivery -> string option;
+      (** names the sink a delivery counts toward; [None] ignores it *)
+}
+
+type sample = { time : int; rates : (string * float) list }
+(** Delivery rate per sink name at one sampled second; sinks that
+    received nothing report 0. *)
+
+val run : ?sample_every:int -> scenario -> sample list
+(** Runs the scenario, sampling every [sample_every] seconds
+    (default 1). *)
+
+val rate : sample -> string -> float
+(** Rate of one sink in a sample (0 when absent). *)

@@ -1,0 +1,13 @@
+open Sdx_net
+
+type t = Packet.t -> Packet.t list
+
+let transcoder ~to_port (pkt : Packet.t) = [ { pkt with dst_port = to_port } ]
+let scrubber ~block (pkt : Packet.t) = if block pkt then [] else [ pkt ]
+let nat ~public_ip (pkt : Packet.t) = [ { pkt with src_ip = public_ip } ]
+let tee (pkt : Packet.t) = [ pkt; pkt ]
+
+let chain stages pkt =
+  List.fold_left
+    (fun pkts stage -> List.concat_map stage pkts)
+    [ pkt ] stages

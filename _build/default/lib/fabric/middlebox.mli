@@ -1,0 +1,30 @@
+(** Middleboxes attached at SDX ports (§2 "redirection through
+    middleboxes" and §8 "service chaining").
+
+    A middlebox is a packet transformation hosted by a participant: the
+    fabric delivers steered traffic to the host's port, the middlebox
+    processes it, and the host's border router re-injects the result, so
+    a chain of steering policies moves traffic through a sequence of
+    functions on the way to its BGP destination. *)
+
+open Sdx_net
+
+type t = Packet.t -> Packet.t list
+(** Returning [[]] consumes (drops) the packet. *)
+
+val transcoder : to_port:int -> t
+(** Rewrites the transport destination port — the video-transcoding
+    middlebox of §3.2, observable in tests via the port change. *)
+
+val scrubber : block:(Packet.t -> bool) -> t
+(** Drops packets matching an attack signature, passes the rest — the
+    DoS traffic scrubber of §2. *)
+
+val nat : public_ip:Ipv4.t -> t
+(** Rewrites the source address — a carrier-grade NAT. *)
+
+val tee : t
+(** Duplicates each packet (a passive monitor that also forwards). *)
+
+val chain : t list -> t
+(** Function composition of middlebox stages within one box. *)

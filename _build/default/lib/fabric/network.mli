@@ -1,0 +1,73 @@
+(** The wired IXP: border routers attached to the SDX fabric switch, with
+    the runtime's compiled classifier installed.  This is the end-to-end
+    path a packet takes in the deployment experiments. *)
+
+open Sdx_net
+open Sdx_bgp
+
+type t
+
+type delivery = {
+  receiver : Asn.t;
+  receiver_port : int;  (** the receiver's participant-local port index *)
+  packet : Packet.t;
+}
+
+val create : ?switch_capacity:int -> Sdx_core.Runtime.t -> t
+(** Builds one border router per physical participant port, installs the
+    classifier into a fresh switch, and syncs every router's FIB.
+    [switch_capacity] models the hardware rule budget of §4.2 ("even the
+    most high-end SDN switch hardware can barely hold half a million
+    rules"); installing beyond it raises
+    {!Sdx_openflow.Table.Table_full}. *)
+
+val runtime : t -> Sdx_core.Runtime.t
+val switch : t -> Sdx_openflow.Switch.t
+val router : t -> Asn.t -> Border_router.t
+(** The router on the participant's first port.
+    @raise Not_found for remote participants. *)
+
+val sync : t -> unit
+(** Brings the switch to the runtime's current ruleset (minimal
+    flow-mods over the control channel) and refreshes every router FIB —
+    run after BGP updates or a re-optimization. *)
+
+val connection : t -> Sdx_openflow.Connection.t
+(** The OpenFlow control channel to the fabric switch. *)
+
+val last_sync_flow_mods : t -> int
+(** Flow modifications the most recent {!sync} (or {!create}) sent —
+    small after a single BGP update, large after a re-optimization. *)
+
+val telemetry : t -> Telemetry.t
+(** Traffic counters, updated by every {!inject}. *)
+
+val attach_middlebox : t -> Asn.t -> Middlebox.t -> unit
+(** Attaches a middlebox behind the participant's port: traffic the
+    fabric delivers there is transformed and handed back to the host's
+    border router for re-injection, so steering policies can chain
+    functions on the way to the BGP destination (§8).  The host must
+    have a physical port. *)
+
+val detach_middlebox : t -> Asn.t -> unit
+
+val inject : t -> from:Asn.t -> Packet.t -> delivery list
+(** Sends a packet originating in [from]'s network: its border router
+    tags and forwards it, then the fabric switch processes it.  A
+    delivery landing on a middlebox host is transformed and re-injected
+    (bounded depth guards against steering loops).  Returns the final
+    deliveries (empty when routed nowhere, dropped, or blackholed). *)
+
+val inject_at_port : t -> Packet.t -> delivery list
+(** Processes a packet already located at a fabric port (packet.port),
+    bypassing the border router — for tests that craft raw fabric
+    traffic. *)
+
+val inject_frame : t -> from:Asn.t -> bytes -> (delivery list, string) result
+(** {!inject} over wire bytes: the frame is parsed ({!Sdx_net.Codec}),
+    routed end to end, and the deliveries carry re-encoded frames in
+    [frame].  Errors on malformed frames. *)
+
+val frame_of_delivery : delivery -> bytes
+(** The delivered packet as the bytes the receiving router would read
+    off the wire. *)

@@ -1,0 +1,172 @@
+open Sdx_net
+open Sdx_policy
+open Sdx_bgp
+open Sdx_core
+
+let mac s = Mac.of_string s
+let ip s = Ipv4.of_string s
+let pfx s = Prefix.of_string s
+
+module Fig5a = struct
+  let as_a = Asn.of_int 100
+  let as_b = Asn.of_int 200
+  let as_c = Asn.of_int 300
+
+  (* The AWS prefix reached through Transit Portal at Wisconsin (via AS A)
+     and Clemson (via AS B). *)
+  let aws_prefix = pfx "54.192.0.0/16"
+  let aws_host = ip "54.192.1.10"
+  let wisconsin = Asn.of_int 2381
+  let clemson = Asn.of_int 12148
+  let amazon = Asn.of_int 16509
+
+  let participant_a =
+    Participant.make ~asn:as_a
+      ~ports:[ (mac "aa:00:00:00:00:01", ip "172.0.0.1") ]
+      ()
+
+  let participant_b =
+    Participant.make ~asn:as_b
+      ~ports:[ (mac "bb:00:00:00:00:01", ip "172.0.0.2") ]
+      ()
+
+  let participant_c outbound =
+    Participant.make ~asn:as_c
+      ~ports:[ (mac "cc:00:00:00:00:01", ip "172.0.0.3") ]
+      ~outbound ()
+
+  (* AS C's application-specific peering policy: web traffic to the AWS
+     prefix travels via AS B; everything else follows BGP (via AS A). *)
+  let peering_policy =
+    [
+      Ppolicy.fwd
+        (Pred.and_ (Pred.dst_ip aws_prefix) (Pred.dst_port 80))
+        (Ppolicy.Peer as_b);
+    ]
+
+  let flow ~name ~dst_port =
+    {
+      Deployment.name;
+      from = as_c;
+      packet =
+        Packet.make ~src_ip:(ip "10.3.0.1") ~dst_ip:aws_host
+          ~proto:Packet.proto_udp ~src_port:5000 ~dst_port ();
+      rate_mbps = 1.0;
+    }
+
+  let classify (d : Network.delivery) =
+    if Asn.equal d.receiver as_a then Some "AS-A"
+    else if Asn.equal d.receiver as_b then Some "AS-B"
+    else None
+
+  let scenario ?(duration = 1800) ?(policy_at = 565) ?(withdraw_at = 1253) () =
+    {
+      Deployment.participants = [ participant_a; participant_b; participant_c [] ];
+      seed_routes =
+        [
+          (as_a, 0, aws_prefix, [ as_a; wisconsin; amazon ]);
+          (as_b, 0, aws_prefix, [ as_b; clemson; amazon ]);
+        ];
+      flows =
+        [
+          flow ~name:"web" ~dst_port:80;
+          flow ~name:"udp-4321" ~dst_port:4321;
+          flow ~name:"udp-8080" ~dst_port:8080;
+        ];
+      events =
+        [
+          ( policy_at,
+            Deployment.Set_policies
+              { asn = as_c; inbound = []; outbound = peering_policy } );
+          (withdraw_at, Deployment.Withdraw_route { peer = as_b; prefix = aws_prefix });
+        ];
+      duration;
+      classify;
+    }
+end
+
+module Fig5b = struct
+  let as_a = Asn.of_int 100
+  let as_b = Asn.of_int 200
+  let tenant = Asn.of_int 14618
+
+  let anycast_prefix = pfx "74.125.1.0/24"
+  let anycast_service = ip "74.125.1.1"
+  let aws_prefix = pfx "184.72.0.0/16"
+  let instance1 = ip "184.72.0.97"
+  let instance2 = ip "184.72.128.9"
+  let client1 = ip "204.57.0.67"
+  let client2 = ip "204.57.0.68"
+
+  let participant_a =
+    Participant.make ~asn:as_a
+      ~ports:[ (mac "aa:00:00:00:00:02", ip "172.0.1.1") ]
+      ()
+
+  let participant_b =
+    Participant.make ~asn:as_b
+      ~ports:[ (mac "bb:00:00:00:00:02", ip "172.0.1.2") ]
+      ()
+
+  (* The remote AWS tenant: no physical port, originates the anycast
+     prefix at the SDX and terminates it with its inbound policy. *)
+  let participant_tenant inbound =
+    Participant.make ~asn:tenant ~ports:[] ~inbound
+      ~originated:[ anycast_prefix ] ()
+
+  (* Before the experiment's event: all anycast requests are rewritten to
+     instance #1 (reached via AS B). *)
+  let base_policy =
+    [
+      Ppolicy.rewrite
+        (Pred.dst_ip (Prefix.make anycast_service 32))
+        (Mods.make ~dst_ip:instance1 ());
+    ]
+
+  (* The load-balance policy of Figure 5b: requests from [client1] shift
+     to instance #2; everything else stays on instance #1. *)
+  let lb_policy =
+    Ppolicy.rewrite
+      (Pred.and_
+         (Pred.dst_ip (Prefix.make anycast_service 32))
+         (Pred.src_ip (Prefix.make client1 32)))
+      (Mods.make ~dst_ip:instance2 ())
+    :: base_policy
+
+  let flow ~name ~src_ip =
+    {
+      Deployment.name;
+      from = as_a;
+      packet =
+        Packet.make ~src_ip ~dst_ip:anycast_service ~proto:Packet.proto_udp
+          ~src_port:5000 ~dst_port:8000 ();
+      rate_mbps = 1.0;
+    }
+
+  let classify (d : Network.delivery) =
+    if Asn.equal d.receiver as_b then
+      if Ipv4.equal d.packet.dst_ip instance1 then Some "AWS Instance #1"
+      else if Ipv4.equal d.packet.dst_ip instance2 then Some "AWS Instance #2"
+      else None
+    else None
+
+  let scenario ?(duration = 600) ?(policy_at = 246) () =
+    {
+      Deployment.participants =
+        [ participant_a; participant_b; participant_tenant base_policy ];
+      seed_routes = [ (as_b, 0, aws_prefix, [ as_b; Asn.of_int 16509 ]) ];
+      flows =
+        [
+          flow ~name:"client-67" ~src_ip:client1;
+          flow ~name:"client-68" ~src_ip:client2;
+        ];
+      events =
+        [
+          ( policy_at,
+            Deployment.Set_policies
+              { asn = tenant; inbound = lb_policy; outbound = [] } );
+        ];
+      duration;
+      classify;
+    }
+end

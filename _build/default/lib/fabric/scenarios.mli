@@ -1,0 +1,34 @@
+(** The two live experiments of §5.2 as ready-made scenarios, shared by
+    the examples and the Figure 5 benchmarks. *)
+
+open Sdx_bgp
+
+module Fig5a : sig
+  (** Application-specific peering (Figure 4a / 5a): AS C reaches an AWS
+      prefix via AS A and AS B; at [policy_at] it installs a policy
+      diverting port-80 traffic through AS B; at [withdraw_at] AS B's
+      route is withdrawn and all traffic shifts back to AS A. *)
+
+  val as_a : Asn.t
+  val as_b : Asn.t
+  val as_c : Asn.t
+
+  val scenario :
+    ?duration:int -> ?policy_at:int -> ?withdraw_at:int -> unit -> Deployment.scenario
+  (** Defaults follow the paper: duration 1800 s, policy at 565 s,
+      withdrawal at 1253 s.  Sinks are named ["AS-A"] and ["AS-B"]. *)
+end
+
+module Fig5b : sig
+  (** Wide-area load balancing (Figure 4b / 5b): a remote AWS tenant
+      originates an anycast service prefix at the SDX; at [policy_at] it
+      installs a policy steering one client source to instance #2. *)
+
+  val as_a : Asn.t
+  val as_b : Asn.t
+  val tenant : Asn.t
+
+  val scenario : ?duration:int -> ?policy_at:int -> unit -> Deployment.scenario
+  (** Defaults follow the paper: duration 600 s, policy at 246 s.  Sinks
+      are named ["AWS Instance #1"] and ["AWS Instance #2"]. *)
+end

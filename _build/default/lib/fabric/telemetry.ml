@@ -1,0 +1,65 @@
+open Sdx_net
+open Sdx_bgp
+
+type t = {
+  tx : (Asn.t, int) Hashtbl.t;
+  rx : (Asn.t, int) Hashtbl.t;
+  drops : (Asn.t, int) Hashtbl.t;
+  pairs : (Asn.t * Asn.t, int) Hashtbl.t;
+  sources : (Ipv4.t * Asn.t, int) Hashtbl.t;
+  mutable total : int;
+}
+
+let create () =
+  {
+    tx = Hashtbl.create 64;
+    rx = Hashtbl.create 64;
+    drops = Hashtbl.create 64;
+    pairs = Hashtbl.create 256;
+    sources = Hashtbl.create 256;
+    total = 0;
+  }
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (n + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+
+let record t ~src ~packet ~receivers =
+  t.total <- t.total + 1;
+  bump t.tx src 1;
+  match receivers with
+  | [] -> bump t.drops src 1
+  | rs ->
+      List.iter
+        (fun r ->
+          bump t.rx r 1;
+          bump t.pairs (src, r) 1;
+          bump t.sources (packet.Packet.src_ip, r) 1)
+        rs
+
+let get tbl key = Option.value (Hashtbl.find_opt tbl key) ~default:0
+let tx t asn = get t.tx asn
+let rx t asn = get t.rx asn
+let dropped t asn = get t.drops asn
+
+let matrix t =
+  List.sort
+    (fun (_, _, a) (_, _, b) -> Int.compare b a)
+    (Hashtbl.fold (fun (s, r) n acc -> (s, r, n) :: acc) t.pairs [])
+
+let top_sources t ~toward =
+  List.sort
+    (fun (_, a) (_, b) -> Int.compare b a)
+    (Hashtbl.fold
+       (fun (src_ip, r) n acc ->
+         if Asn.equal r toward then (src_ip, n) :: acc else acc)
+       t.sources [])
+
+let total t = t.total
+
+let reset t =
+  Hashtbl.reset t.tx;
+  Hashtbl.reset t.rx;
+  Hashtbl.reset t.drops;
+  Hashtbl.reset t.pairs;
+  Hashtbl.reset t.sources;
+  t.total <- 0

@@ -1,0 +1,38 @@
+(** Traffic telemetry at the exchange: per-participant and per-source
+    counters collected as packets traverse the fabric.
+
+    This is the measurement side of the paper's §2 scenarios — "when
+    traffic measurements suggest a possible denial-of-service attack, an
+    ISP can steer the offending traffic through a traffic scrubber" — and
+    of peering decisions generally (the traffic matrix between
+    participants). *)
+
+open Sdx_net
+open Sdx_bgp
+
+type t
+
+val create : unit -> t
+
+val record : t -> src:Asn.t -> packet:Packet.t -> receivers:Asn.t list -> unit
+(** Accounts one injected packet: a drop when [receivers] is empty, one
+    delivery per receiver otherwise. *)
+
+val tx : t -> Asn.t -> int
+(** Packets a participant sent into the fabric. *)
+
+val rx : t -> Asn.t -> int
+(** Packets delivered to a participant. *)
+
+val dropped : t -> Asn.t -> int
+(** A participant's packets that were dropped or blackholed. *)
+
+val matrix : t -> (Asn.t * Asn.t * int) list
+(** The traffic matrix: (sender, receiver, packets), descending. *)
+
+val top_sources : t -> toward:Asn.t -> (Ipv4.t * int) list
+(** Source addresses of traffic delivered to one participant, heaviest
+    first — the DoS-detection signal. *)
+
+val total : t -> int
+val reset : t -> unit

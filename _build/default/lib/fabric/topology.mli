@@ -1,0 +1,60 @@
+(** Multi-switch SDX fabrics (§4.1, last paragraph).
+
+    A large exchange spans several physical switches, each hosting a
+    subset of the participants' ports and connected by trunk links.  The
+    SDX compiles its policy for one big logical switch; this module
+    splits that classifier into per-switch tables:
+
+    - policy rules pinned to an in-port are installed on that port's
+      switch, with forwarding actions rewritten to the local port or the
+      trunk toward the owning switch;
+    - destination-MAC rules (default forwarding) are installed on every
+      switch, so frames already processed at their ingress switch are
+      carried across trunks by plain layer-2 forwarding — re-applying
+      them is harmless because inbound pipelines are deterministic in the
+      header fields.
+
+    Trunks are chosen along a spanning tree computed over the (possibly
+    cyclic) link graph — the conventional spanning tree §3.2 mentions for
+    coexistence with non-SDN participants. *)
+
+open Sdx_net
+
+type t
+
+val create :
+  switches:int list ->
+  links:(int * int) list ->
+  port_home:(int * int) list ->
+  t
+(** [create ~switches ~links ~port_home] describes the physical layout:
+    undirected trunk [links] between switch ids, and [port_home] mapping
+    each fabric (physical) port number to the switch hosting it.
+    @raise Invalid_argument on unknown switch ids, or if the link graph
+    does not connect all switches. *)
+
+val switch_count : t -> int
+val home_of_port : t -> int -> int option
+
+val spanning_tree_edges : t -> (int * int) list
+(** The tree edges actually used for trunking (a subset of [links];
+    equal to [links] when the graph is already a tree). *)
+
+val next_hop : t -> from:int -> toward:int -> int option
+(** Next switch on the tree path; [None] when already there. *)
+
+type fabric
+
+val build : t -> Sdx_policy.Classifier.t -> fabric
+(** Splits the logical classifier and installs the per-switch tables. *)
+
+val rule_count : fabric -> int -> int
+(** Rules installed on one switch. *)
+
+val total_rules : fabric -> int
+
+val process : fabric -> Packet.t -> Packet.t list
+(** Runs a packet (located at a physical port) through the distributed
+    fabric, hopping trunks as needed; the result is the set of packets
+    leaving on physical ports — identical to what the logical
+    single-switch classifier would produce. *)

@@ -1,0 +1,1 @@
+lib/ixp/population.ml: Array Asn Float Int List Rng Sdx_bgp

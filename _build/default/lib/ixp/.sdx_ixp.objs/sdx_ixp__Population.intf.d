@@ -1,0 +1,1 @@
+lib/ixp/population.mli: Asn Rng Sdx_bgp

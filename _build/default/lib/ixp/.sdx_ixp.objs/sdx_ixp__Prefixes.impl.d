@@ -1,0 +1,1 @@
+lib/ixp/prefixes.ml: Ipv4 List Prefix Printf Sdx_net

@@ -1,0 +1,1 @@
+lib/ixp/prefixes.mli: Ipv4 Prefix Sdx_net

@@ -1,0 +1,1 @@
+lib/ixp/replay.ml: Array Float Format List Population Sdx_core Trace Workload

@@ -1,0 +1,1 @@
+lib/ixp/replay.mli: Format Rng Sdx_core Trace Workload

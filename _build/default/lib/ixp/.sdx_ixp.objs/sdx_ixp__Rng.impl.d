@@ -1,0 +1,1 @@
+lib/ixp/rng.ml: Array List Random

@@ -1,0 +1,1 @@
+lib/ixp/trace.ml: Array Asn Float Format Fun Ipv4 List Option Prefix Prefixes Printf Rng Route Sdx_bgp Sdx_net String Update

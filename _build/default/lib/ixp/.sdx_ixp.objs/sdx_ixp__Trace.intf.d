@@ -1,0 +1,1 @@
+lib/ixp/trace.mli: Asn Format Rng Sdx_bgp Sdx_net Update

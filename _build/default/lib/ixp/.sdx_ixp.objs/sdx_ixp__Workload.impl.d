@@ -1,0 +1,1 @@
+lib/ixp/workload.ml: Array Asn Config Float Fun Hashtbl Ipv4 List Mac Packet Participant Population Ppolicy Pred Prefix Prefixes Rng Route Runtime Sdx_bgp Sdx_core Sdx_net Sdx_policy Update

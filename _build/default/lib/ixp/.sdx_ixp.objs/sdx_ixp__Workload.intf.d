@@ -1,0 +1,1 @@
+lib/ixp/workload.mli: Asn Ipv4 Population Prefix Rng Sdx_bgp Sdx_core Sdx_net Update

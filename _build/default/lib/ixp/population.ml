@@ -1,0 +1,71 @@
+open Sdx_bgp
+
+type kind = Eyeball | Transit | Content
+
+type spec = {
+  asn : Asn.t;
+  kind : kind;
+  prefix_count : int;
+  port_count : int;
+}
+
+(* ASNs for generated participants start high enough not to collide with
+   hand-written examples. *)
+let base_asn = 10_000
+
+let generate rng ~participants ~prefixes ?(multi_port_fraction = 0.1)
+    ?(zipf_alpha = 1.8) () =
+  if participants <= 0 then invalid_arg "Population.generate: no participants";
+  let weights =
+    Array.init participants (fun i ->
+        1.0 /. (float_of_int (i + 1) ** zipf_alpha))
+  in
+  let total_weight = Array.fold_left ( +. ) 0.0 weights in
+  (* Give every participant at least one prefix, distribute the rest by
+     weight, and fix rounding drift on the largest participant. *)
+  let counts =
+    Array.map
+      (fun w ->
+        max 1
+          (int_of_float
+             (Float.round (w /. total_weight *. float_of_int prefixes))))
+      weights
+  in
+  let drift = prefixes - Array.fold_left ( + ) 0 counts in
+  counts.(0) <- max 1 (counts.(0) + drift);
+  let kind_of i =
+    match i mod 5 with
+    | 0 | 1 -> Eyeball
+    | 2 -> Transit
+    | 3 | 4 -> Content
+    | _ -> assert false
+  in
+  List.init participants (fun i ->
+      {
+        asn = Asn.of_int (base_asn + i);
+        kind = kind_of i;
+        prefix_count = counts.(i);
+        port_count = (if Rng.bool rng ~p:multi_port_fraction then 2 else 1);
+      })
+
+let total specs = List.fold_left (fun n s -> n + s.prefix_count) 0 specs
+
+let top_share specs ~fraction =
+  let n = List.length specs in
+  let k = max 1 (int_of_float (Float.round (fraction *. float_of_int n))) in
+  let sorted =
+    List.sort (fun a b -> Int.compare b.prefix_count a.prefix_count) specs
+  in
+  let top = List.filteri (fun i _ -> i < k) sorted in
+  float_of_int (total top) /. float_of_int (total specs)
+
+let bottom_share specs ~fraction =
+  let n = List.length specs in
+  let k = int_of_float (Float.round (fraction *. float_of_int n)) in
+  let sorted =
+    List.sort (fun a b -> Int.compare a.prefix_count b.prefix_count) specs
+  in
+  let bottom = List.filteri (fun i _ -> i < k) sorted in
+  float_of_int (total bottom) /. float_of_int (total specs)
+
+let by_kind specs kind = List.filter (fun s -> s.kind = kind) specs

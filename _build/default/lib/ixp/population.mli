@@ -1,0 +1,38 @@
+(** IXP participant populations with the skew observed at large European
+    exchanges (§6.1): roughly 1% of ASes announce more than half of all
+    prefixes while the bottom 90% together announce under a few percent. *)
+
+open Sdx_bgp
+
+type kind = Eyeball | Transit | Content
+
+type spec = {
+  asn : Asn.t;
+  kind : kind;
+  prefix_count : int;  (** prefixes this participant announces *)
+  port_count : int;  (** 1, or 2 for the multi-port fraction *)
+}
+
+val generate :
+  Rng.t ->
+  participants:int ->
+  prefixes:int ->
+  ?multi_port_fraction:float ->
+  ?zipf_alpha:float ->
+  unit ->
+  spec list
+(** Produces [participants] specs whose prefix counts follow a Zipf
+    distribution with exponent [zipf_alpha] (default 1.8, which yields
+    the paper's concentration) summing to [prefixes]; kinds are assigned
+    cyclically with a 40/20/40 eyeball/transit/content mix; a
+    [multi_port_fraction] (default 0.1) of participants get two ports.
+    Specs are ordered by descending prefix count. *)
+
+val top_share : spec list -> fraction:float -> float
+(** Share of all prefixes announced by the top [fraction] of
+    participants — used to validate the skew. *)
+
+val bottom_share : spec list -> fraction:float -> float
+
+val by_kind : spec list -> kind -> spec list
+(** Specs of one kind, preserving the descending-prefix-count order. *)

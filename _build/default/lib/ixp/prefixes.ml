@@ -1,0 +1,28 @@
+open Sdx_net
+
+(* Prefixes are carved from 32.0.0.0/3 (clear of the examples' address
+   ranges and the 172.16/12 VNH pool): the i-th prefix occupies the i-th
+   /22-aligned block, as a /22, /23, or /24 depending on i mod 4 — the
+   blocks are disjoint by construction, and the length mix loosely mirrors
+   a real table's aggregate/deaggregate split. *)
+let base = 0x20000000
+let space = 1 lsl (29 - 10) (* number of /22 blocks in a /3 *)
+
+let nth i =
+  if i < 0 || i >= space then
+    invalid_arg (Printf.sprintf "Prefixes.nth: %d out of range" i)
+  else
+    let block = base + (i lsl 10) in
+    let len =
+      match i mod 4 with
+      | 0 -> 22
+      | 1 | 2 -> 24
+      | _ -> 23
+    in
+    Prefix.make (Ipv4.of_int block) len
+
+let table n = List.init n nth
+
+let host_in p =
+  (* Second address of the prefix: distinct from the network address. *)
+  Prefix.host p 1

@@ -1,0 +1,17 @@
+(** Synthetic default-free routing table: a deterministic enumeration of
+    disjoint prefixes standing in for the ~500k-entry global table the
+    paper samples from. *)
+
+open Sdx_net
+
+val table : int -> Prefix.t list
+(** [table n] is [n] pairwise-disjoint prefixes (a mix of /24 and
+    shorter aggregates), deterministic in [n].
+    @raise Invalid_argument when [n] exceeds the generator's space. *)
+
+val nth : int -> Prefix.t
+(** [nth i] is the [i]-th prefix of the enumeration. *)
+
+val host_in : Prefix.t -> Ipv4.t
+(** A representative host address inside a prefix (used by traffic
+    generators). *)

@@ -1,0 +1,83 @@
+
+type result = {
+  bursts : int;
+  updates : int;
+  best_changed : int;
+  reoptimizations : int;
+  peak_extra_rules : int;
+  final_rules : int;
+  mean_update_ms : float;
+  p99_update_ms : float;
+  max_update_ms : float;
+}
+
+let run ?(quiet_gap_s = 60.0) runtime trace =
+  let bursts = ref 0 in
+  let updates = ref 0 in
+  let best_changed = ref 0 in
+  let reoptimizations = ref 0 in
+  let peak_extra = ref 0 in
+  let times = ref [] in
+  let last_at = ref neg_infinity in
+  List.iter
+    (fun (b : Trace.burst) ->
+      (* A long quiet gap gives the background stage time to run. *)
+      if b.at_s -. !last_at >= quiet_gap_s && Sdx_core.Runtime.extra_rule_count runtime > 0
+      then begin
+        ignore (Sdx_core.Runtime.reoptimize runtime);
+        incr reoptimizations
+      end;
+      last_at := b.at_s;
+      incr bursts;
+      List.iter
+        (fun update ->
+          let stats = Sdx_core.Runtime.handle_update runtime update in
+          incr updates;
+          if stats.best_changed then incr best_changed;
+          times := (1000.0 *. stats.processing_s) :: !times)
+        b.updates;
+      peak_extra := max !peak_extra (Sdx_core.Runtime.extra_rule_count runtime))
+    trace;
+  let arr = Array.of_list !times in
+  Array.sort Float.compare arr;
+  let n = Array.length arr in
+  let mean =
+    if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 arr /. float_of_int n
+  in
+  let pct p = if n = 0 then 0.0 else arr.(int_of_float (p *. float_of_int (n - 1))) in
+  {
+    bursts = !bursts;
+    updates = !updates;
+    best_changed = !best_changed;
+    reoptimizations = !reoptimizations;
+    peak_extra_rules = !peak_extra;
+    final_rules = Sdx_core.Runtime.rule_count runtime;
+    mean_update_ms = mean;
+    p99_update_ms = pct 0.99;
+    max_update_ms = (if n = 0 then 0.0 else arr.(n - 1));
+  }
+
+let trace_for_workload rng (w : Workload.t) ~profile ~duration_s =
+  let specs = Array.of_list w.specs in
+  let universe = Array.of_list w.universe in
+  let profile =
+    { profile with Trace.prefixes = Array.length universe }
+  in
+  (* Updates come from real participants and touch real prefixes.  As in
+     a live feed, not every announcement wins the decision process — the
+     replay measures the realistic mix where only some updates move a
+     best path (the paper: "not every BGP update induces changes in
+     forwarding table entries"). *)
+  let peer_of i = specs.(i mod Array.length specs).Population.asn in
+  let prefix_of i = universe.(i mod Array.length universe) in
+  let next_hop_of i = Workload.participant_port_ip (i mod Array.length specs) 0 in
+  Trace.generate rng profile ~duration_s ~peer_of ~prefix_of ~next_hop_of ()
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "@[<v>bursts: %d, updates: %d (%d moved a best path)@,\
+     background re-optimizations: %d@,\
+     peak fast-path rules: %d, final table: %d rules@,\
+     per-update time: mean %.3f ms, p99 %.3f ms, max %.3f ms@]"
+    r.bursts r.updates r.best_changed r.reoptimizations r.peak_extra_rules
+    r.final_rules r.mean_update_ms r.p99_update_ms r.max_update_ms

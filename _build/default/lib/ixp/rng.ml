@@ -1,0 +1,35 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed |]
+let int t n = Random.State.int t n
+let float t f = Random.State.float t f
+let bool t ~p = Random.State.float t 1.0 < p
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let sample t l k =
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  take k (shuffle t l)
+
+let exponential t ~mean =
+  let u = Random.State.float t 1.0 in
+  -.mean *. log (1.0 -. u)
+
+let pareto t ~xmin ~alpha =
+  let u = Random.State.float t 1.0 in
+  xmin /. ((1.0 -. u) ** (1.0 /. alpha))

@@ -1,0 +1,29 @@
+(** Seeded pseudo-random source for workload generation.  Every
+    experiment takes an explicit seed so runs are reproducible. *)
+
+type t
+
+val create : seed:int -> t
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). *)
+
+val float : t -> float -> float
+val bool : t -> p:float -> bool
+(** Bernoulli with success probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on the empty list. *)
+
+val sample : t -> 'a list -> int -> 'a list
+(** [sample t l k] draws up to [k] distinct elements (fewer when [l] is
+    shorter than [k]), preserving no particular order. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed positive float. *)
+
+val pareto : t -> xmin:float -> alpha:float -> float
+(** Pareto-distributed float, at least [xmin] — the heavy tail used for
+    burst sizes. *)

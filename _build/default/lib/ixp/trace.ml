@@ -1,0 +1,326 @@
+open Sdx_net
+open Sdx_bgp
+
+type burst = { at_s : float; updates : Update.t list }
+type t = burst list
+
+type profile = {
+  name : string;
+  collector_peers : int;
+  total_peers : int;
+  prefixes : int;
+  updates : int;
+  updated_prefix_fraction : float;
+}
+
+let ams_ix =
+  {
+    name = "AMS-IX";
+    collector_peers = 116;
+    total_peers = 639;
+    prefixes = 518_082;
+    updates = 11_161_624;
+    updated_prefix_fraction = 0.0988;
+  }
+
+let de_cix =
+  {
+    name = "DE-CIX";
+    collector_peers = 92;
+    total_peers = 580;
+    prefixes = 518_391;
+    updates = 30_934_525;
+    updated_prefix_fraction = 0.1364;
+  }
+
+let linx =
+  {
+    name = "LINX";
+    collector_peers = 71;
+    total_peers = 496;
+    prefixes = 503_392;
+    updates = 16_658_819;
+    updated_prefix_fraction = 0.1267;
+  }
+
+let scale p f =
+  {
+    p with
+    prefixes = max 1 (int_of_float (float_of_int p.prefixes *. f));
+    updates = max 1 (int_of_float (float_of_int p.updates *. f));
+  }
+
+(* Burst sizes in prefixes: 75% uniform in 1..3, the rest Pareto-tailed
+   ([xmin] tuned per profile) so that thousand-prefix bursts occur but
+   are rare (the paper saw one in a week). *)
+let burst_size rng ~xmin ~cap =
+  if Rng.bool rng ~p:0.75 then 1 + Rng.int rng 3
+  else min cap (int_of_float (Rng.pareto rng ~xmin ~alpha:1.3))
+
+(* Inter-arrival times: 25% under 10 s, 25% between 10 s and 60 s, the
+   rest exponential above a minute — matching "at least 10 s 75% of the
+   time; more than one minute half of the time".  Mean about 58 s. *)
+let interarrival rng =
+  let u = Rng.float rng 1.0 in
+  if u < 0.25 then 1.0 +. Rng.float rng 9.0
+  else if u < 0.5 then 10.0 +. Rng.float rng 50.0
+  else 60.0 +. Rng.exponential rng ~mean:35.0
+
+let mean_interarrival = 0.25 *. 5.5 +. 0.25 *. 35.0 +. 0.5 *. 95.0
+
+let generate rng profile ~duration_s ?peer_of ?prefix_of ?next_hop_of () =
+  let unstable_count =
+    max 1
+      (int_of_float
+         (profile.updated_prefix_fraction *. float_of_int profile.prefixes))
+  in
+  (* The unstable prefixes are a fixed subset: stability is a property of
+     the prefix (§4.3.2), not of the moment. *)
+  let prefix_of = Option.value prefix_of ~default:Prefixes.nth in
+  let unstable = Array.init unstable_count prefix_of in
+  let peer =
+    match peer_of with
+    | Some f -> f
+    | None -> fun i -> Asn.of_int (20_000 + (i mod profile.collector_peers))
+  in
+  let next_hop =
+    match next_hop_of with
+    | Some f -> f
+    | None -> fun i -> Ipv4.of_int (0x0B000000 + (i mod profile.collector_peers))
+  in
+  let make_update i prefix =
+    if Rng.bool rng ~p:0.85 then
+      Update.announce
+        (Route.make ~prefix ~next_hop:(next_hop i)
+           ~as_path:[ peer i; Asn.of_int (65_000 + Rng.int rng 500) ]
+           ~med:(Rng.int rng 100) ~learned_from:(peer i) ())
+    else Update.withdraw ~peer:(peer i) prefix
+  in
+  (* One routing event produces a burst of BGP path exploration: a few
+     affected prefixes, each flapping through several transient paths.
+     This is how millions of updates fit a week whose bursts are >=10s
+     apart and mostly touch at most three prefixes (Table 1 + §4.3.2):
+     the flap multiplicity absorbs the update volume.  The burst-size
+     tail is tuned so the expected prefix draws cover the unstable set,
+     and [mean_flaps] so the expected total meets the update count. *)
+  let expected_bursts = Float.max 1.0 (duration_s /. mean_interarrival) in
+  let mean_burst_prefixes =
+    Float.max 2.0 (float_of_int unstable_count /. expected_bursts)
+  in
+  let tail_mean = Float.max 4.0 ((mean_burst_prefixes -. 1.5) /. 0.25) in
+  (* xmin >= 4 keeps every tail burst above three prefixes, preserving
+     the 75% small-burst share. *)
+  let xmin = Float.max 4.0 (tail_mean *. 0.3 /. 1.3) in
+  let cap = min 2_000 unstable_count in
+  let mean_flaps =
+    Float.max 1.0
+      (float_of_int profile.updates /. (expected_bursts *. mean_burst_prefixes))
+  in
+  let flap_count () =
+    max 1 (int_of_float (Rng.exponential rng ~mean:mean_flaps +. 0.5))
+  in
+  (* A cycling cursor (rather than sampling with replacement) makes
+     coverage of the unstable set deterministic. *)
+  let cursor = ref (Rng.int rng unstable_count) in
+  let rec go at emitted acc =
+    if emitted >= profile.updates then List.rev acc
+    else
+      let at = at +. interarrival rng in
+      let prefixes_in_burst = burst_size rng ~xmin ~cap in
+      let base = !cursor in
+      cursor := (base + prefixes_in_burst) mod unstable_count;
+      let budget = profile.updates - emitted in
+      let updates =
+        List.concat
+          (List.init prefixes_in_burst (fun k ->
+               let prefix = unstable.((base + k) mod unstable_count) in
+               List.init (flap_count ()) (fun f -> make_update (base + k + f) prefix)))
+      in
+      let updates =
+        if List.length updates > budget then List.filteri (fun i _ -> i < budget) updates
+        else updates
+      in
+      go at (emitted + List.length updates) ({ at_s = at; updates } :: acc)
+  in
+  go 0.0 0 []
+
+type stats = {
+  total_updates : int;
+  burst_count : int;
+  distinct_prefixes : int;
+  updated_fraction : float;
+  bursts_at_most_3 : float;
+  interarrival_ge_10s : float;
+  interarrival_ge_60s : float;
+  largest_burst : int;
+}
+
+let stats profile trace =
+  let total_updates =
+    List.fold_left (fun n (b : burst) -> n + List.length b.updates) 0 trace
+  in
+  let burst_count = List.length trace in
+  let prefixes =
+    List.fold_left
+      (fun acc (b : burst) ->
+        List.fold_left
+          (fun acc u -> Prefix.Set.add (Update.prefix u) acc)
+          acc b.updates)
+      Prefix.Set.empty trace
+  in
+  let distinct_prefixes = Prefix.Set.cardinal prefixes in
+  let burst_prefix_counts =
+    List.map
+      (fun (b : burst) ->
+        Prefix.Set.cardinal
+          (List.fold_left
+             (fun acc u -> Prefix.Set.add (Update.prefix u) acc)
+             Prefix.Set.empty b.updates))
+      trace
+  in
+  let frac pred l =
+    if l = [] then 0.0
+    else
+      float_of_int (List.length (List.filter pred l))
+      /. float_of_int (List.length l)
+  in
+  let gaps =
+    let times = List.map (fun b -> b.at_s) trace in
+    match times with
+    | [] | [ _ ] -> []
+    | first :: rest ->
+        let _, gaps =
+          List.fold_left
+            (fun (prev, acc) t ->
+              let gap = t -. prev in
+              (t, if gap >= 0.0 then gap :: acc else acc))
+            (first, []) rest
+        in
+        gaps
+  in
+  {
+    total_updates;
+    burst_count;
+    distinct_prefixes;
+    updated_fraction =
+      float_of_int distinct_prefixes /. float_of_int profile.prefixes;
+    bursts_at_most_3 = frac (fun n -> n <= 3) burst_prefix_counts;
+    interarrival_ge_10s = frac (fun g -> g >= 10.0) gaps;
+    interarrival_ge_60s = frac (fun g -> g >= 60.0) gaps;
+    largest_burst =
+      List.fold_left (fun m n -> max m n) 0 burst_prefix_counts;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: a line-oriented text format.
+     B <at_s>
+     A <peer> <prefix> <next_hop> <local_pref> <med> <origin> <as_path,>
+     W <peer> <prefix> *)
+
+let origin_code = function
+  | Route.Igp -> "i"
+  | Route.Egp -> "e"
+  | Route.Incomplete -> "?"
+
+let origin_of_code = function
+  | "i" -> Route.Igp
+  | "e" -> Route.Egp
+  | "?" -> Route.Incomplete
+  | other -> failwith (Printf.sprintf "Trace.load: bad origin %S" other)
+
+let save trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# sdx-trace v1\n";
+      List.iter
+        (fun b ->
+          Printf.fprintf oc "B %.3f\n" b.at_s;
+          List.iter
+            (fun u ->
+              match u with
+              | Update.Announce (r : Route.t) ->
+                  Printf.fprintf oc "A %d %s %s %d %d %s %s\n"
+                    (Asn.to_int r.learned_from)
+                    (Prefix.to_string r.prefix)
+                    (Ipv4.to_string r.next_hop)
+                    r.local_pref r.med (origin_code r.origin)
+                    (String.concat ","
+                       (List.map
+                          (fun a -> string_of_int (Asn.to_int a))
+                          r.as_path))
+              | Update.Withdraw { peer; prefix } ->
+                  Printf.fprintf oc "W %d %s\n" (Asn.to_int peer)
+                    (Prefix.to_string prefix))
+            b.updates)
+        trace)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let bursts = ref [] in
+      let current_at = ref None in
+      let current = ref [] in
+      let flush () =
+        match !current_at with
+        | Some at_s ->
+            bursts := { at_s; updates = List.rev !current } :: !bursts;
+            current := []
+        | None ->
+            if !current <> [] then failwith "Trace.load: update before burst header"
+      in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ' ' (String.trim line) with
+           | [ "" ] | [] -> ()
+           | hash :: _ when String.length hash > 0 && hash.[0] = '#' -> ()
+           | [ "B"; at ] ->
+               flush ();
+               current_at := Some (float_of_string at)
+           | [ "A"; peer; prefix; next_hop; lp; med; origin; path ] ->
+               let as_path =
+                 if path = "" then []
+                 else
+                   List.map
+                     (fun s -> Asn.of_int (int_of_string s))
+                     (String.split_on_char ',' path)
+               in
+               current :=
+                 Update.announce
+                   (Route.make ~prefix:(Prefix.of_string prefix)
+                      ~next_hop:(Ipv4.of_string next_hop)
+                      ~as_path ~local_pref:(int_of_string lp)
+                      ~med:(int_of_string med)
+                      ~origin:(origin_of_code origin)
+                      ~learned_from:(Asn.of_int (int_of_string peer))
+                      ())
+                 :: !current
+           | [ "W"; peer; prefix ] ->
+               current :=
+                 Update.withdraw
+                   ~peer:(Asn.of_int (int_of_string peer))
+                   (Prefix.of_string prefix)
+                 :: !current
+           | _ -> failwith (Printf.sprintf "Trace.load: malformed line %S" line)
+         done
+       with End_of_file -> ());
+      flush ();
+      List.rev !bursts)
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>updates: %d in %d bursts@,\
+     distinct prefixes updated: %d (%.2f%% of table)@,\
+     bursts touching <=3 prefixes: %.1f%%@,\
+     inter-arrival >=10s: %.1f%% | >=60s: %.1f%%@,\
+     largest burst: %d prefixes@]"
+    s.total_updates s.burst_count s.distinct_prefixes
+    (100.0 *. s.updated_fraction)
+    (100.0 *. s.bursts_at_most_3)
+    (100.0 *. s.interarrival_ge_10s)
+    (100.0 *. s.interarrival_ge_60s)
+    s.largest_burst

@@ -1,0 +1,67 @@
+(** Synthetic BGP update traces with the burst statistics the paper
+    measured at AMS-IX, DE-CIX, and LINX (Table 1 and §4.3.2): only
+    10-14% of prefixes see any update over a week, 75% of bursts touch
+    at most three prefixes, burst inter-arrival times exceed 10 s 75% of
+    the time and one minute half of the time. *)
+
+open Sdx_bgp
+
+type burst = { at_s : float; updates : Update.t list }
+type t = burst list
+
+type profile = {
+  name : string;
+  collector_peers : int;
+  total_peers : int;
+  prefixes : int;
+  updates : int;
+  updated_prefix_fraction : float;  (** Table 1's "prefixes seeing updates" *)
+}
+
+val ams_ix : profile
+val de_cix : profile
+val linx : profile
+(** The three Table 1 rows (January 1-6, 2014). *)
+
+val scale : profile -> float -> profile
+(** [scale p f] shrinks prefix and update counts by [f] (e.g. 0.01 for a
+    laptop-sized run), keeping the ratios. *)
+
+val generate :
+  Rng.t ->
+  profile ->
+  duration_s:float ->
+  ?peer_of:(int -> Asn.t) ->
+  ?prefix_of:(int -> Sdx_net.Prefix.t) ->
+  ?next_hop_of:(int -> Sdx_net.Ipv4.t) ->
+  unit ->
+  t
+(** A trace whose aggregate statistics match the profile: the configured
+    number of updates spread over [duration_s], confined to the profile's
+    unstable prefix share, with the §4.3.2 burst-size and inter-arrival
+    distributions.  [peer_of], [prefix_of], and [next_hop_of] override
+    the synthetic identities so a trace can target an existing exchange
+    (see {!Replay}); defaults generate free-standing identities. *)
+
+type stats = {
+  total_updates : int;
+  burst_count : int;
+  distinct_prefixes : int;
+  updated_fraction : float;  (** vs. the profile's prefix count *)
+  bursts_at_most_3 : float;  (** fraction of bursts touching <= 3 prefixes *)
+  interarrival_ge_10s : float;
+  interarrival_ge_60s : float;
+  largest_burst : int;
+}
+
+val stats : profile -> t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val save : t -> string -> unit
+(** Writes the trace to a file in a line-oriented text format (burst
+    headers followed by announce/withdraw records), so generated traces
+    can be archived and replayed. *)
+
+val load : string -> t
+(** Reads a trace written by {!save}.
+    @raise Failure on a malformed file. *)

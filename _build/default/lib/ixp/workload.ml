@@ -1,0 +1,314 @@
+open Sdx_net
+open Sdx_policy
+open Sdx_bgp
+open Sdx_core
+
+type t = {
+  config : Config.t;
+  specs : Population.spec list;
+  universe : Prefix.t list;
+  announcers : (Prefix.t * Asn.t) list;
+}
+
+(* Deterministic port identities: participant [i]'s port [j]. *)
+let port_mac i j = Mac.of_int (0x0A_00_00_00_00_00 + (i * 16) + j)
+let port_ip i j = Ipv4.of_int (0x0A000000 + (i * 256) + j + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Announcement layout.                                                *)
+
+(* Routing tables at an IXP are heavily overlapped and correlated: a
+   transit AS re-announces whole customer cones, not random prefixes.  We
+   model the table as contiguous "origin blocks", each owned by one
+   participant and re-announced by a size-dependent subset of the others.
+   Prefix-group counts then saturate at the number of distinct
+   block signatures — the sub-linear growth of Figure 6. *)
+
+type block = {
+  owner : int;  (** index into the spec list *)
+  origin : Asn.t;  (** the far-away AS originating the block *)
+  block_prefixes : Prefix.t list;
+  announcer_idxs : int list;  (** owner first, then re-announcers *)
+}
+
+type layout = { specs : Population.spec list; blocks : block list }
+
+let zipf_weights n alpha =
+  Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** alpha))
+
+(* How much of the rest of the table a participant re-announces: transit
+   networks carry a lot, eyeballs and content providers almost none. *)
+let reannounce_probability (spec : Population.spec) ~relative_weight =
+  let cap =
+    match spec.kind with
+    | Population.Transit -> 0.8
+    | Population.Eyeball | Population.Content -> 0.05
+  in
+  cap *. relative_weight
+
+let make_layout rng ~participants ~prefixes ?(blocks_per_participant = 5) () =
+  let specs = Population.generate rng ~participants ~prefixes () in
+  let spec_arr = Array.of_list specs in
+  let n = participants in
+  let block_count = max n (blocks_per_participant * n) in
+  let weights = zipf_weights n 1.2 in
+  let total_weight = Array.fold_left ( +. ) 0.0 weights in
+  (* Every participant owns at least one block; the rest are distributed
+     by weight so the big players own most of the table. *)
+  let ownership = Array.make n 1 in
+  let remaining = block_count - n in
+  Array.iteri
+    (fun i w ->
+      ownership.(i) <-
+        ownership.(i)
+        + int_of_float (Float.round (w /. total_weight *. float_of_int remaining)))
+    weights;
+  let reann_p =
+    Array.mapi
+      (fun i (s : Population.spec) ->
+        ignore i;
+        reannounce_probability s ~relative_weight:(weights.(i) /. weights.(0)))
+      spec_arr
+  in
+  let block_sizes total blocks =
+    (* Even split with the remainder spread over the first blocks. *)
+    let base = total / blocks and extra = total mod blocks in
+    List.init blocks (fun k -> base + if k < extra then 1 else 0)
+  in
+  let owners =
+    List.concat (Array.to_list (Array.mapi (fun i c -> List.init c (fun _ -> i)) ownership))
+  in
+  let owners = Rng.shuffle rng owners in
+  let sizes = block_sizes prefixes (List.length owners) in
+  let _, blocks =
+    List.fold_left2
+      (fun (next, acc) owner size ->
+        if size = 0 then (next, acc)
+        else
+          let block_prefixes = List.init size (fun k -> Prefixes.nth (next + k)) in
+          let origin = Asn.of_int (60_000 + Rng.int rng 5_000) in
+          let announcer_idxs =
+            owner
+            :: List.filter
+                 (fun i -> i <> owner && Rng.bool rng ~p:reann_p.(i))
+                 (List.init n Fun.id)
+          in
+          (next + size, { owner; origin; block_prefixes; announcer_idxs } :: acc))
+      (0, []) owners sizes
+  in
+  { specs; blocks = List.rev blocks }
+
+let announced_sets layout =
+  let n = List.length layout.specs in
+  let sets = Array.make n Prefix.Set.empty in
+  List.iter
+    (fun b ->
+      let ps = Prefix.Set.of_list b.block_prefixes in
+      List.iter (fun i -> sets.(i) <- Prefix.Set.union sets.(i) ps) b.announcer_idxs)
+    layout.blocks;
+  Array.to_list sets
+
+let announcement_sets rng ~participants ~prefixes =
+  announced_sets (make_layout rng ~participants ~prefixes ())
+
+(* Prefixes a participant originates (owns), used when policies reference
+   "that AS's address space". *)
+let owned_prefixes layout idx =
+  List.concat_map
+    (fun b -> if b.owner = idx then b.block_prefixes else [])
+    layout.blocks
+
+(* ------------------------------------------------------------------ *)
+(* §6.1 policy mix.                                                    *)
+
+let service_ports = [ 80; 443; 8080; 8443; 1935; 554 ]
+
+(* A match on one randomly selected header field, as the paper's inbound
+   policies do.  [src_prefixes] lets the match target a specific sender's
+   address space when one is available. *)
+let one_field_pred rng ~src_prefixes =
+  match Rng.int rng 4 with
+  | 0 -> Pred.dst_port (Rng.pick rng service_ports)
+  | 1 -> Pred.src_port (1024 + Rng.int rng 60_000)
+  | 2 -> Pred.proto (Rng.pick rng [ Packet.proto_tcp; Packet.proto_udp ])
+  | _ -> (
+      match src_prefixes with
+      | p :: _ -> Pred.src_ip p
+      | [] -> Pred.src_ip (Prefix.make (Ipv4.of_int (Rng.int rng 128 lsl 24)) 8))
+
+let top_fraction specs ~fraction =
+  let n = List.length specs in
+  let k = max 1 (int_of_float (Float.round (fraction *. float_of_int n))) in
+  List.filteri (fun i _ -> i < k) specs
+
+type plan = { mutable inbound : Ppolicy.t; mutable outbound : Ppolicy.t }
+
+let build_policies rng ?(transit_picks = 1) (layout : layout) =
+  let specs = layout.specs in
+  let index_of =
+    let tbl = Hashtbl.create 64 in
+    List.iteri (fun i (s : Population.spec) -> Hashtbl.replace tbl s.asn i) specs;
+    fun asn -> Hashtbl.find tbl asn
+  in
+  let plans : (Asn.t, plan) Hashtbl.t = Hashtbl.create 64 in
+  let plan asn =
+    match Hashtbl.find_opt plans asn with
+    | Some p -> p
+    | None ->
+        let p = { inbound = []; outbound = [] } in
+        Hashtbl.replace plans asn p;
+        p
+  in
+  (* Specs come sorted by descending size, so "top" selections are list
+     heads within each class. *)
+  let eyeballs = Population.by_kind specs Population.Eyeball in
+  let transits = Population.by_kind specs Population.Transit in
+  let contents = Population.by_kind specs Population.Content in
+  let top_eyeballs = top_fraction eyeballs ~fraction:0.15 in
+  let top_transits = top_fraction transits ~fraction:0.05 in
+  let chosen_contents =
+    Rng.sample rng contents
+      (max 1
+         (int_of_float (Float.round (0.05 *. float_of_int (List.length contents)))))
+  in
+  (* Content providers: application-specific peering toward three top
+     eyeball networks, plus one single-field inbound redirection. *)
+  List.iter
+    (fun (c : Population.spec) ->
+      let targets = Rng.sample rng top_eyeballs 3 in
+      let p = plan c.asn in
+      List.iter
+        (fun (e : Population.spec) ->
+          let port = Rng.pick rng service_ports in
+          p.outbound <-
+            p.outbound @ [ Ppolicy.fwd (Pred.dst_port port) (Ppolicy.Peer e.asn) ])
+        targets;
+      p.inbound <-
+        p.inbound
+        @ [ Ppolicy.fwd (one_field_pred rng ~src_prefixes:[]) (Ppolicy.Phys 0) ])
+    chosen_contents;
+  (* Eyeballs: inbound traffic engineering against half of the content
+     providers, matching one header field (often the content provider's
+     own address space). *)
+  List.iter
+    (fun (e : Population.spec) ->
+      let sources =
+        Rng.sample rng chosen_contents (max 1 (List.length chosen_contents / 2))
+      in
+      let p = plan e.asn in
+      List.iter
+        (fun (c : Population.spec) ->
+          let pred =
+            one_field_pred rng ~src_prefixes:(owned_prefixes layout (index_of c.asn))
+          in
+          let port = Rng.int rng e.port_count in
+          p.inbound <- p.inbound @ [ Ppolicy.fwd pred (Ppolicy.Phys port) ])
+        sources)
+    top_eyeballs;
+  (* Transit providers: outbound for one prefix group of half the top
+     eyeballs (destination prefix plus one extra field), and inbound
+     policies proportional to the number of top content providers. *)
+  List.iter
+    (fun (tr : Population.spec) ->
+      let targets =
+        Rng.sample rng top_eyeballs (max 1 (List.length top_eyeballs / 2))
+      in
+      let p = plan tr.asn in
+      List.iter
+        (fun (e : Population.spec) ->
+          match owned_prefixes layout (index_of e.asn) with
+          | [] -> ()
+          | ps ->
+              List.iter
+                (fun dst ->
+                  let pred =
+                    Pred.and_ (Pred.dst_ip dst)
+                      (one_field_pred rng ~src_prefixes:[])
+                  in
+                  p.outbound <-
+                    p.outbound @ [ Ppolicy.fwd pred (Ppolicy.Peer e.asn) ])
+                (Rng.sample rng ps transit_picks))
+        targets;
+      List.iter
+        (fun (c : Population.spec) ->
+          let pred =
+            one_field_pred rng ~src_prefixes:(owned_prefixes layout (index_of c.asn))
+          in
+          let port = Rng.int rng tr.port_count in
+          p.inbound <- p.inbound @ [ Ppolicy.fwd pred (Ppolicy.Phys port) ])
+        chosen_contents)
+    top_transits;
+  fun asn ->
+    match Hashtbl.find_opt plans asn with
+    | Some p -> (p.inbound, p.outbound)
+    | None -> ([], [])
+
+(* ------------------------------------------------------------------ *)
+
+let build rng ~participants ~prefixes ?(dual_homed_fraction = 0.0)
+    ?(with_policies = true) ?transit_picks () =
+  ignore dual_homed_fraction;
+  let layout = make_layout rng ~participants ~prefixes () in
+  let specs = layout.specs in
+  let spec_arr = Array.of_list specs in
+  let policies_of =
+    if with_policies then build_policies rng ?transit_picks layout
+    else fun _ -> ([], [])
+  in
+  let participants_list =
+    List.mapi
+      (fun i (s : Population.spec) ->
+        let ports = List.init s.port_count (fun j -> (port_mac i j, port_ip i j)) in
+        let inbound, outbound = policies_of s.asn in
+        Participant.make ~asn:s.asn ~ports ~inbound ~outbound ())
+      specs
+  in
+  let config = Config.make participants_list in
+  (* Owners announce with a two-hop path; re-announcers insert themselves
+     in front, so the owner's route wins the decision process. *)
+  List.iter
+    (fun b ->
+      let owner_asn = spec_arr.(b.owner).Population.asn in
+      List.iter
+        (fun i ->
+          let asn = spec_arr.(i).Population.asn in
+          let as_path =
+            if i = b.owner then [ asn; b.origin ] else [ asn; owner_asn; b.origin ]
+          in
+          List.iter
+            (fun prefix ->
+              ignore (Config.announce config ~peer:asn ~port:0 ~as_path prefix))
+            b.block_prefixes)
+        b.announcer_idxs)
+    layout.blocks;
+  let announcers =
+    List.concat_map
+      (fun b ->
+        let owner_asn = spec_arr.(b.owner).Population.asn in
+        List.map (fun p -> (p, owner_asn)) b.block_prefixes)
+      layout.blocks
+  in
+  { config; specs; universe = List.map fst announcers; announcers }
+
+let runtime t = Runtime.create t.config
+
+let make_winning_update rng (t : t) (prefix, primary) =
+  let indexed = List.mapi (fun i s -> (i, s)) t.specs in
+  let others =
+    List.filter
+      (fun ((_, s) : int * Population.spec) -> not (Asn.equal s.asn primary))
+      indexed
+  in
+  let i, newcomer = Rng.pick rng others in
+  Update.announce
+    (Route.make ~prefix ~next_hop:(port_ip i 0)
+       ~as_path:[ newcomer.Population.asn; Asn.of_int (60_000 + Rng.int rng 5_000) ]
+       ~local_pref:200 ~learned_from:newcomer.Population.asn ())
+
+let random_best_changing_update rng (t : t) =
+  make_winning_update rng t (Rng.pick rng t.announcers)
+
+let burst rng (t : t) ~size =
+  List.map (make_winning_update rng t) (Rng.sample rng t.announcers size)
+
+let participant_port_ip = port_ip

@@ -1,0 +1,56 @@
+(** Full §6.1 workloads: an emulated IXP with a realistic participant
+    population, announced routing tables, and the per-class policy mix
+    the paper evaluates (content providers tune outbound
+    application-specific peering, eyeballs tune inbound traffic, transit
+    networks do both). *)
+
+open Sdx_net
+open Sdx_bgp
+
+type t = {
+  config : Sdx_core.Config.t;  (** participants wired and routes announced *)
+  specs : Population.spec list;
+  universe : Prefix.t list;  (** every announced prefix *)
+  announcers : (Prefix.t * Asn.t) list;
+      (** primary announcer per prefix (dual-homed prefixes also have a
+          backup announcer with a longer AS path) *)
+}
+
+val build :
+  Rng.t ->
+  participants:int ->
+  prefixes:int ->
+  ?dual_homed_fraction:float ->
+  ?with_policies:bool ->
+  ?transit_picks:int ->
+  unit ->
+  t
+(** Builds the emulated exchange.  [dual_homed_fraction] (default 0.05)
+    of prefixes get a second, less-preferred announcer.
+    [with_policies] (default true) installs the §6.1 policy mix:
+    the top 15% of eyeballs, top 5% of transit networks, and a random 5%
+    of content providers get custom policies.  [transit_picks]
+    (default 1) is how many destination prefixes each transit policy
+    pins per target eyeball — raising it with the table size sweeps the
+    prefix-group axis the way the paper's Figures 7-8 do. *)
+
+val announcement_sets :
+  Rng.t -> participants:int -> prefixes:int -> Prefix.Set.t list
+(** Just the per-participant announcement sets (no config) — the input
+    of the Figure 6 prefix-group experiment. *)
+
+val runtime : t -> Sdx_core.Runtime.t
+(** Creates a runtime over the workload's configuration (initial
+    compilation included). *)
+
+val participant_port_ip : int -> int -> Ipv4.t
+(** The deterministic interface address of participant [i]'s port [j]
+    (exposed for trace generators targeting a workload). *)
+
+val random_best_changing_update : Rng.t -> t -> Update.t
+(** An announcement guaranteed to change the affected prefix's best
+    route (a new peer announces it with a higher local preference) — the
+    worst-case update of Figure 9. *)
+
+val burst : Rng.t -> t -> size:int -> Update.t list
+(** [size] best-changing updates on distinct prefixes. *)

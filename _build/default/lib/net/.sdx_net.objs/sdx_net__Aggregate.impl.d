@@ -1,0 +1,1 @@
+lib/net/aggregate.ml: Ipv4 List Prefix

@@ -1,0 +1,1 @@
+lib/net/aggregate.mli: Prefix

@@ -1,0 +1,1 @@
+lib/net/codec.ml: Bytes Ipv4 Mac Packet

@@ -1,0 +1,44 @@
+(* Drop prefixes contained in another member of the set. *)
+let prune_contained set =
+  Prefix.Set.filter
+    (fun p ->
+      not
+        (Prefix.Set.exists
+           (fun q -> (not (Prefix.equal p q)) && Prefix.subset p q)
+           set))
+    set
+
+let sibling p =
+  let len = Prefix.length p in
+  if len = 0 then None
+  else
+    let bit = 1 lsl (32 - len) in
+    Some (Prefix.make (Ipv4.of_int (Ipv4.to_int (Prefix.network p) lxor bit)) len)
+
+let parent p = Prefix.make (Prefix.network p) (Prefix.length p - 1)
+
+(* Merge sibling pairs bottom-up until nothing merges.  Each round also
+   re-prunes, since a new parent can swallow other members. *)
+let rec merge_fixpoint set =
+  let merged = ref false in
+  let set' =
+    Prefix.Set.fold
+      (fun p acc ->
+        if not (Prefix.Set.mem p acc) then acc (* already consumed *)
+        else
+          match sibling p with
+          | Some s when Prefix.Set.mem s acc ->
+              merged := true;
+              Prefix.Set.add (parent p) (Prefix.Set.remove s (Prefix.Set.remove p acc))
+          | _ -> acc)
+      set set
+  in
+  if !merged then merge_fixpoint (prune_contained set') else set'
+
+let minimize prefixes =
+  Prefix.Set.elements
+    (merge_fixpoint (prune_contained (Prefix.Set.of_list prefixes)))
+
+let covers_same a b =
+  let ca = minimize a and cb = minimize b in
+  List.length ca = List.length cb && List.for_all2 Prefix.equal ca cb

@@ -1,0 +1,18 @@
+(** Conventional IP prefix aggregation: the smallest prefix set covering
+    exactly the same addresses.
+
+    §4.2 dismisses this as a substitute for forwarding equivalence
+    classes — "conventional IP prefix aggregation does not work because
+    prefixes p1 and p2 might not be contiguous IP address blocks" — and
+    the [vmac] benchmark quantifies it: aggregating each prefix group
+    barely shrinks it, while the VMAC tag always costs exactly one
+    rule. *)
+
+val minimize : Prefix.t list -> Prefix.t list
+(** The canonical minimal cover: duplicates and contained prefixes are
+    dropped, and sibling pairs are merged into their parent, to a fixed
+    point.  The result covers exactly the same addresses, sorted. *)
+
+val covers_same : Prefix.t list -> Prefix.t list -> bool
+(** Whether two prefix lists cover the same address set (by comparing
+    canonical forms). *)

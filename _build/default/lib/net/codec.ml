@@ -1,0 +1,153 @@
+let ethernet_header_len = 14
+let ipv4_header_len = 20
+let tcp_header_len = 20
+let udp_header_len = 8
+
+let set_u16 buf off v =
+  Bytes.set_uint8 buf off ((v lsr 8) land 0xFF);
+  Bytes.set_uint8 buf (off + 1) (v land 0xFF)
+
+let get_u16 buf off = (Bytes.get_uint8 buf off lsl 8) lor Bytes.get_uint8 buf (off + 1)
+
+let set_u32 buf off v =
+  set_u16 buf off ((v lsr 16) land 0xFFFF);
+  set_u16 buf (off + 2) (v land 0xFFFF)
+
+let get_u32 buf off = (get_u16 buf off lsl 16) lor get_u16 buf (off + 2)
+
+let set_mac buf off mac =
+  let v = Mac.to_int mac in
+  for i = 0 to 5 do
+    Bytes.set_uint8 buf (off + i) ((v lsr (8 * (5 - i))) land 0xFF)
+  done
+
+let get_mac buf off =
+  let v = ref 0 in
+  for i = 0 to 5 do
+    v := (!v lsl 8) lor Bytes.get_uint8 buf (off + i)
+  done;
+  Mac.of_int !v
+
+(* RFC 1071 Internet checksum over [len] bytes at [off]. *)
+let internet_checksum buf ~off ~len =
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    sum := !sum + get_u16 buf (off + !i);
+    i := !i + 2
+  done;
+  if !i < len then sum := !sum + (Bytes.get_uint8 buf (off + !i) lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let ipv4_header_checksum buf ~off =
+  (* Compute with the checksum field (bytes 10-11) zeroed. *)
+  let copy = Bytes.sub buf off ipv4_header_len in
+  set_u16 copy 10 0;
+  internet_checksum copy ~off:0 ~len:ipv4_header_len
+
+let transport_len (p : Packet.t) =
+  if p.proto = Packet.proto_tcp then tcp_header_len
+  else if p.proto = Packet.proto_udp then udp_header_len
+  else 0
+
+let frame_length (p : Packet.t) =
+  if p.eth_type = Packet.ethertype_ipv4 then
+    ethernet_header_len + ipv4_header_len + transport_len p
+  else ethernet_header_len
+
+(* Checksum of the transport header plus the IPv4 pseudo-header. *)
+let transport_checksum (p : Packet.t) transport =
+  let tlen = Bytes.length transport in
+  let pseudo = Bytes.create (12 + tlen) in
+  set_u32 pseudo 0 (Ipv4.to_int p.src_ip);
+  set_u32 pseudo 4 (Ipv4.to_int p.dst_ip);
+  Bytes.set_uint8 pseudo 8 0;
+  Bytes.set_uint8 pseudo 9 p.proto;
+  set_u16 pseudo 10 tlen;
+  Bytes.blit transport 0 pseudo 12 tlen;
+  internet_checksum pseudo ~off:0 ~len:(12 + tlen)
+
+let to_bytes (p : Packet.t) =
+  let buf = Bytes.make (frame_length p) '\000' in
+  set_mac buf 0 p.dst_mac;
+  set_mac buf 6 p.src_mac;
+  set_u16 buf 12 p.eth_type;
+  if p.eth_type = Packet.ethertype_ipv4 then begin
+    let ip_off = ethernet_header_len in
+    let total_len = ipv4_header_len + transport_len p in
+    Bytes.set_uint8 buf ip_off 0x45 (* version 4, IHL 5 *);
+    Bytes.set_uint8 buf (ip_off + 1) 0 (* DSCP/ECN *);
+    set_u16 buf (ip_off + 2) total_len;
+    set_u16 buf (ip_off + 4) 0 (* identification *);
+    set_u16 buf (ip_off + 6) 0x4000 (* don't fragment *);
+    Bytes.set_uint8 buf (ip_off + 8) 64 (* TTL *);
+    Bytes.set_uint8 buf (ip_off + 9) p.proto;
+    set_u32 buf (ip_off + 12) (Ipv4.to_int p.src_ip);
+    set_u32 buf (ip_off + 16) (Ipv4.to_int p.dst_ip);
+    set_u16 buf (ip_off + 10) (ipv4_header_checksum buf ~off:ip_off);
+    let t_off = ip_off + ipv4_header_len in
+    if p.proto = Packet.proto_tcp then begin
+      let tcp = Bytes.make tcp_header_len '\000' in
+      set_u16 tcp 0 p.src_port;
+      set_u16 tcp 2 p.dst_port;
+      Bytes.set_uint8 tcp 12 (5 lsl 4) (* data offset 5 words *);
+      Bytes.set_uint8 tcp 13 0x02 (* SYN, a plausible default *);
+      set_u16 tcp 14 0xFFFF (* window *);
+      set_u16 tcp 16 (transport_checksum p tcp);
+      Bytes.blit tcp 0 buf t_off tcp_header_len
+    end
+    else if p.proto = Packet.proto_udp then begin
+      let udp = Bytes.make udp_header_len '\000' in
+      set_u16 udp 0 p.src_port;
+      set_u16 udp 2 p.dst_port;
+      set_u16 udp 4 udp_header_len;
+      set_u16 udp 6 (transport_checksum p udp);
+      Bytes.blit udp 0 buf t_off udp_header_len
+    end
+  end;
+  buf
+
+let of_bytes ?(port = 0) buf =
+  let len = Bytes.length buf in
+  if len < ethernet_header_len then Error "frame shorter than an Ethernet header"
+  else begin
+    let dst_mac = get_mac buf 0 in
+    let src_mac = get_mac buf 6 in
+    let eth_type = get_u16 buf 12 in
+    if eth_type <> Packet.ethertype_ipv4 then
+      Ok (Packet.make ~port ~src_mac ~dst_mac ~eth_type ~proto:0 ())
+    else if len < ethernet_header_len + ipv4_header_len then
+      Error "truncated IPv4 header"
+    else begin
+      let ip_off = ethernet_header_len in
+      let version_ihl = Bytes.get_uint8 buf ip_off in
+      if version_ihl lsr 4 <> 4 then Error "not an IPv4 packet"
+      else if version_ihl land 0xF <> 5 then Error "IPv4 options unsupported"
+      else if get_u16 buf (ip_off + 10) <> ipv4_header_checksum buf ~off:ip_off
+      then Error "bad IPv4 header checksum"
+      else begin
+        let proto = Bytes.get_uint8 buf (ip_off + 9) in
+        let src_ip = Ipv4.of_int (get_u32 buf (ip_off + 12)) in
+        let dst_ip = Ipv4.of_int (get_u32 buf (ip_off + 16)) in
+        let t_off = ip_off + ipv4_header_len in
+        let need =
+          if proto = Packet.proto_tcp then tcp_header_len
+          else if proto = Packet.proto_udp then udp_header_len
+          else 0
+        in
+        if len < t_off + need then Error "truncated transport header"
+        else begin
+          let src_port, dst_port =
+            if need > 0 then (get_u16 buf t_off, get_u16 buf (t_off + 2))
+            else (0, 0)
+          in
+          Ok
+            (Packet.make ~port ~src_mac ~dst_mac ~eth_type ~src_ip ~dst_ip
+               ~proto ~src_port ~dst_port ())
+        end
+      end
+    end
+  end

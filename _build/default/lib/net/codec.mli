@@ -1,0 +1,27 @@
+(** Wire serialization for packets: Ethernet II framing with an IPv4
+    header and a TCP or UDP transport header, checksums included — the
+    bytes a real SDX fabric port would carry.
+
+    {!Packet.t} models exactly the header fields the fabric matches on,
+    so encoding is lossless except for the packet's location (the switch
+    port), which travels out of band. *)
+
+
+val to_bytes : Packet.t -> bytes
+(** Frame the packet: Ethernet header, IPv4 header (with header
+    checksum), and a TCP or UDP header according to [proto] (with a
+    correct transport checksum over the pseudo-header).  Unknown IP
+    protocols get an empty payload after the IPv4 header; non-IPv4
+    ethertypes carry no L3 payload. *)
+
+val of_bytes : ?port:int -> bytes -> (Packet.t, string) result
+(** Parse a frame produced by {!to_bytes} (or compatible).  Validates
+    lengths and the IPv4 header checksum; [port] sets the resulting
+    packet's location (default 0). *)
+
+val frame_length : Packet.t -> int
+(** Length in bytes of the frame {!to_bytes} would produce. *)
+
+val ipv4_header_checksum : bytes -> off:int -> int
+(** The Internet checksum of the 20-byte IPv4 header at [off], computed
+    with its checksum field zeroed — exposed for tests and tooling. *)

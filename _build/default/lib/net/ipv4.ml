@@ -1,0 +1,56 @@
+type t = int
+
+let max_addr = 0xFFFF_FFFF
+let zero = 0
+let broadcast = max_addr
+
+let of_int n =
+  if n < 0 || n > max_addr then
+    invalid_arg (Printf.sprintf "Ipv4.of_int: %d out of range" n)
+  else n
+
+let to_int t = t
+
+let of_octets a b c d =
+  let check o =
+    if o < 0 || o > 255 then
+      invalid_arg (Printf.sprintf "Ipv4.of_octets: octet %d out of range" o)
+  in
+  check a;
+  check b;
+  check c;
+  check d;
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let of_string_opt s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      let octet x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 -> Some v
+        | _ -> None
+      in
+      match (octet a, octet b, octet c, octet d) with
+      | Some a, Some b, Some c, Some d -> Some (of_octets a b c d)
+      | _ -> None)
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string: %S" s)
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d"
+    ((t lsr 24) land 0xFF)
+    ((t lsr 16) land 0xFF)
+    ((t lsr 8) land 0xFF)
+    (t land 0xFF)
+
+let compare = Int.compare
+let equal = Int.equal
+let hash t = Hashtbl.hash t
+let succ t = (t + 1) land max_addr
+let logand a b = a land b
+let logor a b = a lor b
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,40 @@
+(** IPv4 addresses.
+
+    Addresses are stored as unboxed native [int] values in the range
+    [0, 2^32), which keeps comparisons and hashing allocation-free on
+    64-bit platforms. *)
+
+type t = private int
+
+val zero : t
+val broadcast : t
+
+val of_int : int -> t
+(** [of_int n] interprets the low 32 bits of [n] as an address.
+    @raise Invalid_argument if [n] is negative or exceeds 32 bits. *)
+
+val to_int : t -> int
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] is the address [a.b.c.d].
+    @raise Invalid_argument if any octet is outside [0, 255]. *)
+
+val of_string : string -> t
+(** Parses dotted-quad notation, e.g. ["192.0.2.1"].
+    @raise Invalid_argument on malformed input. *)
+
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val succ : t -> t
+(** Next address, wrapping at the top of the space. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type t = int
+
+let max_mac = 0xFFFF_FFFF_FFFF
+let zero = 0
+let broadcast = max_mac
+
+let of_int n =
+  if n < 0 || n > max_mac then
+    invalid_arg (Printf.sprintf "Mac.of_int: %d out of range" n)
+  else n
+
+let to_int t = t
+
+let of_string_opt s =
+  match String.split_on_char ':' s with
+  | [ _; _; _; _; _; _ ] as parts ->
+      let byte x =
+        if String.length x = 2 then int_of_string_opt ("0x" ^ x) else None
+      in
+      List.fold_left
+        (fun acc p ->
+          match (acc, byte p) with
+          | Some acc, Some b -> Some ((acc lsl 8) lor b)
+          | _ -> None)
+        (Some 0) parts
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Mac.of_string: %S" s)
+
+let to_string t =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x"
+    ((t lsr 40) land 0xFF)
+    ((t lsr 32) land 0xFF)
+    ((t lsr 24) land 0xFF)
+    ((t lsr 16) land 0xFF)
+    ((t lsr 8) land 0xFF)
+    (t land 0xFF)
+
+let compare = Int.compare
+let equal = Int.equal
+let hash t = Hashtbl.hash t
+let pp fmt t = Format.pp_print_string fmt (to_string t)

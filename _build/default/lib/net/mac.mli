@@ -1,0 +1,23 @@
+(** 48-bit Ethernet MAC addresses, stored as unboxed [int]. *)
+
+type t = private int
+
+val zero : t
+val broadcast : t
+
+val of_int : int -> t
+(** @raise Invalid_argument if outside [0, 2^48). *)
+
+val to_int : t -> int
+
+val of_string : string -> t
+(** Parses colon-separated hex, e.g. ["0a:1b:2c:3d:4e:5f"].
+    @raise Invalid_argument on malformed input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type t = {
+  port : int;
+  src_mac : Mac.t;
+  dst_mac : Mac.t;
+  eth_type : int;
+  src_ip : Ipv4.t;
+  dst_ip : Ipv4.t;
+  proto : int;
+  src_port : int;
+  dst_port : int;
+}
+
+let ethertype_ipv4 = 0x0800
+let ethertype_arp = 0x0806
+let proto_tcp = 6
+let proto_udp = 17
+
+let make ?(port = 0) ?(src_mac = Mac.zero) ?(dst_mac = Mac.zero)
+    ?(eth_type = ethertype_ipv4) ?(src_ip = Ipv4.zero) ?(dst_ip = Ipv4.zero)
+    ?(proto = proto_tcp) ?(src_port = 0) ?(dst_port = 0) () =
+  { port; src_mac; dst_mac; eth_type; src_ip; dst_ip; proto; src_port; dst_port }
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<h>{port=%d; %a->%a; eth=0x%04x; %a:%d -> %a:%d; proto=%d}@]" t.port
+    Mac.pp t.src_mac Mac.pp t.dst_mac t.eth_type Ipv4.pp t.src_ip t.src_port
+    Ipv4.pp t.dst_ip t.dst_port t.proto
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,45 @@
+(** Located packets: the header fields an OpenFlow 1.0-style fabric can
+    match on, plus the packet's current location (a switch port).
+
+    The SDX data plane never inspects payloads, so a packet is just its
+    header tuple.  [port] is the location in the sense of Pyretic's
+    located packets: ingress port on arrival, output port after a
+    forwarding action. *)
+
+type t = {
+  port : int;  (** current location: switch port number *)
+  src_mac : Mac.t;
+  dst_mac : Mac.t;
+  eth_type : int;  (** EtherType, e.g. 0x0800 for IPv4 *)
+  src_ip : Ipv4.t;
+  dst_ip : Ipv4.t;
+  proto : int;  (** IP protocol, e.g. 6 = TCP, 17 = UDP *)
+  src_port : int;  (** transport source port *)
+  dst_port : int;  (** transport destination port *)
+}
+
+val ethertype_ipv4 : int
+val ethertype_arp : int
+val proto_tcp : int
+val proto_udp : int
+
+val make :
+  ?port:int ->
+  ?src_mac:Mac.t ->
+  ?dst_mac:Mac.t ->
+  ?eth_type:int ->
+  ?src_ip:Ipv4.t ->
+  ?dst_ip:Ipv4.t ->
+  ?proto:int ->
+  ?src_port:int ->
+  ?dst_port:int ->
+  unit ->
+  t
+(** A packet with all unspecified fields zeroed and [eth_type] defaulting
+    to IPv4, [proto] to TCP. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

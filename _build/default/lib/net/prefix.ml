@@ -1,0 +1,71 @@
+type t = { network : Ipv4.t; len : int }
+
+let mask_of_len len = if len = 0 then 0 else 0xFFFF_FFFF lsl (32 - len) land 0xFFFF_FFFF
+
+let make addr len =
+  if len < 0 || len > 32 then
+    invalid_arg (Printf.sprintf "Prefix.make: length %d out of range" len)
+  else
+    { network = Ipv4.of_int (Ipv4.to_int addr land mask_of_len len); len }
+
+let of_string_opt s =
+  match String.index_opt s '/' with
+  | None -> Option.map (fun a -> make a 32) (Ipv4.of_string_opt s)
+  | Some i -> (
+      let addr = String.sub s 0 i in
+      let len = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Ipv4.of_string_opt addr, int_of_string_opt len) with
+      | Some a, Some l when l >= 0 && l <= 32 -> Some (make a l)
+      | _ -> None)
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Prefix.of_string: %S" s)
+
+let to_string t = Printf.sprintf "%s/%d" (Ipv4.to_string t.network) t.len
+let network t = t.network
+let length t = t.len
+let default = { network = Ipv4.zero; len = 0 }
+
+let mem addr t =
+  Ipv4.to_int addr land mask_of_len t.len = Ipv4.to_int t.network
+
+let subset p q = p.len >= q.len && mem p.network q
+let overlaps p q = subset p q || subset q p
+let inter p q = if subset p q then Some p else if subset q p then Some q else None
+
+let split t =
+  if t.len >= 32 then invalid_arg "Prefix.split: cannot split a /32"
+  else
+    let len = t.len + 1 in
+    let lo = { network = t.network; len } in
+    let hi_addr = Ipv4.to_int t.network lor (1 lsl (32 - len)) in
+    (lo, { network = Ipv4.of_int hi_addr; len })
+
+let first t = t.network
+let last t = Ipv4.of_int (Ipv4.to_int t.network lor (lnot (mask_of_len t.len) land 0xFFFF_FFFF))
+
+let host t i =
+  let size = if t.len = 0 then 1 lsl 32 else 1 lsl (32 - t.len) in
+  if i < 0 || i >= size then
+    invalid_arg (Printf.sprintf "Prefix.host: index %d out of range for %s" i (to_string t))
+  else Ipv4.of_int (Ipv4.to_int t.network + i)
+
+let compare p q =
+  match Ipv4.compare p.network q.network with
+  | 0 -> Int.compare p.len q.len
+  | c -> c
+
+let equal p q = compare p q = 0
+let hash t = Hashtbl.hash (Ipv4.to_int t.network, t.len)
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

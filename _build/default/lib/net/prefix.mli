@@ -1,0 +1,58 @@
+(** IPv4 CIDR prefixes.
+
+    A prefix is a network address plus a mask length.  Values are
+    normalized on construction: host bits below the mask are cleared, so
+    structural equality coincides with semantic equality. *)
+
+type t = private { network : Ipv4.t; len : int }
+
+val make : Ipv4.t -> int -> t
+(** [make addr len] is the prefix [addr/len], with host bits cleared.
+    @raise Invalid_argument if [len] is outside [0, 32]. *)
+
+val of_string : string -> t
+(** Parses ["a.b.c.d/len"]; a bare address parses as a /32.
+    @raise Invalid_argument on malformed input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+
+val network : t -> Ipv4.t
+val length : t -> int
+
+val default : t
+(** [0.0.0.0/0], matching every address. *)
+
+val mem : Ipv4.t -> t -> bool
+(** [mem addr p] is [true] iff [addr] lies inside [p]. *)
+
+val subset : t -> t -> bool
+(** [subset p q] is [true] iff every address in [p] is also in [q]. *)
+
+val overlaps : t -> t -> bool
+(** [overlaps p q] is [true] iff [p] and [q] share at least one address.
+    For prefixes this happens exactly when one contains the other. *)
+
+val inter : t -> t -> t option
+(** Intersection of two prefixes: the more specific one if they overlap. *)
+
+val split : t -> t * t
+(** [split p] halves [p] into its two child prefixes.
+    @raise Invalid_argument on a /32. *)
+
+val first : t -> Ipv4.t
+val last : t -> Ipv4.t
+
+val host : t -> int -> Ipv4.t
+(** [host p i] is the [i]-th address inside [p].
+    @raise Invalid_argument if [i] is out of range. *)
+
+val compare : t -> t -> int
+(** Total order: by network address, then by mask length (shorter first). *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

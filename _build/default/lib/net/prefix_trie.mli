@@ -1,0 +1,37 @@
+(** Binary tries keyed by IPv4 prefixes, supporting exact lookup and
+    longest-prefix match.  This is the data structure backing border-router
+    FIBs and the route server's RIBs. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val add : Prefix.t -> 'a -> 'a t -> 'a t
+(** [add p v t] binds [p] to [v], replacing any previous binding for [p]. *)
+
+val remove : Prefix.t -> 'a t -> 'a t
+
+val find_opt : Prefix.t -> 'a t -> 'a option
+(** Exact-prefix lookup. *)
+
+val mem : Prefix.t -> 'a t -> bool
+
+val longest_match : Ipv4.t -> 'a t -> (Prefix.t * 'a) option
+(** [longest_match addr t] is the binding whose prefix contains [addr]
+    and has the greatest mask length, if any. *)
+
+val matches : Ipv4.t -> 'a t -> (Prefix.t * 'a) list
+(** All bindings whose prefix contains [addr], most-specific first. *)
+
+val update : Prefix.t -> ('a option -> 'a option) -> 'a t -> 'a t
+(** [update p f t] applies [f] to the current binding for [p]; [f]
+    returning [None] removes the binding. *)
+
+val fold : (Prefix.t -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** Folds over bindings in increasing prefix order. *)
+
+val iter : (Prefix.t -> 'a -> unit) -> 'a t -> unit
+val cardinal : 'a t -> int
+val bindings : 'a t -> (Prefix.t * 'a) list
+val of_list : (Prefix.t * 'a) list -> 'a t

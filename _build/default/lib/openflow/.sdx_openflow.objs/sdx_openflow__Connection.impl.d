@@ -1,0 +1,1 @@
+lib/openflow/connection.ml: Flow Hashtbl List Message Option Switch Table

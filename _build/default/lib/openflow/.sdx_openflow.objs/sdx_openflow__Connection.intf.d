@@ -1,0 +1,1 @@
+lib/openflow/connection.mli: Flow Message Packet Sdx_net Switch

@@ -1,0 +1,1 @@
+lib/openflow/flow.ml: Classifier Format List Mods Pattern Sdx_policy

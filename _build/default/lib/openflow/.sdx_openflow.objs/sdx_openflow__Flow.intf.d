@@ -1,0 +1,1 @@
+lib/openflow/flow.mli: Classifier Format Mods Pattern Sdx_policy

@@ -1,0 +1,1 @@
+lib/openflow/message.ml: Flow Format Packet Sdx_net Sdx_policy

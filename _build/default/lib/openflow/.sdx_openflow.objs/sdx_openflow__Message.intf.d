@@ -1,0 +1,1 @@
+lib/openflow/message.mli: Flow Format Packet Sdx_net

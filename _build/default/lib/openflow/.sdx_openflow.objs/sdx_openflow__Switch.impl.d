@@ -1,0 +1,1 @@
+lib/openflow/switch.ml: Array Flow List Mods Option Packet Printf Sdx_net Sdx_policy Table

@@ -1,0 +1,1 @@
+lib/openflow/switch.mli: Packet Sdx_net Sdx_policy Table

@@ -1,0 +1,1 @@
+lib/openflow/table.ml: Flow Format Int List Pattern Sdx_policy

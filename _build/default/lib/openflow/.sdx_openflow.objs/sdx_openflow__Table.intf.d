@@ -1,0 +1,1 @@
+lib/openflow/table.mli: Flow Format Packet Pattern Sdx_net Sdx_policy

@@ -1,0 +1,124 @@
+
+type t = {
+  switch : Switch.t;
+  table_id : int;
+  mutable to_controller : Message.t list;  (* reversed queue *)
+  mutable applied : int;
+  cookies : (int, Flow.t list) Hashtbl.t;
+  mutable next_buffer : int;
+}
+
+let create ?(table = 0) switch =
+  {
+    switch;
+    table_id = table;
+    to_controller = [];
+    applied = 0;
+    cookies = Hashtbl.create 16;
+    next_buffer = 1;
+  }
+
+let queue t msg = t.to_controller <- msg :: t.to_controller
+
+let recv t =
+  match List.rev t.to_controller with
+  | [] -> None
+  | msg :: rest ->
+      t.to_controller <- List.rev rest;
+      Some msg
+
+let pending t = List.length t.to_controller
+let flow_mods_applied t = t.applied
+let table t = Switch.table t.switch t.table_id
+let installed t = Table.entries (table t)
+
+let record_cookie t cookie flow =
+  if cookie <> 0 then
+    Hashtbl.replace t.cookies cookie
+      (flow :: Option.value (Hashtbl.find_opt t.cookies cookie) ~default:[])
+
+let forget_cookie_entry t flow =
+  Hashtbl.filter_map_inplace
+    (fun _ flows ->
+      match List.filter (fun f -> f <> flow) flows with
+      | [] -> None
+      | kept -> Some kept)
+    t.cookies
+
+let send t (msg : Message.t) =
+  match msg with
+  | Message.Flow_mod { command = Message.Add; cookie; flow } ->
+      Table.install (table t) flow;
+      record_cookie t cookie flow;
+      t.applied <- t.applied + 1
+  | Message.Flow_mod { command = Message.Delete_strict; flow; _ } ->
+      Table.remove (table t) ~priority:flow.Flow.priority ~pattern:flow.Flow.pattern;
+      forget_cookie_entry t flow;
+      t.applied <- t.applied + 1
+  | Message.Flow_mod { command = Message.Delete_by_cookie; cookie; _ } ->
+      let flows = Option.value (Hashtbl.find_opt t.cookies cookie) ~default:[] in
+      Hashtbl.remove t.cookies cookie;
+      List.iter
+        (fun (f : Flow.t) ->
+          Table.remove (table t) ~priority:f.priority ~pattern:f.pattern)
+        flows;
+      t.applied <- t.applied + List.length flows
+  | Message.Barrier_request xid -> queue t (Message.Barrier_reply xid)
+  | Message.Echo_request xid -> queue t (Message.Echo_reply xid)
+  | Message.Packet_out packet -> ignore (Switch.process t.switch packet)
+  | Message.Barrier_reply _ | Message.Echo_reply _ | Message.Packet_in _ ->
+      (* switch-to-controller messages are not valid on this side *)
+      invalid_arg "Connection.send: not a controller-to-switch message"
+
+let process t pkt =
+  match Table.lookup (table t) pkt with
+  | None ->
+      let buffer_id = t.next_buffer in
+      t.next_buffer <- t.next_buffer + 1;
+      queue t (Message.Packet_in { buffer_id; packet = pkt });
+      []
+  | Some _ ->
+      (* The lookup above bumped the entry's counter; process normally
+         for the multi-table/multicast semantics. *)
+      Switch.process t.switch pkt
+
+let sync t target =
+  (* Multiset diff on whole entries: additions first (make-before-break;
+     priorities disambiguate during the transition), then strict deletes
+     of the leftovers. *)
+  let count_map flows =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun f -> Hashtbl.replace tbl f (1 + Option.value (Hashtbl.find_opt tbl f) ~default:0))
+      flows;
+    tbl
+  in
+  let existing = count_map (installed t) in
+  let additions =
+    List.filter
+      (fun f ->
+        match Hashtbl.find_opt existing f with
+        | Some n when n > 0 ->
+            Hashtbl.replace existing f (n - 1);
+            false
+        | _ -> true)
+      target
+  in
+  (* Whatever count remains in [existing] is surplus — except entries an
+     addition overwrites in place (OpenFlow ADD replaces an entry with
+     equal priority and match), which need no delete. *)
+  let overwritten = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Flow.t) -> Hashtbl.replace overwritten (f.priority, f.pattern) ())
+    additions;
+  let removals =
+    Hashtbl.fold
+      (fun (f : Flow.t) n acc ->
+        if n > 0 && not (Hashtbl.mem overwritten (f.priority, f.pattern)) then
+          List.init n (fun _ -> f) @ acc
+        else acc)
+      existing []
+  in
+  List.iter (fun f -> send t (Message.add f)) additions;
+  List.iter (fun f -> send t (Message.delete f)) removals;
+  List.length additions + List.length removals

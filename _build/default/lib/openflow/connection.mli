@@ -1,0 +1,39 @@
+(** An in-memory OpenFlow control channel: the controller side sends
+    {!Message} values; flow modifications are applied to the switch's
+    table, and switch-to-controller traffic (barrier replies, echo
+    replies, packet-ins on table miss) is queued for {!recv}.
+
+    [sync] provides what the SDX runtime needs: given the desired rule
+    set, it computes and sends the minimal add/delete flow-mod sequence —
+    so a BGP update touches a handful of entries instead of reinstalling
+    the table (§4.3.2 "pushes the resulting forwarding rules into the
+    data plane"). *)
+
+open Sdx_net
+
+type t
+
+val create : ?table:int -> Switch.t -> t
+
+val send : t -> Message.t -> unit
+(** Controller-to-switch.  [Flow_mod]s mutate the flow table;
+    [Barrier_request]/[Echo_request] queue their replies; [Packet_out]
+    runs the packet through the switch. *)
+
+val recv : t -> Message.t option
+(** Next switch-to-controller message, if any. *)
+
+val pending : t -> int
+val flow_mods_applied : t -> int
+(** Total flow modifications applied over the channel's lifetime. *)
+
+val installed : t -> Flow.t list
+
+val process : t -> Packet.t -> Packet.t list
+(** Data-plane arrival: like {!Switch.process}, but a table miss queues
+    a [Packet_in] for the controller. *)
+
+val sync : t -> Flow.t list -> int
+(** Make the installed rule set equal the target, sending one
+    [Flow_mod] per difference (adds before strict deletes).  Returns the
+    number of modifications sent; 0 when already in sync. *)

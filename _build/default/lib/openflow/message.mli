@@ -1,0 +1,28 @@
+(** OpenFlow-style controller/switch messages.
+
+    The subset a software-defined exchange actually exercises: flow
+    modifications (with cookies so related rules can be deleted
+    together), barriers for ordering, echo keepalives, and packet-in /
+    packet-out for table misses. *)
+
+open Sdx_net
+
+type flow_mod_command =
+  | Add
+  | Delete_strict  (** delete the entry matching priority and pattern exactly *)
+  | Delete_by_cookie  (** delete every entry carrying the cookie *)
+
+type t =
+  | Flow_mod of { command : flow_mod_command; cookie : int; flow : Flow.t }
+  | Barrier_request of int  (** xid *)
+  | Barrier_reply of int
+  | Packet_out of Packet.t
+  | Packet_in of { buffer_id : int; packet : Packet.t }
+      (** sent switch-to-controller on table miss *)
+  | Echo_request of int
+  | Echo_reply of int
+
+val add : ?cookie:int -> Flow.t -> t
+val delete : ?cookie:int -> Flow.t -> t
+val delete_cookie : int -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+open Sdx_policy
+
+type entry = { flow : Flow.t; seq : int; mutable packets : int }
+type t = { mutable entries : entry list; mutable next_seq : int; capacity : int option }
+
+exception Table_full
+
+let create ?capacity () = { entries = []; next_seq = 0; capacity }
+
+(* Entries are kept sorted: descending priority, then ascending insertion
+   sequence, so [lookup] is a linear scan to the first match. *)
+let order a b =
+  match Int.compare b.flow.Flow.priority a.flow.Flow.priority with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+(* OpenFlow ADD semantics: an entry with the same priority and match
+   overwrites the existing one (counters reset). *)
+let install t (flow : Flow.t) =
+  let entries =
+    List.filter
+      (fun e ->
+        not
+          (e.flow.Flow.priority = flow.priority
+          && Pattern.equal e.flow.Flow.pattern flow.pattern))
+      t.entries
+  in
+  (match t.capacity with
+  | Some cap when List.length entries >= cap -> raise Table_full
+  | _ -> ());
+  let e = { flow; seq = t.next_seq; packets = 0 } in
+  t.next_seq <- t.next_seq + 1;
+  t.entries <- List.merge order [ e ] entries
+
+let install_all t flows = List.iter (install t) flows
+
+let remove t ~priority ~pattern =
+  t.entries <-
+    List.filter
+      (fun e ->
+        not
+          (e.flow.Flow.priority = priority
+          && Pattern.equal e.flow.Flow.pattern pattern))
+      t.entries
+
+let clear t = t.entries <- []
+
+let remove_where t pred =
+  let before = List.length t.entries in
+  t.entries <- List.filter (fun e -> not (pred e.flow)) t.entries;
+  before - List.length t.entries
+
+let lookup t pkt =
+  let rec go = function
+    | [] -> None
+    | e :: rest ->
+        if Pattern.matches e.flow.Flow.pattern pkt then begin
+          e.packets <- e.packets + 1;
+          Some e.flow
+        end
+        else go rest
+  in
+  go t.entries
+
+let size t = List.length t.entries
+let capacity t = t.capacity
+let entries t = List.map (fun e -> e.flow) t.entries
+
+let hits t ~priority ~pattern =
+  match
+    List.find_opt
+      (fun e ->
+        e.flow.Flow.priority = priority && Pattern.equal e.flow.Flow.pattern pattern)
+      t.entries
+  with
+  | Some e -> e.packets
+  | None -> 0
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Flow.pp)
+    (entries t)

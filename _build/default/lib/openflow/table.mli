@@ -1,0 +1,40 @@
+(** A single flow table: priority-ordered flow entries with per-entry hit
+    counters and an optional capacity limit, modeling the rule-table
+    budget the paper's §4.2 is about (high-end switches hold about half a
+    million rules). *)
+
+open Sdx_net
+open Sdx_policy
+
+type t
+
+exception Table_full
+
+val create : ?capacity:int -> unit -> t
+
+val install : t -> Flow.t -> unit
+(** OpenFlow ADD semantics: an entry with the same priority and match is
+    overwritten in place (its counter resets).
+    @raise Table_full when the capacity would be exceeded. *)
+
+val install_all : t -> Flow.t list -> unit
+
+val remove : t -> priority:int -> pattern:Pattern.t -> unit
+val clear : t -> unit
+
+val remove_where : t -> (Flow.t -> bool) -> int
+(** Removes all matching entries, returns how many were removed. *)
+
+val lookup : t -> Packet.t -> Flow.t option
+(** Highest-priority matching entry; among equal priorities the earliest
+    installed wins. *)
+
+val size : t -> int
+val capacity : t -> int option
+val entries : t -> Flow.t list
+(** In match order (descending priority). *)
+
+val hits : t -> priority:int -> pattern:Pattern.t -> int
+(** Packet counter of an entry; 0 when absent. *)
+
+val pp : Format.formatter -> t -> unit

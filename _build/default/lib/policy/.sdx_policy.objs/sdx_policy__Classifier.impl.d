@@ -1,0 +1,1 @@
+lib/policy/classifier.ml: Format Hashtbl List Mods Packet Pattern Policy Pred Sdx_net

@@ -1,0 +1,1 @@
+lib/policy/classifier.mli: Format Mods Packet Pattern Policy Pred Sdx_net

@@ -1,0 +1,1 @@
+lib/policy/mods.ml: Format Ipv4 List Mac Option Packet Printf Sdx_net Stdlib String

@@ -1,0 +1,1 @@
+lib/policy/mods.mli: Format Ipv4 Mac Packet Sdx_net

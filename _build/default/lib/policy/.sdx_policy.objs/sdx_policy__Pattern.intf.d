@@ -1,0 +1,1 @@
+lib/policy/pattern.mli: Format Mac Mods Packet Prefix Sdx_net

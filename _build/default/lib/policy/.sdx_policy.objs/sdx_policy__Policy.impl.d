@@ -1,0 +1,1 @@
+lib/policy/policy.ml: Format List Mods Packet Pred Sdx_net

@@ -1,0 +1,1 @@
+lib/policy/pred.ml: Format List Pattern

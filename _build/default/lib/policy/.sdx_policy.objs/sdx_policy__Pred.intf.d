@@ -1,0 +1,1 @@
+lib/policy/pred.mli: Format Mac Packet Pattern Prefix Sdx_net

@@ -1,0 +1,184 @@
+open Sdx_net
+
+type rule = { pattern : Pattern.t; action : Mods.t list }
+type t = rule list
+
+let canon_action atoms = List.sort_uniq Mods.compare atoms
+let rule pattern action = { pattern; action = canon_action action }
+let drop_all = [ rule Pattern.all [] ]
+let id_all = [ rule Pattern.all [ Mods.identity ] ]
+
+(* Cross products routinely emit the same pattern several times; only the
+   first occurrence can ever match, so later ones are dropped via a
+   hashtable — an O(1) shadow check that keeps composition linear in the
+   output size.  Full (superset) shadow elimination lives in [optimize]. *)
+let dedupe_patterns rules =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun r ->
+      if Hashtbl.mem seen r.pattern then false
+      else begin
+        Hashtbl.add seen r.pattern ();
+        true
+      end)
+    rules
+
+let par c1 c2 =
+  let cross =
+    List.concat_map
+      (fun r1 ->
+        List.filter_map
+          (fun r2 ->
+            match Pattern.inter r1.pattern r2.pattern with
+            | Some p -> Some (rule p (r1.action @ r2.action))
+            | None -> None)
+          c2)
+      c1
+  in
+  dedupe_patterns cross
+
+(* Sequential composition of one action atom with the whole second
+   classifier: pull each pattern of [c2] back through the modification. *)
+let seq_atom (a : Mods.t) c2 =
+  List.filter_map
+    (fun r2 ->
+      match Pattern.pull_back a r2.pattern with
+      | Some p -> Some (rule p (List.map (fun b -> Mods.then_ a b) r2.action))
+      | None -> None)
+    c2
+
+let restrict p c =
+  let confined =
+    List.filter_map
+      (fun r ->
+        match Pattern.inter p r.pattern with
+        | Some q -> Some { r with pattern = q }
+        | None -> None)
+      c
+  in
+  (* Total again: everything outside [p] is dropped. *)
+  dedupe_patterns (confined @ drop_all)
+
+let seq c1 c2 =
+  let block r1 =
+    match r1.action with
+    | [] -> [ r1 ]
+    | atoms ->
+        let subs = List.map (fun a -> seq_atom a c2) atoms in
+        let combined =
+          match subs with
+          | [] -> drop_all
+          | first :: rest -> List.fold_left par first rest
+        in
+        List.filter_map
+          (fun r ->
+            match Pattern.inter r1.pattern r.pattern with
+            | Some p -> Some { r with pattern = p }
+            | None -> None)
+          combined
+  in
+  dedupe_patterns (List.concat_map block c1)
+
+(* Predicates compile to classifiers whose action is pass ([id]) or drop
+   ([]); boolean connectives are cross products over those. *)
+let bool_action b = if b then [ Mods.identity ] else []
+let is_pass action = action <> []
+
+let rec compile_pred (pred : Pred.t) : t =
+  match pred with
+  | True -> id_all
+  | False -> drop_all
+  | Test p -> dedupe_patterns [ rule p [ Mods.identity ]; rule Pattern.all [] ]
+  | And (a, b) -> cross_bool (compile_pred a) (compile_pred b) ( && )
+  | Or (a, b) -> cross_bool (compile_pred a) (compile_pred b) ( || )
+  | Not a ->
+      List.map
+        (fun r -> { r with action = bool_action (not (is_pass r.action)) })
+        (compile_pred a)
+
+and cross_bool c1 c2 f =
+  let cross =
+    List.concat_map
+      (fun r1 ->
+        List.filter_map
+          (fun r2 ->
+            match Pattern.inter r1.pattern r2.pattern with
+            | Some p ->
+                Some (rule p (bool_action (f (is_pass r1.action) (is_pass r2.action))))
+            | None -> None)
+          c2)
+      c1
+  in
+  dedupe_patterns cross
+
+let rec compile (pol : Policy.t) : t =
+  match pol with
+  | Filter pred -> compile_pred pred
+  | Mod m -> [ rule Pattern.all [ m ] ]
+  | Union (p, q) -> par (compile p) (compile q)
+  | Seq (p, q) -> seq (compile p) (compile q)
+  | If (c, p, q) ->
+      let cond = compile_pred c in
+      let then_ = seq cond (compile p) in
+      let else_ = seq (compile_pred (Pred.not_ c)) (compile q) in
+      par then_ else_
+
+let first_match c pkt = List.find_opt (fun r -> Pattern.matches r.pattern pkt) c
+
+let eval c pkt =
+  match first_match c pkt with
+  | None -> []
+  | Some r ->
+      Packet.Set.elements
+        (Packet.Set.of_list (List.map (fun m -> Mods.apply m pkt) r.action))
+
+(* Remove rule [i] when an earlier rule's pattern is a superset (it can
+   never match), and remove non-final rules whose action equals the final
+   catch-all's action provided no rule in between intersects them with a
+   different action (first-match would fall through to the same result). *)
+let optimize c =
+  let shadow_pruned =
+    List.rev
+      (List.fold_left
+         (fun kept r ->
+           if List.exists (fun r' -> Pattern.subset r.pattern r'.pattern) kept
+           then kept
+           else r :: kept)
+         [] c)
+  in
+  match List.rev shadow_pruned with
+  | [] -> []
+  | last :: rev_body ->
+      let body = List.rev rev_body in
+      let rec prune = function
+        | [] -> []
+        | r :: rest ->
+            let rest' = prune rest in
+            let redundant =
+              r.action = last.action
+              && List.for_all
+                   (fun r' ->
+                     r'.action = r.action
+                     || Pattern.inter r.pattern r'.pattern = None)
+                   rest'
+            in
+            if redundant then rest' else r :: rest'
+      in
+      prune body @ [ last ]
+
+let rule_count = List.length
+
+let equivalent_on c1 c2 pkts =
+  List.for_all (fun pkt -> eval c1 pkt = eval c2 pkt) pkts
+
+let pp_rule fmt r =
+  Format.fprintf fmt "@[<h>%a -> [%a]@]" Pattern.pp r.pattern
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       Mods.pp)
+    r.action
+
+let pp fmt c =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_rule)
+    c

@@ -1,0 +1,166 @@
+open Sdx_net
+
+type t = {
+  port : int option;
+  src_mac : Mac.t option;
+  dst_mac : Mac.t option;
+  eth_type : int option;
+  src_ip : Prefix.t option;
+  dst_ip : Prefix.t option;
+  proto : int option;
+  src_port : int option;
+  dst_port : int option;
+}
+
+let all =
+  {
+    port = None;
+    src_mac = None;
+    dst_mac = None;
+    eth_type = None;
+    src_ip = None;
+    dst_ip = None;
+    proto = None;
+    src_port = None;
+    dst_port = None;
+  }
+
+let is_all t = t = all
+
+let make ?port ?src_mac ?dst_mac ?eth_type ?src_ip ?dst_ip ?proto ?src_port
+    ?dst_port () =
+  { port; src_mac; dst_mac; eth_type; src_ip; dst_ip; proto; src_port; dst_port }
+
+let matches t (p : Packet.t) =
+  let exact eq c v =
+    match c with
+    | None -> true
+    | Some c -> eq c v
+  in
+  let in_prefix c v =
+    match c with
+    | None -> true
+    | Some pre -> Prefix.mem v pre
+  in
+  exact Int.equal t.port p.port
+  && exact Mac.equal t.src_mac p.src_mac
+  && exact Mac.equal t.dst_mac p.dst_mac
+  && exact Int.equal t.eth_type p.eth_type
+  && in_prefix t.src_ip p.src_ip
+  && in_prefix t.dst_ip p.dst_ip
+  && exact Int.equal t.proto p.proto
+  && exact Int.equal t.src_port p.src_port
+  && exact Int.equal t.dst_port p.dst_port
+
+exception Empty
+
+let inter_exact eq a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> if eq x y then a else raise Empty
+
+let inter_prefix a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> (
+      match Prefix.inter x y with
+      | Some p -> Some p
+      | None -> raise Empty)
+
+let inter a b =
+  match
+    {
+      port = inter_exact Int.equal a.port b.port;
+      src_mac = inter_exact Mac.equal a.src_mac b.src_mac;
+      dst_mac = inter_exact Mac.equal a.dst_mac b.dst_mac;
+      eth_type = inter_exact Int.equal a.eth_type b.eth_type;
+      src_ip = inter_prefix a.src_ip b.src_ip;
+      dst_ip = inter_prefix a.dst_ip b.dst_ip;
+      proto = inter_exact Int.equal a.proto b.proto;
+      src_port = inter_exact Int.equal a.src_port b.src_port;
+      dst_port = inter_exact Int.equal a.dst_port b.dst_port;
+    }
+  with
+  | t -> Some t
+  | exception Empty -> None
+
+let subset_exact eq a b =
+  match (a, b) with
+  | _, None -> true
+  | None, Some _ -> false
+  | Some x, Some y -> eq x y
+
+let subset_prefix a b =
+  match (a, b) with
+  | _, None -> true
+  | None, Some _ -> false
+  | Some x, Some y -> Prefix.subset x y
+
+let subset a b =
+  subset_exact Int.equal a.port b.port
+  && subset_exact Mac.equal a.src_mac b.src_mac
+  && subset_exact Mac.equal a.dst_mac b.dst_mac
+  && subset_exact Int.equal a.eth_type b.eth_type
+  && subset_prefix a.src_ip b.src_ip
+  && subset_prefix a.dst_ip b.dst_ip
+  && subset_exact Int.equal a.proto b.proto
+  && subset_exact Int.equal a.src_port b.src_port
+  && subset_exact Int.equal a.dst_port b.dst_port
+
+(* For a field the modification sets, the post-mod value is fixed: either
+   it satisfies the pattern's constraint (in which case the pulled-back
+   pattern is unconstrained on that field) or no packet can match. *)
+let pull_exact eq set constr =
+  match (set, constr) with
+  | None, c -> c
+  | Some _, None -> None
+  | Some v, Some c -> if eq v c then None else raise Empty
+
+let pull_prefix set constr =
+  match (set, constr) with
+  | None, c -> c
+  | Some _, None -> None
+  | Some v, Some c -> if Prefix.mem v c then None else raise Empty
+
+let pull_back (m : Mods.t) t =
+  match
+    {
+      port = pull_exact Int.equal m.port t.port;
+      src_mac = pull_exact Mac.equal m.src_mac t.src_mac;
+      dst_mac = pull_exact Mac.equal m.dst_mac t.dst_mac;
+      eth_type = pull_exact Int.equal m.eth_type t.eth_type;
+      src_ip = pull_prefix m.src_ip t.src_ip;
+      dst_ip = pull_prefix m.dst_ip t.dst_ip;
+      proto = pull_exact Int.equal m.proto t.proto;
+      src_port = pull_exact Int.equal m.src_port t.src_port;
+      dst_port = pull_exact Int.equal m.dst_port t.dst_port;
+    }
+  with
+  | t -> Some t
+  | exception Empty -> None
+
+let field_count t =
+  let b o = if Option.is_some o then 1 else 0 in
+  b t.port + b t.src_mac + b t.dst_mac + b t.eth_type + b t.src_ip + b t.dst_ip
+  + b t.proto + b t.src_port + b t.dst_port
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp fmt t =
+  let parts = ref [] in
+  let add name to_s = function
+    | Some v -> parts := Printf.sprintf "%s=%s" name (to_s v) :: !parts
+    | None -> ()
+  in
+  add "port" string_of_int t.port;
+  add "src_mac" Mac.to_string t.src_mac;
+  add "dst_mac" Mac.to_string t.dst_mac;
+  add "eth_type" (Printf.sprintf "0x%04x") t.eth_type;
+  add "src_ip" Prefix.to_string t.src_ip;
+  add "dst_ip" Prefix.to_string t.dst_ip;
+  add "proto" string_of_int t.proto;
+  add "src_port" string_of_int t.src_port;
+  add "dst_port" string_of_int t.dst_port;
+  if !parts = [] then Format.pp_print_string fmt "*"
+  else Format.fprintf fmt "{%s}" (String.concat "; " (List.rev !parts))

@@ -1,0 +1,59 @@
+(** Match patterns: the predicate half of a flow rule.
+
+    Each field is either wildcarded ([None]) or constrained; IP fields are
+    constrained by CIDR prefixes, all other fields by exact values.  A
+    pattern denotes the set of packets satisfying every constraint, so
+    [all] denotes the full flow space and intersection is per-field. *)
+
+open Sdx_net
+
+type t = {
+  port : int option;
+  src_mac : Mac.t option;
+  dst_mac : Mac.t option;
+  eth_type : int option;
+  src_ip : Prefix.t option;
+  dst_ip : Prefix.t option;
+  proto : int option;
+  src_port : int option;
+  dst_port : int option;
+}
+
+val all : t
+(** The wildcard pattern, matching every packet. *)
+
+val is_all : t -> bool
+
+val make :
+  ?port:int ->
+  ?src_mac:Mac.t ->
+  ?dst_mac:Mac.t ->
+  ?eth_type:int ->
+  ?src_ip:Prefix.t ->
+  ?dst_ip:Prefix.t ->
+  ?proto:int ->
+  ?src_port:int ->
+  ?dst_port:int ->
+  unit ->
+  t
+
+val matches : t -> Packet.t -> bool
+
+val inter : t -> t -> t option
+(** Set intersection; [None] when the patterns are disjoint. *)
+
+val subset : t -> t -> bool
+(** [subset p q] is [true] iff every packet matching [p] matches [q]. *)
+
+val pull_back : Mods.t -> t -> t option
+(** [pull_back m p] is the weakest pattern [p'] such that a packet
+    matches [p'] iff it matches [p] after [m] is applied.  [None] when no
+    packet can match [p] after [m] (a field [m] sets conflicts with [p]'s
+    constraint on it). *)
+
+val field_count : t -> int
+(** Number of constrained (non-wildcard) fields. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

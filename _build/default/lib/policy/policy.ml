@@ -1,0 +1,57 @@
+open Sdx_net
+
+type t =
+  | Filter of Pred.t
+  | Mod of Mods.t
+  | Union of t * t
+  | Seq of t * t
+  | If of Pred.t * t * t
+
+let id = Filter Pred.True
+let drop = Filter Pred.False
+let filter p = Filter p
+let fwd port = Mod (Mods.make ~port ())
+let modify m = Mod m
+
+let union = function
+  | [] -> drop
+  | p :: rest -> List.fold_left (fun acc q -> Union (acc, q)) p rest
+
+let seq = function
+  | [] -> id
+  | p :: rest -> List.fold_left (fun acc q -> Seq (acc, q)) p rest
+
+let if_ c p q = If (c, p, q)
+let ( <+> ) p q = Union (p, q)
+let ( >>> ) p q = Seq (p, q)
+
+let rec eval t pkt =
+  match t with
+  | Filter pred -> if Pred.eval pred pkt then [ pkt ] else []
+  | Mod m -> [ Mods.apply m pkt ]
+  | Union (p, q) ->
+      Packet.Set.elements
+        (Packet.Set.union
+           (Packet.Set.of_list (eval p pkt))
+           (Packet.Set.of_list (eval q pkt)))
+  | Seq (p, q) ->
+      let intermediate = eval p pkt in
+      Packet.Set.elements
+        (List.fold_left
+           (fun acc pkt' -> Packet.Set.union acc (Packet.Set.of_list (eval q pkt')))
+           Packet.Set.empty intermediate)
+  | If (c, p, q) -> if Pred.eval c pkt then eval p pkt else eval q pkt
+
+let rec size = function
+  | Filter p -> Pred.size p
+  | Mod _ -> 1
+  | Union (p, q) | Seq (p, q) -> 1 + size p + size q
+  | If (c, p, q) -> 1 + Pred.size c + size p + size q
+
+let rec pp fmt = function
+  | Filter p -> Format.fprintf fmt "filter(%a)" Pred.pp p
+  | Mod m -> Format.fprintf fmt "mod%a" Mods.pp m
+  | Union (p, q) -> Format.fprintf fmt "(%a + %a)" pp p pp q
+  | Seq (p, q) -> Format.fprintf fmt "(%a >> %a)" pp p pp q
+  | If (c, p, q) ->
+      Format.fprintf fmt "if(%a){%a}else{%a}" Pred.pp c pp p pp q

@@ -1,0 +1,48 @@
+(** The Pyretic-style policy language (§3.1): a policy maps a located
+    packet to a set of located packets.  Returning the empty set drops the
+    packet; a singleton forwards it; multiple packets multicast. *)
+
+open Sdx_net
+
+type t =
+  | Filter of Pred.t  (** pass packets matching the predicate, drop others *)
+  | Mod of Mods.t  (** rewrite header fields and/or relocate *)
+  | Union of t * t  (** parallel composition [+] *)
+  | Seq of t * t  (** sequential composition [>>] *)
+  | If of Pred.t * t * t  (** Pyretic's [if_] *)
+
+val id : t
+(** Passes every packet unchanged. *)
+
+val drop : t
+
+val filter : Pred.t -> t
+
+val fwd : int -> t
+(** [fwd p] relocates the packet to port [p]. *)
+
+val modify : Mods.t -> t
+
+val union : t list -> t
+(** n-ary parallel composition; [drop] on the empty list. *)
+
+val seq : t list -> t
+(** n-ary sequential composition; [id] on the empty list. *)
+
+val if_ : Pred.t -> t -> t -> t
+
+val ( <+> ) : t -> t -> t
+(** Infix parallel composition — the paper's [+]. *)
+
+val ( >>> ) : t -> t -> t
+(** Infix sequential composition — the paper's [>>]. *)
+
+val eval : t -> Packet.t -> Packet.t list
+(** Reference denotational semantics.  The result is duplicate-free and
+    sorted; the compiled classifier must agree with it packet-for-packet
+    (checked by property tests). *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type t =
+  | True
+  | False
+  | Test of Pattern.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let rec eval t pkt =
+  match t with
+  | True -> true
+  | False -> false
+  | Test p -> Pattern.matches p pkt
+  | And (a, b) -> eval a pkt && eval b pkt
+  | Or (a, b) -> eval a pkt || eval b pkt
+  | Not a -> not (eval a pkt)
+
+let port n = Test (Pattern.make ~port:n ())
+let src_mac m = Test (Pattern.make ~src_mac:m ())
+let dst_mac m = Test (Pattern.make ~dst_mac:m ())
+let eth_type n = Test (Pattern.make ~eth_type:n ())
+let src_ip p = Test (Pattern.make ~src_ip:p ())
+let dst_ip p = Test (Pattern.make ~dst_ip:p ())
+let proto n = Test (Pattern.make ~proto:n ())
+let src_port n = Test (Pattern.make ~src_port:n ())
+let dst_port n = Test (Pattern.make ~dst_port:n ())
+
+let and_ a b =
+  match (a, b) with
+  | True, x | x, True -> x
+  | False, _ | _, False -> False
+  | Test p, Test q -> (
+      match Pattern.inter p q with
+      | Some r -> Test r
+      | None -> False)
+  | _ -> And (a, b)
+
+let or_ a b =
+  match (a, b) with
+  | False, x | x, False -> x
+  | True, _ | _, True -> True
+  | _ -> Or (a, b)
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not a -> a
+  | a -> Not a
+
+let conj l = List.fold_left and_ True l
+let disj l = List.fold_left or_ False l
+let any_of_ports ports = disj (List.map port ports)
+let any_of_dst_ips prefixes = disj (List.map dst_ip prefixes)
+
+let rec size = function
+  | True | False | Test _ -> 1
+  | And (a, b) | Or (a, b) -> 1 + size a + size b
+  | Not a -> 1 + size a
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Test p -> Pattern.pp fmt p
+  | And (a, b) -> Format.fprintf fmt "(%a && %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a || %a)" pp a pp b
+  | Not a -> Format.fprintf fmt "!%a" pp a

@@ -1,0 +1,47 @@
+(** Boolean predicates over packet headers — the [match(...)] half of the
+    Pyretic-style policy language of SDX (§3.1 of the paper). *)
+
+open Sdx_net
+
+type t =
+  | True
+  | False
+  | Test of Pattern.t  (** conjunction of single-field constraints *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val eval : t -> Packet.t -> bool
+
+(* Constructors, mirroring the paper's [match(field=value)] notation. *)
+
+val port : int -> t
+val src_mac : Mac.t -> t
+val dst_mac : Mac.t -> t
+val eth_type : int -> t
+val src_ip : Prefix.t -> t
+val dst_ip : Prefix.t -> t
+val proto : int -> t
+val src_port : int -> t
+val dst_port : int -> t
+
+val and_ : t -> t -> t
+(** Smart conjunction: folds [True]/[False] and merges two [Test]s into
+    one when their patterns intersect. *)
+
+val or_ : t -> t -> t
+val not_ : t -> t
+
+val conj : t list -> t
+val disj : t list -> t
+
+val any_of_ports : int list -> t
+(** Disjunction of port tests; [False] on the empty list. *)
+
+val any_of_dst_ips : Prefix.t list -> t
+(** Disjunction of destination-prefix tests; [False] on the empty list. *)
+
+val size : t -> int
+(** Number of AST nodes, used by compiler statistics. *)
+
+val pp : Format.formatter -> t -> unit

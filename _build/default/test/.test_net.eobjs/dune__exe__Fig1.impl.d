@@ -1,0 +1,1 @@
+test/fig1.ml: Asn Compile Config Ipv4 List Mac Packet Participant Ppolicy Pred Prefix Route Route_server Runtime Sdx_arp Sdx_bgp Sdx_core Sdx_net Sdx_policy

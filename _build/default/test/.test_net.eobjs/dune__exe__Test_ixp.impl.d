@@ -1,0 +1,1 @@
+test/test_ixp.ml: Alcotest Array Asn Filename Float Fun Int List Population Prefix Prefixes Replay Rng Route_server Sdx_bgp Sdx_core Sdx_ixp Sdx_net Sys Trace Update Workload

@@ -1,0 +1,1 @@
+test/test_net.ml: Aggregate Alcotest Bytes Codec Ipv4 List Mac Option Packet Prefix Prefix_trie Printf QCheck2 QCheck_alcotest Result Sdx_net String

@@ -1,0 +1,1 @@
+test/test_openflow.ml: Alcotest Classifier Connection Flow Ipv4 List Mac Message Mods Option Packet Pattern Policy Pred Prefix QCheck2 QCheck_alcotest Sdx_net Sdx_openflow Sdx_policy Switch Table

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Classifier Format Ipv4 List Mac Mods Option Packet Pattern Policy Pred Prefix QCheck2 QCheck_alcotest Sdx_net Sdx_policy String

@@ -1,0 +1,119 @@
+(* The paper's Figure 1 scenario, shared by several test suites:
+   AS A (application-specific peering), AS B (two ports, inbound traffic
+   engineering), AS C, AS D, and prefixes p1..p5 with the exact
+   announcement pattern of Figure 1b. *)
+
+open Sdx_net
+open Sdx_policy
+open Sdx_bgp
+open Sdx_core
+
+let mac = Mac.of_string
+let ip = Ipv4.of_string
+let pfx = Prefix.of_string
+let p1 = pfx "20.0.1.0/24"
+let p2 = pfx "20.0.2.0/24"
+let p3 = pfx "20.0.3.0/24"
+let p4 = pfx "20.0.4.0/24"
+let p5 = pfx "20.0.5.0/24"
+let asn_a = Asn.of_int 100
+let asn_b = Asn.of_int 200
+let asn_c = Asn.of_int 300
+let asn_d = Asn.of_int 400
+let mac_a1 = mac "aa:aa:aa:aa:aa:01"
+let mac_b1 = mac "bb:bb:bb:bb:bb:01"
+let mac_b2 = mac "bb:bb:bb:bb:bb:02"
+let mac_c1 = mac "cc:cc:cc:cc:cc:01"
+let mac_d1 = mac "dd:dd:dd:dd:dd:01"
+
+let participant_a =
+  Participant.make ~asn:asn_a
+    ~ports:[ (mac_a1, ip "172.0.0.1") ]
+    ~outbound:
+      [
+        Ppolicy.fwd (Pred.dst_port 80) (Ppolicy.Peer asn_b);
+        Ppolicy.fwd (Pred.dst_port 443) (Ppolicy.Peer asn_c);
+      ]
+    ()
+
+let participant_b =
+  Participant.make ~asn:asn_b
+    ~ports:[ (mac_b1, ip "172.0.0.2"); (mac_b2, ip "172.0.0.3") ]
+    ~inbound:
+      [
+        Ppolicy.fwd (Pred.src_ip (pfx "0.0.0.0/1")) (Ppolicy.Phys 0);
+        Ppolicy.fwd (Pred.src_ip (pfx "128.0.0.0/1")) (Ppolicy.Phys 1);
+      ]
+    ()
+
+let participant_c =
+  Participant.make ~asn:asn_c ~ports:[ (mac_c1, ip "172.0.0.4") ] ()
+
+let participant_d =
+  Participant.make ~asn:asn_d ~ports:[ (mac_d1, ip "172.0.0.5") ] ()
+
+(* Announce Figure 1b's routes: B announces p1-p3, C announces p1-p4 (with
+   shorter, hence preferred, paths for p1/p2 and p4), D announces p5. *)
+let announce_routes config =
+  let far1 = Asn.of_int 65001 and far2 = Asn.of_int 65002 in
+  List.iter
+    (fun (peer, prefix, as_path) ->
+      ignore (Config.announce config ~peer ~port:0 ~as_path prefix))
+    [
+      (asn_b, p1, [ asn_b; far1; far2 ]);
+      (asn_b, p2, [ asn_b; far1; far2 ]);
+      (asn_b, p3, [ asn_b; far1 ]);
+      (asn_c, p1, [ asn_c; far1 ]);
+      (asn_c, p2, [ asn_c; far1 ]);
+      (asn_c, p3, [ asn_c; far1; far2 ]);
+      (asn_c, p4, [ asn_c; far1 ]);
+      (asn_d, p5, [ asn_d; far1 ]);
+    ]
+
+let make_config () =
+  let config =
+    Config.make [ participant_a; participant_b; participant_c; participant_d ]
+  in
+  announce_routes config;
+  config
+
+let make_runtime () = Runtime.create (make_config ())
+
+(* The destination MAC a border router would put on a packet from
+   [sender] toward [dst]: the (virtual) next hop of the re-advertised
+   best route, resolved through the controller's ARP responder. *)
+let tag_for runtime ~sender dst =
+  let server = Config.server (Runtime.config runtime) in
+  match Route_server.lookup_best server ~receiver:sender dst with
+  | None -> None
+  | Some (prefix, _) -> (
+      match Runtime.announcement runtime ~receiver:sender prefix with
+      | None -> None
+      | Some route ->
+          Sdx_arp.Responder.query (Runtime.arp runtime) route.Route.next_hop)
+
+(* A packet from [sender]'s network, tagged and located as its border
+   router would deliver it to the fabric. *)
+let fabric_packet runtime ~sender ~src_ip ~dst_ip ~dst_port () =
+  let config = Runtime.config runtime in
+  match tag_for runtime ~sender (ip dst_ip) with
+  | None -> None
+  | Some tag ->
+      Some
+        (Packet.make
+           ~port:(Config.switch_port config sender 0)
+           ~dst_mac:tag ~src_ip:(ip src_ip) ~dst_ip:(ip dst_ip) ~dst_port ())
+
+(* Where the runtime's classifier delivers a packet: the receiving
+   participant and its local port index, or None for drops. *)
+let deliveries runtime pkt =
+  let config = Runtime.config runtime in
+  List.filter_map
+    (fun (out : Packet.t) ->
+      if out.port = Compile.blackhole_port then None
+      else
+        match Config.owner_of_port config out.port with
+        | participant, port ->
+            Some (participant.Participant.asn, port.Participant.index)
+        | exception Not_found -> None)
+    (Sdx_policy.Classifier.eval (Runtime.classifier runtime) pkt)

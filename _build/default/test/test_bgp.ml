@@ -1,0 +1,934 @@
+(* Tests for the BGP substrate: routes, the decision process, the route
+   server, AS-path regular expressions, and session modeling. *)
+
+open Sdx_net
+open Sdx_bgp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let asn = Asn.of_int
+let ip = Ipv4.of_string
+let pfx = Prefix.of_string
+
+let route ?(prefix = pfx "20.0.0.0/16") ?(next_hop = ip "10.0.0.1")
+    ?(as_path = [ asn 100; asn 65000 ]) ?local_pref ?med ?origin
+    ?(learned_from = asn 100) () =
+  Route.make ~prefix ~next_hop ~as_path ?local_pref ?med ?origin ~learned_from ()
+
+(* ------------------------------------------------------------------ *)
+(* Route                                                               *)
+
+let test_route_accessors () =
+  let r = route ~as_path:[ asn 1; asn 2; asn 3 ] () in
+  check_bool "origin as" true (Route.origin_as r = Some (asn 3));
+  check_string "path string" "1 2 3" (Route.as_path_string r);
+  check_bool "empty path origin" true
+    (Route.origin_as (route ~as_path:[] ()) = None)
+
+let test_route_prepend () =
+  let r = Route.prepend (asn 9) (route ~as_path:[ asn 1 ] ()) in
+  check_string "prepended" "9 1" (Route.as_path_string r)
+
+let test_route_with_next_hop () =
+  let r = Route.with_next_hop (ip "1.1.1.1") (route ()) in
+  check_string "next hop" "1.1.1.1" (Ipv4.to_string r.next_hop)
+
+(* ------------------------------------------------------------------ *)
+(* Decision process                                                    *)
+
+let test_decision_local_pref () =
+  let lo = route ~local_pref:100 () in
+  let hi = route ~local_pref:200 ~learned_from:(asn 200) () in
+  check_bool "higher local pref wins" true (Decision.prefer hi lo > 0);
+  check_bool "best" true (Decision.best [ lo; hi ] = Some hi)
+
+let test_decision_as_path_length () =
+  let short = route ~as_path:[ asn 1; asn 2 ] () in
+  let long = route ~as_path:[ asn 1; asn 2; asn 3 ] ~learned_from:(asn 200) () in
+  check_bool "shorter path wins" true (Decision.prefer short long > 0)
+
+let test_decision_origin () =
+  let igp = route ~origin:Route.Igp () in
+  let egp = route ~origin:Route.Egp ~learned_from:(asn 200) () in
+  let incomplete = route ~origin:Route.Incomplete ~learned_from:(asn 300) () in
+  check_bool "igp over egp" true (Decision.prefer igp egp > 0);
+  check_bool "egp over incomplete" true (Decision.prefer egp incomplete > 0)
+
+let test_decision_med () =
+  let lo_med = route ~med:5 () in
+  let hi_med = route ~med:50 ~learned_from:(asn 200) () in
+  check_bool "lower med wins" true (Decision.prefer lo_med hi_med > 0)
+
+let test_decision_tiebreaks () =
+  let a = route ~learned_from:(asn 100) () in
+  let b = route ~learned_from:(asn 200) () in
+  check_bool "lower neighbor asn wins" true (Decision.prefer a b > 0);
+  let c = route ~next_hop:(ip "10.0.0.1") () in
+  let d = route ~next_hop:(ip "10.0.0.2") () in
+  check_bool "lower next hop wins" true (Decision.prefer c d > 0);
+  check_int "identical routes tie" 0 (Decision.prefer a a)
+
+let test_decision_priority_order () =
+  (* Local pref beats a shorter path; path length beats origin. *)
+  let pref_long = route ~local_pref:200 ~as_path:[ asn 1; asn 2; asn 3 ] () in
+  let nopref_short = route ~as_path:[ asn 1 ] ~learned_from:(asn 200) () in
+  check_bool "local pref first" true (Decision.prefer pref_long nopref_short > 0);
+  let short_incomplete =
+    route ~as_path:[ asn 1 ] ~origin:Route.Incomplete ()
+  in
+  let long_igp =
+    route ~as_path:[ asn 1; asn 2 ] ~origin:Route.Igp ~learned_from:(asn 200) ()
+  in
+  check_bool "path length before origin" true
+    (Decision.prefer short_incomplete long_igp > 0)
+
+let test_decision_sort () =
+  let a = route ~local_pref:300 () in
+  let b = route ~local_pref:200 ~learned_from:(asn 200) () in
+  let c = route ~local_pref:100 ~learned_from:(asn 300) () in
+  check_bool "sorted best first" true (Decision.sort [ c; a; b ] = [ a; b; c ]);
+  check_bool "best of empty" true (Decision.best [] = None)
+
+let gen_route =
+  let open QCheck2.Gen in
+  let* local_pref = int_range 0 3 in
+  let* path_len = int_range 1 4 in
+  let* med = int_range 0 2 in
+  let* origin = oneofl [ Route.Igp; Route.Egp; Route.Incomplete ] in
+  let* from = int_range 1 5 in
+  let* nh = int_range 1 5 in
+  return
+    (route ~local_pref ~med ~origin
+       ~as_path:(List.init path_len (fun i -> asn (i + 1)))
+       ~learned_from:(asn from)
+       ~next_hop:(Ipv4.of_int nh) ())
+
+let prop_prefer_antisymmetric =
+  QCheck2.Test.make ~name:"prefer is antisymmetric" ~count:1000
+    QCheck2.Gen.(pair gen_route gen_route)
+    (fun (a, b) ->
+      let ab = Decision.prefer a b and ba = Decision.prefer b a in
+      (ab > 0 && ba < 0) || (ab < 0 && ba > 0) || (ab = 0 && ba = 0))
+
+let prop_prefer_transitive =
+  QCheck2.Test.make ~name:"prefer is transitive" ~count:1000
+    QCheck2.Gen.(triple gen_route gen_route gen_route)
+    (fun (a, b, c) ->
+      (not (Decision.prefer a b >= 0 && Decision.prefer b c >= 0))
+      || Decision.prefer a c >= 0)
+
+let prop_best_is_max =
+  QCheck2.Test.make ~name:"best is preferred over every candidate" ~count:500
+    QCheck2.Gen.(list_size (int_range 1 8) gen_route)
+    (fun routes ->
+      match Decision.best routes with
+      | None -> false
+      | Some b -> List.for_all (fun r -> Decision.prefer b r >= 0) routes)
+
+(* ------------------------------------------------------------------ *)
+(* Route server                                                        *)
+
+let peers = [ asn 1; asn 2; asn 3 ]
+
+let announce server ~peer ~prefix ?(path_len = 2) ?(nh = "10.0.0.1") () =
+  (* Paths continue into far-away ASes so they never collide with the
+     other exchange participants (which would trip loop prevention). *)
+  Route_server.apply server
+    (Update.announce
+       (Route.make ~prefix ~next_hop:(ip nh)
+          ~as_path:
+            (peer :: List.init (path_len - 1) (fun i -> asn (65_000 + i)))
+          ~learned_from:peer ()))
+
+let test_server_basic_announce () =
+  let server = Route_server.create peers in
+  let change = announce server ~peer:(asn 1) ~prefix:(pfx "20.0.0.0/16") () in
+  check_bool "prefix" true (Prefix.equal change.prefix (pfx "20.0.0.0/16"));
+  (* Everyone except the advertiser sees a new best route. *)
+  check_int "best changed for 2 receivers" 2 (List.length change.best_changed_for);
+  check_bool "advertiser unchanged" false
+    (List.exists (Asn.equal (asn 1)) change.best_changed_for);
+  check_bool "best for 2" true
+    (Option.is_some (Route_server.best server ~receiver:(asn 2) (pfx "20.0.0.0/16")));
+  check_bool "no route back to advertiser" true
+    (Route_server.best server ~receiver:(asn 1) (pfx "20.0.0.0/16") = None)
+
+let test_server_best_selection () =
+  let server = Route_server.create peers in
+  ignore (announce server ~peer:(asn 1) ~prefix:(pfx "20.0.0.0/16") ~path_len:3 ());
+  ignore
+    (announce server ~peer:(asn 2) ~prefix:(pfx "20.0.0.0/16") ~path_len:2
+       ~nh:"10.0.0.2" ());
+  (match Route_server.best server ~receiver:(asn 3) (pfx "20.0.0.0/16") with
+  | Some r -> check_bool "shorter path chosen" true (Asn.equal r.learned_from (asn 2))
+  | None -> Alcotest.fail "no best route");
+  (* The winner's own best is the other candidate. *)
+  match Route_server.best server ~receiver:(asn 2) (pfx "20.0.0.0/16") with
+  | Some r -> check_bool "advertiser sees other" true (Asn.equal r.learned_from (asn 1))
+  | None -> Alcotest.fail "no best for advertiser"
+
+let test_server_withdraw () =
+  let server = Route_server.create peers in
+  ignore (announce server ~peer:(asn 1) ~prefix:(pfx "20.0.0.0/16") ());
+  let change =
+    Route_server.apply server (Update.withdraw ~peer:(asn 1) (pfx "20.0.0.0/16"))
+  in
+  check_int "best changed" 2 (List.length change.best_changed_for);
+  check_bool "gone" true
+    (Route_server.best server ~receiver:(asn 2) (pfx "20.0.0.0/16") = None);
+  check_int "no prefixes left" 0 (Route_server.prefix_count server)
+
+let test_server_noop_change () =
+  let server = Route_server.create peers in
+  ignore (announce server ~peer:(asn 1) ~prefix:(pfx "20.0.0.0/16") ~path_len:2 ());
+  (* A worse route appearing does not change anyone's best. *)
+  let change =
+    announce server ~peer:(asn 2) ~prefix:(pfx "20.0.0.0/16") ~path_len:4
+      ~nh:"10.0.0.9" ()
+  in
+  (* ...except the original advertiser, who previously had no route. *)
+  check_bool "only advertiser 1 gains a route" true
+    (change.best_changed_for = [ asn 1 ])
+
+let test_server_export_policy () =
+  (* AS 1 does not export to AS 3. *)
+  let export ~advertiser ~receiver =
+    not (Asn.equal advertiser (asn 1) && Asn.equal receiver (asn 3))
+  in
+  let server = Route_server.create ~export peers in
+  ignore (announce server ~peer:(asn 1) ~prefix:(pfx "20.0.0.0/16") ());
+  check_bool "2 sees it" true
+    (Option.is_some (Route_server.best server ~receiver:(asn 2) (pfx "20.0.0.0/16")));
+  check_bool "3 filtered" true
+    (Route_server.best server ~receiver:(asn 3) (pfx "20.0.0.0/16") = None);
+  check_bool "reachable respects export" true
+    (Route_server.reachable_prefixes server ~receiver:(asn 3) ~via:(asn 1) = []);
+  check_int "reachable for 2" 1
+    (List.length (Route_server.reachable_prefixes server ~receiver:(asn 2) ~via:(asn 1)))
+
+let test_server_feasible () =
+  let server = Route_server.create peers in
+  ignore (announce server ~peer:(asn 1) ~prefix:(pfx "20.0.0.0/16") ~path_len:3 ());
+  ignore
+    (announce server ~peer:(asn 2) ~prefix:(pfx "20.0.0.0/16") ~path_len:2
+       ~nh:"10.0.0.2" ());
+  let feasible = Route_server.feasible server ~receiver:(asn 3) (pfx "20.0.0.0/16") in
+  check_int "two feasible routes" 2 (List.length feasible);
+  check_bool "best first" true
+    (Asn.equal (List.hd feasible).learned_from (asn 2))
+
+let test_server_unknown_peer () =
+  let server = Route_server.create peers in
+  Alcotest.check_raises "unknown participant"
+    (Invalid_argument "Route_server: unknown participant AS99") (fun () ->
+      ignore (announce server ~peer:(asn 99) ~prefix:(pfx "20.0.0.0/16") ()))
+
+let test_server_loop_prevention () =
+  let server = Route_server.create peers in
+  (* AS 1 re-announces a route whose path already traverses AS 2. *)
+  ignore
+    (Route_server.apply server
+       (Update.announce
+          (Route.make ~prefix:(pfx "20.0.0.0/16") ~next_hop:(ip "10.0.0.1")
+             ~as_path:[ asn 1; asn 2; asn 65000 ] ~learned_from:(asn 1) ())));
+  check_bool "loop_free predicate" false
+    (Route_server.loop_free
+       (route ~as_path:[ asn 1; asn 2; asn 65000 ] ())
+       ~receiver:(asn 2));
+  (* AS 2 must never receive it; AS 3 may. *)
+  check_bool "looped route withheld" true
+    (Route_server.best server ~receiver:(asn 2) (pfx "20.0.0.0/16") = None);
+  check_bool "clean receiver gets it" true
+    (Option.is_some (Route_server.best server ~receiver:(asn 3) (pfx "20.0.0.0/16")));
+  check_bool "reachability agrees" true
+    (Route_server.reachable_prefixes server ~receiver:(asn 2) ~via:(asn 1) = [])
+
+let test_server_lookup_best () =
+  let server = Route_server.create peers in
+  ignore (announce server ~peer:(asn 1) ~prefix:(pfx "20.0.0.0/16") ());
+  ignore
+    (announce server ~peer:(asn 2) ~prefix:(pfx "20.0.1.0/24") ~nh:"10.0.0.2" ());
+  (match Route_server.lookup_best server ~receiver:(asn 3) (ip "20.0.1.9") with
+  | Some (prefix, r) ->
+      check_bool "most specific" true (Prefix.equal prefix (pfx "20.0.1.0/24"));
+      check_bool "from 2" true (Asn.equal r.learned_from (asn 2))
+  | None -> Alcotest.fail "lookup failed");
+  check_bool "miss" true
+    (Route_server.lookup_best server ~receiver:(asn 3) (ip "99.0.0.1") = None);
+  (* The /24's advertiser falls back to the covering /16. *)
+  match Route_server.lookup_best server ~receiver:(asn 2) (ip "20.0.1.9") with
+  | Some (prefix, _) ->
+      check_bool "covering prefix" true (Prefix.equal prefix (pfx "20.0.0.0/16"))
+  | None -> Alcotest.fail "fallback lookup failed"
+
+let test_server_fold_and_prefixes () =
+  let server = Route_server.create peers in
+  ignore (announce server ~peer:(asn 1) ~prefix:(pfx "20.0.0.0/16") ());
+  ignore (announce server ~peer:(asn 1) ~prefix:(pfx "21.0.0.0/16") ());
+  check_int "all prefixes" 2 (List.length (Route_server.all_prefixes server));
+  check_int "prefixes of peer" 2 (List.length (Route_server.prefixes_of server (asn 1)));
+  let n =
+    Route_server.fold_best server ~receiver:(asn 2) (fun _ _ acc -> acc + 1) 0
+  in
+  check_int "fold over local rib" 2 n;
+  (* The advertiser's own local RIB is empty. *)
+  let n1 =
+    Route_server.fold_best server ~receiver:(asn 1) (fun _ _ acc -> acc + 1) 0
+  in
+  check_int "advertiser rib empty" 0 n1
+
+let test_server_burst () =
+  let server = Route_server.create peers in
+  let updates =
+    List.init 5 (fun i ->
+        Update.announce
+          (Route.make
+             ~prefix:(Prefix.make (Ipv4.of_int (0x14000000 + (i * 65536))) 16)
+             ~next_hop:(ip "10.0.0.1")
+             ~as_path:[ asn 1; asn 65000 ]
+             ~learned_from:(asn 1) ()))
+  in
+  let changes = Route_server.apply_burst server updates in
+  check_int "five changes" 5 (List.length changes);
+  check_int "five prefixes" 5 (Route_server.prefix_count server)
+
+(* ------------------------------------------------------------------ *)
+(* AS-path regular expressions                                         *)
+
+let test_as_path_regex () =
+  (* The paper's YouTube example: all routes whose path ends at 43515. *)
+  let re = As_path_regex.compile ".*43515$" in
+  let youtube = route ~as_path:[ asn 3356; asn 43515 ] () in
+  let other = route ~as_path:[ asn 3356; asn 15169 ] () in
+  check_bool "match" true (As_path_regex.matches re youtube);
+  check_bool "no match" false (As_path_regex.matches re other);
+  check_int "filter" 1 (List.length (As_path_regex.filter re [ youtube; other ]));
+  check_string "source kept" ".*43515$" (As_path_regex.source re)
+
+let test_as_path_regex_anchors () =
+  let re = As_path_regex.compile "^100 " in
+  check_bool "anchored start" true
+    (As_path_regex.matches re (route ~as_path:[ asn 100; asn 2 ] ()));
+  check_bool "not mid-path" false
+    (As_path_regex.matches re (route ~as_path:[ asn 2; asn 100; asn 3 ] ()))
+
+let test_as_path_regex_invalid () =
+  check_bool "invalid raises" true
+    (try
+       ignore (As_path_regex.compile "(unclosed");
+       false
+     with Invalid_argument _ -> true)
+
+let test_server_filter_as_path () =
+  let server = Route_server.create peers in
+  ignore
+    (Route_server.apply server
+       (Update.announce
+          (Route.make ~prefix:(pfx "20.0.0.0/16") ~next_hop:(ip "10.0.0.1")
+             ~as_path:[ asn 1; asn 43515 ] ~learned_from:(asn 1) ())));
+  ignore
+    (Route_server.apply server
+       (Update.announce
+          (Route.make ~prefix:(pfx "21.0.0.0/16") ~next_hop:(ip "10.0.0.1")
+             ~as_path:[ asn 1; asn 15169 ] ~learned_from:(asn 1) ())));
+  let re = As_path_regex.compile ".*43515$" in
+  let matches = Route_server.filter_prefixes_by_as_path server ~receiver:(asn 2) re in
+  check_bool "only youtube prefix" true (matches = [ pfx "20.0.0.0/16" ])
+
+let test_server_filter_community () =
+  let server = Route_server.create peers in
+  let announce_with prefix communities =
+    ignore
+      (Route_server.apply server
+         (Update.announce
+            (Route.make ~prefix ~next_hop:(ip "10.0.0.1")
+               ~as_path:[ asn 1; asn 65000 ] ~communities ~learned_from:(asn 1) ())))
+  in
+  announce_with (pfx "20.0.0.0/16") [ (65000, 666) ];
+  announce_with (pfx "21.0.0.0/16") [ (65000, 100); (65000, 666) ];
+  announce_with (pfx "22.0.0.0/16") [];
+  let tagged =
+    Route_server.filter_prefixes_by_community server ~receiver:(asn 2) (65000, 666)
+  in
+  check_int "two tagged prefixes" 2 (List.length tagged);
+  check_bool "untagged excluded" false (List.mem (pfx "22.0.0.0/16") tagged)
+
+(* ------------------------------------------------------------------ *)
+(* Peer: wire + FSM glued over a byte stream                           *)
+
+let mk_peer ~local_asn ~local_id ~remote_asn =
+  Peer.create
+    ~local:{ Wire.asn = local_asn; hold_time = 90; bgp_id = ip local_id }
+    ~peer_asn:remote_asn
+
+(* Shuttle bytes between two endpoints until both go quiet, optionally
+   fragmenting every transmission into 1-byte pieces. *)
+let shuttle ?(fragment = false) a b =
+  let deliver dst data =
+    if fragment then
+      Bytes.iter
+        (fun ch ->
+          match Peer.feed dst (Bytes.make 1 ch) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e)
+        data
+    else
+      match Peer.feed dst data with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e
+  in
+  let rec go guard =
+    if guard = 0 then Alcotest.fail "session negotiation did not converge";
+    let out_a = Peer.pending_output a and out_b = Peer.pending_output b in
+    if out_a = [] && out_b = [] then ()
+    else begin
+      List.iter (deliver b) out_a;
+      List.iter (deliver a) out_b;
+      go (guard - 1)
+    end
+  in
+  go 10
+
+let test_peer_establishment () =
+  let a = mk_peer ~local_asn:(asn 64512) ~local_id:"10.0.0.1" ~remote_asn:(asn 2) in
+  let b = mk_peer ~local_asn:(asn 2) ~local_id:"10.0.0.2" ~remote_asn:(asn 64512) in
+  Peer.connect a;
+  Peer.connect b;
+  shuttle a b;
+  check_bool "a established" true (Peer.state a = Fsm.Established);
+  check_bool "b established" true (Peer.state b = Fsm.Established);
+  (match Peer.remote_open a with
+  | Some o -> check_bool "a learned b's asn" true (Asn.equal o.asn (asn 2))
+  | None -> Alcotest.fail "no remote open");
+  check_bool "no flush during bring-up" false (Peer.flush_requested a)
+
+let test_peer_update_exchange_fragmented () =
+  let a = mk_peer ~local_asn:(asn 64512) ~local_id:"10.0.0.1" ~remote_asn:(asn 2) in
+  let b = mk_peer ~local_asn:(asn 2) ~local_id:"10.0.0.2" ~remote_asn:(asn 64512) in
+  Peer.connect a;
+  Peer.connect b;
+  shuttle ~fragment:true a b;
+  check_bool "established over fragmented stream" true
+    (Peer.state a = Fsm.Established && Peer.state b = Fsm.Established);
+  (* b announces a route; a receives it attributed to b's ASN. *)
+  let r = route ~prefix:(pfx "20.0.0.0/16") ~learned_from:(asn 2) () in
+  Peer.send_update b (Update.announce r);
+  let received = ref [] in
+  List.iter
+    (fun data ->
+      (* one byte at a time *)
+      Bytes.iter
+        (fun ch ->
+          match Peer.feed a (Bytes.make 1 ch) with
+          | Ok us -> received := !received @ us
+          | Error e -> Alcotest.fail e)
+        data)
+    (Peer.pending_output b);
+  match !received with
+  | [ Update.Announce r' ] ->
+      check_bool "prefix" true (Prefix.equal r'.prefix (pfx "20.0.0.0/16"));
+      check_bool "attributed to peer" true (Asn.equal r'.learned_from (asn 2))
+  | _ -> Alcotest.fail "expected exactly one announce"
+
+let test_peer_hold_expiry_flushes () =
+  let a = mk_peer ~local_asn:(asn 64512) ~local_id:"10.0.0.1" ~remote_asn:(asn 2) in
+  let b = mk_peer ~local_asn:(asn 2) ~local_id:"10.0.0.2" ~remote_asn:(asn 64512) in
+  Peer.connect a;
+  Peer.connect b;
+  shuttle a b;
+  Peer.hold_expired a;
+  check_bool "torn down" true (Peer.state a = Fsm.Idle);
+  check_bool "flush requested" true (Peer.flush_requested a);
+  check_bool "flag clears on read" false (Peer.flush_requested a);
+  (* The notification reaches b and tears it down too. *)
+  List.iter
+    (fun data -> ignore (Result.get_ok (Peer.feed b data)))
+    (Peer.pending_output a);
+  check_bool "b idle after notification" true (Peer.state b = Fsm.Idle);
+  check_bool "b flushes too" true (Peer.flush_requested b)
+
+let test_peer_garbage_tears_down () =
+  let a = mk_peer ~local_asn:(asn 64512) ~local_id:"10.0.0.1" ~remote_asn:(asn 2) in
+  Peer.connect a;
+  check_bool "garbage rejected" true
+    (Result.is_error (Peer.feed a (Bytes.make 19 '\000')));
+  check_bool "idle after garbage" true (Peer.state a = Fsm.Idle)
+
+let test_peer_update_before_establishment () =
+  let a = mk_peer ~local_asn:(asn 64512) ~local_id:"10.0.0.1" ~remote_asn:(asn 2) in
+  Peer.connect a;
+  (* a is in OpenSent; an UPDATE now is an FSM error. *)
+  let raw =
+    Wire.encode (Wire.of_update (Update.announce (route ~learned_from:(asn 2) ())))
+  in
+  (match Peer.feed a raw with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "update accepted before establishment"
+  | Error e -> Alcotest.fail e);
+  check_bool "torn down" true (Peer.state a = Fsm.Idle);
+  (* The FSM-error notification is queued behind the initial OPEN. *)
+  let out = Peer.pending_output a in
+  check_bool "notification sent" true
+    (List.exists
+       (fun raw ->
+         match Wire.decode raw with
+         | Ok (Wire.Notification { code = 5; _ }) -> true
+         | _ -> false)
+       out)
+
+(* ------------------------------------------------------------------ *)
+(* Peering policies and route-server communities                       *)
+
+let rs_asn = asn 6695 (* DE-CIX's route-server AS, for flavor *)
+
+let test_peering_matrices () =
+  let m = Peering.bilateral [ (asn 1, asn 2) ] in
+  check_bool "pair allowed" true (m ~advertiser:(asn 1) ~receiver:(asn 2));
+  check_bool "pair symmetric" true (m ~advertiser:(asn 2) ~receiver:(asn 1));
+  check_bool "others denied" false (m ~advertiser:(asn 1) ~receiver:(asn 3));
+  let d = Peering.deny_pairs [ (asn 1, asn 3) ] in
+  check_bool "denied pair" false (d ~advertiser:(asn 3) ~receiver:(asn 1));
+  check_bool "others open" true (d ~advertiser:(asn 1) ~receiver:(asn 2))
+
+let test_peering_communities () =
+  let filter = Peering.community_filter ~rs_asn in
+  let plain = route () in
+  check_bool "untagged exports" true (filter plain ~receiver:(asn 2));
+  let no_exp = Peering.tag plain [ Peering.no_export ] in
+  check_bool "no-export blocks" false (filter no_exp ~receiver:(asn 2));
+  check_bool "blocked_by_no_export" true (Peering.blocked_by_no_export no_exp);
+  let skip3 = Peering.tag plain [ Peering.do_not_announce_to (asn 3) ] in
+  check_bool "do-not-announce blocks target" false (filter skip3 ~receiver:(asn 3));
+  check_bool "do-not-announce passes others" true (filter skip3 ~receiver:(asn 2));
+  let only2 = Peering.tag plain [ Peering.announce_only_to ~rs_asn (asn 2) ] in
+  check_bool "announce-only passes target" true (filter only2 ~receiver:(asn 2));
+  check_bool "announce-only blocks others" false (filter only2 ~receiver:(asn 3))
+
+let test_peering_through_route_server () =
+  (* The SDX route server honors the same community conventions a
+     conventional route server would. *)
+  let server =
+    Route_server.create ~route_filter:(Peering.community_filter ~rs_asn) peers
+  in
+  let announce_tagged prefix communities =
+    ignore
+      (Route_server.apply server
+         (Update.announce
+            (Route.make ~prefix ~next_hop:(ip "10.0.0.1")
+               ~as_path:[ asn 1; asn 65000 ] ~communities ~learned_from:(asn 1) ())))
+  in
+  announce_tagged (pfx "20.0.0.0/16") [ Peering.do_not_announce_to (asn 3) ];
+  check_bool "2 gets the route" true
+    (Option.is_some (Route_server.best server ~receiver:(asn 2) (pfx "20.0.0.0/16")));
+  check_bool "3 is filtered" true
+    (Route_server.best server ~receiver:(asn 3) (pfx "20.0.0.0/16") = None);
+  check_bool "reachability matches" true
+    (Route_server.reachable_prefixes server ~receiver:(asn 3) ~via:(asn 1) = []);
+  announce_tagged (pfx "21.0.0.0/16") [ Peering.no_export ];
+  check_bool "no-export hidden from everyone" true
+    (Route_server.best server ~receiver:(asn 2) (pfx "21.0.0.0/16") = None)
+
+(* ------------------------------------------------------------------ *)
+(* RPKI                                                                *)
+
+let test_rpki_validation () =
+  let table = Rpki.create () in
+  Rpki.add_roa table ~prefix:(pfx "74.125.0.0/16") ~max_length:24 (asn 15169);
+  check_int "one roa" 1 (Rpki.roa_count table);
+  (* Exact-authorized origination. *)
+  check_bool "valid" true
+    (Rpki.validate_origin table ~prefix:(pfx "74.125.1.0/24") (asn 15169) = Rpki.Valid);
+  (* Wrong AS: covered but unauthorized. *)
+  check_bool "invalid origin" true
+    (Rpki.validate_origin table ~prefix:(pfx "74.125.1.0/24") (asn 666) = Rpki.Invalid);
+  (* Too specific for the ROA's max length. *)
+  check_bool "too specific" true
+    (Rpki.validate_origin table ~prefix:(pfx "74.125.1.0/25") (asn 15169) = Rpki.Invalid);
+  (* Unrelated space: no ROA at all. *)
+  check_bool "not found" true
+    (Rpki.validate_origin table ~prefix:(pfx "8.8.8.0/24") (asn 15169) = Rpki.Not_found)
+
+let test_rpki_route_validation () =
+  let table = Rpki.create () in
+  Rpki.add_roa table ~prefix:(pfx "74.125.0.0/16") ~max_length:24 (asn 15169);
+  let good =
+    route ~prefix:(pfx "74.125.1.0/24") ~as_path:[ asn 3356; asn 15169 ] ()
+  in
+  let hijack =
+    route ~prefix:(pfx "74.125.1.0/24") ~as_path:[ asn 3356; asn 666 ] ()
+  in
+  check_bool "good route valid" true (Rpki.validate table good = Rpki.Valid);
+  check_bool "hijack invalid" true (Rpki.validate table hijack = Rpki.Invalid);
+  check_bool "empty path over covered space invalid" true
+    (Rpki.validate table (route ~prefix:(pfx "74.125.1.0/24") ~as_path:[] ())
+    = Rpki.Invalid)
+
+let test_rpki_multiple_roas () =
+  (* Dual-homed prefix: two ROAs authorize two different origins. *)
+  let table = Rpki.create () in
+  Rpki.add_roa table ~prefix:(pfx "74.125.0.0/16") (asn 15169);
+  Rpki.add_roa table ~prefix:(pfx "74.125.0.0/16") (asn 36040);
+  check_bool "first origin valid" true
+    (Rpki.validate_origin table ~prefix:(pfx "74.125.0.0/16") (asn 15169) = Rpki.Valid);
+  check_bool "second origin valid" true
+    (Rpki.validate_origin table ~prefix:(pfx "74.125.0.0/16") (asn 36040) = Rpki.Valid);
+  (* Default max_length = prefix length: subnets are invalid. *)
+  check_bool "subnet invalid" true
+    (Rpki.validate_origin table ~prefix:(pfx "74.125.1.0/24") (asn 15169) = Rpki.Invalid)
+
+let test_rpki_bad_max_length () =
+  let table = Rpki.create () in
+  check_bool "max_length below prefix" true
+    (try
+       Rpki.add_roa table ~prefix:(pfx "10.0.0.0/16") ~max_length:8 (asn 1);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Wire format (RFC 4271)                                              *)
+
+let test_wire_open_roundtrip () =
+  let msg =
+    Wire.Open { asn = asn 64512; hold_time = 90; bgp_id = ip "10.0.0.1" }
+  in
+  match Wire.decode (Wire.encode msg) with
+  | Ok (Wire.Open o) ->
+      check_bool "asn" true (Asn.equal o.asn (asn 64512));
+      check_int "hold" 90 o.hold_time;
+      check_bool "id" true (Ipv4.equal o.bgp_id (ip "10.0.0.1"))
+  | _ -> Alcotest.fail "open roundtrip failed"
+
+let test_wire_keepalive_notification () =
+  check_bool "keepalive" true (Wire.decode (Wire.encode Wire.Keepalive) = Ok Wire.Keepalive);
+  check_bool "keepalive is 19 bytes" true
+    (Bytes.length (Wire.encode Wire.Keepalive) = 19);
+  match Wire.decode (Wire.encode (Wire.Notification { code = 6; subcode = 2 })) with
+  | Ok (Wire.Notification { code; subcode }) ->
+      check_int "code" 6 code;
+      check_int "subcode" 2 subcode
+  | _ -> Alcotest.fail "notification roundtrip failed"
+
+let test_wire_update_roundtrip () =
+  let r =
+    Route.make ~prefix:(pfx "20.0.0.0/16") ~next_hop:(ip "10.0.0.1")
+      ~as_path:[ asn 100; asn 65000 ] ~local_pref:150 ~med:7
+      ~origin:Route.Egp
+      ~communities:[ (65535, 65281); (100, 200) ]
+      ~learned_from:(asn 100) ()
+  in
+  let msg = Wire.of_update (Update.announce r) in
+  match Wire.decode (Wire.encode msg) with
+  | Ok decoded -> (
+      match Wire.to_updates ~peer:(asn 100) decoded with
+      | [ Update.Announce r' ] ->
+          check_bool "prefix" true (Prefix.equal r'.prefix r.prefix);
+          check_bool "next hop" true (Ipv4.equal r'.next_hop r.next_hop);
+          check_bool "as path" true (r'.as_path = r.as_path);
+          check_int "local pref" 150 r'.local_pref;
+          check_int "med" 7 r'.med;
+          check_bool "origin" true (r'.origin = Route.Egp);
+          check_bool "communities" true (r'.communities = r.communities);
+          check_bool "learned from session peer" true
+            (Asn.equal r'.learned_from (asn 100))
+      | _ -> Alcotest.fail "expected one announce")
+  | Error e -> Alcotest.fail e
+
+let test_wire_withdraw_roundtrip () =
+  let msg = Wire.of_update (Update.withdraw ~peer:(asn 100) (pfx "20.0.0.0/16")) in
+  match Wire.decode (Wire.encode msg) with
+  | Ok decoded -> (
+      match Wire.to_updates ~peer:(asn 100) decoded with
+      | [ Update.Withdraw { prefix; peer } ] ->
+          check_bool "prefix" true (Prefix.equal prefix (pfx "20.0.0.0/16"));
+          check_bool "peer" true (Asn.equal peer (asn 100))
+      | _ -> Alcotest.fail "expected one withdraw")
+  | Error e -> Alcotest.fail e
+
+let test_wire_as_trans () =
+  (* A 4-byte AS number falls back to AS_TRANS on the wire. *)
+  let msg =
+    Wire.Open { asn = asn 400_000; hold_time = 90; bgp_id = ip "10.0.0.1" }
+  in
+  match Wire.decode (Wire.encode msg) with
+  | Ok (Wire.Open o) -> check_bool "as-trans" true (Asn.equal o.asn Wire.as_trans)
+  | _ -> Alcotest.fail "as-trans roundtrip failed"
+
+let test_wire_rejects_garbage () =
+  check_bool "bad marker" true
+    (Result.is_error (Wire.decode (Bytes.make 19 '\000')));
+  check_bool "short" true (Result.is_error (Wire.decode (Bytes.make 5 '\xff')));
+  let truncated = Wire.encode Wire.Keepalive in
+  Bytes.set_uint8 truncated 17 99 (* lie about the length *);
+  check_bool "length mismatch" true (Result.is_error (Wire.decode truncated))
+
+let gen_wire_route =
+  let open QCheck2.Gen in
+  let* network = int_range 0 0xFFFF_FFFF in
+  let* len = int_range 0 32 in
+  let* path_len = int_range 1 5 in
+  let* path_start = int_range 1 60_000 in
+  let* local_pref = int_range 0 1000 in
+  let* med = int_range 0 1000 in
+  let* origin = oneofl [ Route.Igp; Route.Egp; Route.Incomplete ] in
+  let* n_comm = int_range 0 3 in
+  let* nh = int_range 0 0xFFFF_FFFF in
+  return
+    (Route.make
+       ~prefix:(Prefix.make (Ipv4.of_int network) len)
+       ~next_hop:(Ipv4.of_int nh)
+       ~as_path:(List.init path_len (fun i -> asn (path_start + i)))
+       ~local_pref ~med ~origin
+       ~communities:(List.init n_comm (fun i -> (i, i * 7)))
+       ~learned_from:(asn 77) ())
+
+let prop_wire_update_roundtrip =
+  QCheck2.Test.make ~name:"wire update roundtrip preserves the route" ~count:500
+    gen_wire_route
+    (fun r ->
+      match Wire.decode (Wire.encode (Wire.of_update (Update.announce r))) with
+      | Ok msg -> (
+          match Wire.to_updates ~peer:(asn 77) msg with
+          | [ Update.Announce r' ] -> Route.equal r' r
+          | _ -> false)
+      | Error _ -> false)
+
+let prop_wire_never_crashes =
+  QCheck2.Test.make ~name:"wire decode never crashes on noise" ~count:500
+    QCheck2.Gen.(string_size (int_range 0 64))
+    (fun s ->
+      match Wire.decode (Bytes.of_string s) with
+      | Ok _ | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Session FSM                                                         *)
+
+let open_msg = { Wire.asn = asn 1; hold_time = 90; bgp_id = ip "10.0.0.1" }
+
+let drive fsm events = List.iter (fun e -> ignore (Fsm.handle fsm e)) events
+
+let establish fsm =
+  drive fsm
+    [ Fsm.Manual_start; Fsm.Tcp_connected; Fsm.Open_received open_msg;
+      Fsm.Keepalive_received ]
+
+let test_fsm_happy_path () =
+  let fsm = Fsm.create () in
+  check_bool "starts idle" true (Fsm.state fsm = Fsm.Idle);
+  check_bool "start connects" true
+    (Fsm.handle fsm Fsm.Manual_start = [ Fsm.Start_connection ]);
+  check_bool "tcp sends open" true
+    (Fsm.handle fsm Fsm.Tcp_connected = [ Fsm.Send_open ]);
+  check_bool "open confirms" true
+    (Fsm.handle fsm (Fsm.Open_received open_msg) = [ Fsm.Send_keepalive ]);
+  check_bool "keepalive establishes" true (Fsm.handle fsm Fsm.Keepalive_received = []);
+  check_bool "established" true (Fsm.state fsm = Fsm.Established);
+  check_bool "updates keep it up" true
+    (Fsm.handle fsm Fsm.Update_received = [] && Fsm.state fsm = Fsm.Established);
+  check_bool "keepalive timer sends keepalive" true
+    (Fsm.handle fsm Fsm.Keepalive_timer_expired = [ Fsm.Send_keepalive ])
+
+let test_fsm_hold_timer_flushes () =
+  let fsm = Fsm.create () in
+  establish fsm;
+  let actions = Fsm.handle fsm Fsm.Hold_timer_expired in
+  check_bool "notify + drop + flush" true
+    (actions
+    = [ Fsm.Send_notification { code = 4; subcode = 0 };
+        Fsm.Drop_connection; Fsm.Flush_routes ]);
+  check_bool "idle after hold expiry" true (Fsm.state fsm = Fsm.Idle)
+
+let test_fsm_notification_teardown () =
+  let fsm = Fsm.create () in
+  establish fsm;
+  let actions = Fsm.handle fsm Fsm.Notification_received in
+  check_bool "drops and flushes" true
+    (actions = [ Fsm.Drop_connection; Fsm.Flush_routes ]);
+  (* Before establishment, no routes to flush. *)
+  let fsm2 = Fsm.create () in
+  drive fsm2 [ Fsm.Manual_start; Fsm.Tcp_connected ];
+  check_bool "no flush pre-establishment" true
+    (Fsm.handle fsm2 Fsm.Notification_received = [ Fsm.Drop_connection ])
+
+let test_fsm_connect_retry () =
+  let fsm = Fsm.create () in
+  ignore (Fsm.handle fsm Fsm.Manual_start);
+  ignore (Fsm.handle fsm Fsm.Tcp_failed);
+  check_bool "active after tcp failure" true (Fsm.state fsm = Fsm.Active);
+  check_bool "retry reconnects" true
+    (Fsm.handle fsm Fsm.Connect_retry_expired = [ Fsm.Start_connection ]);
+  check_int "retries counted" 2 (Fsm.connect_retries fsm)
+
+let test_fsm_error_handling () =
+  let fsm = Fsm.create () in
+  drive fsm [ Fsm.Manual_start; Fsm.Tcp_connected ];
+  (* A keepalive in OpenSent is an FSM error (code 5). *)
+  let actions = Fsm.handle fsm Fsm.Keepalive_received in
+  check_bool "fsm error notification" true
+    (actions
+    = [ Fsm.Send_notification { code = 5; subcode = 0 }; Fsm.Drop_connection ]);
+  check_bool "back to idle" true (Fsm.state fsm = Fsm.Idle);
+  (* Stray events in Idle are ignored. *)
+  check_bool "idle ignores" true (Fsm.handle fsm Fsm.Keepalive_received = [])
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+
+let test_session_reset () =
+  let s = Session.create ~peer:(asn 1) in
+  check_bool "starts idle" true (Session.state s = Session.Idle);
+  Session.establish s;
+  check_bool "established" true (Session.state s = Session.Established);
+  let withdrawals = Session.reset s [ pfx "20.0.0.0/16"; pfx "21.0.0.0/16" ] in
+  check_int "withdraw all" 2 (List.length withdrawals);
+  check_bool "idle again" true (Session.state s = Session.Idle);
+  check_bool "withdraws from peer" true
+    (List.for_all (fun u -> Asn.equal (Update.peer u) (asn 1)) withdrawals)
+
+let test_session_table_transfer () =
+  let s = Session.create ~peer:(asn 2) in
+  let transferred = Session.table_transfer s [ route () ] in
+  check_bool "re-established" true (Session.state s = Session.Established);
+  check_bool "announces as peer" true
+    (match transferred with
+    | [ Update.Announce r ] -> Asn.equal r.learned_from (asn 2)
+    | _ -> false)
+
+let test_transfer_burst_heuristic () =
+  let updates =
+    List.init 95 (fun i ->
+        Update.announce
+          (route ~prefix:(Prefix.make (Ipv4.of_int (0x14000000 + (i * 256))) 24) ()))
+  in
+  check_bool "full transfer detected" true
+    (Session.is_transfer_burst ~updates ~table_size:100);
+  check_bool "small burst not a transfer" false
+    (Session.is_transfer_burst ~updates:[ List.hd updates ] ~table_size:100);
+  check_bool "empty table" false
+    (Session.is_transfer_burst ~updates ~table_size:0)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printers (rendering used by the CLI and logs)                *)
+
+let test_pretty_printers () =
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let r = route ~as_path:[ asn 100; asn 200 ] ~local_pref:150 () in
+  let s = Format.asprintf "%a" Route.pp r in
+  check_bool "route pp has prefix" true (contains "20.0.0.0/16" s);
+  check_bool "route pp has path" true (contains "[100 200]" s);
+  check_bool "route pp has pref" true (contains "lp=150" s);
+  let s = Format.asprintf "%a" Update.pp (Update.announce r) in
+  check_bool "announce pp" true (contains "announce" s);
+  let s = Format.asprintf "%a" Update.pp (Update.withdraw ~peer:(asn 1) (pfx "9.0.0.0/8")) in
+  check_bool "withdraw pp" true (contains "withdraw 9.0.0.0/8" s);
+  let s = Format.asprintf "%a" Wire.pp (Wire.Notification { code = 6; subcode = 1 }) in
+  check_bool "wire pp" true (contains "NOTIFICATION 6/1" s);
+  check_bool "fsm state pp" true
+    (Format.asprintf "%a" Fsm.pp_state Fsm.Open_confirm = "OpenConfirm");
+  check_bool "validity pp" true
+    (Format.asprintf "%a" Rpki.pp_validity Rpki.Invalid = "invalid");
+  check_bool "origin in route pp" true
+    (contains "EGP" (Format.asprintf "%a" Route.pp (route ~origin:Route.Egp ())))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sdx_bgp"
+    [
+      ( "route",
+        [
+          Alcotest.test_case "accessors" `Quick test_route_accessors;
+          Alcotest.test_case "prepend" `Quick test_route_prepend;
+          Alcotest.test_case "with_next_hop" `Quick test_route_with_next_hop;
+        ] );
+      ( "decision",
+        [
+          Alcotest.test_case "local pref" `Quick test_decision_local_pref;
+          Alcotest.test_case "as path length" `Quick test_decision_as_path_length;
+          Alcotest.test_case "origin" `Quick test_decision_origin;
+          Alcotest.test_case "med" `Quick test_decision_med;
+          Alcotest.test_case "tiebreaks" `Quick test_decision_tiebreaks;
+          Alcotest.test_case "priority order" `Quick test_decision_priority_order;
+          Alcotest.test_case "sort" `Quick test_decision_sort;
+        ]
+        @ qsuite [ prop_prefer_antisymmetric; prop_prefer_transitive; prop_best_is_max ]
+      );
+      ( "route_server",
+        [
+          Alcotest.test_case "announce" `Quick test_server_basic_announce;
+          Alcotest.test_case "best selection" `Quick test_server_best_selection;
+          Alcotest.test_case "withdraw" `Quick test_server_withdraw;
+          Alcotest.test_case "no-op change" `Quick test_server_noop_change;
+          Alcotest.test_case "export policy" `Quick test_server_export_policy;
+          Alcotest.test_case "feasible routes" `Quick test_server_feasible;
+          Alcotest.test_case "unknown peer" `Quick test_server_unknown_peer;
+          Alcotest.test_case "loop prevention" `Quick test_server_loop_prevention;
+          Alcotest.test_case "lookup_best" `Quick test_server_lookup_best;
+          Alcotest.test_case "fold/prefixes" `Quick test_server_fold_and_prefixes;
+          Alcotest.test_case "burst" `Quick test_server_burst;
+        ] );
+      ( "as_path_regex",
+        [
+          Alcotest.test_case "youtube example" `Quick test_as_path_regex;
+          Alcotest.test_case "anchors" `Quick test_as_path_regex_anchors;
+          Alcotest.test_case "invalid" `Quick test_as_path_regex_invalid;
+          Alcotest.test_case "server filter" `Quick test_server_filter_as_path;
+          Alcotest.test_case "community filter" `Quick test_server_filter_community;
+        ] );
+      ( "peer",
+        [
+          Alcotest.test_case "establishment" `Quick test_peer_establishment;
+          Alcotest.test_case "fragmented update exchange" `Quick
+            test_peer_update_exchange_fragmented;
+          Alcotest.test_case "hold expiry flushes" `Quick test_peer_hold_expiry_flushes;
+          Alcotest.test_case "garbage tears down" `Quick test_peer_garbage_tears_down;
+          Alcotest.test_case "update before establishment" `Quick
+            test_peer_update_before_establishment;
+        ] );
+      ( "peering",
+        [
+          Alcotest.test_case "matrices" `Quick test_peering_matrices;
+          Alcotest.test_case "communities" `Quick test_peering_communities;
+          Alcotest.test_case "through route server" `Quick
+            test_peering_through_route_server;
+        ] );
+      ( "rpki",
+        [
+          Alcotest.test_case "validation" `Quick test_rpki_validation;
+          Alcotest.test_case "route validation" `Quick test_rpki_route_validation;
+          Alcotest.test_case "multiple roas" `Quick test_rpki_multiple_roas;
+          Alcotest.test_case "bad max length" `Quick test_rpki_bad_max_length;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "open roundtrip" `Quick test_wire_open_roundtrip;
+          Alcotest.test_case "keepalive/notification" `Quick
+            test_wire_keepalive_notification;
+          Alcotest.test_case "update roundtrip" `Quick test_wire_update_roundtrip;
+          Alcotest.test_case "withdraw roundtrip" `Quick test_wire_withdraw_roundtrip;
+          Alcotest.test_case "as-trans" `Quick test_wire_as_trans;
+          Alcotest.test_case "rejects garbage" `Quick test_wire_rejects_garbage;
+        ]
+        @ qsuite [ prop_wire_update_roundtrip; prop_wire_never_crashes ] );
+      ( "fsm",
+        [
+          Alcotest.test_case "happy path" `Quick test_fsm_happy_path;
+          Alcotest.test_case "hold timer flushes" `Quick test_fsm_hold_timer_flushes;
+          Alcotest.test_case "notification teardown" `Quick
+            test_fsm_notification_teardown;
+          Alcotest.test_case "connect retry" `Quick test_fsm_connect_retry;
+          Alcotest.test_case "error handling" `Quick test_fsm_error_handling;
+        ] );
+      ("pp", [ Alcotest.test_case "pretty printers" `Quick test_pretty_printers ]);
+      ( "session",
+        [
+          Alcotest.test_case "reset" `Quick test_session_reset;
+          Alcotest.test_case "table transfer" `Quick test_session_table_transfer;
+          Alcotest.test_case "transfer heuristic" `Quick test_transfer_burst_heuristic;
+        ] );
+    ]

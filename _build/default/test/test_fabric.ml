@@ -1,0 +1,553 @@
+(* Tests for the fabric: border routers (stage-1 FIB of Figure 2), the
+   wired network, and the deployment experiments of Figure 5. *)
+
+open Sdx_net
+open Sdx_bgp
+open Sdx_fabric
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let ip = Ipv4.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Border router                                                       *)
+
+let test_router_sync_builds_fib () =
+  let runtime = Fig1.make_runtime () in
+  let config = Sdx_core.Runtime.config runtime in
+  let router = Border_router.create config ~asn:Fig1.asn_a ~port:0 in
+  check_int "empty before sync" 0 (Border_router.fib_size router);
+  Border_router.sync router runtime;
+  (* A's local RIB: p1..p5 (it announces nothing itself). *)
+  check_int "five routes" 5 (Border_router.fib_size router);
+  check_int "switch port" 1 (Border_router.switch_port router);
+  check_bool "asn" true (Asn.equal (Border_router.asn router) Fig1.asn_a)
+
+let test_router_next_hop_is_virtual () =
+  let runtime = Fig1.make_runtime () in
+  let config = Sdx_core.Runtime.config runtime in
+  let router = Border_router.create config ~asn:Fig1.asn_a ~port:0 in
+  Border_router.sync router runtime;
+  (* Grouped prefix p1: virtual next hop in 172.16/12. *)
+  (match Border_router.next_hop router (ip "20.0.1.9") with
+  | Some nh -> check_bool "vnh pool" true (Prefix.mem nh (Prefix.of_string "172.16.0.0/12"))
+  | None -> Alcotest.fail "no next hop for p1");
+  (* Default-only prefix p5: real next hop (D's interface). *)
+  match Border_router.next_hop router (ip "20.0.5.9") with
+  | Some nh -> check_bool "real nh" true (Ipv4.equal nh (ip "172.0.0.5"))
+  | None -> Alcotest.fail "no next hop for p5"
+
+let test_router_send_tags () =
+  let runtime = Fig1.make_runtime () in
+  let config = Sdx_core.Runtime.config runtime in
+  let router = Border_router.create config ~asn:Fig1.asn_a ~port:0 in
+  Border_router.sync router runtime;
+  let pkt = Packet.make ~src_ip:(ip "10.0.0.1") ~dst_ip:(ip "20.0.1.9") () in
+  (match Border_router.send router pkt with
+  | Some tagged ->
+      check_int "located at fabric port" 1 tagged.port;
+      check_bool "src mac set" true (Mac.equal tagged.src_mac Fig1.mac_a1);
+      (* The tag is the VMAC of p1's group. *)
+      let compiled = Sdx_core.Runtime.compiled runtime in
+      let g = Option.get (Sdx_core.Compile.group_of_prefix compiled Fig1.p1) in
+      check_bool "tagged with vmac" true (Mac.equal tagged.dst_mac g.vmac)
+  | None -> Alcotest.fail "send failed");
+  (* No route: nothing to send. *)
+  check_bool "no route" true
+    (Border_router.send router (Packet.make ~dst_ip:(ip "99.0.0.1") ()) = None)
+
+let test_router_unknown_port () =
+  let runtime = Fig1.make_runtime () in
+  let config = Sdx_core.Runtime.config runtime in
+  check_bool "bad port" true
+    (try
+       ignore (Border_router.create config ~asn:Fig1.asn_a ~port:7);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                             *)
+
+let delivery_of net ~from ~src ~dst ~dst_port =
+  let pkt =
+    Packet.make ~src_ip:(ip src) ~dst_ip:(ip dst) ~dst_port ()
+  in
+  match Network.inject net ~from pkt with
+  | [ d ] -> Some d
+  | [] -> None
+  | _ -> Alcotest.fail "unexpected multicast"
+
+let test_network_figure1_deliveries () =
+  let runtime = Fig1.make_runtime () in
+  let net = Network.create runtime in
+  let expect ~src ~dst ~dst_port want =
+    match (delivery_of net ~from:Fig1.asn_a ~src ~dst ~dst_port, want) with
+    | Some (d : Network.delivery), Some (asn, port) ->
+        check_bool "receiver" true (Asn.equal d.receiver asn);
+        check_int "port" port d.receiver_port
+    | None, None -> ()
+    | _ -> Alcotest.fail "unexpected delivery"
+  in
+  expect ~src:"10.0.0.1" ~dst:"20.0.1.9" ~dst_port:80 (Some (Fig1.asn_b, 0));
+  expect ~src:"192.168.0.1" ~dst:"20.0.1.9" ~dst_port:80 (Some (Fig1.asn_b, 1));
+  expect ~src:"10.0.0.1" ~dst:"20.0.4.9" ~dst_port:443 (Some (Fig1.asn_c, 0));
+  expect ~src:"10.0.0.1" ~dst:"20.0.4.9" ~dst_port:80 (Some (Fig1.asn_c, 0));
+  expect ~src:"10.0.0.1" ~dst:"20.0.5.9" ~dst_port:9999 (Some (Fig1.asn_d, 0))
+
+let test_network_delivery_rewrites_mac () =
+  let runtime = Fig1.make_runtime () in
+  let net = Network.create runtime in
+  match delivery_of net ~from:Fig1.asn_a ~src:"10.0.0.1" ~dst:"20.0.1.9" ~dst_port:80 with
+  | Some d ->
+      (* §4.1: the fabric rewrites the destination MAC to the physical
+         address of the receiving port, or B would drop the frame. *)
+      check_bool "dst mac rewritten" true (Mac.equal d.packet.dst_mac Fig1.mac_b1)
+  | None -> Alcotest.fail "no delivery"
+
+let test_network_sync_after_update () =
+  let runtime = Fig1.make_runtime () in
+  let net = Network.create runtime in
+  ignore (Sdx_core.Runtime.withdraw runtime ~peer:Fig1.asn_b Fig1.p1);
+  Network.sync net;
+  (* B no longer exports p1: the diversion must stop at the fabric. *)
+  match delivery_of net ~from:Fig1.asn_a ~src:"10.0.0.1" ~dst:"20.0.1.9" ~dst_port:80 with
+  | Some d -> check_bool "back to C" true (Asn.equal d.receiver Fig1.asn_c)
+  | None -> Alcotest.fail "traffic lost after withdrawal"
+
+let test_network_router_access () =
+  let runtime = Fig1.make_runtime () in
+  let net = Network.create runtime in
+  check_bool "router exists" true
+    (Asn.equal (Border_router.asn (Network.router net Fig1.asn_a)) Fig1.asn_a);
+  check_bool "no router for unknown" true
+    (try
+       ignore (Network.router net (Asn.of_int 9999));
+       false
+     with Not_found -> true)
+
+let test_network_incremental_sync () =
+  let runtime = Fig1.make_runtime () in
+  let net = Network.create runtime in
+  let full_table = Sdx_openflow.Switch.rule_count (Network.switch net) in
+  (* A no-op sync sends nothing. *)
+  Network.sync net;
+  check_int "no-op sync" 0 (Network.last_sync_flow_mods net);
+  (* One BGP update touches a handful of entries, not the whole table. *)
+  ignore (Sdx_core.Runtime.withdraw runtime ~peer:Fig1.asn_c Fig1.p1);
+  Network.sync net;
+  let mods = Network.last_sync_flow_mods net in
+  check_bool "few flow mods for one update" true (mods > 0 && mods < full_table / 2);
+  (* The background re-optimization rewrites most of the table. *)
+  ignore (Sdx_core.Runtime.reoptimize runtime);
+  Network.sync net;
+  check_bool "reoptimization is the big sync" true
+    (Network.last_sync_flow_mods net >= mods)
+
+let test_network_switch_capacity () =
+  let runtime = Fig1.make_runtime () in
+  (* A comfortable budget installs fine... *)
+  let net = Network.create ~switch_capacity:500 runtime in
+  check_bool "fits" true
+    (Sdx_openflow.Switch.rule_count (Network.switch net) > 0);
+  (* ...a starved one hits the hardware limit, as §4.2 warns. *)
+  check_bool "table full surfaces" true
+    (try
+       ignore (Network.create ~switch_capacity:5 runtime);
+       false
+     with Sdx_openflow.Table.Table_full -> true)
+
+let test_network_inject_frame () =
+  let runtime = Fig1.make_runtime () in
+  let net = Network.create runtime in
+  let pkt =
+    Packet.make ~src_ip:(ip "10.0.0.1") ~dst_ip:(ip "20.0.1.9") ~dst_port:80 ()
+  in
+  (* Wire bytes in, wire bytes out. *)
+  (match Network.inject_frame net ~from:Fig1.asn_a (Codec.to_bytes pkt) with
+  | Ok [ d ] ->
+      check_bool "delivered to B" true (Asn.equal d.receiver Fig1.asn_b);
+      let frame = Network.frame_of_delivery d in
+      (match Codec.of_bytes frame with
+      | Ok out ->
+          check_bool "frame addressed to receiver port" true
+            (Mac.equal out.dst_mac Fig1.mac_b1)
+      | Error e -> Alcotest.fail e)
+  | Ok _ -> Alcotest.fail "unexpected deliveries"
+  | Error e -> Alcotest.fail e);
+  check_bool "garbage frame rejected" true
+    (Result.is_error (Network.inject_frame net ~from:Fig1.asn_a (Bytes.make 7 'x')))
+
+let test_network_inject_at_port () =
+  let runtime = Fig1.make_runtime () in
+  let net = Network.create runtime in
+  (* A raw frame with an unknown destination MAC is dropped. *)
+  let pkt = Packet.make ~port:1 ~dst_mac:(Mac.of_string "12:34:56:78:9a:bc") () in
+  check_bool "unknown tag dropped" true (Network.inject_at_port net pkt = [])
+
+(* ------------------------------------------------------------------ *)
+(* Deployment experiments (compressed Figure 5 timelines)              *)
+
+let test_deployment_fig5a () =
+  let scenario =
+    Scenarios.Fig5a.scenario ~duration:30 ~policy_at:10 ~withdraw_at:20 ()
+  in
+  let samples = Deployment.run scenario in
+  check_int "one sample per second" 30 (List.length samples);
+  let at t = List.find (fun (s : Deployment.sample) -> s.time = t) samples in
+  (* Phase 1: all three flows via AS A. *)
+  check_bool "before: A carries all" true (Deployment.rate (at 5) "AS-A" = 3.0);
+  check_bool "before: B idle" true (Deployment.rate (at 5) "AS-B" = 0.0);
+  (* Phase 2: the port-80 flow diverts to AS B. *)
+  check_bool "after policy: A" true (Deployment.rate (at 15) "AS-A" = 2.0);
+  check_bool "after policy: B" true (Deployment.rate (at 15) "AS-B" = 1.0);
+  (* Phase 3: withdrawal pulls everything back to AS A. *)
+  check_bool "after withdrawal: A" true (Deployment.rate (at 25) "AS-A" = 3.0);
+  check_bool "after withdrawal: B" true (Deployment.rate (at 25) "AS-B" = 0.0)
+
+let test_deployment_fig5b () =
+  let scenario = Scenarios.Fig5b.scenario ~duration:20 ~policy_at:10 () in
+  let samples = Deployment.run scenario in
+  let at t = List.find (fun (s : Deployment.sample) -> s.time = t) samples in
+  check_bool "before: all on instance 1" true
+    (Deployment.rate (at 5) "AWS Instance #1" = 2.0);
+  check_bool "before: instance 2 idle" true
+    (Deployment.rate (at 5) "AWS Instance #2" = 0.0);
+  check_bool "after: split" true
+    (Deployment.rate (at 15) "AWS Instance #1" = 1.0
+    && Deployment.rate (at 15) "AWS Instance #2" = 1.0)
+
+let test_deployment_sampling () =
+  let scenario = Scenarios.Fig5b.scenario ~duration:20 ~policy_at:10 () in
+  let samples = Deployment.run ~sample_every:5 scenario in
+  check_int "sampled every 5s" 4 (List.length samples);
+  check_bool "missing sink reads zero" true
+    (Deployment.rate (List.hd samples) "nonexistent" = 0.0)
+
+let test_deployment_announce_event () =
+  (* An announce event mid-run: before it, traffic to the prefix is
+     dropped; after it, delivered. *)
+  let open Sdx_core in
+  let a =
+    Participant.make ~asn:(Asn.of_int 1)
+      ~ports:[ (Mac.of_string "0a:00:00:00:00:01", ip "172.9.0.1") ]
+      ()
+  in
+  let b =
+    Participant.make ~asn:(Asn.of_int 2)
+      ~ports:[ (Mac.of_string "0a:00:00:00:00:02", ip "172.9.0.2") ]
+      ()
+  in
+  let prefix = Prefix.of_string "55.0.0.0/16" in
+  let scenario =
+    {
+      Deployment.participants = [ a; b ];
+      seed_routes = [];
+      flows =
+        [
+          {
+            Deployment.name = "probe";
+            from = Asn.of_int 1;
+            packet = Packet.make ~dst_ip:(ip "55.0.1.1") ();
+            rate_mbps = 1.0;
+          };
+        ];
+      events =
+        [
+          ( 5,
+            Deployment.Announce_route
+              { peer = Asn.of_int 2; port = 0; prefix; as_path = None } );
+        ];
+      duration = 10;
+      classify =
+        (fun d -> if Asn.equal d.receiver (Asn.of_int 2) then Some "B" else None);
+    }
+  in
+  let samples = Deployment.run scenario in
+  let at t = List.find (fun (s : Deployment.sample) -> s.time = t) samples in
+  check_bool "before announce: dropped" true (Deployment.rate (at 2) "B" = 0.0);
+  check_bool "after announce: delivered" true (Deployment.rate (at 8) "B" = 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Middleboxes and service chaining                                    *)
+
+let mk_mbox_world () =
+  let open Sdx_core in
+  let open Sdx_policy in
+  let mac = Mac.of_string and pfx = Prefix.of_string in
+  let asn_t = Asn.of_int 10 and asn_e = Asn.of_int 20 and asn_m = Asn.of_int 30 in
+  let source_pfx = pfx "208.65.152.0/22" in
+  let transit =
+    Participant.make ~asn:asn_t
+      ~ports:[ (mac "0a:00:00:00:00:11", ip "172.8.0.1") ]
+      ~outbound:[ Ppolicy.steer (Pred.src_ip source_pfx) asn_m ]
+      ()
+  in
+  let eyeball =
+    Participant.make ~asn:asn_e ~ports:[ (mac "0a:00:00:00:00:12", ip "172.8.0.2") ] ()
+  in
+  let mbox =
+    Participant.make ~asn:asn_m ~ports:[ (mac "0a:00:00:00:00:13", ip "172.8.0.3") ] ()
+  in
+  let config = Config.make [ transit; eyeball; mbox ] in
+  ignore (Config.announce config ~peer:asn_e ~port:0 (pfx "73.0.0.0/8"));
+  let net = Network.create (Runtime.create config) in
+  (net, asn_t, asn_e, asn_m, source_pfx)
+
+let test_middlebox_steering () =
+  let net, asn_t, asn_e, asn_m, _ = mk_mbox_world () in
+  Network.attach_middlebox net asn_m (Middlebox.transcoder ~to_port:8080);
+  let pkt =
+    Packet.make ~src_ip:(ip "208.65.152.9") ~dst_ip:(ip "73.1.1.1") ~dst_port:1935 ()
+  in
+  (match Network.inject net ~from:asn_t pkt with
+  | [ d ] ->
+      check_bool "reaches the eyeball" true (Asn.equal d.receiver asn_e);
+      check_int "transcoded on the way" 8080 d.packet.dst_port
+  | _ -> Alcotest.fail "chain failed");
+  (* Unmatched traffic bypasses the middlebox. *)
+  let other =
+    Packet.make ~src_ip:(ip "9.9.9.9") ~dst_ip:(ip "73.1.1.1") ~dst_port:1935 ()
+  in
+  match Network.inject net ~from:asn_t other with
+  | [ d ] -> check_int "untouched" 1935 d.packet.dst_port
+  | _ -> Alcotest.fail "bypass failed"
+
+let test_middlebox_scrubber_drops () =
+  let net, asn_t, _, asn_m, _ = mk_mbox_world () in
+  Network.attach_middlebox net asn_m
+    (Middlebox.scrubber ~block:(fun p -> Ipv4.equal p.src_ip (ip "208.65.152.66")));
+  let attack =
+    Packet.make ~src_ip:(ip "208.65.152.66") ~dst_ip:(ip "73.1.1.1") ()
+  in
+  check_bool "attack scrubbed" true (Network.inject net ~from:asn_t attack = []);
+  let clean = Packet.make ~src_ip:(ip "208.65.152.9") ~dst_ip:(ip "73.1.1.1") () in
+  check_int "clean passes" 1 (List.length (Network.inject net ~from:asn_t clean))
+
+let test_middlebox_detach () =
+  let net, asn_t, _, asn_m, _ = mk_mbox_world () in
+  Network.attach_middlebox net asn_m (Middlebox.scrubber ~block:(fun _ -> true));
+  let pkt = Packet.make ~src_ip:(ip "208.65.152.9") ~dst_ip:(ip "73.1.1.1") () in
+  check_bool "everything scrubbed" true (Network.inject net ~from:asn_t pkt = []);
+  Network.detach_middlebox net asn_m;
+  (* Without the function, the steered frame lands at the host port. *)
+  match Network.inject net ~from:asn_t pkt with
+  | [ d ] -> check_bool "delivered at host" true (Asn.equal d.receiver asn_m)
+  | _ -> Alcotest.fail "detach failed"
+
+let test_middlebox_loop_bounded () =
+  (* A middlebox that bounces every packet straight back into itself via
+     the steering policy must terminate as a drop, not diverge. *)
+  let net, asn_t, _, asn_m, _ = mk_mbox_world () in
+  (* Echo middlebox: emits the packet unchanged; the host router re-tags
+     it toward the eyeball, but we make the steering predicate loop by
+     also steering the middlebox host's own output. *)
+  Network.attach_middlebox net asn_m (fun p -> [ p ]);
+  let pkt = Packet.make ~src_ip:(ip "208.65.152.9") ~dst_ip:(ip "73.1.1.1") () in
+  (* Terminates with a delivery (no infinite loop). *)
+  check_bool "bounded" true (List.length (Network.inject net ~from:asn_t pkt) <= 2)
+
+let test_middlebox_combinators () =
+  let pkt = Packet.make ~dst_port:1935 ~src_ip:(ip "1.2.3.4") () in
+  check_bool "tee duplicates" true (List.length (Middlebox.tee pkt) = 2);
+  (match Middlebox.nat ~public_ip:(ip "9.9.9.9") pkt with
+  | [ p ] -> check_bool "nat rewrites" true (Ipv4.equal p.src_ip (ip "9.9.9.9"))
+  | _ -> Alcotest.fail "nat");
+  match
+    Middlebox.chain
+      [ Middlebox.transcoder ~to_port:80; Middlebox.nat ~public_ip:(ip "9.9.9.9") ]
+      pkt
+  with
+  | [ p ] ->
+      check_int "chained transcode" 80 p.dst_port;
+      check_bool "chained nat" true (Ipv4.equal p.src_ip (ip "9.9.9.9"))
+  | _ -> Alcotest.fail "chain"
+
+let test_attach_requires_port () =
+  let runtime = Fig1.make_runtime () in
+  let net = Network.create runtime in
+  check_bool "remote host rejected" true
+    (try
+       Network.attach_middlebox net (Asn.of_int 4242) (fun p -> [ p ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+
+let test_telemetry_counters () =
+  let runtime = Fig1.make_runtime () in
+  let net = Network.create runtime in
+  let send ~src ~dst ~dst_port =
+    ignore
+      (Network.inject net ~from:Fig1.asn_a
+         (Packet.make ~src_ip:(ip src) ~dst_ip:(ip dst) ~dst_port ()))
+  in
+  send ~src:"10.0.0.1" ~dst:"20.0.1.9" ~dst_port:80;  (* -> B *)
+  send ~src:"10.0.0.2" ~dst:"20.0.1.9" ~dst_port:80;  (* -> B *)
+  send ~src:"10.0.0.1" ~dst:"20.0.4.9" ~dst_port:443;  (* -> C *)
+  send ~src:"10.0.0.1" ~dst:"99.0.0.1" ~dst_port:80;  (* no route: drop *)
+  let t = Network.telemetry net in
+  check_int "tx" 4 (Telemetry.tx t Fig1.asn_a);
+  check_int "b rx" 2 (Telemetry.rx t Fig1.asn_b);
+  check_int "c rx" 1 (Telemetry.rx t Fig1.asn_c);
+  check_int "drops" 1 (Telemetry.dropped t Fig1.asn_a);
+  check_int "total" 4 (Telemetry.total t);
+  (match Telemetry.matrix t with
+  | (s, r, n) :: _ ->
+      check_bool "heaviest pair" true
+        (Asn.equal s Fig1.asn_a && Asn.equal r Fig1.asn_b && n = 2)
+  | [] -> Alcotest.fail "empty matrix");
+  (match Telemetry.top_sources t ~toward:Fig1.asn_b with
+  | (src, _) :: _ ->
+      check_bool "sources tracked" true
+        (Ipv4.equal src (ip "10.0.0.1") || Ipv4.equal src (ip "10.0.0.2"))
+  | [] -> Alcotest.fail "no sources");
+  Telemetry.reset t;
+  check_int "reset" 0 (Telemetry.total t)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-switch topology                                               *)
+
+let fig1_classifier () =
+  let runtime = Fig1.make_runtime () in
+  (runtime, Sdx_core.Runtime.classifier runtime)
+
+(* Figure 1's five ports spread over three switches in a line. *)
+let fig1_topology () =
+  Topology.create ~switches:[ 1; 2; 3 ]
+    ~links:[ (1, 2); (2, 3) ]
+    ~port_home:[ (1, 1); (2, 2); (3, 2); (4, 3); (5, 3) ]
+
+let test_topology_structure () =
+  let topo = fig1_topology () in
+  check_int "switches" 3 (Topology.switch_count topo);
+  check_bool "port home" true (Topology.home_of_port topo 4 = Some 3);
+  check_bool "unknown port" true (Topology.home_of_port topo 99 = None);
+  check_int "tree edges" 2 (List.length (Topology.spanning_tree_edges topo));
+  check_bool "next hop" true (Topology.next_hop topo ~from:1 ~toward:3 = Some 2);
+  check_bool "next hop down" true (Topology.next_hop topo ~from:2 ~toward:3 = Some 3);
+  check_bool "same switch" true (Topology.next_hop topo ~from:2 ~toward:2 = None)
+
+let test_topology_cycle_breaks () =
+  (* A triangle: STP must drop one link. *)
+  let topo =
+    Topology.create ~switches:[ 1; 2; 3 ]
+      ~links:[ (1, 2); (2, 3); (1, 3) ]
+      ~port_home:[ (1, 1); (2, 2); (3, 3) ]
+  in
+  check_int "tree uses two of three links" 2
+    (List.length (Topology.spanning_tree_edges topo))
+
+let test_topology_disconnected_rejected () =
+  check_bool "disconnected raises" true
+    (try
+       ignore (Topology.create ~switches:[ 1; 2 ] ~links:[] ~port_home:[ (1, 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* The distributed fabric behaves exactly like the single big switch. *)
+let test_topology_equivalent_to_big_switch () =
+  let runtime, classifier = fig1_classifier () in
+  let topo = fig1_topology () in
+  let fabric = Topology.build topo classifier in
+  check_bool "per-switch tables smaller than total" true
+    (Topology.rule_count fabric 1 < Sdx_policy.Classifier.rule_count classifier);
+  let cases =
+    [
+      ("10.0.0.1", "20.0.1.9", 80);
+      ("192.168.0.1", "20.0.1.9", 80);
+      ("10.0.0.1", "20.0.4.9", 443);
+      ("10.0.0.1", "20.0.4.9", 80);
+      ("10.0.0.1", "20.0.1.9", 9999);
+      ("10.0.0.1", "20.0.5.9", 9999);
+      ("10.0.0.1", "20.0.3.9", 22);
+    ]
+  in
+  List.iter
+    (fun (src, dst, dst_port) ->
+      match
+        Fig1.fabric_packet runtime ~sender:Fig1.asn_a ~src_ip:src ~dst_ip:dst
+          ~dst_port ()
+      with
+      | None -> ()
+      | Some pkt ->
+          let big = Sdx_policy.Classifier.eval classifier pkt in
+          let big =
+            List.filter
+              (fun (p : Packet.t) -> p.port <> Sdx_core.Compile.blackhole_port)
+              big
+          in
+          let distributed =
+            List.filter
+              (fun (p : Packet.t) -> p.port <> Sdx_core.Compile.blackhole_port)
+              (Topology.process fabric pkt)
+          in
+          check_bool
+            (Printf.sprintf "same outputs for %s->%s:%d" src dst dst_port)
+            true (big = distributed))
+    cases
+
+let test_topology_single_switch_degenerate () =
+  let _, classifier = fig1_classifier () in
+  let topo =
+    Topology.create ~switches:[ 7 ] ~links:[]
+      ~port_home:(List.init 5 (fun i -> (i + 1, 7)))
+  in
+  let fabric = Topology.build topo classifier in
+  check_int "no tree edges" 0 (List.length (Topology.spanning_tree_edges topo));
+  check_bool "rules preserved" true (Topology.rule_count fabric 7 > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "sdx_fabric"
+    [
+      ( "border_router",
+        [
+          Alcotest.test_case "sync builds fib" `Quick test_router_sync_builds_fib;
+          Alcotest.test_case "virtual next hops" `Quick test_router_next_hop_is_virtual;
+          Alcotest.test_case "send tags" `Quick test_router_send_tags;
+          Alcotest.test_case "unknown port" `Quick test_router_unknown_port;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "figure 1 deliveries" `Quick test_network_figure1_deliveries;
+          Alcotest.test_case "delivery rewrites mac" `Quick
+            test_network_delivery_rewrites_mac;
+          Alcotest.test_case "sync after update" `Quick test_network_sync_after_update;
+          Alcotest.test_case "router access" `Quick test_network_router_access;
+          Alcotest.test_case "incremental sync" `Quick test_network_incremental_sync;
+          Alcotest.test_case "switch capacity" `Quick test_network_switch_capacity;
+          Alcotest.test_case "inject frame" `Quick test_network_inject_frame;
+          Alcotest.test_case "inject at port" `Quick test_network_inject_at_port;
+        ] );
+      ( "deployment",
+        [
+          Alcotest.test_case "figure 5a" `Quick test_deployment_fig5a;
+          Alcotest.test_case "figure 5b" `Quick test_deployment_fig5b;
+          Alcotest.test_case "sampling" `Quick test_deployment_sampling;
+          Alcotest.test_case "announce event" `Quick test_deployment_announce_event;
+        ] );
+      ( "middlebox",
+        [
+          Alcotest.test_case "steering" `Quick test_middlebox_steering;
+          Alcotest.test_case "scrubber drops" `Quick test_middlebox_scrubber_drops;
+          Alcotest.test_case "detach" `Quick test_middlebox_detach;
+          Alcotest.test_case "loop bounded" `Quick test_middlebox_loop_bounded;
+          Alcotest.test_case "combinators" `Quick test_middlebox_combinators;
+          Alcotest.test_case "attach requires port" `Quick test_attach_requires_port;
+        ] );
+      ( "telemetry",
+        [ Alcotest.test_case "counters" `Quick test_telemetry_counters ] );
+      ( "topology",
+        [
+          Alcotest.test_case "structure" `Quick test_topology_structure;
+          Alcotest.test_case "cycle breaks" `Quick test_topology_cycle_breaks;
+          Alcotest.test_case "disconnected rejected" `Quick
+            test_topology_disconnected_rejected;
+          Alcotest.test_case "equivalent to big switch" `Quick
+            test_topology_equivalent_to_big_switch;
+          Alcotest.test_case "single switch degenerate" `Quick
+            test_topology_single_switch_degenerate;
+        ] );
+    ]

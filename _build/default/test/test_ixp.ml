@@ -1,0 +1,394 @@
+(* Tests for the workload generators: seeded randomness, participant
+   populations, the synthetic routing table, §6.1 workloads, and the
+   Table 1 trace model. *)
+
+open Sdx_net
+open Sdx_bgp
+open Sdx_ixp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  let seq r = List.init 20 (fun _ -> Rng.int r 1000) in
+  check_bool "same seed same sequence" true (seq a = seq b);
+  let c = Rng.create ~seed:8 in
+  check_bool "different seed differs" false (seq (Rng.create ~seed:7) = seq c)
+
+let test_rng_sample () =
+  let rng = Rng.create ~seed:1 in
+  let l = List.init 10 Fun.id in
+  let s = Rng.sample rng l 4 in
+  check_int "sample size" 4 (List.length s);
+  check_int "distinct" 4 (List.length (List.sort_uniq compare s));
+  check_int "sample larger than list" 10 (List.length (Rng.sample rng l 50))
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create ~seed:2 in
+  let l = List.init 50 Fun.id in
+  check_bool "same elements" true (List.sort compare (Rng.shuffle rng l) = l)
+
+let test_rng_pareto_bound () =
+  let rng = Rng.create ~seed:3 in
+  check_bool "pareto >= xmin" true
+    (List.for_all
+       (fun _ -> Rng.pareto rng ~xmin:4.0 ~alpha:1.3 >= 4.0)
+       (List.init 200 Fun.id))
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create ~seed:4 in
+  check_bool "exponential >= 0" true
+    (List.for_all (fun _ -> Rng.exponential rng ~mean:10.0 >= 0.0)
+       (List.init 200 Fun.id))
+
+let test_rng_bool_bias () =
+  let rng = Rng.create ~seed:5 in
+  let hits =
+    List.length (List.filter Fun.id (List.init 2000 (fun _ -> Rng.bool rng ~p:0.75)))
+  in
+  check_bool "bernoulli near p" true (hits > 1350 && hits < 1650)
+
+(* ------------------------------------------------------------------ *)
+(* Population                                                          *)
+
+let test_population_counts () =
+  let rng = Rng.create ~seed:11 in
+  let specs = Population.generate rng ~participants:100 ~prefixes:5000 () in
+  check_int "participant count" 100 (List.length specs);
+  let total =
+    List.fold_left (fun n (s : Population.spec) -> n + s.prefix_count) 0 specs
+  in
+  check_bool "prefix total near target" true (abs (total - 5000) < 100);
+  check_bool "everyone announces" true
+    (List.for_all (fun (s : Population.spec) -> s.prefix_count >= 1) specs);
+  check_bool "descending" true
+    (let counts = List.map (fun (s : Population.spec) -> s.prefix_count) specs in
+     List.sort (fun a b -> compare b a) counts = counts)
+
+let test_population_skew () =
+  let rng = Rng.create ~seed:12 in
+  let specs = Population.generate rng ~participants:300 ~prefixes:50_000 () in
+  check_bool "top 1% announce a lot" true
+    (Population.top_share specs ~fraction:0.01 > 0.3);
+  check_bool "bottom 90% announce little" true
+    (Population.bottom_share specs ~fraction:0.9 < 0.15)
+
+let test_population_kinds_and_ports () =
+  let rng = Rng.create ~seed:13 in
+  let specs = Population.generate rng ~participants:100 ~prefixes:1000 () in
+  let count kind = List.length (Population.by_kind specs kind) in
+  check_int "eyeballs 40%" 40 (count Population.Eyeball);
+  check_int "transit 20%" 20 (count Population.Transit);
+  check_int "content 40%" 40 (count Population.Content);
+  let multi =
+    List.length (List.filter (fun (s : Population.spec) -> s.port_count = 2) specs)
+  in
+  check_bool "some multi-port" true (multi > 0 && multi < 35);
+  check_bool "distinct asns" true
+    (List.length
+       (List.sort_uniq Asn.compare (List.map (fun (s : Population.spec) -> s.asn) specs))
+    = 100)
+
+(* ------------------------------------------------------------------ *)
+(* Prefixes                                                            *)
+
+let test_prefixes_disjoint () =
+  let table = Prefixes.table 500 in
+  check_int "count" 500 (List.length table);
+  (* Spot-check pairwise disjointness on a sample. *)
+  let arr = Array.of_list table in
+  let rng = Rng.create ~seed:14 in
+  for _ = 1 to 500 do
+    let i = Rng.int rng 500 and j = Rng.int rng 500 in
+    if i <> j then
+      check_bool "disjoint" false (Prefix.overlaps arr.(i) arr.(j))
+  done
+
+let test_prefixes_deterministic () =
+  check_bool "nth stable" true (Prefix.equal (Prefixes.nth 17) (Prefixes.nth 17));
+  check_bool "host inside" true
+    (Prefix.mem (Prefixes.host_in (Prefixes.nth 3)) (Prefixes.nth 3));
+  check_bool "length mix" true
+    (List.sort_uniq Int.compare (List.map Prefix.length (Prefixes.table 16))
+    = [ 22; 23; 24 ])
+
+let test_prefixes_out_of_range () =
+  check_bool "negative" true
+    (try
+       ignore (Prefixes.nth (-1));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+
+let small_workload ?(seed = 21) () =
+  let rng = Rng.create ~seed in
+  Workload.build rng ~participants:20 ~prefixes:200 ()
+
+let test_workload_builds () =
+  let w = small_workload () in
+  check_int "participants" 20
+    (List.length (Sdx_core.Config.participants w.config));
+  check_int "universe covers table" 200 (List.length w.universe);
+  let server = Sdx_core.Config.server w.config in
+  check_int "all prefixes announced" 200 (Route_server.prefix_count server)
+
+let test_workload_policies_installed () =
+  let w = small_workload () in
+  let with_outbound =
+    List.filter
+      (fun (p : Sdx_core.Participant.t) -> p.outbound <> [])
+      (Sdx_core.Config.participants w.config)
+  in
+  let with_inbound =
+    List.filter
+      (fun (p : Sdx_core.Participant.t) -> p.inbound <> [])
+      (Sdx_core.Config.participants w.config)
+  in
+  check_bool "some outbound policies" true (with_outbound <> []);
+  check_bool "some inbound policies" true (with_inbound <> []);
+  let no_pol =
+    Workload.build (Rng.create ~seed:21) ~participants:20 ~prefixes:200
+      ~with_policies:false ()
+  in
+  check_bool "policies can be disabled" true
+    (List.for_all
+       (fun (p : Sdx_core.Participant.t) -> p.outbound = [] && p.inbound = [])
+       (Sdx_core.Config.participants no_pol.config))
+
+let test_workload_outbound_targets_are_participants () =
+  let w = small_workload () in
+  let asns =
+    List.map (fun (p : Sdx_core.Participant.t) -> p.asn)
+      (Sdx_core.Config.participants w.config)
+  in
+  List.iter
+    (fun (p : Sdx_core.Participant.t) ->
+      List.iter
+        (fun peer -> check_bool "peer exists" true (List.exists (Asn.equal peer) asns))
+        (Sdx_core.Ppolicy.peers p.outbound))
+    (Sdx_core.Config.participants w.config)
+
+let test_workload_deterministic () =
+  let w1 = small_workload () and w2 = small_workload () in
+  check_bool "same universe" true
+    (List.for_all2 Prefix.equal w1.universe w2.universe);
+  check_bool "same announcers" true
+    (List.for_all2
+       (fun (p1, a1) (p2, a2) -> Prefix.equal p1 p2 && Asn.equal a1 a2)
+       w1.announcers w2.announcers)
+
+let test_workload_best_changing_update () =
+  let w = small_workload () in
+  let rng = Rng.create ~seed:99 in
+  let u = Workload.random_best_changing_update rng w in
+  let server = Sdx_core.Config.server w.config in
+  let change = Route_server.apply server u in
+  check_bool "changes someone's best" true (change.best_changed_for <> [])
+
+let test_workload_burst_distinct () =
+  let w = small_workload () in
+  let rng = Rng.create ~seed:100 in
+  let updates = Workload.burst rng w ~size:10 in
+  check_int "burst size" 10 (List.length updates);
+  let prefixes = List.map Update.prefix updates in
+  check_int "distinct prefixes" 10
+    (List.length (List.sort_uniq Prefix.compare prefixes))
+
+let test_workload_announcement_sets () =
+  let rng = Rng.create ~seed:31 in
+  let sets = Workload.announcement_sets rng ~participants:50 ~prefixes:500 in
+  check_int "one set per participant" 50 (List.length sets);
+  let union =
+    List.fold_left Prefix.Set.union Prefix.Set.empty sets
+  in
+  check_int "sets cover the table" 500 (Prefix.Set.cardinal union);
+  (* Overlap exists: some prefix is announced by several participants. *)
+  let total = List.fold_left (fun n s -> n + Prefix.Set.cardinal s) 0 sets in
+  check_bool "announcements overlap" true (total > 500)
+
+let test_workload_runtime_compiles () =
+  let w = small_workload () in
+  let runtime = Workload.runtime w in
+  check_bool "groups exist" true (Sdx_core.Runtime.group_count runtime > 0);
+  check_bool "rules exist" true (Sdx_core.Runtime.rule_count runtime > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+
+let test_trace_profiles () =
+  check_int "ams peers" 116 Trace.ams_ix.collector_peers;
+  check_int "updates" 11_161_624 Trace.ams_ix.updates;
+  let scaled = Trace.scale Trace.ams_ix 0.01 in
+  check_int "scaled updates" 111_616 scaled.updates;
+  check_int "scaled prefixes" 5_180 scaled.prefixes
+
+let test_trace_statistics () =
+  let rng = Rng.create ~seed:41 in
+  let profile = Trace.scale Trace.ams_ix 0.002 in
+  let trace = Trace.generate rng profile ~duration_s:(6.0 *. 86400.0) () in
+  let stats = Trace.stats profile trace in
+  check_int "update budget met" profile.updates stats.total_updates;
+  check_bool "updated fraction close to target" true
+    (Float.abs (stats.updated_fraction -. profile.updated_prefix_fraction) < 0.02);
+  check_bool "75% of bursts touch <= 3 prefixes" true
+    (Float.abs (stats.bursts_at_most_3 -. 0.75) < 0.05);
+  check_bool "inter-arrival >= 10s for ~75%" true
+    (Float.abs (stats.interarrival_ge_10s -. 0.75) < 0.08);
+  check_bool "inter-arrival >= 60s for ~50%" true
+    (Float.abs (stats.interarrival_ge_60s -. 0.5) < 0.08);
+  check_bool "heavy tail exists" true (stats.largest_burst > 3)
+
+let test_trace_updates_confined_to_unstable () =
+  let rng = Rng.create ~seed:42 in
+  let profile = Trace.scale Trace.ams_ix 0.001 in
+  let trace = Trace.generate rng profile ~duration_s:86400.0 () in
+  let stats = Trace.stats profile trace in
+  (* Stability is a property of the prefix: only the unstable share is
+     ever updated. *)
+  check_bool "confined" true
+    (stats.distinct_prefixes
+    <= int_of_float
+         (profile.updated_prefix_fraction *. float_of_int profile.prefixes)
+       + 1)
+
+let test_trace_save_load_roundtrip () =
+  let rng = Rng.create ~seed:44 in
+  let profile = Trace.scale Trace.ams_ix 0.0005 in
+  let trace = Trace.generate rng profile ~duration_s:43200.0 () in
+  let path = Filename.temp_file "sdx_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save trace path;
+      let loaded = Trace.load path in
+      check_int "same burst count" (List.length trace) (List.length loaded);
+      List.iter2
+        (fun (a : Trace.burst) (b : Trace.burst) ->
+          check_bool "same time" true (Float.abs (a.at_s -. b.at_s) < 0.01);
+          check_bool "same updates" true (a.updates = b.updates))
+        trace loaded)
+
+let test_trace_load_rejects_garbage () =
+  let path = Filename.temp_file "sdx_trace_bad" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "B 0.0\nX nonsense\n";
+      close_out oc;
+      check_bool "malformed rejected" true
+        (try
+           ignore (Trace.load path);
+           false
+         with Failure _ -> true))
+
+let test_trace_ordered () =
+  let rng = Rng.create ~seed:43 in
+  let profile = Trace.scale Trace.linx 0.0005 in
+  let trace = Trace.generate rng profile ~duration_s:86400.0 () in
+  let times = List.map (fun (b : Trace.burst) -> b.at_s) trace in
+  check_bool "bursts time-ordered" true
+    (List.sort Float.compare times = times)
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+
+let test_replay_two_stage () =
+  let rng = Rng.create ~seed:51 in
+  let w = Workload.build rng ~participants:15 ~prefixes:150 () in
+  let runtime = Workload.runtime w in
+  let base_rules = Sdx_core.Runtime.rule_count runtime in
+  let profile = Trace.scale Trace.ams_ix 0.0002 in
+  let trace = Replay.trace_for_workload rng w ~profile ~duration_s:7200.0 in
+  let result = Replay.run runtime trace in
+  check_int "every update processed" profile.updates result.updates;
+  check_bool "some updates moved best paths" true (result.best_changed > 0);
+  check_bool "quiet gaps triggered background stage" true
+    (result.reoptimizations > 0);
+  check_bool "fast path bounded" true (result.peak_extra_rules < 10 * base_rules);
+  check_bool "timing collected" true
+    (result.mean_update_ms > 0.0 && result.p99_update_ms >= result.mean_update_ms)
+
+let test_replay_trace_targets_workload () =
+  let rng = Rng.create ~seed:52 in
+  let w = Workload.build rng ~participants:10 ~prefixes:100 () in
+  let profile = Trace.scale Trace.ams_ix 0.0001 in
+  let trace = Replay.trace_for_workload rng w ~profile ~duration_s:3600.0 in
+  let asns =
+    List.map (fun (s : Population.spec) -> s.asn) w.specs
+  in
+  List.iter
+    (fun (b : Trace.burst) ->
+      List.iter
+        (fun u ->
+          check_bool "peer is a participant" true
+            (List.exists (Asn.equal (Update.peer u)) asns);
+          check_bool "prefix is announced" true
+            (List.exists (Prefix.equal (Update.prefix u)) w.universe))
+        b.updates)
+    trace
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "sdx_ixp"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "sample" `Quick test_rng_sample;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "pareto bound" `Quick test_rng_pareto_bound;
+          Alcotest.test_case "exponential positive" `Quick test_rng_exponential_positive;
+          Alcotest.test_case "bernoulli bias" `Quick test_rng_bool_bias;
+        ] );
+      ( "population",
+        [
+          Alcotest.test_case "counts" `Quick test_population_counts;
+          Alcotest.test_case "skew" `Quick test_population_skew;
+          Alcotest.test_case "kinds and ports" `Quick test_population_kinds_and_ports;
+        ] );
+      ( "prefixes",
+        [
+          Alcotest.test_case "disjoint" `Quick test_prefixes_disjoint;
+          Alcotest.test_case "deterministic" `Quick test_prefixes_deterministic;
+          Alcotest.test_case "out of range" `Quick test_prefixes_out_of_range;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "builds" `Quick test_workload_builds;
+          Alcotest.test_case "policies installed" `Quick test_workload_policies_installed;
+          Alcotest.test_case "targets are participants" `Quick
+            test_workload_outbound_targets_are_participants;
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "best-changing update" `Quick
+            test_workload_best_changing_update;
+          Alcotest.test_case "burst distinct" `Quick test_workload_burst_distinct;
+          Alcotest.test_case "announcement sets" `Quick test_workload_announcement_sets;
+          Alcotest.test_case "runtime compiles" `Quick test_workload_runtime_compiles;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "profiles" `Quick test_trace_profiles;
+          Alcotest.test_case "statistics" `Quick test_trace_statistics;
+          Alcotest.test_case "confined to unstable" `Quick
+            test_trace_updates_confined_to_unstable;
+          Alcotest.test_case "ordered" `Quick test_trace_ordered;
+          Alcotest.test_case "save/load roundtrip" `Quick
+            test_trace_save_load_roundtrip;
+          Alcotest.test_case "load rejects garbage" `Quick
+            test_trace_load_rejects_garbage;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "two-stage strategy" `Quick test_replay_two_stage;
+          Alcotest.test_case "targets the workload" `Quick
+            test_replay_trace_targets_workload;
+        ] );
+    ]

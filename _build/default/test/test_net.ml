@@ -1,0 +1,490 @@
+(* Unit and property tests for the sdx_net substrate: addresses,
+   prefixes, MACs, the prefix trie, and packets. *)
+
+open Sdx_net
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Ipv4                                                                *)
+
+let test_ipv4_roundtrip () =
+  List.iter
+    (fun s -> check_string "roundtrip" s (Ipv4.to_string (Ipv4.of_string s)))
+    [ "0.0.0.0"; "255.255.255.255"; "192.0.2.1"; "10.0.0.1"; "1.2.3.4" ]
+
+let test_ipv4_of_octets () =
+  check_int "octets" 0xC0000201 (Ipv4.to_int (Ipv4.of_octets 192 0 2 1));
+  Alcotest.check_raises "octet range" (Invalid_argument "Ipv4.of_octets: octet 256 out of range")
+    (fun () -> ignore (Ipv4.of_octets 256 0 0 0))
+
+let test_ipv4_parse_errors () =
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "reject %S" s) true
+        (Option.is_none (Ipv4.of_string_opt s)))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "a.b.c.d"; "1.2.3.-4"; "1..2.3" ]
+
+let test_ipv4_succ_wraps () =
+  check_int "succ" 1 (Ipv4.to_int (Ipv4.succ Ipv4.zero));
+  check_int "wrap" 0 (Ipv4.to_int (Ipv4.succ Ipv4.broadcast))
+
+let test_ipv4_order () =
+  check_bool "lt" true (Ipv4.compare (Ipv4.of_string "1.0.0.0") (Ipv4.of_string "2.0.0.0") < 0);
+  check_bool "eq" true (Ipv4.equal (Ipv4.of_string "9.8.7.6") (Ipv4.of_string "9.8.7.6"))
+
+let test_ipv4_bounds () =
+  Alcotest.check_raises "negative" (Invalid_argument "Ipv4.of_int: -1 out of range")
+    (fun () -> ignore (Ipv4.of_int (-1)));
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Ipv4.of_int: 4294967296 out of range") (fun () ->
+      ignore (Ipv4.of_int 0x1_0000_0000))
+
+let prop_ipv4_string_roundtrip =
+  QCheck2.Test.make ~name:"ipv4 string roundtrip" ~count:500
+    (QCheck2.Gen.int_range 0 0xFFFF_FFFF)
+    (fun n ->
+      let a = Ipv4.of_int n in
+      Ipv4.equal a (Ipv4.of_string (Ipv4.to_string a)))
+
+(* ------------------------------------------------------------------ *)
+(* Prefix                                                              *)
+
+let p = Prefix.of_string
+
+let test_prefix_normalization () =
+  check_string "host bits cleared" "10.1.0.0/16" (Prefix.to_string (p "10.1.2.3/16"));
+  check_bool "normalized equal" true (Prefix.equal (p "10.1.2.3/16") (p "10.1.9.9/16"))
+
+let test_prefix_parse () =
+  check_string "bare address is /32" "1.2.3.4/32" (Prefix.to_string (p "1.2.3.4"));
+  check_bool "bad length" true (Option.is_none (Prefix.of_string_opt "1.2.3.4/33"));
+  check_bool "bad addr" true (Option.is_none (Prefix.of_string_opt "1.2.3/8"))
+
+let test_prefix_mem () =
+  check_bool "inside" true (Prefix.mem (Ipv4.of_string "10.1.2.3") (p "10.0.0.0/8"));
+  check_bool "outside" false (Prefix.mem (Ipv4.of_string "11.0.0.0") (p "10.0.0.0/8"));
+  check_bool "default matches all" true (Prefix.mem (Ipv4.of_string "200.1.2.3") Prefix.default)
+
+let test_prefix_subset () =
+  check_bool "proper subset" true (Prefix.subset (p "10.1.0.0/16") (p "10.0.0.0/8"));
+  check_bool "not subset" false (Prefix.subset (p "10.0.0.0/8") (p "10.1.0.0/16"));
+  check_bool "reflexive" true (Prefix.subset (p "10.0.0.0/8") (p "10.0.0.0/8"));
+  check_bool "disjoint" false (Prefix.subset (p "10.0.0.0/8") (p "11.0.0.0/8"))
+
+let test_prefix_inter () =
+  check_bool "inter is more specific" true
+    (Prefix.inter (p "10.0.0.0/8") (p "10.1.0.0/16") = Some (p "10.1.0.0/16"));
+  check_bool "disjoint inter" true
+    (Prefix.inter (p "10.0.0.0/8") (p "11.0.0.0/8") = None)
+
+let test_prefix_split () =
+  let lo, hi = Prefix.split (p "10.0.0.0/8") in
+  check_string "lo" "10.0.0.0/9" (Prefix.to_string lo);
+  check_string "hi" "10.128.0.0/9" (Prefix.to_string hi);
+  Alcotest.check_raises "cannot split /32"
+    (Invalid_argument "Prefix.split: cannot split a /32") (fun () ->
+      ignore (Prefix.split (p "1.2.3.4/32")))
+
+let test_prefix_first_last () =
+  check_string "first" "10.0.0.0" (Ipv4.to_string (Prefix.first (p "10.0.0.0/8")));
+  check_string "last" "10.255.255.255" (Ipv4.to_string (Prefix.last (p "10.0.0.0/8")))
+
+let test_prefix_host () =
+  check_string "host 1" "10.0.0.1" (Ipv4.to_string (Prefix.host (p "10.0.0.0/24") 1));
+  Alcotest.check_raises "host out of range"
+    (Invalid_argument "Prefix.host: index 256 out of range for 10.0.0.0/24")
+    (fun () -> ignore (Prefix.host (p "10.0.0.0/24") 256))
+
+let test_prefix_order () =
+  let sorted =
+    List.sort Prefix.compare [ p "10.0.0.0/16"; p "10.0.0.0/8"; p "9.0.0.0/8" ]
+  in
+  check_string "order" "9.0.0.0/8 10.0.0.0/8 10.0.0.0/16"
+    (String.concat " " (List.map Prefix.to_string sorted))
+
+let gen_prefix =
+  QCheck2.Gen.(
+    map2
+      (fun addr len -> Prefix.make (Ipv4.of_int addr) len)
+      (int_range 0 0xFFFF_FFFF) (int_range 0 32))
+
+let gen_addr = QCheck2.Gen.map Ipv4.of_int (QCheck2.Gen.int_range 0 0xFFFF_FFFF)
+
+let prop_subset_means_member_subset =
+  QCheck2.Test.make ~name:"prefix subset implies membership subset" ~count:1000
+    QCheck2.Gen.(triple gen_prefix gen_prefix gen_addr)
+    (fun (a, b, addr) ->
+      (not (Prefix.subset a b)) || (not (Prefix.mem addr a)) || Prefix.mem addr b)
+
+let prop_inter_membership =
+  QCheck2.Test.make ~name:"prefix inter = conjunction of membership" ~count:1000
+    QCheck2.Gen.(triple gen_prefix gen_prefix gen_addr)
+    (fun (a, b, addr) ->
+      let both = Prefix.mem addr a && Prefix.mem addr b in
+      match Prefix.inter a b with
+      | Some i -> Prefix.mem addr i = both
+      | None -> not both)
+
+let prop_split_partitions =
+  QCheck2.Test.make ~name:"prefix split partitions the parent" ~count:1000
+    QCheck2.Gen.(
+      pair
+        (map2 (fun a l -> Prefix.make (Ipv4.of_int a) l) (int_range 0 0xFFFF_FFFF)
+           (int_range 0 31))
+        gen_addr)
+    (fun (parent, addr) ->
+      let lo, hi = Prefix.split parent in
+      let in_parent = Prefix.mem addr parent in
+      let in_children = Prefix.mem addr lo || Prefix.mem addr hi in
+      let in_both = Prefix.mem addr lo && Prefix.mem addr hi in
+      in_parent = in_children && not in_both)
+
+(* ------------------------------------------------------------------ *)
+(* Mac                                                                 *)
+
+let test_mac_roundtrip () =
+  List.iter
+    (fun s -> check_string "roundtrip" s (Mac.to_string (Mac.of_string s)))
+    [ "00:00:00:00:00:00"; "ff:ff:ff:ff:ff:ff"; "0a:1b:2c:3d:4e:5f" ]
+
+let test_mac_parse_errors () =
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "reject %S" s) true
+        (Option.is_none (Mac.of_string_opt s)))
+    [ ""; "00:00:00:00:00"; "00:00:00:00:00:00:00"; "0g:00:00:00:00:00"; "0:0:0:0:0:0" ]
+
+let test_mac_bounds () =
+  check_int "max" 0xFFFF_FFFF_FFFF (Mac.to_int Mac.broadcast);
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Mac.of_int: 281474976710656 out of range") (fun () ->
+      ignore (Mac.of_int 0x1_0000_0000_0000))
+
+(* ------------------------------------------------------------------ *)
+(* Prefix_trie                                                         *)
+
+let test_trie_add_find () =
+  let t = Prefix_trie.empty |> Prefix_trie.add (p "10.0.0.0/8") "a" in
+  check_bool "found" true (Prefix_trie.find_opt (p "10.0.0.0/8") t = Some "a");
+  check_bool "not found" true (Prefix_trie.find_opt (p "10.0.0.0/16") t = None);
+  check_bool "replace" true
+    (Prefix_trie.find_opt (p "10.0.0.0/8") (Prefix_trie.add (p "10.0.0.0/8") "b" t)
+    = Some "b")
+
+let test_trie_remove () =
+  let t =
+    Prefix_trie.of_list [ (p "10.0.0.0/8", 1); (p "10.1.0.0/16", 2) ]
+  in
+  let t = Prefix_trie.remove (p "10.0.0.0/8") t in
+  check_int "cardinal after remove" 1 (Prefix_trie.cardinal t);
+  check_bool "other kept" true (Prefix_trie.mem (p "10.1.0.0/16") t);
+  check_bool "remove absent is noop" true
+    (Prefix_trie.cardinal (Prefix_trie.remove (p "99.0.0.0/8") t) = 1)
+
+let test_trie_longest_match () =
+  let t =
+    Prefix_trie.of_list
+      [ (p "10.0.0.0/8", "coarse"); (p "10.1.0.0/16", "fine"); (p "0.0.0.0/0", "default") ]
+  in
+  let lm addr =
+    match Prefix_trie.longest_match (Ipv4.of_string addr) t with
+    | Some (_, v) -> v
+    | None -> "none"
+  in
+  check_string "fine wins" "fine" (lm "10.1.2.3");
+  check_string "coarse" "coarse" (lm "10.2.0.1");
+  check_string "default" "default" (lm "192.168.0.1")
+
+let test_trie_matches_order () =
+  let t =
+    Prefix_trie.of_list [ (p "10.0.0.0/8", 8); (p "10.1.0.0/16", 16); (p "0.0.0.0/0", 0) ]
+  in
+  let lens =
+    List.map (fun (pre, _) -> Prefix.length pre)
+      (Prefix_trie.matches (Ipv4.of_string "10.1.2.3") t)
+  in
+  check_bool "most specific first" true (lens = [ 16; 8; 0 ])
+
+let test_trie_update () =
+  let t = Prefix_trie.empty in
+  let t = Prefix_trie.update (p "10.0.0.0/8") (fun _ -> Some 1) t in
+  let t = Prefix_trie.update (p "10.0.0.0/8") (Option.map succ) t in
+  check_bool "updated" true (Prefix_trie.find_opt (p "10.0.0.0/8") t = Some 2);
+  let t = Prefix_trie.update (p "10.0.0.0/8") (fun _ -> None) t in
+  check_bool "removed" true (Prefix_trie.is_empty t)
+
+let test_trie_bindings_sorted () =
+  let ps = [ p "10.0.0.0/16"; p "9.0.0.0/8"; p "10.0.0.0/8"; p "200.0.0.0/5" ] in
+  let t = Prefix_trie.of_list (List.map (fun x -> (x, ())) ps) in
+  let got = List.map fst (Prefix_trie.bindings t) in
+  check_bool "sorted" true (got = List.sort Prefix.compare ps)
+
+let gen_prefix_list = QCheck2.Gen.(list_size (int_range 0 40) gen_prefix)
+
+let prop_trie_longest_match_vs_naive =
+  QCheck2.Test.make ~name:"trie longest match agrees with naive scan" ~count:500
+    QCheck2.Gen.(pair gen_prefix_list gen_addr)
+    (fun (prefixes, addr) ->
+      let t = Prefix_trie.of_list (List.map (fun x -> (x, x)) prefixes) in
+      let naive =
+        List.fold_left
+          (fun best pre ->
+            if Prefix.mem addr pre then
+              match best with
+              | Some b when Prefix.length b >= Prefix.length pre -> best
+              | _ -> Some pre
+            else best)
+          None prefixes
+      in
+      match (Prefix_trie.longest_match addr t, naive) with
+      | None, None -> true
+      | Some (got, _), Some want -> Prefix.length got = Prefix.length want
+      | _ -> false)
+
+let prop_trie_cardinal =
+  QCheck2.Test.make ~name:"trie cardinal = distinct inserted prefixes" ~count:500
+    gen_prefix_list
+    (fun prefixes ->
+      let t = Prefix_trie.of_list (List.map (fun x -> (x, ())) prefixes) in
+      Prefix_trie.cardinal t = List.length (List.sort_uniq Prefix.compare prefixes))
+
+(* ------------------------------------------------------------------ *)
+(* Packet                                                              *)
+
+let test_packet_defaults () =
+  let pkt = Packet.make () in
+  check_int "eth ipv4" Packet.ethertype_ipv4 pkt.eth_type;
+  check_int "tcp" Packet.proto_tcp pkt.proto;
+  check_int "port" 0 pkt.port
+
+let test_packet_equality () =
+  let a = Packet.make ~dst_port:80 () and b = Packet.make ~dst_port:80 () in
+  check_bool "equal" true (Packet.equal a b);
+  check_bool "set dedup" true
+    (Packet.Set.cardinal (Packet.Set.of_list [ a; b ]) = 1)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate                                                           *)
+
+let test_aggregate_merges_siblings () =
+  check_bool "two /25 -> /24" true
+    (Aggregate.minimize [ p "10.0.0.0/25"; p "10.0.0.128/25" ] = [ p "10.0.0.0/24" ]);
+  (* Four /26 chain-merge to a /24. *)
+  check_bool "four /26 -> /24" true
+    (Aggregate.minimize
+       [ p "10.0.0.0/26"; p "10.0.0.64/26"; p "10.0.0.128/26"; p "10.0.0.192/26" ]
+    = [ p "10.0.0.0/24" ])
+
+let test_aggregate_prunes_contained () =
+  check_bool "subset dropped" true
+    (Aggregate.minimize [ p "10.0.0.0/8"; p "10.1.0.0/16" ] = [ p "10.0.0.0/8" ]);
+  check_bool "duplicate dropped" true
+    (Aggregate.minimize [ p "10.0.0.0/8"; p "10.0.0.0/8" ] = [ p "10.0.0.0/8" ])
+
+let test_aggregate_noncontiguous_stay () =
+  (* The paper's point: non-contiguous blocks cannot aggregate. *)
+  let ps = [ p "10.0.0.0/24"; p "10.0.2.0/24"; p "192.168.0.0/24" ] in
+  check_int "nothing merges" 3 (List.length (Aggregate.minimize ps))
+
+let test_aggregate_merge_then_swallow () =
+  (* Sibling merge produces a parent that swallows a third member. *)
+  let ps = [ p "10.0.0.0/25"; p "10.0.0.128/25"; p "10.0.0.64/26" ] in
+  check_bool "swallowed" true (Aggregate.minimize ps = [ p "10.0.0.0/24" ]);
+  check_bool "covers_same" true (Aggregate.covers_same ps [ p "10.0.0.0/24" ]);
+  check_bool "covers_same rejects" false
+    (Aggregate.covers_same ps [ p "10.0.0.0/25" ])
+
+let prop_aggregate_preserves_membership =
+  QCheck2.Test.make ~name:"aggregation preserves the covered address set"
+    ~count:500
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 12)
+           (map2
+              (fun x len -> Prefix.make (Ipv4.of_int (x lsl 20)) len)
+              (int_range 0 64) (int_range 8 16)))
+        gen_addr)
+    (fun (prefixes, addr) ->
+      let before = List.exists (Prefix.mem addr) prefixes in
+      let after = List.exists (Prefix.mem addr) (Aggregate.minimize prefixes) in
+      before = after)
+
+let prop_aggregate_never_grows =
+  QCheck2.Test.make ~name:"aggregation never grows the set" ~count:500
+    QCheck2.Gen.(
+      list_size (int_range 0 12)
+        (map2
+           (fun x len -> Prefix.make (Ipv4.of_int (x lsl 24)) len)
+           (int_range 0 32) (int_range 4 10)))
+    (fun prefixes ->
+      List.length (Aggregate.minimize prefixes)
+      <= List.length (List.sort_uniq Prefix.compare prefixes))
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+
+let sample_packet ?(proto = Packet.proto_tcp) () =
+  Packet.make ~port:3
+    ~src_mac:(Mac.of_string "aa:bb:cc:dd:ee:01")
+    ~dst_mac:(Mac.of_string "02:00:00:00:00:07")
+    ~src_ip:(Ipv4.of_string "10.1.2.3")
+    ~dst_ip:(Ipv4.of_string "20.0.1.9")
+    ~proto ~src_port:43210 ~dst_port:80 ()
+
+let test_codec_roundtrip_tcp () =
+  let p = sample_packet () in
+  let frame = Codec.to_bytes p in
+  check_int "frame length" (Codec.frame_length p) (Bytes.length frame);
+  check_int "tcp frame bytes" 54 (Bytes.length frame);
+  match Codec.of_bytes ~port:3 frame with
+  | Ok p' -> check_bool "lossless" true (Packet.equal p p')
+  | Error e -> Alcotest.fail e
+
+let test_codec_roundtrip_udp () =
+  let p = sample_packet ~proto:Packet.proto_udp () in
+  let frame = Codec.to_bytes p in
+  check_int "udp frame bytes" 42 (Bytes.length frame);
+  match Codec.of_bytes ~port:3 frame with
+  | Ok p' -> check_bool "lossless" true (Packet.equal p p')
+  | Error e -> Alcotest.fail e
+
+let test_codec_checksum_detects_corruption () =
+  let frame = Codec.to_bytes (sample_packet ()) in
+  (* Flip a bit in the IPv4 destination address. *)
+  Bytes.set_uint8 frame 30 (Bytes.get_uint8 frame 30 lxor 0x01);
+  check_bool "corruption detected" true
+    (match Codec.of_bytes frame with
+    | Error "bad IPv4 header checksum" -> true
+    | _ -> false)
+
+let test_codec_truncation () =
+  let frame = Codec.to_bytes (sample_packet ()) in
+  check_bool "short ethernet" true
+    (Result.is_error (Codec.of_bytes (Bytes.sub frame 0 10)));
+  check_bool "short ip" true
+    (Result.is_error (Codec.of_bytes (Bytes.sub frame 0 20)));
+  check_bool "short tcp" true
+    (Result.is_error (Codec.of_bytes (Bytes.sub frame 0 40)))
+
+let test_codec_non_ip () =
+  let p =
+    Packet.make ~eth_type:Packet.ethertype_arp
+      ~src_mac:(Mac.of_string "aa:bb:cc:dd:ee:01")
+      ~dst_mac:Mac.broadcast ~proto:0 ()
+  in
+  let frame = Codec.to_bytes p in
+  check_int "header only" 14 (Bytes.length frame);
+  match Codec.of_bytes frame with
+  | Ok p' ->
+      check_int "ethertype preserved" Packet.ethertype_arp p'.eth_type;
+      check_bool "macs preserved" true (Mac.equal p'.dst_mac Mac.broadcast)
+  | Error e -> Alcotest.fail e
+
+let gen_codec_packet =
+  let open QCheck2.Gen in
+  let* src_mac = map Mac.of_int (int_range 0 0xFFFFFF) in
+  let* dst_mac = map Mac.of_int (int_range 0 0xFFFFFF) in
+  let* src_ip = map Ipv4.of_int (int_range 0 0xFFFF_FFFF) in
+  let* dst_ip = map Ipv4.of_int (int_range 0 0xFFFF_FFFF) in
+  let* proto = oneofl [ Packet.proto_tcp; Packet.proto_udp ] in
+  let* src_port = int_range 0 0xFFFF in
+  let* dst_port = int_range 0 0xFFFF in
+  return
+    (Packet.make ~src_mac ~dst_mac ~src_ip ~dst_ip ~proto ~src_port ~dst_port ())
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"codec roundtrip is lossless" ~count:1000
+    gen_codec_packet
+    (fun p ->
+      match Codec.of_bytes (Codec.to_bytes p) with
+      | Ok p' -> Packet.equal p p'
+      | Error _ -> false)
+
+let prop_codec_rejects_noise =
+  QCheck2.Test.make ~name:"codec never crashes on noise" ~count:500
+    QCheck2.Gen.(string_size (int_range 0 80))
+    (fun s ->
+      match Codec.of_bytes (Bytes.of_string s) with
+      | Ok _ | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sdx_net"
+    [
+      ( "ipv4",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ipv4_roundtrip;
+          Alcotest.test_case "of_octets" `Quick test_ipv4_of_octets;
+          Alcotest.test_case "parse errors" `Quick test_ipv4_parse_errors;
+          Alcotest.test_case "succ wraps" `Quick test_ipv4_succ_wraps;
+          Alcotest.test_case "order" `Quick test_ipv4_order;
+          Alcotest.test_case "bounds" `Quick test_ipv4_bounds;
+        ]
+        @ qsuite [ prop_ipv4_string_roundtrip ] );
+      ( "prefix",
+        [
+          Alcotest.test_case "normalization" `Quick test_prefix_normalization;
+          Alcotest.test_case "parse" `Quick test_prefix_parse;
+          Alcotest.test_case "mem" `Quick test_prefix_mem;
+          Alcotest.test_case "subset" `Quick test_prefix_subset;
+          Alcotest.test_case "inter" `Quick test_prefix_inter;
+          Alcotest.test_case "split" `Quick test_prefix_split;
+          Alcotest.test_case "first/last" `Quick test_prefix_first_last;
+          Alcotest.test_case "host" `Quick test_prefix_host;
+          Alcotest.test_case "order" `Quick test_prefix_order;
+        ]
+        @ qsuite
+            [
+              prop_subset_means_member_subset;
+              prop_inter_membership;
+              prop_split_partitions;
+            ] );
+      ( "mac",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_mac_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_mac_parse_errors;
+          Alcotest.test_case "bounds" `Quick test_mac_bounds;
+        ] );
+      ( "prefix_trie",
+        [
+          Alcotest.test_case "add/find" `Quick test_trie_add_find;
+          Alcotest.test_case "remove" `Quick test_trie_remove;
+          Alcotest.test_case "longest match" `Quick test_trie_longest_match;
+          Alcotest.test_case "matches order" `Quick test_trie_matches_order;
+          Alcotest.test_case "update" `Quick test_trie_update;
+          Alcotest.test_case "bindings sorted" `Quick test_trie_bindings_sorted;
+        ]
+        @ qsuite [ prop_trie_longest_match_vs_naive; prop_trie_cardinal ] );
+      ( "packet",
+        [
+          Alcotest.test_case "defaults" `Quick test_packet_defaults;
+          Alcotest.test_case "equality" `Quick test_packet_equality;
+        ] );
+      ( "aggregate",
+        [
+          Alcotest.test_case "merges siblings" `Quick test_aggregate_merges_siblings;
+          Alcotest.test_case "prunes contained" `Quick test_aggregate_prunes_contained;
+          Alcotest.test_case "non-contiguous stay" `Quick
+            test_aggregate_noncontiguous_stay;
+          Alcotest.test_case "merge then swallow" `Quick
+            test_aggregate_merge_then_swallow;
+        ]
+        @ qsuite [ prop_aggregate_preserves_membership; prop_aggregate_never_grows ]
+      );
+      ( "codec",
+        [
+          Alcotest.test_case "tcp roundtrip" `Quick test_codec_roundtrip_tcp;
+          Alcotest.test_case "udp roundtrip" `Quick test_codec_roundtrip_udp;
+          Alcotest.test_case "checksum detects corruption" `Quick
+            test_codec_checksum_detects_corruption;
+          Alcotest.test_case "truncation" `Quick test_codec_truncation;
+          Alcotest.test_case "non-ip frame" `Quick test_codec_non_ip;
+        ]
+        @ qsuite [ prop_codec_roundtrip; prop_codec_rejects_noise ] );
+    ]

@@ -1,0 +1,310 @@
+(* Tests for the OpenFlow switch model: flow entries, priority tables,
+   and the packet-processing pipeline. *)
+
+open Sdx_net
+open Sdx_policy
+open Sdx_openflow
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let flow ?(priority = 100) ?(pattern = Pattern.all) actions =
+  Flow.make ~priority ~pattern ~actions
+
+let out port = Mods.make ~port ()
+
+(* ------------------------------------------------------------------ *)
+(* Flow                                                                *)
+
+let test_flow_of_classifier () =
+  let c =
+    [
+      { Classifier.pattern = Pattern.make ~dst_port:80 (); action = [ out 1 ] };
+      { Classifier.pattern = Pattern.all; action = [] };
+    ]
+  in
+  let flows = Flow.of_classifier c in
+  check_int "two entries" 2 (List.length flows);
+  let priorities = List.map (fun (f : Flow.t) -> f.priority) flows in
+  check_bool "strictly descending" true (priorities = [ 65535; 65534 ]);
+  check_bool "drop preserved" true (Flow.is_drop (List.nth flows 1));
+  let low = Flow.of_classifier ~base_priority:10 c in
+  check_bool "base priority respected" true
+    (List.map (fun (f : Flow.t) -> f.priority) low = [ 10; 9 ])
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+
+let test_table_priority_order () =
+  let t = Table.create () in
+  Table.install t (flow ~priority:10 [ out 1 ]);
+  Table.install t (flow ~priority:20 ~pattern:(Pattern.make ~dst_port:80 ()) [ out 2 ]);
+  (match Table.lookup t (Packet.make ~dst_port:80 ()) with
+  | Some f -> check_int "high priority wins" 20 f.priority
+  | None -> Alcotest.fail "no match");
+  match Table.lookup t (Packet.make ~dst_port:22 ()) with
+  | Some f -> check_int "fallback" 10 f.priority
+  | None -> Alcotest.fail "no fallback match"
+
+let test_table_add_overwrites () =
+  (* OpenFlow ADD: equal priority and match replaces the entry. *)
+  let t = Table.create () in
+  Table.install t (flow ~priority:10 [ out 1 ]);
+  Table.install t (flow ~priority:10 [ out 2 ]);
+  check_int "one entry" 1 (Table.size t);
+  match Table.lookup t (Packet.make ()) with
+  | Some f -> check_bool "latest wins" true (f.actions = [ out 2 ])
+  | None -> Alcotest.fail "no match"
+
+let test_table_capacity () =
+  let t = Table.create ~capacity:2 () in
+  Table.install t (flow ~priority:1 [ out 1 ]);
+  Table.install t (flow ~priority:2 [ out 2 ]);
+  check_bool "full raises" true
+    (try
+       Table.install t (flow ~priority:3 [ out 3 ]);
+       false
+     with Table.Table_full -> true);
+  (* Overwriting does not count against capacity. *)
+  Table.install t (flow ~priority:2 [ out 9 ]);
+  check_int "still two entries" 2 (Table.size t);
+  check_int "capacity reported" 2 (Option.get (Table.capacity t))
+
+let test_table_remove () =
+  let t = Table.create () in
+  let p80 = Pattern.make ~dst_port:80 () in
+  Table.install t (flow ~priority:10 ~pattern:p80 [ out 1 ]);
+  Table.install t (flow ~priority:20 [ out 2 ]);
+  Table.remove t ~priority:10 ~pattern:p80;
+  check_int "one left" 1 (Table.size t);
+  let removed = Table.remove_where t (fun f -> f.priority = 20) in
+  check_int "remove_where count" 1 removed;
+  check_int "empty" 0 (Table.size t)
+
+let test_table_hits () =
+  let t = Table.create () in
+  Table.install t (flow ~priority:10 [ out 1 ]);
+  ignore (Table.lookup t (Packet.make ()));
+  ignore (Table.lookup t (Packet.make ~dst_port:80 ()));
+  check_int "hits counted" 2 (Table.hits t ~priority:10 ~pattern:Pattern.all);
+  check_int "absent entry" 0 (Table.hits t ~priority:99 ~pattern:Pattern.all)
+
+let test_table_clear () =
+  let t = Table.create () in
+  Table.install_all t [ flow [ out 1 ]; flow [ out 2 ] ];
+  Table.clear t;
+  check_int "cleared" 0 (Table.size t);
+  check_bool "no match after clear" true (Table.lookup t (Packet.make ()) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Switch                                                              *)
+
+let test_switch_process_basic () =
+  let sw = Switch.create () in
+  Switch.install_classifier sw
+    (Classifier.compile
+       (Policy.if_ (Pred.dst_port 80) (Policy.fwd 2) (Policy.fwd 3)));
+  let outs pkt = List.map (fun (p : Packet.t) -> p.port) (Switch.process sw pkt) in
+  check_bool "port 80 -> 2" true (outs (Packet.make ~dst_port:80 ()) = [ 2 ]);
+  check_bool "other -> 3" true (outs (Packet.make ~dst_port:22 ()) = [ 3 ])
+
+let test_switch_no_match_drops () =
+  let sw = Switch.create () in
+  check_bool "empty table drops" true (Switch.process sw (Packet.make ()) = [])
+
+let test_switch_multicast () =
+  let sw = Switch.create () in
+  Switch.install_classifier sw
+    [ { Classifier.pattern = Pattern.all; action = [ out 1; out 2 ] } ];
+  check_int "two outputs" 2 (List.length (Switch.process sw (Packet.make ())))
+
+let test_switch_multi_table () =
+  (* Stage 1 tags (no output), stage 2 forwards on the tag — the
+     multi-stage FIB of Figure 2. *)
+  let sw = Switch.create ~tables:2 () in
+  let tag = Mac.of_int 0x020000000001 in
+  Switch.install_classifier sw ~table:0
+    [
+      {
+        Classifier.pattern = Pattern.make ~dst_ip:(Prefix.of_string "20.0.0.0/16") ();
+        action = [ Mods.make ~dst_mac:tag () ];
+      };
+      { Classifier.pattern = Pattern.all; action = [] };
+    ];
+  Switch.install_classifier sw ~table:1
+    [
+      { Classifier.pattern = Pattern.make ~dst_mac:tag (); action = [ out 7 ] };
+      { Classifier.pattern = Pattern.all; action = [] };
+    ];
+  let pkt = Packet.make ~dst_ip:(Ipv4.of_string "20.0.1.1") () in
+  (match Switch.process sw pkt with
+  | [ p ] ->
+      check_int "forwarded by tag" 7 p.port;
+      check_bool "tag applied" true (Mac.equal p.dst_mac tag)
+  | _ -> Alcotest.fail "expected one output");
+  check_bool "unmatched dropped in stage 2" true
+    (Switch.process sw (Packet.make ~dst_ip:(Ipv4.of_string "99.0.0.1") ()) = [])
+
+let test_switch_rule_count () =
+  let sw = Switch.create ~tables:2 () in
+  Switch.install_classifier sw ~table:0 Classifier.drop_all;
+  Switch.install_classifier sw ~table:1 Classifier.id_all;
+  check_int "rules across tables" 2 (Switch.rule_count sw);
+  check_int "table count" 2 (Switch.table_count sw)
+
+let test_switch_bad_table () =
+  let sw = Switch.create () in
+  Alcotest.check_raises "bad table id" (Invalid_argument "Switch.table: no table 3")
+    (fun () -> ignore (Switch.table sw 3))
+
+(* Property: a classifier installed on a switch behaves exactly like the
+   classifier itself. *)
+
+let addr x = Ipv4.of_int (0x0A000000 lor (x land 7))
+
+let gen_packet =
+  let open QCheck2.Gen in
+  let* port = int_range 0 3 in
+  let* dst_ip = map addr (int_range 0 7) in
+  let* src_ip = map addr (int_range 0 7) in
+  let* dst_port = oneofl [ 80; 443 ] in
+  return (Packet.make ~port ~dst_ip ~src_ip ~dst_port ())
+
+let gen_small_policy =
+  let open QCheck2.Gen in
+  let gen_pred =
+    oneof
+      [
+        map Pred.dst_port (oneofl [ 80; 443 ]);
+        map (fun x -> Pred.src_ip (Prefix.make (addr x) 31)) (int_range 0 7);
+        map Pred.port (int_range 0 3);
+      ]
+  in
+  let* p1 = gen_pred in
+  let* p2 = gen_pred in
+  let* a = int_range 0 3 in
+  let* b = int_range 0 3 in
+  return
+    (Policy.if_ p1 (Policy.fwd a) (Policy.if_ p2 (Policy.fwd b) Policy.drop))
+
+let prop_switch_matches_classifier =
+  QCheck2.Test.make ~name:"switch process = classifier eval" ~count:1000
+    QCheck2.Gen.(pair gen_small_policy gen_packet)
+    (fun (pol, pkt) ->
+      let c = Classifier.compile pol in
+      let sw = Switch.create () in
+      Switch.install_classifier sw c;
+      Switch.process sw pkt = Classifier.eval c pkt)
+
+(* ------------------------------------------------------------------ *)
+(* Messages and the control channel                                    *)
+
+let test_connection_flow_mods () =
+  let sw = Switch.create () in
+  let conn = Connection.create sw in
+  let f1 = flow ~priority:10 [ out 1 ] in
+  let f2 = flow ~priority:20 ~pattern:(Pattern.make ~dst_port:80 ()) [ out 2 ] in
+  Connection.send conn (Message.add f1);
+  Connection.send conn (Message.add ~cookie:7 f2);
+  check_int "two applied" 2 (Connection.flow_mods_applied conn);
+  check_int "installed" 2 (List.length (Connection.installed conn));
+  Connection.send conn (Message.delete f1);
+  check_int "one left" 1 (List.length (Connection.installed conn));
+  (* Cookie-based bulk delete. *)
+  Connection.send conn (Message.delete_cookie 7);
+  check_int "empty after cookie delete" 0 (List.length (Connection.installed conn))
+
+let test_connection_barrier_echo () =
+  let conn = Connection.create (Switch.create ()) in
+  Connection.send conn (Message.Barrier_request 42);
+  Connection.send conn (Message.Echo_request 43);
+  check_bool "barrier reply" true (Connection.recv conn = Some (Message.Barrier_reply 42));
+  check_bool "echo reply" true (Connection.recv conn = Some (Message.Echo_reply 43));
+  check_bool "queue drained" true (Connection.recv conn = None)
+
+let test_connection_packet_in () =
+  let conn = Connection.create (Switch.create ()) in
+  let pkt = Packet.make ~dst_port:80 () in
+  check_bool "miss drops" true (Connection.process conn pkt = []);
+  (match Connection.recv conn with
+  | Some (Message.Packet_in { packet; _ }) ->
+      check_bool "miss reported" true (Packet.equal packet pkt)
+  | _ -> Alcotest.fail "expected packet_in");
+  (* Once a matching rule exists, no packet-in. *)
+  Connection.send conn (Message.add (flow [ out 3 ]));
+  check_int "forwarded" 1 (List.length (Connection.process conn pkt));
+  check_int "no pending" 0 (Connection.pending conn)
+
+let test_connection_sync_diff () =
+  let conn = Connection.create (Switch.create ()) in
+  let f priority port = flow ~priority [ out port ] in
+  let mods = Connection.sync conn [ f 10 1; f 20 2; f 30 3 ] in
+  check_int "initial install" 3 mods;
+  (* Identical target: nothing to do. *)
+  check_int "idempotent" 0 (Connection.sync conn [ f 10 1; f 20 2; f 30 3 ]);
+  (* One changed action: a single ADD overwrites in place. *)
+  check_int "single change" 1 (Connection.sync conn [ f 10 1; f 20 9; f 30 3 ]);
+  (* Shrink. *)
+  check_int "removal" 2 (Connection.sync conn [ f 30 3 ]);
+  check_int "final table" 1 (List.length (Connection.installed conn))
+
+let test_connection_sync_preserves_semantics () =
+  let conn = Connection.create (Switch.create ()) in
+  let c =
+    Classifier.compile
+      (Policy.if_ (Pred.dst_port 80) (Policy.fwd 2) (Policy.fwd 3))
+  in
+  ignore (Connection.sync conn (Flow.of_classifier c));
+  let outs pkt =
+    List.map (fun (p : Packet.t) -> p.port) (Connection.process conn pkt)
+  in
+  check_bool "web" true (outs (Packet.make ~dst_port:80 ()) = [ 2 ]);
+  check_bool "other" true (outs (Packet.make ~dst_port:22 ()) = [ 3 ])
+
+let test_connection_rejects_switch_messages () =
+  let conn = Connection.create (Switch.create ()) in
+  check_bool "reply rejected" true
+    (try
+       Connection.send conn (Message.Barrier_reply 1);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sdx_openflow"
+    [
+      ("flow", [ Alcotest.test_case "of_classifier" `Quick test_flow_of_classifier ]);
+      ( "table",
+        [
+          Alcotest.test_case "priority order" `Quick test_table_priority_order;
+          Alcotest.test_case "add overwrites" `Quick test_table_add_overwrites;
+          Alcotest.test_case "capacity" `Quick test_table_capacity;
+          Alcotest.test_case "remove" `Quick test_table_remove;
+          Alcotest.test_case "hits" `Quick test_table_hits;
+          Alcotest.test_case "clear" `Quick test_table_clear;
+        ] );
+      ( "switch",
+        [
+          Alcotest.test_case "process" `Quick test_switch_process_basic;
+          Alcotest.test_case "no match drops" `Quick test_switch_no_match_drops;
+          Alcotest.test_case "multicast" `Quick test_switch_multicast;
+          Alcotest.test_case "multi-table FIB" `Quick test_switch_multi_table;
+          Alcotest.test_case "rule count" `Quick test_switch_rule_count;
+          Alcotest.test_case "bad table" `Quick test_switch_bad_table;
+        ]
+        @ qsuite [ prop_switch_matches_classifier ] );
+      ( "connection",
+        [
+          Alcotest.test_case "flow mods" `Quick test_connection_flow_mods;
+          Alcotest.test_case "barrier/echo" `Quick test_connection_barrier_echo;
+          Alcotest.test_case "packet in" `Quick test_connection_packet_in;
+          Alcotest.test_case "sync diff" `Quick test_connection_sync_diff;
+          Alcotest.test_case "sync semantics" `Quick
+            test_connection_sync_preserves_semantics;
+          Alcotest.test_case "rejects switch messages" `Quick
+            test_connection_rejects_switch_messages;
+        ] );
+    ]
