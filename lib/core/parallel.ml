@@ -1,0 +1,144 @@
+(* A minimal fixed-size domain pool built on stdlib [Domain], [Mutex]
+   and [Condition] only.
+
+   Workers block on a shared task queue.  [map] enqueues one task per
+   input element and the submitting domain drains the queue alongside
+   the workers, so a pool of size [n] keeps [n] domains busy while only
+   [n - 1] are spawned.  Each task writes its result into a slot indexed
+   by input position, which makes [map] order-preserving no matter which
+   domain finishes first. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  pending : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if t.stopped then None
+    else
+      match Queue.take_opt t.queue with
+      | Some _ as task -> task
+      | None ->
+          Condition.wait t.pending t.mutex;
+          next ()
+  in
+  let task = next () in
+  Mutex.unlock t.mutex;
+  match task with
+  | None -> ()
+  | Some task ->
+      task ();
+      worker t
+
+let create ~domains =
+  let size = max 1 domains in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      pending = Condition.create ();
+      queue = Queue.create ();
+      stopped = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopped <- true;
+  Condition.broadcast t.pending;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+type 'b cell = Pending | Done of 'b | Failed of exn
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when t.size <= 1 -> List.map f xs
+  | xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n Pending in
+      let remaining = ref n in
+      let batch_mutex = Mutex.create () in
+      let batch_done = Condition.create () in
+      let task i () =
+        let r = try Done (f arr.(i)) with e -> Failed e in
+        Mutex.lock batch_mutex;
+        results.(i) <- r;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast batch_done;
+        Mutex.unlock batch_mutex
+      in
+      Mutex.lock t.mutex;
+      for i = 0 to n - 1 do
+        Queue.add (task i) t.queue
+      done;
+      Condition.broadcast t.pending;
+      Mutex.unlock t.mutex;
+      (* The submitter works too... *)
+      let rec help () =
+        Mutex.lock t.mutex;
+        let task = Queue.take_opt t.queue in
+        Mutex.unlock t.mutex;
+        match task with
+        | Some task ->
+            task ();
+            help ()
+        | None -> ()
+      in
+      help ();
+      (* ...then waits out tasks still running on other domains. *)
+      Mutex.lock batch_mutex;
+      while !remaining > 0 do
+        Condition.wait batch_done batch_mutex
+      done;
+      Mutex.unlock batch_mutex;
+      Array.to_list
+        (Array.map
+           (function
+             | Done v -> v
+             | Failed e -> raise e
+             | Pending -> assert false)
+           results)
+
+let default_domains () =
+  match Option.bind (Sys.getenv_opt "SDX_DOMAINS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> Domain.recommended_domain_count ()
+
+(* One process-wide pool, sized for the machine, created on first use.
+   Never shut down: its workers are blocked (not spinning) when idle and
+   die with the process. *)
+let global_mutex = Mutex.create ()
+let global_pool = ref None
+
+let global () =
+  Mutex.lock global_mutex;
+  let pool =
+    match !global_pool with
+    | Some p -> p
+    | None ->
+        let p = create ~domains:(default_domains ()) in
+        global_pool := Some p;
+        p
+  in
+  Mutex.unlock global_mutex;
+  pool

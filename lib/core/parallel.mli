@@ -1,0 +1,37 @@
+(** A fixed-size domain pool for fanning independent computations across
+    OCaml 5 domains (stdlib [Domain]/[Mutex]/[Condition] only).
+
+    The compiler uses it to run per-clause and per-group rule generation
+    concurrently: tasks must not mutate shared state except through
+    their own synchronization (see DESIGN.md, "Parallel compilation &
+    batching"). *)
+
+type t
+
+val create : domains:int -> t
+(** A pool that runs tasks on [max 1 domains] domains.  [domains - 1]
+    worker domains are spawned; the caller of {!map} is the remaining
+    one. *)
+
+val size : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] is [List.map f xs], computed concurrently.  Results
+    are returned in input order regardless of completion order.  If any
+    [f x] raises, the first (in input order) such exception is re-raised
+    after the whole batch settles.  [f] runs on arbitrary domains — it
+    must only touch shared mutable state under its own locks. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  The pool must be idle. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exceptions). *)
+
+val default_domains : unit -> int
+(** [SDX_DOMAINS] if set to a positive integer, else
+    [Domain.recommended_domain_count ()]. *)
+
+val global : unit -> t
+(** The shared process-wide pool, created on first use with
+    {!default_domains} domains. *)

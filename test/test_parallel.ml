@@ -1,0 +1,326 @@
+(* The parallel-compilation and burst-batching equivalence suite:
+   (a) parallel and sequential [Compile.compile] produce identical rule
+       lists, (b) [Classifier.optimize] preserves [Classifier.eval] on
+   random packets, (c) burst-batched fast-path deltas agree with a full
+   [reoptimize], plus the same-prefix-burst regression and the
+   2-domain smoke test that exercises the pool on every run. *)
+
+open Sdx_net
+open Sdx_policy
+open Sdx_bgp
+open Sdx_core
+open Sdx_ixp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* The domain pool itself.                                             *)
+
+let test_pool_map_order () =
+  Parallel.with_pool ~domains:3 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "results in input order"
+        (List.map (fun x -> x * x) xs)
+        (Parallel.map pool (fun x -> x * x) xs);
+      Alcotest.(check (list int)) "empty" [] (Parallel.map pool Fun.id []))
+
+let test_pool_map_exception () =
+  Parallel.with_pool ~domains:2 (fun pool ->
+      match
+        Parallel.map pool (fun x -> if x = 3 then failwith "boom" else x)
+          [ 1; 2; 3; 4 ]
+      with
+      | _ -> Alcotest.fail "expected the task's exception to propagate"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg)
+
+let test_pool_reusable () =
+  (* Several batches through one pool; also covers size 1 (inline). *)
+  List.iter
+    (fun domains ->
+      Parallel.with_pool ~domains (fun pool ->
+          List.iter
+            (fun n ->
+              let xs = List.init n (fun i -> i - 5) in
+              Alcotest.(check (list int))
+                "batch" (List.map abs xs)
+                (Parallel.map pool abs xs))
+            [ 0; 1; 7; 64 ]))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* (a) Parallel vs sequential full compilation.                        *)
+
+let test_parallel_identical () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let w = Workload.build rng ~participants:20 ~prefixes:200 () in
+      let compile domains =
+        Compile.classifier (Compile.compile ~domains w.Workload.config (Vnh.create ()))
+      in
+      let seq = compile 1 in
+      let par = compile 3 in
+      check_int
+        (Printf.sprintf "seed %d: same rule count" seed)
+        (Classifier.rule_count seq) (Classifier.rule_count par);
+      check_bool
+        (Printf.sprintf "seed %d: rule-for-rule identical" seed)
+        true (seq = par))
+    [ 1; 7; 42 ]
+
+(* The dune-runtest smoke test required by the issue: a small scenario
+   compiled with the pool forced to 2 domains. *)
+let test_two_domain_smoke () =
+  let sequential = Runtime.create ~domains:1 (Fig1.make_config ()) in
+  let parallel = Runtime.create ~domains:2 (Fig1.make_config ()) in
+  check_bool "2-domain classifier identical to sequential" true
+    (Runtime.classifier parallel = Runtime.classifier sequential);
+  check_int "groups" (Runtime.group_count sequential)
+    (Runtime.group_count parallel);
+  (* And the compiled fabric actually forwards: A's port-80 traffic to
+     p1 goes to B (application-specific peering). *)
+  match
+    Fig1.fabric_packet parallel ~sender:Fig1.asn_a ~src_ip:"10.0.0.1"
+      ~dst_ip:"20.0.1.9" ~dst_port:80 ()
+  with
+  | None -> Alcotest.fail "no fabric packet for p1"
+  | Some pkt ->
+      Alcotest.(check bool)
+        "port-80 diverted to B" true
+        (List.mem (Fig1.asn_b, 0) (Fig1.deliveries parallel pkt))
+
+(* ------------------------------------------------------------------ *)
+(* (b) optimize preserves eval.                                        *)
+
+let small_prefixes =
+  List.map Prefix.of_string
+    [ "10.0.0.0/8"; "10.1.0.0/16"; "10.1.2.0/24"; "20.0.0.0/8"; "20.3.0.0/16" ]
+
+let small_ips =
+  List.map Ipv4.of_string
+    [ "10.1.2.3"; "10.200.0.1"; "20.3.4.5"; "20.0.0.7"; "9.9.9.9" ]
+
+let gen_pattern =
+  let open QCheck2.Gen in
+  let opt g = frequency [ (2, return None); (1, map Option.some g) ] in
+  let* port = opt (int_range 1 3) in
+  let* dst_mac = opt (map Mac.of_int (int_range 1 2)) in
+  let* src_ip = opt (oneofl small_prefixes) in
+  let* dst_ip = opt (oneofl small_prefixes) in
+  let* proto = opt (oneofl [ 6; 17 ]) in
+  let* dst_port = opt (oneofl [ 80; 443 ]) in
+  return (Pattern.make ?port ?dst_mac ?src_ip ?dst_ip ?proto ?dst_port ())
+
+let gen_mods =
+  let open QCheck2.Gen in
+  let opt g = frequency [ (2, return None); (1, map Option.some g) ] in
+  let* port = opt (int_range 0 3) in
+  let* dst_ip = opt (oneofl small_ips) in
+  let* dst_port = opt (oneofl [ 80; 443 ]) in
+  return (Mods.make ?port ?dst_ip ?dst_port ())
+
+let gen_classifier =
+  let open QCheck2.Gen in
+  let gen_action = list_size (int_range 0 2) gen_mods in
+  let gen_rule =
+    let* pattern = gen_pattern in
+    let* action = gen_action in
+    return { Classifier.pattern; action }
+  in
+  (* Compiled classifiers are total; [optimize]'s catch-all pruning
+     relies on that, so the generator appends one. *)
+  let* body = list_size (int_range 0 15) gen_rule in
+  let* tail = gen_action in
+  return (body @ [ { Classifier.pattern = Pattern.all; action = tail } ])
+
+let gen_packet =
+  let open QCheck2.Gen in
+  let* port = int_range 0 4 in
+  let* dst_mac = map Mac.of_int (int_range 1 3) in
+  let* src_ip = oneofl small_ips in
+  let* dst_ip = oneofl small_ips in
+  let* proto = oneofl [ 6; 17 ] in
+  let* dst_port = oneofl [ 80; 443; 9999 ] in
+  return (Packet.make ~port ~dst_mac ~src_ip ~dst_ip ~proto ~dst_port ())
+
+let prop_optimize_preserves_eval =
+  QCheck2.Test.make ~name:"optimize preserves eval on random packets"
+    ~count:500
+    QCheck2.Gen.(pair gen_classifier (list_size (int_range 1 20) gen_packet))
+    (fun (c, pkts) -> Classifier.equivalent_on c (Classifier.optimize c) pkts)
+
+let prop_optimize_no_growth =
+  QCheck2.Test.make ~name:"optimize never adds rules" ~count:500 gen_classifier
+    (fun c ->
+      Classifier.rule_count (Classifier.optimize c) <= Classifier.rule_count c)
+
+(* ------------------------------------------------------------------ *)
+(* (c) Burst batching vs full reoptimize.                              *)
+
+(* Where the runtime delivers a flow, resolved the way a border router
+   would: best route for the destination, VNH from the re-advertised
+   announcement, tag from ARP, then the classifier.  Returns the tagged
+   packet and the sorted (participant, port) delivery set. *)
+let delivery runtime ~sender ~dst_ip ~dst_port =
+  let config = Runtime.config runtime in
+  let server = Config.server config in
+  match Route_server.lookup_best server ~receiver:sender dst_ip with
+  | None -> None
+  | Some (prefix, _) -> (
+      match Runtime.announcement runtime ~receiver:sender prefix with
+      | None -> None
+      | Some route -> (
+          match
+            Sdx_arp.Responder.query (Runtime.arp runtime) route.Route.next_hop
+          with
+          | None -> None
+          | Some tag ->
+              let pkt =
+                Packet.make
+                  ~port:(Config.switch_port config sender 0)
+                  ~dst_mac:tag
+                  ~src_ip:(Ipv4.of_string "99.0.0.1")
+                  ~dst_ip ~dst_port ()
+              in
+              Some (pkt, List.sort compare (Fig1.deliveries runtime pkt))))
+
+let test_batch_matches_reoptimize () =
+  let rng = Rng.create ~seed:11 in
+  let w = Workload.build rng ~participants:15 ~prefixes:150 () in
+  let runtime = Workload.runtime w in
+  let burst = Workload.burst rng w ~size:6 in
+  (* Re-deliver two of the updates so the burst has same-prefix
+     duplicates for the coalescing path. *)
+  let burst = burst @ [ List.nth burst 0; List.nth burst 2 ] in
+  let stats = Runtime.handle_burst runtime burst in
+  check_int "one fast-path block per burst" 1
+    (Runtime.fast_path_block_count runtime);
+  check_int "stats for every update" (List.length burst) (List.length stats);
+  let installed =
+    List.fold_left
+      (fun n (s : Runtime.update_stats) -> n + s.extra_rules)
+      0 stats
+  in
+  check_int "extra_rules sums to the installed block"
+    (Runtime.extra_rule_count runtime)
+    installed;
+  let senders =
+    List.filteri
+      (fun i _ -> i < 3)
+      (List.filter
+         (fun (p : Participant.t) ->
+           Config.switch_ports_of (Runtime.config runtime) p.asn <> [])
+         (Config.participants (Runtime.config runtime)))
+  in
+  let dsts =
+    List.sort_uniq Prefix.compare
+      (List.map Update.prefix burst
+      @ List.filteri (fun i _ -> i < 20) w.universe)
+  in
+  let probe () =
+    List.concat_map
+      (fun (s : Participant.t) ->
+        List.concat_map
+          (fun prefix ->
+            List.map
+              (fun dst_port ->
+                delivery runtime ~sender:s.asn ~dst_ip:(Prefix.host prefix 9)
+                  ~dst_port)
+              [ 80; 9999 ])
+          dsts)
+      senders
+  in
+  let before = probe () in
+  let fast_cls = Runtime.classifier runtime in
+  ignore (Runtime.reoptimize runtime);
+  let after = probe () in
+  List.iteri
+    (fun i (b, a) ->
+      check_bool
+        (Printf.sprintf "flow %d: fast path matches reoptimize" i)
+        true
+        (Option.map snd b = Option.map snd a))
+    (List.combine before after);
+  (* For flows whose tag survived re-optimization unchanged, the raw
+     classifiers must agree pointwise too. *)
+  let shared =
+    List.concat_map
+      (fun (b, a) ->
+        match (b, a) with
+        | Some (pb, _), Some (pa, _) when pb = pa -> [ pb ]
+        | _ -> [])
+      (List.combine before after)
+  in
+  check_bool "some packets survive with stable tags" true (shared <> []);
+  check_bool "equivalent_on stable-tag packets" true
+    (Classifier.equivalent_on fast_cls (Runtime.classifier runtime) shared)
+
+(* The issue's regression: a 3-update burst on one prefix must install
+   exactly one fast-path block reflecting the final route state. *)
+let test_same_prefix_burst_single_block () =
+  let runtime = Fig1.make_runtime () in
+  let better pref =
+    Update.announce
+      (Route.make ~prefix:Fig1.p1
+         ~next_hop:(Ipv4.of_string "172.0.0.5")
+         ~as_path:[ Fig1.asn_d; Asn.of_int 65001 ]
+         ~local_pref:pref ~learned_from:Fig1.asn_d ())
+  in
+  let updates =
+    [ better 200; better 300; Update.withdraw ~peer:Fig1.asn_d Fig1.p1 ]
+  in
+  let stats = Runtime.handle_burst runtime updates in
+  check_int "exactly one fast-path block" 1
+    (Runtime.fast_path_block_count runtime);
+  check_bool "every update changed a best route" true
+    (List.for_all (fun (s : Runtime.update_stats) -> s.best_changed) stats);
+  let flows runtime =
+    List.map
+      (fun dst_port ->
+        match
+          Fig1.fabric_packet runtime ~sender:Fig1.asn_a ~src_ip:"10.0.0.1"
+            ~dst_ip:"20.0.1.9" ~dst_port ()
+        with
+        | None -> []
+        | Some pkt -> List.sort compare (Fig1.deliveries runtime pkt))
+      [ 80; 443; 9999 ]
+  in
+  let before = flows runtime in
+  ignore (Runtime.reoptimize runtime);
+  check_bool "burst result matches reoptimize on sampled packets" true
+    (before = flows runtime);
+  (* The withdrawal ended D's episode: default p1 traffic is back on C. *)
+  check_bool "default flow delivered to C" true
+    (List.mem [ (Fig1.asn_c, 0) ] before)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sdx_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_pool_map_exception;
+          Alcotest.test_case "pools are reusable" `Quick test_pool_reusable;
+        ] );
+      ( "parallel compile",
+        [
+          Alcotest.test_case "parallel = sequential (workloads)" `Quick
+            test_parallel_identical;
+          Alcotest.test_case "2-domain smoke (Figure 1)" `Quick
+            test_two_domain_smoke;
+        ] );
+      ( "optimize",
+        qsuite [ prop_optimize_preserves_eval; prop_optimize_no_growth ] );
+      ( "burst batching",
+        [
+          Alcotest.test_case "batch matches reoptimize" `Quick
+            test_batch_matches_reoptimize;
+          Alcotest.test_case "same-prefix burst installs one block" `Quick
+            test_same_prefix_burst_single_block;
+        ] );
+    ]
