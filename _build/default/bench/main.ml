@@ -416,6 +416,83 @@ let run_replay ~seed ~scale =
     [ 100; 300 ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel compilation                                                *)
+
+let par_workload ~seed ~scale =
+  let participants = 300 in
+  let prefixes = max 100 (int_of_float (25_000.0 *. scale)) in
+  let transit_picks = max 1 (prefixes / 500) in
+  let rng = Rng.create ~seed in
+  (Workload.build rng ~participants ~prefixes ~transit_picks (), participants,
+   prefixes)
+
+(* Wall-clock includes pool creation/shutdown for the private pool, so
+   the speedup is what a caller actually observes. *)
+let compile_with_domains (w : Workload.t) domains =
+  let vnh = Sdx_core.Vnh.create () in
+  let t0 = Unix.gettimeofday () in
+  let c = Sdx_core.Compile.compile ~domains w.config vnh in
+  (c, Unix.gettimeofday () -. t0)
+
+let run_par ~seed ~scale =
+  section "Parallel compilation: wall-clock vs domain count (Fig 6/7 scale)";
+  note
+    "paper: single-threaded Pyretic; ours fans independent rule blocks \
+     across OCaml 5 domains (speedup is bounded by the host's cores)";
+  let w, participants, prefixes = par_workload ~seed ~scale in
+  note "%d participants, %d prefixes; host recommends %d domain(s)"
+    participants prefixes
+    (Domain.recommended_domain_count ());
+  let base, base_s = compile_with_domains w 1 in
+  let base_cls = Sdx_core.Compile.classifier base in
+  let base_stats = Sdx_core.Compile.stats base in
+  Format.printf "  %8s %12s %9s %10s %10s@." "domains" "compile(s)" "speedup"
+    "rules" "identical";
+  Format.printf "  %8d %12.3f %8.2fx %10d %10s@." 1 base_s 1.0
+    base_stats.rule_count "--";
+  List.iter
+    (fun d ->
+      let c, s = compile_with_domains w d in
+      let identical = Sdx_core.Compile.classifier c = base_cls in
+      Format.printf "  %8d %12.3f %8.2fx %10d %10b@." d s (base_s /. s)
+        (Sdx_core.Compile.stats c).rule_count identical)
+    (List.filter
+       (fun d -> d > 1)
+       (List.sort_uniq Int.compare
+          [ 2; 4; Sdx_core.Parallel.default_domains () ]))
+
+let run_json ~seed ~scale ~out =
+  section "Machine-readable compile benchmark";
+  let w, participants, prefixes = par_workload ~seed ~scale in
+  let seq, seq_s = compile_with_domains w 1 in
+  let domains = Sdx_core.Parallel.default_domains () in
+  let par, par_s = compile_with_domains w domains in
+  let stats = Sdx_core.Compile.stats par in
+  let identical =
+    Sdx_core.Compile.classifier par = Sdx_core.Compile.classifier seq
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"participants\": %d,\n\
+    \  \"prefixes\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"groups\": %d,\n\
+    \  \"rules\": %d,\n\
+    \  \"elapsed_s\": %.6f,\n\
+    \  \"seq_ops\": %d,\n\
+    \  \"memo_hits\": %d,\n\
+    \  \"seq_elapsed_s\": %.6f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"identical_to_sequential\": %b\n\
+     }\n"
+    participants prefixes domains stats.group_count stats.rule_count par_s
+    stats.seq_ops stats.memo_hits seq_s (seq_s /. par_s) identical;
+  close_out oc;
+  note "wrote %s (domains=%d, speedup %.2fx vs 1 domain, identical=%b)" out
+    domains (seq_s /. par_s) identical
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let run_bechamel () =
@@ -492,6 +569,7 @@ let run_all ~seed ~scale ~samples ~repeats =
   run_vmac_ablation ~seed ~scale;
   run_multiswitch ~seed ~scale;
   run_replay ~seed ~scale;
+  run_par ~seed ~scale;
   run_bechamel ();
   Format.printf "@.done.@."
 
@@ -561,6 +639,16 @@ let commands =
         const (fun seed scale -> run_multiswitch ~seed ~scale) $ seed_t $ scale_t);
     cmd "replay" "Replay a day of IXP churn through the runtime."
       Term.(const (fun seed scale -> run_replay ~seed ~scale) $ seed_t $ scale_t);
+    cmd "par" "Sequential vs parallel compilation wall-clock."
+      Term.(const (fun seed scale -> run_par ~seed ~scale) $ seed_t $ scale_t);
+    cmd "json" "Write BENCH_compile.json (machine-readable compile bench)."
+      Term.(
+        const (fun seed scale out -> run_json ~seed ~scale ~out)
+        $ seed_t $ scale_t
+        $ Arg.(
+            value
+            & opt string "BENCH_compile.json"
+            & info [ "out" ] ~doc:"Output path for the JSON report."));
     cmd "bechamel" "Bechamel micro-benchmarks."
       Term.(const run_bechamel $ const ());
     cmd "all" "Run every experiment."

@@ -1,1 +1,1 @@
-lib/core/fec.ml: Hashtbl List Option Prefix Sdx_net
+lib/core/fec.ml: Fun Hashtbl List Option Prefix Sdx_net

@@ -29,7 +29,34 @@ type ospec = {
   prefix_set : Prefix.Set.t;
 }
 
-type counters = { mutable seq_ops : int; mutable memo_hits : int }
+(* Rule-generation jobs may run on any pool domain, so the operation
+   counters are mutated under a lock. *)
+type counters = {
+  mutable seq_ops : int;
+  mutable memo_hits : int;
+  lock : Mutex.t;
+}
+
+let bump_seq (c : counters) =
+  Mutex.lock c.lock;
+  c.seq_ops <- c.seq_ops + 1;
+  Mutex.unlock c.lock
+
+let bump_memo (c : counters) =
+  Mutex.lock c.lock;
+  c.memo_hits <- c.memo_hits + 1;
+  Mutex.unlock c.lock
+
+module Pipeline_key = struct
+  type t = Asn.t * Mods.t option
+
+  let equal (a1, m1) (a2, m2) = Asn.equal a1 a2 && Option.equal Mods.equal m1 m2
+
+  let hash (a, m) =
+    (Asn.hash a * 31) + (match m with None -> 0x3ac5 | Some m -> Mods.hash m)
+end
+
+module Pipeline_cache = Hashtbl.Make (Pipeline_key)
 
 type t = {
   classifier : Classifier.t;
@@ -38,7 +65,8 @@ type t = {
   arp_ : Sdx_arp.Responder.t;
   mutable stats_ : stats;
   ospecs : ospec list;
-  pipeline_cache : (Asn.t * Mods.t option, Classifier.t) Hashtbl.t;
+  pipeline_cache : Classifier.t Pipeline_cache.t;
+  cache_lock : Mutex.t;
   memoize : bool;
   counters : counters;
   mutable next_group_id : int;
@@ -97,10 +125,17 @@ module Default_keys = struct
     config : Config.t;
     fp_ids : ((Asn.t * Ipv4.t) list, int) Hashtbl.t;
     variants_of_id : (int, (Ipv4.t option * Asn.t list) list) Hashtbl.t;
+    (* The memo tables may be consulted from pool domains. *)
+    lock : Mutex.t;
   }
 
   let create config =
-    { config; fp_ids = Hashtbl.create 256; variants_of_id = Hashtbl.create 256 }
+    {
+      config;
+      fp_ids = Hashtbl.create 256;
+      variants_of_id = Hashtbl.create 256;
+      lock = Mutex.create ();
+    }
 
   let variants_of_fingerprint t fp =
     let server = Config.server t.config in
@@ -140,15 +175,26 @@ module Default_keys = struct
     let fp =
       List.map (fun (r : Route.t) -> (r.learned_from, r.next_hop)) sorted
     in
-    match Hashtbl.find_opt t.fp_ids fp with
-    | Some id -> id
-    | None ->
-        let id = Hashtbl.length t.fp_ids in
-        Hashtbl.replace t.fp_ids fp id;
-        Hashtbl.replace t.variants_of_id id (variants_of_fingerprint t fp);
-        id
+    Mutex.lock t.lock;
+    let id =
+      match Hashtbl.find_opt t.fp_ids fp with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length t.fp_ids in
+          Hashtbl.replace t.fp_ids fp id;
+          (* [variants_of_fingerprint] only reads the config, so holding
+             the lock across it is deadlock-free. *)
+          Hashtbl.replace t.variants_of_id id (variants_of_fingerprint t fp);
+          id
+    in
+    Mutex.unlock t.lock;
+    id
 
-  let variants t id = Hashtbl.find t.variants_of_id id
+  let variants t id =
+    Mutex.lock t.lock;
+    let v = Hashtbl.find t.variants_of_id id in
+    Mutex.unlock t.lock;
+    v
 
   (* Variants for a single prefix, bypassing the fingerprint memo — used
      by the incremental fast path, which must reflect the post-update
@@ -234,17 +280,34 @@ let inbound_pipeline_ast config (receiver : Participant.t) ~default_deliver =
       Policy.if_ c.pred (inbound_action config receiver c) acc)
     receiver.inbound base
 
+(* On a cache miss the pipeline is compiled outside the lock: two
+   domains racing on the same key both compile the same (deterministic)
+   classifier and one [replace] wins, so correctness is unaffected and
+   the lock is never held across real work. *)
 let compiled_pipeline t config (receiver : Participant.t) ~default_deliver =
   let key = (receiver.Participant.asn, default_deliver) in
-  match if t.memoize then Hashtbl.find_opt t.pipeline_cache key else None with
+  let cached =
+    if t.memoize then begin
+      Mutex.lock t.cache_lock;
+      let c = Pipeline_cache.find_opt t.pipeline_cache key in
+      Mutex.unlock t.cache_lock;
+      c
+    end
+    else None
+  in
+  match cached with
   | Some c ->
-      t.counters.memo_hits <- t.counters.memo_hits + 1;
+      bump_memo t.counters;
       c
   | None ->
       let c =
         Classifier.compile (inbound_pipeline_ast config receiver ~default_deliver)
       in
-      if t.memoize then Hashtbl.replace t.pipeline_cache key c;
+      if t.memoize then begin
+        Mutex.lock t.cache_lock;
+        Pipeline_cache.replace t.pipeline_cache key c;
+        Mutex.unlock t.cache_lock
+      end;
       c
 
 (* ------------------------------------------------------------------ *)
@@ -316,7 +379,7 @@ let clause_group_rules t config (spec : ospec) (g : group) =
         | Some (port, n) ->
             let deliver = Some (deliver_mods Mods.identity port n) in
             let pipeline = compiled_pipeline t config via ~default_deliver:deliver in
-            t.counters.seq_ops <- t.counters.seq_ops + 1;
+            bump_seq t.counters;
             keep_forwards (Classifier.seq head_cls pipeline))
     | None -> []
 
@@ -350,7 +413,7 @@ let clause_direct_rules t config (spec : ospec) =
     match action with
     | None -> []
     | Some act ->
-        t.counters.seq_ops <- t.counters.seq_ops + 1;
+        bump_seq t.counters;
         keep_forwards
           (Classifier.compile (Policy.seq [ Policy.filter head_pred; act ]))
 
@@ -373,7 +436,7 @@ let group_default_rules t config (g : group) ~originator =
         | Some (owner, port, n) ->
             let deliver = Some (deliver_mods Mods.identity port n) in
             let pipeline = compiled_pipeline t config owner ~default_deliver:deliver in
-            t.counters.seq_ops <- t.counters.seq_ops + 1;
+            bump_seq t.counters;
             Some (Classifier.seq (Classifier.compile_pred pred) pipeline))
     | None -> (
         (* No next hop: SDX-originated prefixes terminate at the
@@ -382,7 +445,7 @@ let group_default_rules t config (g : group) ~originator =
         | None -> None
         | Some owner ->
             let pipeline = compiled_pipeline t config owner ~default_deliver:None in
-            t.counters.seq_ops <- t.counters.seq_ops + 1;
+            bump_seq t.counters;
             Some (Classifier.seq (Classifier.compile_pred pred) pipeline))
   in
   let vmac_pred = Pred.dst_mac g.vmac in
@@ -428,19 +491,16 @@ let group_default_rules t config (g : group) ~originator =
    server leaves their next hop untouched, so packets arrive with the
    real next-hop interface MAC; forward them on that interface's port
    through the owner's inbound pipeline. *)
-let untagged_default_rules t config =
+let participant_untagged_rules t config (p : Participant.t) =
   List.concat_map
-    (fun (p : Participant.t) ->
-      List.concat_map
-        (fun (port : Participant.port) ->
-          let n = Config.switch_port config p.asn port.index in
-          let deliver = Some (deliver_mods Mods.identity port n) in
-          let pipeline = compiled_pipeline t config p ~default_deliver:deliver in
-          t.counters.seq_ops <- t.counters.seq_ops + 1;
-          keep_forwards
-            (Classifier.seq (Classifier.compile_pred (Pred.dst_mac port.mac)) pipeline))
-        p.ports)
-    (Config.participants config)
+    (fun (port : Participant.port) ->
+      let n = Config.switch_port config p.asn port.index in
+      let deliver = Some (deliver_mods Mods.identity port n) in
+      let pipeline = compiled_pipeline t config p ~default_deliver:deliver in
+      bump_seq t.counters;
+      keep_forwards
+        (Classifier.seq (Classifier.compile_pred (Pred.dst_mac port.mac)) pipeline))
+    p.ports
 
 (* ------------------------------------------------------------------ *)
 (* Collecting outbound specs and originated prefixes.                  *)
@@ -507,30 +567,43 @@ let compute_groups config vnh_alloc ospecs =
 
 let drop_all_rule = Classifier.drop_all
 
-let build_optimized t config =
+(* The optimized classifier is a concatenation of independent rule
+   blocks — one per (via-clause, group) pair, per direct clause, per
+   group default, per participant's untagged layer.  Each block is a
+   pure function of the (read-only during compilation) config and route
+   server state, so the blocks are built as a job list handed to [run]
+   (sequential or a domain pool) and concatenated in the original
+   order: the output is structurally identical either way. *)
+let build_optimized t config ~run =
   let groups_by_spec spec =
     List.filter
       (fun g -> Prefix.Set.mem (List.hd g.prefixes) spec.prefix_set)
       t.groups_
   in
-  let sender_rules =
+  let sender_jobs =
     List.concat_map
       (fun spec ->
         match spec.via with
         | Some _ ->
-            List.concat_map (fun g -> clause_group_rules t config spec g)
+            List.map
+              (fun g () -> clause_group_rules t config spec g)
               (groups_by_spec spec)
-        | None -> clause_direct_rules t config spec)
+        | None -> [ (fun () -> clause_direct_rules t config spec) ])
       t.ospecs
   in
-  let default_rules =
-    List.concat_map
-      (fun g ->
+  let default_jobs =
+    List.map
+      (fun g () ->
         let originator = originator_of config (List.hd g.prefixes) in
         group_default_rules t config g ~originator)
       t.groups_
   in
-  sender_rules @ default_rules @ untagged_default_rules t config @ drop_all_rule
+  let untagged_jobs =
+    List.map
+      (fun p () -> participant_untagged_rules t config p)
+      (Config.participants config)
+  in
+  List.concat (run (sender_jobs @ default_jobs @ untagged_jobs)) @ drop_all_rule
 
 (* ------------------------------------------------------------------ *)
 (* The naive pipeline (ablation): literal Pyretic-style composition.   *)
@@ -676,9 +749,11 @@ let register_arp t config =
         p.ports)
     (Config.participants config)
 
-let compile ?(optimized = true) ?(memoize = true) config vnh_alloc =
+let compile ?(optimized = true) ?(memoize = true) ?domains config vnh_alloc =
   let t0 = Unix.gettimeofday () in
   let ospecs = collect_ospecs config in
+  (* Group computation allocates VNHs through [vnh_alloc]; it stays on
+     the coordinating domain, before any fan-out. *)
   let groups_ = compute_groups config vnh_alloc ospecs in
   let by_prefix = Hashtbl.create 1024 in
   List.iter
@@ -693,14 +768,25 @@ let compile ?(optimized = true) ?(memoize = true) config vnh_alloc =
       stats_ =
         { group_count = 0; rule_count = 0; elapsed_s = 0.; seq_ops = 0; memo_hits = 0 };
       ospecs;
-      pipeline_cache = Hashtbl.create 64;
+      pipeline_cache = Pipeline_cache.create 64;
+      cache_lock = Mutex.create ();
       memoize;
-      counters = { seq_ops = 0; memo_hits = 0 };
+      counters = { seq_ops = 0; memo_hits = 0; lock = Mutex.create () };
       next_group_id = List.length groups_;
     }
   in
+  let run jobs =
+    let exec pool =
+      if Parallel.size pool <= 1 then List.map (fun job -> job ()) jobs
+      else Parallel.map pool (fun job -> job ()) jobs
+    in
+    match domains with
+    | Some n when n <= 1 -> List.map (fun job -> job ()) jobs
+    | Some n -> Parallel.with_pool ~domains:n exec
+    | None -> exec (Parallel.global ())
+  in
   let classifier =
-    if optimized then build_optimized t config else build_naive t config
+    if optimized then build_optimized t config ~run else build_naive t config
   in
   register_arp t config;
   let elapsed = Unix.gettimeofday () -. t0 in
@@ -823,28 +909,90 @@ type delta = {
   delta_elapsed_s : float;
 }
 
-let compile_update t config vnh_alloc prefix =
+type batch_delta = {
+  batch_rules : Classifier.t;
+  batch_groups : group list;
+  batch_elapsed_s : float;
+}
+
+(* Burst-batched fast path: one [Default_keys] instance and one pass
+   over the route-server state serve the whole burst.  Duplicate
+   prefixes are coalesced (only the final route state matters within a
+   burst), and prefixes with the same clause membership and default
+   fingerprint share one fresh VNH instead of burning one each. *)
+let compile_update_batch t config vnh_alloc prefixes =
   let t0 = Unix.gettimeofday () in
-  let vnh, vmac = Vnh.fresh vnh_alloc in
+  let server = Config.server config in
+  (* The instance is created after the burst's updates were applied, so
+     its memoized fingerprints reflect the post-update routes. *)
   let keys = Default_keys.create config in
-  let g =
-    {
-      id = t.next_group_id;
-      vnh;
-      vmac;
-      prefixes = [ prefix ];
-      default_variants = Default_keys.variants_of_prefix keys prefix;
-    }
+  let seen = Hashtbl.create 16 in
+  let prefixes =
+    List.filter
+      (fun p ->
+        if Hashtbl.mem seen p then false
+        else begin
+          Hashtbl.add seen p ();
+          true
+        end)
+      prefixes
   in
-  t.next_group_id <- t.next_group_id + 1;
-  Hashtbl.replace t.by_prefix prefix g;
-  Sdx_arp.Responder.register t.arp_ vnh vmac;
-  let sender_rules =
-    let server = Config.server config in
+  (* Indices of the via-clauses whose prefix set contains [prefix] —
+     prefixes agreeing on this and on the default fingerprint get
+     identical rule slices, hence one shared group. *)
+  let membership prefix =
+    List.concat
+      (List.mapi
+         (fun i spec ->
+           match spec.via with
+           | Some _ when Prefix.Set.mem prefix spec.prefix_set -> [ i ]
+           | _ -> [])
+         t.ospecs)
+  in
+  let sig_tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun prefix ->
+      let s =
+        ( membership prefix,
+          Default_keys.key_of_prefix keys prefix,
+          Option.map
+            (fun (p : Participant.t) -> p.asn)
+            (originator_of config prefix) )
+      in
+      match Hashtbl.find_opt sig_tbl s with
+      | Some members -> members := prefix :: !members
+      | None ->
+          let members = ref [ prefix ] in
+          Hashtbl.replace sig_tbl s members;
+          order := (s, members) :: !order)
+    prefixes;
+  let groups =
+    List.map
+      (fun ((_, key_id, _), members) ->
+        let vnh, vmac = Vnh.fresh vnh_alloc in
+        let g =
+          {
+            id = t.next_group_id;
+            vnh;
+            vmac;
+            prefixes = List.rev !members;
+            default_variants = Default_keys.variants keys key_id;
+          }
+        in
+        t.next_group_id <- t.next_group_id + 1;
+        List.iter (fun p -> Hashtbl.replace t.by_prefix p g) g.prefixes;
+        Sdx_arp.Responder.register t.arp_ vnh vmac;
+        g)
+      (List.rev !order)
+  in
+  let sender_rules_for g =
+    (* All members share clause membership, so probing one suffices. *)
+    let probe = List.hd g.prefixes in
     List.concat_map
       (fun spec ->
         match spec.via with
-        | Some via when Prefix.Set.mem prefix spec.prefix_set ->
+        | Some via when Prefix.Set.mem probe spec.prefix_set ->
             (* The clause's prefix set was computed at base-compile time;
                re-check that [via] still announces and exports the prefix,
                so a withdrawal immediately stops the diversion (§5.2's
@@ -854,16 +1002,32 @@ let compile_update t config vnh_alloc prefix =
                 ~receiver:spec.sender.asn
               && List.exists
                    (fun (r : Route.t) -> Asn.equal r.learned_from via)
-                   (Route_server.candidates server prefix)
+                   (Route_server.candidates server probe)
             in
             if still_reachable then clause_group_rules t config spec g else []
         | _ -> [])
       t.ospecs
   in
-  let originator = originator_of config prefix in
-  let default_rules = group_default_rules t config g ~originator in
+  let rules =
+    List.concat_map
+      (fun g ->
+        let originator = originator_of config (List.hd g.prefixes) in
+        sender_rules_for g @ group_default_rules t config g ~originator)
+      groups
+  in
   {
-    delta_rules = sender_rules @ default_rules;
-    delta_group = g;
-    delta_elapsed_s = Unix.gettimeofday () -. t0;
+    batch_rules = rules;
+    batch_groups = groups;
+    batch_elapsed_s = Unix.gettimeofday () -. t0;
   }
+
+let compile_update t config vnh_alloc prefix =
+  let b = compile_update_batch t config vnh_alloc [ prefix ] in
+  match b.batch_groups with
+  | [ g ] ->
+      {
+        delta_rules = b.batch_rules;
+        delta_group = g;
+        delta_elapsed_s = b.batch_elapsed_s;
+      }
+  | _ -> assert false

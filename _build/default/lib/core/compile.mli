@@ -39,7 +39,8 @@ type stats = {
 
 type t
 
-val compile : ?optimized:bool -> ?memoize:bool -> Config.t -> Vnh.t -> t
+val compile :
+  ?optimized:bool -> ?memoize:bool -> ?domains:int -> Config.t -> Vnh.t -> t
 (** Runs the full pipeline.  [optimized] (default true) enables the
     §4.3.1 optimizations — composing only participants that exchange
     traffic, exploiting policy disjointness, and memoizing repeated
@@ -48,7 +49,14 @@ val compile : ?optimized:bool -> ?memoize:bool -> Config.t -> Vnh.t -> t
     compiler, for the ablation benchmark.  [memoize] (default true)
     isolates just the sub-compilation cache ("the SDX controller
     memoizes all the intermediate compilation results"), so its
-    contribution can be measured separately. *)
+    contribution can be measured separately.
+
+    [domains] controls the pool the independent rule blocks of the
+    optimized path are fanned across: [Some 1] forces a fully sequential
+    build, [Some n] uses a private n-domain pool for this compilation,
+    and [None] (the default) uses {!Parallel.global}.  The classifier is
+    rule-for-rule identical for every setting — blocks are pure and
+    concatenated in input order. *)
 
 val classifier : t -> Classifier.t
 val groups : t -> group list
@@ -101,4 +109,21 @@ val compile_update : t -> Config.t -> Vnh.t -> Prefix.t -> delta
 (** The §4.3.2 fast path: a best-route change for one prefix gets a
     fresh VNH and only the policy slice related to that prefix is
     recompiled, bypassing group optimization.  Updates [t]'s prefix-to-
-    group binding and ARP table in place. *)
+    group binding and ARP table in place.  Equivalent to a one-prefix
+    {!compile_update_batch}. *)
+
+type batch_delta = {
+  batch_rules : Classifier.t;
+      (** non-total rule list to install above the base classifier as
+          one block *)
+  batch_groups : group list;  (** the fresh groups, allocation order *)
+  batch_elapsed_s : float;
+}
+
+val compile_update_batch : t -> Config.t -> Vnh.t -> Prefix.t list -> batch_delta
+(** The fast path for a whole burst (Table 1: most bursts touch ≤3
+    prefixes): one {e Default_keys} instance and one route-server pass
+    serve every prefix, duplicates are coalesced to their final state,
+    and prefixes sharing clause membership and default fingerprint share
+    one fresh VNH.  Must be called after the burst's updates have been
+    applied to the route server. *)

@@ -68,11 +68,11 @@ let is_valid_partition ~sets ~default_key groups =
     match g with
     | [] -> ([], 0)
     | first :: _ ->
-        ( List.filteri (fun _ _ -> true)
-            (List.concat
-               (List.mapi
-                  (fun i set -> if Prefix.Set.mem first set then [ i ] else [])
-                  sets)),
+        ( List.filter_map Fun.id
+            (List.mapi
+               (fun i set ->
+                 if Prefix.Set.mem first set then Some i else None)
+               sets),
           default_key first )
   in
   let maximal =

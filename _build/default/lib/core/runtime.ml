@@ -6,6 +6,7 @@ type t = {
   mutable config : Config.t;
   vnh : Vnh.t;
   optimized : bool;
+  domains : int option;
   mutable compiled : Compile.t;
   (* Fast-path rule blocks, most recent first, each with the stable
      switch priority of its lowest rule.  Floors only grow, so
@@ -68,11 +69,11 @@ let announce_originated ?rpki config =
     []
     (Config.participants config)
 
-let create ?(optimized = true) ?rpki config =
+let create ?(optimized = true) ?rpki ?domains config =
   let rejected = announce_originated ?rpki config in
   let vnh = Vnh.create () in
-  let compiled = Compile.compile ~optimized config vnh in
-  { config; vnh; optimized; compiled; extras = []; rejected }
+  let compiled = Compile.compile ~optimized ?domains config vnh in
+  { config; vnh; optimized; domains; compiled; extras = []; rejected }
 
 let rejected_originations t = t.rejected
 
@@ -118,7 +119,9 @@ let announcement t ~receiver prefix = Compile.announcement t.compiled t.config ~
 
 let reoptimize t =
   Vnh.reset t.vnh;
-  let compiled = Compile.compile ~optimized:t.optimized t.config t.vnh in
+  let compiled =
+    Compile.compile ~optimized:t.optimized ?domains:t.domains t.config t.vnh
+  in
   t.compiled <- compiled;
   t.extras <- [];
   Compile.stats compiled
@@ -128,30 +131,71 @@ let next_extras_floor t =
   | [] -> extras_floor
   | (block, floor) :: _ -> floor + Classifier.rule_count block
 
-let handle_update t update =
+(* A burst is handled as a unit: every update is applied to the route
+   server first, then the prefixes whose best route moved go through one
+   [Compile.compile_update_batch], and the burst installs exactly one
+   fast-path block.  Multiple updates to the same prefix therefore cost
+   one rule slice (the final state), not one stacked block each. *)
+let handle_burst t updates =
   let t0 = Unix.gettimeofday () in
-  let change = Route_server.apply (Config.server t.config) update in
-  if change.best_changed_for = [] then
-    { update; best_changed = false; processing_s = Unix.gettimeofday () -. t0; extra_rules = 0 }
-  else begin
-    let delta = Compile.compile_update t.compiled t.config t.vnh change.prefix in
-    let floor = next_extras_floor t in
-    t.extras <- (delta.delta_rules, floor) :: t.extras;
-    (* Priority space exhausted: run the background stage now. *)
-    if floor + Classifier.rule_count delta.delta_rules >= extras_ceiling then begin
-      Log.info (fun m ->
-          m "fast-path priority space exhausted; re-optimizing in place");
-      ignore (reoptimize t)
-    end;
-    {
-      update;
-      best_changed = true;
-      processing_s = Unix.gettimeofday () -. t0;
-      extra_rules = Classifier.rule_count delta.delta_rules;
-    }
-  end
+  let changes =
+    List.map
+      (fun u -> (u, Route_server.apply (Config.server t.config) u))
+      updates
+  in
+  let changed_prefixes =
+    (* Burst-internal duplicates are coalesced again by the batch
+       compiler; this keeps first-occurrence order. *)
+    List.filter_map
+      (fun ((_, c) : _ * Route_server.change) ->
+        if c.best_changed_for = [] then None else Some c.prefix)
+      changes
+  in
+  let installed =
+    match changed_prefixes with
+    | [] -> 0
+    | prefixes ->
+        let batch =
+          Compile.compile_update_batch t.compiled t.config t.vnh prefixes
+        in
+        let floor = next_extras_floor t in
+        t.extras <- (batch.batch_rules, floor) :: t.extras;
+        let count = Classifier.rule_count batch.batch_rules in
+        (* Priority space exhausted: run the background stage now. *)
+        if floor + count >= extras_ceiling then begin
+          Log.info (fun m ->
+              m "fast-path priority space exhausted; re-optimizing in place");
+          ignore (reoptimize t)
+        end;
+        count
+  in
+  let per_update_s =
+    (Unix.gettimeofday () -. t0) /. float_of_int (max 1 (List.length updates))
+  in
+  (* The block belongs to the burst, not any one update; attribute its
+     rules to the first best-changing update so that summing
+     [extra_rules] over the burst still counts each installed rule
+     once. *)
+  let first = ref true in
+  List.map
+    (fun ((update, c) : _ * Route_server.change) ->
+      let best_changed = c.best_changed_for <> [] in
+      let extra_rules =
+        if best_changed && !first then begin
+          first := false;
+          installed
+        end
+        else 0
+      in
+      { update; best_changed; processing_s = per_update_s; extra_rules })
+    changes
 
-let handle_burst t updates = List.map (handle_update t) updates
+let handle_update t update =
+  match handle_burst t [ update ] with
+  | [ stats ] -> stats
+  | _ -> assert false
+
+let fast_path_block_count t = List.length t.extras
 
 let set_policies t asn ~inbound ~outbound =
   let config =

@@ -13,12 +13,14 @@ open Sdx_bgp
 
 type t
 
-val create : ?optimized:bool -> ?rpki:Rpki.t -> Config.t -> t
+val create : ?optimized:bool -> ?rpki:Rpki.t -> ?domains:int -> Config.t -> t
 (** Announces every participant's SDX-originated prefixes to the route
     server, then runs the initial compilation.  When [rpki] is given,
     each originated prefix must validate as [Valid] for its owner
     (§3.2's ownership check); prefixes that fail are not originated and
-    a warning is logged. *)
+    a warning is logged.  [domains] is threaded through to
+    {!Compile.compile} for the initial build and every
+    {!reoptimize}. *)
 
 val rejected_originations : t -> (Asn.t * Prefix.t) list
 (** Originations refused by RPKI validation at creation time. *)
@@ -61,7 +63,22 @@ type update_stats = {
 }
 
 val handle_update : t -> Update.t -> update_stats
+(** A one-update {!handle_burst}. *)
+
 val handle_burst : t -> Update.t list -> update_stats list
+(** Applies every update to the route server, then compiles {e one}
+    fast-path block for all prefixes whose best route moved (via
+    {!Compile.compile_update_batch}) and installs it as a single
+    priority band.  Updates to the same prefix within the burst are
+    coalesced into one rule slice reflecting the final route state.
+    [extra_rules] of the first best-changing update carries the block's
+    rule count; later updates in the burst report 0, so the sum over the
+    burst equals the installed rules. *)
+
+val fast_path_block_count : t -> int
+(** Number of fast-path blocks currently stacked above the base
+    classifier — one per burst with best-route changes since the last
+    {!reoptimize}. *)
 
 val reoptimize : t -> Compile.stats
 (** Background re-optimization: recomputes groups and the classifier

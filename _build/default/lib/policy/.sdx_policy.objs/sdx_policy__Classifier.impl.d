@@ -1,1 +1,1 @@
-lib/policy/classifier.ml: Format Hashtbl List Mods Packet Pattern Policy Pred Sdx_net
+lib/policy/classifier.ml: Array Format Hashtbl Int List Mac Mods Option Packet Pattern Policy Pred Sdx_net

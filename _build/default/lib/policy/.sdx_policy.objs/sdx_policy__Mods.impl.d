@@ -1,1 +1,1 @@
-lib/policy/mods.ml: Format Ipv4 List Mac Option Packet Printf Sdx_net Stdlib String
+lib/policy/mods.ml: Format Int Ipv4 List Mac Option Packet Printf Sdx_net Stdlib String

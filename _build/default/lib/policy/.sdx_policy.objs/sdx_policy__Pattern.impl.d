@@ -1,1 +1,1 @@
-lib/policy/pattern.ml: Format Int List Mac Mods Option Packet Prefix Printf Sdx_net Stdlib String
+lib/policy/pattern.ml: Format Hashtbl Int List Mac Mods Option Packet Prefix Printf Sdx_net Stdlib String

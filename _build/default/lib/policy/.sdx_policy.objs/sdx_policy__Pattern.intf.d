@@ -1,1 +1,1 @@
-lib/policy/pattern.mli: Format Mac Mods Packet Prefix Sdx_net
+lib/policy/pattern.mli: Format Hashtbl Mac Mods Packet Prefix Sdx_net

@@ -13,12 +13,12 @@ let id_all = [ rule Pattern.all [ Mods.identity ] ]
    hashtable — an O(1) shadow check that keeps composition linear in the
    output size.  Full (superset) shadow elimination lives in [optimize]. *)
 let dedupe_patterns rules =
-  let seen = Hashtbl.create 64 in
+  let seen = Pattern.Tbl.create 64 in
   List.filter
     (fun r ->
-      if Hashtbl.mem seen r.pattern then false
+      if Pattern.Tbl.mem seen r.pattern then false
       else begin
-        Hashtbl.add seen r.pattern ();
+        Pattern.Tbl.add seen r.pattern ();
         true
       end)
     rules
@@ -37,15 +37,107 @@ let par c1 c2 =
   in
   dedupe_patterns cross
 
-(* Sequential composition of one action atom with the whole second
-   classifier: pull each pattern of [c2] back through the modification. *)
-let seq_atom (a : Mods.t) c2 =
+(* An atom that writes value [v] into an exact-match field can only pull
+   back rules whose constraint on that field is absent or equal to [v]
+   ([pull_exact] raises Empty otherwise).  [Seq_index] indexes the
+   right-hand classifier of a [seq] once, per exact field: for each atom
+   it picks the field whose candidate set (matching bucket plus
+   unconstrained rules) is smallest, and only those rules are pulled
+   back.  Prefix fields are containment-, not equality-, constrained, so
+   they are left unindexed.  Buckets carry original rule positions and
+   are merged on position, preserving first-match order. *)
+module Seq_index = struct
+  type entry = { pos : int; er : rule }
+
+  type field = {
+    get_mod : Mods.t -> int option;
+    by_value : (int, entry list) Hashtbl.t;  (* ascending [pos] *)
+    wild : entry list;  (* rules without this field, ascending [pos] *)
+    wild_count : int;
+  }
+
+  type t = { all : rule list; fields : field list }
+
+  let specs :
+      ((Pattern.t -> int option) * (Mods.t -> int option)) list =
+    [
+      ((fun p -> p.Pattern.port), fun m -> m.Mods.port);
+      ( (fun p -> Option.map Mac.to_int p.Pattern.src_mac),
+        fun m -> Option.map Mac.to_int m.Mods.src_mac );
+      ( (fun p -> Option.map Mac.to_int p.Pattern.dst_mac),
+        fun m -> Option.map Mac.to_int m.Mods.dst_mac );
+      ((fun p -> p.Pattern.eth_type), fun m -> m.Mods.eth_type);
+      ((fun p -> p.Pattern.proto), fun m -> m.Mods.proto);
+      ((fun p -> p.Pattern.src_port), fun m -> m.Mods.src_port);
+      ((fun p -> p.Pattern.dst_port), fun m -> m.Mods.dst_port);
+    ]
+
+  let build_field c2 (get_pat, get_mod) =
+    let by_value = Hashtbl.create 16 in
+    let wild = ref [] in
+    let wild_count = ref 0 in
+    let constrained = ref 0 in
+    List.iteri
+      (fun pos r ->
+        let e = { pos; er = r } in
+        match get_pat r.pattern with
+        | None ->
+            incr wild_count;
+            wild := e :: !wild
+        | Some v ->
+            incr constrained;
+            Hashtbl.replace by_value v
+              (e :: Option.value (Hashtbl.find_opt by_value v) ~default:[]))
+      c2;
+    (* A field nothing constrains can never narrow the scan. *)
+    if !constrained = 0 then None
+    else begin
+      let sorted = Hashtbl.create (Hashtbl.length by_value) in
+      Hashtbl.iter (fun v es -> Hashtbl.replace sorted v (List.rev es)) by_value;
+      Some
+        { get_mod; by_value = sorted; wild = List.rev !wild;
+          wild_count = !wild_count }
+    end
+
+  let create c2 = { all = c2; fields = List.filter_map (build_field c2) specs }
+
+  let rec merge a b =
+    match (a, b) with
+    | [], es | es, [] -> es
+    | x :: xs, y :: ys ->
+        if x.pos < y.pos then x :: merge xs (y :: ys)
+        else y :: merge (x :: xs) ys
+
+  let candidates t (a : Mods.t) =
+    let best =
+      List.fold_left
+        (fun best f ->
+          match f.get_mod a with
+          | None -> best
+          | Some v ->
+              let bucket =
+                Option.value (Hashtbl.find_opt f.by_value v) ~default:[]
+              in
+              let n = List.length bucket + f.wild_count in
+              (match best with
+              | Some (n', _, _) when n' <= n -> best
+              | _ -> Some (n, bucket, f.wild)))
+        None t.fields
+    in
+    match best with
+    | None -> t.all
+    | Some (_, bucket, wild) -> List.map (fun e -> e.er) (merge bucket wild)
+end
+
+(* Sequential composition of one action atom with the second classifier:
+   pull each candidate pattern of [c2] back through the modification. *)
+let seq_atom idx (a : Mods.t) =
   List.filter_map
     (fun r2 ->
       match Pattern.pull_back a r2.pattern with
       | Some p -> Some (rule p (List.map (fun b -> Mods.then_ a b) r2.action))
       | None -> None)
-    c2
+    (Seq_index.candidates idx a)
 
 let restrict p c =
   let confined =
@@ -60,11 +152,12 @@ let restrict p c =
   dedupe_patterns (confined @ drop_all)
 
 let seq c1 c2 =
+  let idx = Seq_index.create c2 in
   let block r1 =
     match r1.action with
     | [] -> [ r1 ]
     | atoms ->
-        let subs = List.map (fun a -> seq_atom a c2) atoms in
+        let subs = List.map (fun a -> seq_atom idx a) atoms in
         let combined =
           match subs with
           | [] -> drop_all
@@ -132,20 +225,93 @@ let eval c pkt =
       Packet.Set.elements
         (Packet.Set.of_list (List.map (fun m -> Mods.apply m pkt) r.action))
 
-(* Remove rule [i] when an earlier rule's pattern is a superset (it can
-   never match), and remove non-final rules whose action equals the final
-   catch-all's action provided no rule in between intersects them with a
-   different action (first-match would fall through to the same result). *)
-let optimize c =
-  let shadow_pruned =
-    List.rev
-      (List.fold_left
-         (fun kept r ->
-           if List.exists (fun r' -> Pattern.subset r.pattern r'.pattern) kept
-           then kept
-           else r :: kept)
-         [] c)
+(* Shadow elimination: a rule is dead when an earlier rule's pattern is a
+   superset of its own.  Any superset of pattern [p] must constrain a
+   subset of [p]'s fields, with equal values on exact fields and
+   containing prefixes on IP fields — so earlier patterns are bucketed by
+   (constrained-prefix-fields mask, pattern with prefixes erased), and
+   for each candidate we probe only the buckets of its generalizations
+   (each constrained field kept or dropped) instead of scanning every
+   kept rule.  2^k probes for k constrained fields (k <= 9, typically
+   2-3) replace the O(n) scan per rule. *)
+module Shadow_tbl = Hashtbl.Make (struct
+  type t = int * Pattern.t
+
+  let equal (a, p) (b, q) = Int.equal a b && Pattern.equal p q
+  let hash (a, p) = (Pattern.hash p * 31) + a
+end)
+
+let erase_prefixes (p : Pattern.t) = { p with src_ip = None; dst_ip = None }
+
+let prefix_bits (p : Pattern.t) =
+  (if Option.is_some p.src_ip then 1 else 0)
+  lor if Option.is_some p.dst_ip then 2 else 0
+
+(* One clearing function per constrained exact field of [p]. *)
+let exact_clearers (p : Pattern.t) =
+  let add clear field acc = if Option.is_some field then clear :: acc else acc in
+  add (fun (q : Pattern.t) -> { q with port = None }) p.port
+  @@ add (fun (q : Pattern.t) -> { q with src_mac = None }) p.src_mac
+  @@ add (fun (q : Pattern.t) -> { q with dst_mac = None }) p.dst_mac
+  @@ add (fun (q : Pattern.t) -> { q with eth_type = None }) p.eth_type
+  @@ add (fun (q : Pattern.t) -> { q with proto = None }) p.proto
+  @@ add (fun (q : Pattern.t) -> { q with src_port = None }) p.src_port
+  @@ add (fun (q : Pattern.t) -> { q with dst_port = None }) p.dst_port
+  @@ []
+
+let shadow_prune c =
+  let tbl = Shadow_tbl.create 256 in
+  let shadowed p =
+    let base = erase_prefixes p in
+    let clears = Array.of_list (exact_clearers p) in
+    let k = Array.length clears in
+    let pb = prefix_bits p in
+    let found = ref false in
+    let emask = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let e = ref base in
+      for i = 0 to k - 1 do
+        if !emask land (1 lsl i) <> 0 then e := clears.(i) !e
+      done;
+      (* Probe every sub-selection of the constrained prefix fields. *)
+      let pmask = ref pb in
+      let more_pmasks = ref true in
+      while !more_pmasks && not !found do
+        (match Shadow_tbl.find_opt tbl (!pmask, !e) with
+        | Some earlier ->
+            if List.exists (fun q -> Pattern.subset p q) !earlier then
+              found := true
+        | None -> ());
+        if !pmask = 0 then more_pmasks := false
+        else pmask := (!pmask - 1) land pb
+      done;
+      if !found || !emask = (1 lsl k) - 1 then continue := false
+      else incr emask
+    done;
+    !found
   in
+  let insert p =
+    let key = (prefix_bits p, erase_prefixes p) in
+    match Shadow_tbl.find_opt tbl key with
+    | Some earlier -> earlier := p :: !earlier
+    | None -> Shadow_tbl.add tbl key (ref [ p ])
+  in
+  List.filter
+    (fun r ->
+      if shadowed r.pattern then false
+      else begin
+        insert r.pattern;
+        true
+      end)
+    c
+
+(* Remove rules shadowed by an earlier superset rule, and remove
+   non-final rules whose action equals the final catch-all's action
+   provided no rule in between intersects them with a different action
+   (first-match would fall through to the same result). *)
+let optimize c =
+  let shadow_pruned = shadow_prune c in
   match List.rev shadow_pruned with
   | [] -> []
   | last :: rev_body ->

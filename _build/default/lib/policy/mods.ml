@@ -60,7 +60,40 @@ let then_ a b =
   }
 
 let compare = Stdlib.compare
-let equal a b = compare a b = 0
+
+let equal a b =
+  Option.equal Int.equal a.port b.port
+  && Option.equal Mac.equal a.src_mac b.src_mac
+  && Option.equal Mac.equal a.dst_mac b.dst_mac
+  && Option.equal Int.equal a.eth_type b.eth_type
+  && Option.equal Ipv4.equal a.src_ip b.src_ip
+  && Option.equal Ipv4.equal a.dst_ip b.dst_ip
+  && Option.equal Int.equal a.proto b.proto
+  && Option.equal Int.equal a.src_port b.src_port
+  && Option.equal Int.equal a.dst_port b.dst_port
+
+(* Same FNV-style mix as [Pattern.hash]; every field of a modification is
+   exact, so one combiner per field suffices. *)
+let hash t =
+  let mix h v = (h * 0x01000193) lxor (v land max_int) in
+  let exact h = function None -> mix h 0x5bd1e995 | Some v -> mix h (v + 1) in
+  let exact_mac h = function
+    | None -> mix h 0x5bd1e995
+    | Some m -> mix h (Mac.to_int m + 1)
+  in
+  let exact_ip h = function
+    | None -> mix h 0x5bd1e995
+    | Some ip -> mix h (Ipv4.to_int ip + 1)
+  in
+  let h = exact 0x811c9dc5 t.port in
+  let h = exact_mac h t.src_mac in
+  let h = exact_mac h t.dst_mac in
+  let h = exact h t.eth_type in
+  let h = exact_ip h t.src_ip in
+  let h = exact_ip h t.dst_ip in
+  let h = exact h t.proto in
+  let h = exact h t.src_port in
+  exact h t.dst_port
 
 let pp fmt t =
   let parts = ref [] in

@@ -43,4 +43,8 @@ val then_ : t -> t -> t
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash consistent with {!equal}. *)
+
 val pp : Format.formatter -> t -> unit

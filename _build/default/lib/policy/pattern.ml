@@ -145,7 +145,50 @@ let field_count t =
   + b t.proto + b t.src_port + b t.dst_port
 
 let compare = Stdlib.compare
-let equal a b = compare a b = 0
+
+let equal a b =
+  Option.equal Int.equal a.port b.port
+  && Option.equal Mac.equal a.src_mac b.src_mac
+  && Option.equal Mac.equal a.dst_mac b.dst_mac
+  && Option.equal Int.equal a.eth_type b.eth_type
+  && Option.equal Prefix.equal a.src_ip b.src_ip
+  && Option.equal Prefix.equal a.dst_ip b.dst_ip
+  && Option.equal Int.equal a.proto b.proto
+  && Option.equal Int.equal a.src_port b.src_port
+  && Option.equal Int.equal a.dst_port b.dst_port
+
+(* FNV-style field mix.  Wildcards get a fixed sentinel so that a
+   constrained field never collides with an absent one; values are
+   offset by one to keep 0 distinct from the sentinel. *)
+let mix h v = (h * 0x01000193) lxor (v land max_int)
+let wildcard = 0x5bd1e995
+
+let hash t =
+  let exact h = function None -> mix h wildcard | Some v -> mix h (v + 1) in
+  let exact_mac h = function
+    | None -> mix h wildcard
+    | Some m -> mix h (Mac.to_int m + 1)
+  in
+  let prefix h = function
+    | None -> mix h wildcard
+    | Some p -> mix h (Prefix.hash p + 1)
+  in
+  let h = exact 0x811c9dc5 t.port in
+  let h = exact_mac h t.src_mac in
+  let h = exact_mac h t.dst_mac in
+  let h = exact h t.eth_type in
+  let h = prefix h t.src_ip in
+  let h = prefix h t.dst_ip in
+  let h = exact h t.proto in
+  let h = exact h t.src_port in
+  exact h t.dst_port
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
 
 let pp fmt t =
   let parts = ref [] in

@@ -56,4 +56,13 @@ val field_count : t -> int
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash consistent with {!equal}; wildcarded and constrained
+    fields never collide. *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hashtables keyed on patterns via {!hash}/{!equal}, replacing
+    polymorphic hashing on the hot composition paths. *)
+
 val pp : Format.formatter -> t -> unit
