@@ -490,7 +490,13 @@ let run_json ~seed ~scale ~out =
     stats.seq_ops stats.memo_hits seq_s (seq_s /. par_s) identical;
   close_out oc;
   note "wrote %s (domains=%d, speedup %.2fx vs 1 domain, identical=%b)" out
-    domains (seq_s /. par_s) identical
+    domains (seq_s /. par_s) identical;
+  (* The equivalence check is the point of this target: make its failure
+     visible to CI, not just a field in the JSON. *)
+  if not identical then begin
+    note "ERROR: parallel classifier differs from sequential; failing";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)

@@ -10,9 +10,57 @@ open Sdx_bgp
 open Sdx_core
 
 (* ------------------------------------------------------------------ *)
+(* Observability reports (tentpole of the sdx_obs layer): every
+   subcommand that builds a runtime can dump the process-wide metrics
+   registry and the recent control-plane span trace, as text and/or
+   JSON.  During [replay], SIGUSR1 dumps the same report to stderr at
+   any time, and --stats-every does so on a timer — the always-on
+   surface the §5 evaluation numbers come from. *)
+
+let report_text ppf =
+  let tracer = Sdx_obs.Trace.default in
+  let spans = Sdx_obs.Trace.spans tracer in
+  Format.fprintf ppf "== metrics ==@.%a@." Sdx_obs.Registry.pp
+    Sdx_obs.Registry.default;
+  Format.fprintf ppf "== recent spans (%d retained, %d dropped) ==@."
+    (List.length spans)
+    (Sdx_obs.Trace.dropped tracer);
+  if spans <> [] then Format.fprintf ppf "%a@." Sdx_obs.Trace.pp_jsonl tracer
+
+let report_json () =
+  Printf.sprintf "{\"metrics\":%s,\"spans\":[%s]}\n"
+    (Sdx_obs.Registry.json_array_of_samples
+       (Sdx_obs.Registry.samples Sdx_obs.Registry.default))
+    (String.concat ","
+       (List.map Sdx_obs.Trace.json_of_span
+          (Sdx_obs.Trace.spans Sdx_obs.Trace.default)))
+
+(* Materialize the runtime's ruleset in an OpenFlow table so the report
+   reflects flow-mod counts and table occupancy, not just the abstract
+   classifier. *)
+let sync_flow_table runtime =
+  let table = Sdx_openflow.Table.create () in
+  Sdx_openflow.Table.install_all table (Runtime.flows runtime);
+  table
+
+let emit_stats ~stats ~stats_json runtime_opt =
+  if stats || stats_json <> None then begin
+    Option.iter (fun rt -> ignore (sync_flow_table rt)) runtime_opt;
+    if stats then report_text Format.std_formatter;
+    match stats_json with
+    | None -> ()
+    | Some "-" -> print_string (report_json ())
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (report_json ());
+        close_out oc;
+        Format.printf "wrote stats report to %s@." path
+  end
+
+(* ------------------------------------------------------------------ *)
 (* demo: the Figure 1 scenario, end to end                             *)
 
-let run_demo verbose =
+let run_demo verbose obs_stats stats_json =
   let mac = Mac.of_string and ip = Ipv4.of_string and pfx = Prefix.of_string in
   let asn_a = Asn.of_int 100
   and asn_b = Asn.of_int 200
@@ -75,12 +123,13 @@ let run_demo verbose =
   if verbose then begin
     Format.printf "@.Flow table:@.%a@." Sdx_policy.Classifier.pp
       (Runtime.classifier runtime)
-  end
+  end;
+  emit_stats ~stats:obs_stats ~stats_json (Some runtime)
 
 (* ------------------------------------------------------------------ *)
 (* compile: a synthetic workload through the pipeline                  *)
 
-let run_compile participants prefixes seed naive =
+let run_compile participants prefixes seed naive obs_stats stats_json =
   let rng = Sdx_ixp.Rng.create ~seed in
   let w = Sdx_ixp.Workload.build rng ~participants ~prefixes () in
   let runtime = Runtime.create ~optimized:(not naive) w.Sdx_ixp.Workload.config in
@@ -99,7 +148,8 @@ let run_compile participants prefixes seed naive =
          (fun (p : Participant.t) -> p.outbound <> [] || p.inbound <> [])
          (Config.participants w.Sdx_ixp.Workload.config))
   in
-  Format.printf "policied ASes:      %d@." policied
+  Format.printf "policied ASes:      %d@." policied;
+  emit_stats ~stats:obs_stats ~stats_json (Some runtime)
 
 (* ------------------------------------------------------------------ *)
 (* load: run a scenario file                                           *)
@@ -124,7 +174,7 @@ let parse_probe s =
       | _ -> failwith (Printf.sprintf "bad probe %S" s))
   | _ -> failwith (Printf.sprintf "bad probe %S (want AS:src:dst:dport)" s)
 
-let run_load path probes verbose =
+let run_load path probes verbose obs_stats stats_json =
   match Scenario.load path with
   | Error e -> Format.printf "%a@." Scenario.pp_error e
   | Ok config ->
@@ -154,7 +204,8 @@ let run_load path probes verbose =
                       (Asn.to_string d.receiver) d.receiver_port)
                   ds)
           probes
-      end
+      end;
+      emit_stats ~stats:obs_stats ~stats_json (Some runtime)
 
 (* ------------------------------------------------------------------ *)
 (* trace: Table 1 statistics                                           *)
@@ -176,7 +227,7 @@ let run_trace ixp scale seed =
 (* ------------------------------------------------------------------ *)
 (* replay: churn through the two-stage runtime                         *)
 
-let run_replay participants prefixes seed scale =
+let run_replay participants prefixes seed scale obs_stats stats_json stats_every =
   let rng = Sdx_ixp.Rng.create ~seed in
   let w = Sdx_ixp.Workload.build rng ~participants ~prefixes () in
   let runtime = Sdx_ixp.Workload.runtime w in
@@ -184,8 +235,27 @@ let run_replay participants prefixes seed scale =
   let trace =
     Sdx_ixp.Replay.trace_for_workload rng w ~profile ~duration_s:86_400.0
   in
+  (* Signal-triggered dump while the replay runs: `kill -USR1 $(pidof
+     sdxd)` prints the live report to stderr without disturbing the
+     run.  --stats-every does the same on a wall-clock timer. *)
+  let dump _ = report_text Format.err_formatter in
+  Sys.set_signal Sys.sigusr1 (Sys.Signal_handle dump);
+  (match stats_every with
+  | None -> ()
+  | Some period ->
+      Sys.set_signal Sys.sigalrm (Sys.Signal_handle dump);
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_value = period; it_interval = period }));
   let result = Sdx_ixp.Replay.run runtime trace in
-  Format.printf "%a@." Sdx_ixp.Replay.pp_result result
+  (match stats_every with
+  | None -> ()
+  | Some _ ->
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_value = 0.0; it_interval = 0.0 }));
+  Format.printf "%a@." Sdx_ixp.Replay.pp_result result;
+  emit_stats ~stats:obs_stats ~stats_json (Some runtime)
 
 (* ------------------------------------------------------------------ *)
 
@@ -193,13 +263,28 @@ open Cmdliner
 
 let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+let stats_t =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the observability report (metrics registry + recent spans) \
+           after the run.")
+
+let stats_json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write the observability report as JSON to $(docv) (- for stdout).")
+
 let demo_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also dump the flow table.")
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Walk through the paper's Figure 1 scenario.")
-    Term.(const run_demo $ verbose)
+    Term.(const run_demo $ verbose $ stats_t $ stats_json_t)
 
 let compile_cmd =
   let participants =
@@ -214,8 +299,9 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a synthetic 6.1 workload and print statistics.")
     Term.(
-      const (fun n x seed naive -> run_compile n x seed naive)
-      $ participants $ prefixes $ seed_t $ naive)
+      const (fun n x seed naive stats stats_json ->
+          run_compile n x seed naive stats stats_json)
+      $ participants $ prefixes $ seed_t $ naive $ stats_t $ stats_json_t)
 
 let load_cmd =
   let path =
@@ -232,8 +318,10 @@ let load_cmd =
   in
   Cmd.v
     (Cmd.info "load" ~doc:"Load a scenario file, compile it, and optionally probe it.")
-    Term.(const (fun path probes verbose -> run_load path probes verbose)
-          $ path $ probes $ verbose)
+    Term.(
+      const (fun path probes verbose stats stats_json ->
+          run_load path probes verbose stats stats_json)
+      $ path $ probes $ verbose $ stats_t $ stats_json_t)
 
 let trace_cmd =
   let ixp =
@@ -256,12 +344,22 @@ let replay_cmd =
   let scale =
     Arg.(value & opt float 0.001 & info [ "scale" ] ~doc:"Trace scale factor.")
   in
+  let stats_every =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "stats-every" ] ~docv:"SECONDS"
+          ~doc:"Dump the observability report to stderr every $(docv) while \
+                replaying (SIGUSR1 triggers the same dump on demand).")
+  in
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Replay a day of AMS-IX-like churn through the two-stage runtime.")
     Term.(
-      const (fun n x seed scale -> run_replay n x seed scale)
-      $ participants $ prefixes $ seed_t $ scale)
+      const (fun n x seed scale stats stats_json every ->
+          run_replay n x seed scale stats stats_json every)
+      $ participants $ prefixes $ seed_t $ scale $ stats_t $ stats_json_t
+      $ stats_every)
 
 let () =
   let info = Cmd.info "sdxd" ~doc:"SDX controller inspection tool." in

@@ -1,11 +1,22 @@
 open Sdx_net
 
+(* Adj-in churn counters, aggregated across every per-peer instance —
+   the route server owns one Adj_in per participant. *)
+let m_adds = Sdx_obs.Registry.counter "sdx_bgp_rib_adds_total"
+let m_removes = Sdx_obs.Registry.counter "sdx_bgp_rib_removes_total"
+
 module Adj_in = struct
   type t = { mutable trie : Route.t Prefix_trie.t }
 
   let create () = { trie = Prefix_trie.empty }
-  let add t (r : Route.t) = t.trie <- Prefix_trie.add r.prefix r t.trie
-  let remove t prefix = t.trie <- Prefix_trie.remove prefix t.trie
+
+  let add t (r : Route.t) =
+    Sdx_obs.Registry.Counter.incr m_adds;
+    t.trie <- Prefix_trie.add r.prefix r t.trie
+
+  let remove t prefix =
+    Sdx_obs.Registry.Counter.incr m_removes;
+    t.trie <- Prefix_trie.remove prefix t.trie
   let find t prefix = Prefix_trie.find_opt prefix t.trie
   let cardinal t = Prefix_trie.cardinal t.trie
   let prefixes t = List.map fst (Prefix_trie.bindings t.trie)

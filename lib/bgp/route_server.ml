@@ -15,6 +15,20 @@ type t = {
 
 type change = { prefix : Prefix.t; best_changed_for : Asn.t list }
 
+module Obs = struct
+  open Sdx_obs.Registry
+
+  let updates = counter "sdx_bgp_updates_total"
+  let announces = counter "sdx_bgp_announce_total"
+  let withdraws = counter "sdx_bgp_withdraw_total"
+
+  (* One flip per (update, receiver) whose best route moved — the raw
+     event count behind the paper's "data plane stays in sync with BGP"
+     claim. *)
+  let best_flips = counter "sdx_bgp_best_flips_total"
+  let prefixes = gauge "sdx_bgp_prefixes"
+end
+
 let default_export ~advertiser:_ ~receiver:_ = true
 let default_route_filter _route ~receiver:_ = true
 
@@ -111,6 +125,13 @@ let apply t update =
         if same then None else Some receiver)
       (List.combine before after)
   in
+  Sdx_obs.Registry.Counter.incr Obs.updates;
+  Sdx_obs.Registry.Counter.incr
+    (match update with
+    | Update.Announce _ -> Obs.announces
+    | Update.Withdraw _ -> Obs.withdraws);
+  Sdx_obs.Registry.Counter.add Obs.best_flips (List.length best_changed_for);
+  Sdx_obs.Registry.Gauge.set_int Obs.prefixes (Hashtbl.length t.by_prefix);
   { prefix; best_changed_for }
 
 let apply_burst t updates = List.map (apply t) updates

@@ -20,6 +20,25 @@ type stats = {
   memo_hits : int;
 }
 
+module Obs = struct
+  open Sdx_obs.Registry
+
+  let compiles = counter "sdx_compile_total"
+  let compile_seconds = histogram "sdx_compile_seconds"
+  let rules = gauge "sdx_compile_rules"
+  let groups = gauge "sdx_compile_groups"
+  let seq_ops = counter "sdx_compile_seq_ops_total"
+  let memo_hits = counter "sdx_compile_memo_hits_total"
+  let batches = counter "sdx_compile_batch_total"
+  let batch_seconds = histogram "sdx_compile_batch_seconds"
+  let batch_rules = counter "sdx_compile_batch_rules_total"
+  let batch_prefixes = counter "sdx_compile_batch_prefixes_total"
+
+  (* Fresh VNHs allocated by the fast path — the quantity the batch
+     coalescing exists to keep sub-linear in burst size. *)
+  let batch_vnhs = counter "sdx_compile_batch_vnh_total"
+end
+
 (* An outbound clause together with the prefixes whose default behavior it
    overrides — one element of the collection the MDS partition runs on. *)
 type ospec = {
@@ -791,14 +810,30 @@ let compile ?(optimized = true) ?(memoize = true) ?domains config vnh_alloc =
   register_arp t config;
   let elapsed = Unix.gettimeofday () -. t0 in
   let t = { t with classifier } in
-  t.stats_ <-
+  let stats =
     {
       group_count = List.length groups_;
       rule_count = Classifier.rule_count classifier;
       elapsed_s = elapsed;
       seq_ops = t.counters.seq_ops;
       memo_hits = t.counters.memo_hits;
-    };
+    }
+  in
+  t.stats_ <- stats;
+  Sdx_obs.Registry.Counter.incr Obs.compiles;
+  Sdx_obs.Registry.Histogram.observe Obs.compile_seconds elapsed;
+  Sdx_obs.Registry.Gauge.set_int Obs.rules stats.rule_count;
+  Sdx_obs.Registry.Gauge.set_int Obs.groups stats.group_count;
+  Sdx_obs.Registry.Counter.add Obs.seq_ops stats.seq_ops;
+  Sdx_obs.Registry.Counter.add Obs.memo_hits stats.memo_hits;
+  Sdx_obs.Trace.record ~name:"compile" ~start_s:t0 ~dur_s:elapsed
+    ~attrs:
+      [
+        ("rules", string_of_int stats.rule_count);
+        ("groups", string_of_int stats.group_count);
+        ("mode", if optimized then "optimized" else "naive");
+      ]
+    ();
   t
 
 let estimate_with_group_cost t cost_of_group =
@@ -1015,10 +1050,24 @@ let compile_update_batch t config vnh_alloc prefixes =
         sender_rules_for g @ group_default_rules t config g ~originator)
       groups
   in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Sdx_obs.Registry.Counter.incr Obs.batches;
+  Sdx_obs.Registry.Histogram.observe Obs.batch_seconds elapsed;
+  Sdx_obs.Registry.Counter.add Obs.batch_rules (Classifier.rule_count rules);
+  Sdx_obs.Registry.Counter.add Obs.batch_prefixes (List.length prefixes);
+  Sdx_obs.Registry.Counter.add Obs.batch_vnhs (List.length groups);
+  Sdx_obs.Trace.record ~name:"compile_update_batch" ~start_s:t0 ~dur_s:elapsed
+    ~attrs:
+      [
+        ("prefixes", string_of_int (List.length prefixes));
+        ("groups", string_of_int (List.length groups));
+        ("rules", string_of_int (Classifier.rule_count rules));
+      ]
+    ();
   {
     batch_rules = rules;
     batch_groups = groups;
-    batch_elapsed_s = Unix.gettimeofday () -. t0;
+    batch_elapsed_s = elapsed;
   }
 
 let compile_update t config vnh_alloc prefix =

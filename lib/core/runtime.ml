@@ -35,6 +35,26 @@ type update_stats = {
   extra_rules : int;
 }
 
+module Obs = struct
+  open Sdx_obs.Registry
+
+  let bursts = counter "sdx_runtime_bursts_total"
+  let updates = counter "sdx_runtime_updates_total"
+  let best_changed = counter "sdx_runtime_best_changed_total"
+
+  (* End-to-end fast-path latency per burst: route-server apply + batch
+     compile + block install — the §5.2 "fast path" quantity. *)
+  let burst_seconds = histogram "sdx_runtime_burst_seconds"
+
+  (* Updates whose prefix was folded into an earlier update of the same
+     burst (burst size minus distinct changed prefixes). *)
+  let coalesced = counter "sdx_runtime_coalesced_updates_total"
+  let fastpath_blocks = gauge "sdx_runtime_fastpath_blocks"
+  let extra_rules = gauge "sdx_runtime_extra_rules"
+  let reoptimizations = counter "sdx_runtime_reoptimize_total"
+  let reoptimize_seconds = histogram "sdx_runtime_reoptimize_seconds"
+end
+
 (* Placeholder next hop for SDX-originated prefixes: it resolves to no
    fabric port, so the compiler treats those prefixes as SDX-terminated
    and the route server still has a syntactically valid route. *)
@@ -124,7 +144,12 @@ let reoptimize t =
   in
   t.compiled <- compiled;
   t.extras <- [];
-  Compile.stats compiled
+  let stats = Compile.stats compiled in
+  Sdx_obs.Registry.Counter.incr Obs.reoptimizations;
+  Sdx_obs.Registry.Histogram.observe Obs.reoptimize_seconds stats.Compile.elapsed_s;
+  Sdx_obs.Registry.Gauge.set_int Obs.fastpath_blocks 0;
+  Sdx_obs.Registry.Gauge.set_int Obs.extra_rules 0;
+  stats
 
 let next_extras_floor t =
   match t.extras with
@@ -169,9 +194,28 @@ let handle_burst t updates =
         end;
         count
   in
-  let per_update_s =
-    (Unix.gettimeofday () -. t0) /. float_of_int (max 1 (List.length updates))
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let n_updates = List.length updates in
+  let n_changed = List.length changed_prefixes in
+  let distinct_changed =
+    Prefix.Set.cardinal (Prefix.Set.of_list changed_prefixes)
   in
+  Sdx_obs.Registry.Counter.incr Obs.bursts;
+  Sdx_obs.Registry.Counter.add Obs.updates n_updates;
+  Sdx_obs.Registry.Counter.add Obs.best_changed n_changed;
+  Sdx_obs.Registry.Counter.add Obs.coalesced (n_changed - distinct_changed);
+  Sdx_obs.Registry.Histogram.observe Obs.burst_seconds elapsed;
+  Sdx_obs.Registry.Gauge.set_int Obs.fastpath_blocks (List.length t.extras);
+  Sdx_obs.Registry.Gauge.set_int Obs.extra_rules (extra_rule_count t);
+  Sdx_obs.Trace.record ~name:"handle_burst" ~start_s:t0 ~dur_s:elapsed
+    ~attrs:
+      [
+        ("updates", string_of_int n_updates);
+        ("changed", string_of_int n_changed);
+        ("installed_rules", string_of_int installed);
+      ]
+    ();
+  let per_update_s = elapsed /. float_of_int (max 1 n_updates) in
   (* The block belongs to the burst, not any one update; attribute its
      rules to the first best-changing update so that summing
      [extra_rules] over the burst still counts each installed rule

@@ -1,65 +1,102 @@
 open Sdx_net
 open Sdx_bgp
+open Sdx_obs
 
+(* Process-wide aggregates in the default registry, so a plain
+   [Registry.pp Registry.default] report covers the data plane alongside
+   the control-plane metrics — one export path for both. *)
+let g_packets = Registry.counter "sdx_fabric_packets_total"
+let g_deliveries = Registry.counter "sdx_fabric_deliveries_total"
+let g_drops = Registry.counter "sdx_fabric_drops_total"
+
+(* Per-exchange counters live in a private registry: one fabric
+   simulation must not pollute another's matrix.  The typed-key tables
+   map back from (Asn, Asn) / (Ipv4, Asn) to the registered counter,
+   since label strings are a one-way encoding. *)
 type t = {
-  tx : (Asn.t, int) Hashtbl.t;
-  rx : (Asn.t, int) Hashtbl.t;
-  drops : (Asn.t, int) Hashtbl.t;
-  pairs : (Asn.t * Asn.t, int) Hashtbl.t;
-  sources : (Ipv4.t * Asn.t, int) Hashtbl.t;
-  mutable total : int;
+  registry : Registry.t;
+  total : Registry.Counter.t;
+  pairs : (Asn.t * Asn.t, Registry.Counter.t) Hashtbl.t;
+  sources : (Ipv4.t * Asn.t, Registry.Counter.t) Hashtbl.t;
 }
 
 let create () =
+  let registry = Registry.create () in
   {
-    tx = Hashtbl.create 64;
-    rx = Hashtbl.create 64;
-    drops = Hashtbl.create 64;
+    registry;
+    total = Registry.counter ~registry "sdx_fabric_packets_total";
     pairs = Hashtbl.create 256;
     sources = Hashtbl.create 256;
-    total = 0;
   }
 
-let bump tbl key n =
-  Hashtbl.replace tbl key (n + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+let asn_counter t name asn =
+  Registry.counter ~registry:t.registry ~labels:[ ("asn", Asn.to_string asn) ] name
+
+let pair_counter t src dst =
+  match Hashtbl.find_opt t.pairs (src, dst) with
+  | Some c -> c
+  | None ->
+      let c =
+        Registry.counter ~registry:t.registry
+          ~labels:[ ("src", Asn.to_string src); ("dst", Asn.to_string dst) ]
+          "sdx_fabric_pair_packets"
+      in
+      Hashtbl.replace t.pairs (src, dst) c;
+      c
+
+let source_counter t src_ip dst =
+  match Hashtbl.find_opt t.sources (src_ip, dst) with
+  | Some c -> c
+  | None ->
+      let c =
+        Registry.counter ~registry:t.registry
+          ~labels:[ ("src_ip", Ipv4.to_string src_ip); ("dst", Asn.to_string dst) ]
+          "sdx_fabric_source_packets"
+      in
+      Hashtbl.replace t.sources (src_ip, dst) c;
+      c
 
 let record t ~src ~packet ~receivers =
-  t.total <- t.total + 1;
-  bump t.tx src 1;
+  Registry.Counter.incr t.total;
+  Registry.Counter.incr g_packets;
+  Registry.Counter.incr (asn_counter t "sdx_fabric_tx_packets" src);
   match receivers with
-  | [] -> bump t.drops src 1
+  | [] ->
+      Registry.Counter.incr (asn_counter t "sdx_fabric_dropped_packets" src);
+      Registry.Counter.incr g_drops
   | rs ->
       List.iter
         (fun r ->
-          bump t.rx r 1;
-          bump t.pairs (src, r) 1;
-          bump t.sources (packet.Packet.src_ip, r) 1)
+          Registry.Counter.incr (asn_counter t "sdx_fabric_rx_packets" r);
+          Registry.Counter.incr g_deliveries;
+          Registry.Counter.incr (pair_counter t src r);
+          Registry.Counter.incr (source_counter t packet.Packet.src_ip r))
         rs
 
-let get tbl key = Option.value (Hashtbl.find_opt tbl key) ~default:0
-let tx t asn = get t.tx asn
-let rx t asn = get t.rx asn
-let dropped t asn = get t.drops asn
+let value c = Registry.Counter.value c
+let tx t asn = value (asn_counter t "sdx_fabric_tx_packets" asn)
+let rx t asn = value (asn_counter t "sdx_fabric_rx_packets" asn)
+let dropped t asn = value (asn_counter t "sdx_fabric_dropped_packets" asn)
 
 let matrix t =
   List.sort
     (fun (_, _, a) (_, _, b) -> Int.compare b a)
-    (Hashtbl.fold (fun (s, r) n acc -> (s, r, n) :: acc) t.pairs [])
+    (Hashtbl.fold
+       (fun (s, r) c acc ->
+         match value c with 0 -> acc | n -> (s, r, n) :: acc)
+       t.pairs [])
 
 let top_sources t ~toward =
   List.sort
     (fun (_, a) (_, b) -> Int.compare b a)
     (Hashtbl.fold
-       (fun (src_ip, r) n acc ->
-         if Asn.equal r toward then (src_ip, n) :: acc else acc)
+       (fun (src_ip, r) c acc ->
+         if Asn.equal r toward then
+           match value c with 0 -> acc | n -> (src_ip, n) :: acc
+         else acc)
        t.sources [])
 
-let total t = t.total
-
-let reset t =
-  Hashtbl.reset t.tx;
-  Hashtbl.reset t.rx;
-  Hashtbl.reset t.drops;
-  Hashtbl.reset t.pairs;
-  Hashtbl.reset t.sources;
-  t.total <- 0
+let total t = value t.total
+let registry t = t.registry
+let samples t = Registry.samples t.registry
+let reset t = Registry.reset t.registry

@@ -5,7 +5,15 @@
     traffic measurements suggest a possible denial-of-service attack, an
     ISP can steer the offending traffic through a traffic scrubber" — and
     of peering decisions generally (the traffic matrix between
-    participants). *)
+    participants).
+
+    The counters are expressed on {!Sdx_obs.Registry}: each exchange
+    owns a private registry of labeled counters
+    ([sdx_fabric_rx_packets{asn="AS200"}], pair and per-source matrices)
+    exported through {!samples}, and process-wide aggregates
+    ([sdx_fabric_packets_total], [..._deliveries_total],
+    [..._drops_total]) land in [Registry.default] so data-plane traffic
+    shows up in the same report as the control-plane metrics. *)
 
 open Sdx_net
 open Sdx_bgp
@@ -35,4 +43,14 @@ val top_sources : t -> toward:Asn.t -> (Ipv4.t * int) list
     first — the DoS-detection signal. *)
 
 val total : t -> int
+
+val registry : t -> Sdx_obs.Registry.t
+(** The exchange's private metrics registry. *)
+
+val samples : t -> Sdx_obs.Registry.sample list
+(** Snapshot in the shared export schema — feed to
+    {!Sdx_obs.Registry.pp_samples} or {!Sdx_obs.Registry.json_of_samples}. *)
+
 val reset : t -> unit
+(** Zeroes every counter (registrations survive; zero-valued pairs and
+    sources are filtered from {!matrix} and {!top_sources}). *)

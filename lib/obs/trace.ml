@@ -1,0 +1,83 @@
+type span = {
+  span_name : string;
+  start_s : float;
+  dur_s : float;
+  attrs : (string * string) list;
+}
+
+type t = {
+  ring : span option array;
+  lock : Mutex.t;
+  mutable total : int;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { ring = Array.make capacity None; lock = Mutex.create (); total = 0 }
+
+let default = create ()
+
+let record ?(tracer = default) ?(attrs = []) ~name ~start_s ~dur_s () =
+  let span = { span_name = name; start_s; dur_s; attrs } in
+  Mutex.lock tracer.lock;
+  tracer.ring.(tracer.total mod Array.length tracer.ring) <- Some span;
+  tracer.total <- tracer.total + 1;
+  Mutex.unlock tracer.lock
+
+let spans t =
+  Mutex.lock t.lock;
+  let cap = Array.length t.ring in
+  let n = min t.total cap in
+  let first = if t.total <= cap then 0 else t.total mod cap in
+  let out =
+    List.init n (fun i ->
+        match t.ring.((first + i) mod cap) with
+        | Some s -> s
+        | None -> assert false)
+  in
+  Mutex.unlock t.lock;
+  out
+
+let recorded t =
+  Mutex.lock t.lock;
+  let n = t.total in
+  Mutex.unlock t.lock;
+  n
+
+let dropped t =
+  Mutex.lock t.lock;
+  let n = max 0 (t.total - Array.length t.ring) in
+  Mutex.unlock t.lock;
+  n
+
+let reset t =
+  Mutex.lock t.lock;
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.total <- 0;
+  Mutex.unlock t.lock
+
+let json_of_span s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"start_s\":%.6f,\"dur_s\":%.9f"
+       (Registry.json_escape s.span_name)
+       s.start_s s.dur_s);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"%s\":\"%s\"" (Registry.json_escape k)
+           (Registry.json_escape v)))
+    s.attrs;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let pp_jsonl fmt t =
+  Format.pp_open_vbox fmt 0;
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.pp_print_cut fmt ();
+      Format.pp_print_string fmt (json_of_span s))
+    (spans t);
+  Format.pp_close_box fmt ()
+
+let to_jsonl t = String.concat "\n" (List.map json_of_span (spans t))

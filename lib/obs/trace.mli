@@ -1,0 +1,49 @@
+(** Lightweight structured event tracing: a bounded ring of timestamped
+    spans with a JSON-lines sink.
+
+    Instrumentation sites time their own work (they already hold the
+    wall-clock for their stats structs) and call {!record}; the tracer
+    itself never reads a clock, which keeps the library dependency-free
+    and the spans consistent with the latencies the metrics report.
+    The ring overwrites oldest-first, so a long-running [sdxd] keeps the
+    most recent window of control-plane activity — the per-update event
+    stream that deployment checkers (e.g. Prelude-style correctness
+    testing) consume. *)
+
+type span = {
+  span_name : string;
+  start_s : float;  (** epoch seconds at span start *)
+  dur_s : float;
+  attrs : (string * string) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 1024 spans and must be positive. *)
+
+val default : t
+
+val record :
+  ?tracer:t -> ?attrs:(string * string) list -> name:string -> start_s:float ->
+  dur_s:float -> unit -> unit
+
+val spans : t -> span list
+(** Retained spans, oldest first. *)
+
+val recorded : t -> int
+(** Total spans ever recorded (including overwritten ones). *)
+
+val dropped : t -> int
+(** Spans lost to ring overwrite: [recorded - retained]. *)
+
+val reset : t -> unit
+
+val json_of_span : span -> string
+(** One span as a single-line JSON object. *)
+
+val pp_jsonl : Format.formatter -> t -> unit
+(** One JSON object per line:
+    [{"name":...,"start_s":...,"dur_s":...,"attr_key":"attr_value",...}] *)
+
+val to_jsonl : t -> string

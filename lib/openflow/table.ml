@@ -5,6 +5,25 @@ type t = { mutable entries : entry list; mutable next_seq : int; capacity : int 
 
 exception Table_full
 
+module Obs = struct
+  open Sdx_obs.Registry
+
+  let flow_mods = counter "sdx_openflow_flow_mods_total"
+  let installs = counter "sdx_openflow_installs_total"
+  let removes = counter "sdx_openflow_removes_total"
+
+  (* Aggregate occupancy across every live table (the runtime usually
+     drives one per fabric switch), maintained by deltas on each
+     mutation. *)
+  let entries = gauge "sdx_openflow_table_entries"
+
+  let mutate ~installed ~removed =
+    Counter.add flow_mods (installed + removed);
+    Counter.add installs installed;
+    Counter.add removes removed;
+    Gauge.add entries (float_of_int (installed - removed))
+end
+
 let create ?capacity () = { entries = []; next_seq = 0; capacity }
 
 (* Entries are kept sorted: descending priority, then ascending insertion
@@ -17,6 +36,7 @@ let order a b =
 (* OpenFlow ADD semantics: an entry with the same priority and match
    overwrites the existing one (counters reset). *)
 let install t (flow : Flow.t) =
+  let before = List.length t.entries in
   let entries =
     List.filter
       (fun e ->
@@ -30,25 +50,32 @@ let install t (flow : Flow.t) =
   | _ -> ());
   let e = { flow; seq = t.next_seq; packets = 0 } in
   t.next_seq <- t.next_seq + 1;
-  t.entries <- List.merge order [ e ] entries
+  t.entries <- List.merge order [ e ] entries;
+  Obs.mutate ~installed:1 ~removed:(before - List.length entries)
 
 let install_all t flows = List.iter (install t) flows
 
 let remove t ~priority ~pattern =
+  let before = List.length t.entries in
   t.entries <-
     List.filter
       (fun e ->
         not
           (e.flow.Flow.priority = priority
           && Pattern.equal e.flow.Flow.pattern pattern))
-      t.entries
+      t.entries;
+  Obs.mutate ~installed:0 ~removed:(before - List.length t.entries)
 
-let clear t = t.entries <- []
+let clear t =
+  Obs.mutate ~installed:0 ~removed:(List.length t.entries);
+  t.entries <- []
 
 let remove_where t pred =
   let before = List.length t.entries in
   t.entries <- List.filter (fun e -> not (pred e.flow)) t.entries;
-  before - List.length t.entries
+  let removed = before - List.length t.entries in
+  Obs.mutate ~installed:0 ~removed;
+  removed
 
 let lookup t pkt =
   let rec go = function

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Bench regression gate: compare a fresh `bench json` report against the
+# committed baseline.
+#
+#   scripts/bench_gate.sh BASELINE.json CANDIDATE.json
+#
+# Fails (exit 1) on correctness drift: `rules`, `groups`, or
+# `identical_to_sequential` differing from the baseline — those are
+# deterministic for a fixed seed, so any change means the compiler's
+# output changed and the baseline must be consciously re-committed.
+# Warns (exit 0) when `elapsed_s` regressed by more than 25%, since
+# absolute timings vary with CI hardware.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 baseline.json candidate.json" >&2
+    exit 2
+fi
+baseline=$1
+candidate=$2
+
+# The reports are written by bench/main.ml with one "key": value pair
+# per line, so a sed scrape is exact on this schema.
+field() {
+    sed -n "s/^[[:space:]]*\"$2\":[[:space:]]*\([^,}]*\).*/\1/p" "$1" | head -n 1
+}
+
+require() {
+    if [ -z "$2" ]; then
+        echo "bench gate: field \"$1\" missing from report" >&2
+        exit 1
+    fi
+}
+
+fail=0
+for key in rules groups identical_to_sequential; do
+    base=$(field "$baseline" "$key")
+    cand=$(field "$candidate" "$key")
+    require "$key (baseline)" "$base"
+    require "$key (candidate)" "$cand"
+    if [ "$base" != "$cand" ]; then
+        echo "bench gate: FAIL $key: baseline=$base candidate=$cand"
+        fail=1
+    else
+        echo "bench gate: ok   $key=$cand"
+    fi
+done
+
+if [ "$(field "$candidate" identical_to_sequential)" != "true" ]; then
+    echo "bench gate: FAIL parallel compilation is not equivalent to sequential"
+    fail=1
+fi
+
+base_s=$(field "$baseline" elapsed_s)
+cand_s=$(field "$candidate" elapsed_s)
+require "elapsed_s (baseline)" "$base_s"
+require "elapsed_s (candidate)" "$cand_s"
+awk -v base="$base_s" -v cand="$cand_s" 'BEGIN {
+    if (base > 0 && cand > base * 1.25) {
+        printf "bench gate: WARN elapsed_s %.6f is %.0f%% over baseline %.6f\n",
+            cand, (cand / base - 1) * 100, base
+    } else {
+        printf "bench gate: ok   elapsed_s=%.6f (baseline %.6f)\n", cand, base
+    }
+}'
+
+exit "$fail"
