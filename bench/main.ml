@@ -461,7 +461,7 @@ let run_par ~seed ~scale =
        (List.sort_uniq Int.compare
           [ 2; 4; Sdx_core.Parallel.default_domains () ]))
 
-let run_json ~seed ~scale ~out =
+let run_json ~seed ~scale ~out ~verify =
   section "Machine-readable compile benchmark";
   let w, participants, prefixes = par_workload ~seed ~scale in
   let seq, seq_s = compile_with_domains w 1 in
@@ -470,6 +470,27 @@ let run_json ~seed ~scale ~out =
   let stats = Sdx_core.Compile.stats par in
   let identical =
     Sdx_core.Compile.classifier par = Sdx_core.Compile.classifier seq
+  in
+  (* --verify runs the static analyzer over the compiled classifier and
+     records the result alongside the perf numbers (fields only added,
+     never changed, so existing consumers keep working). *)
+  let check =
+    if verify then Some (Sdx_check.Check.compiled par w.Workload.config)
+    else None
+  in
+  let check_fields =
+    match check with
+    | None -> ""
+    | Some r ->
+        Printf.sprintf
+          ",\n\
+          \  \"check_errors\": %d,\n\
+          \  \"check_warnings\": %d,\n\
+          \  \"check_rules\": %d,\n\
+          \  \"check_elapsed_s\": %.6f"
+          (List.length (Sdx_check.Check.errors r))
+          (List.length (Sdx_check.Check.warnings r))
+          r.Sdx_check.Check.rules_checked r.Sdx_check.Check.elapsed_s
   in
   let oc = open_out out in
   Printf.fprintf oc
@@ -484,13 +505,22 @@ let run_json ~seed ~scale ~out =
     \  \"memo_hits\": %d,\n\
     \  \"seq_elapsed_s\": %.6f,\n\
     \  \"speedup\": %.3f,\n\
-    \  \"identical_to_sequential\": %b\n\
+    \  \"identical_to_sequential\": %b%s\n\
      }\n"
     participants prefixes domains stats.group_count stats.rule_count par_s
-    stats.seq_ops stats.memo_hits seq_s (seq_s /. par_s) identical;
+    stats.seq_ops stats.memo_hits seq_s (seq_s /. par_s) identical check_fields;
   close_out oc;
   note "wrote %s (domains=%d, speedup %.2fx vs 1 domain, identical=%b)" out
     domains (seq_s /. par_s) identical;
+  (match check with
+  | None -> ()
+  | Some r ->
+      note "static check: %s" (Sdx_check.Check.summary r);
+      if Sdx_check.Check.has_errors r then begin
+        Format.printf "%a@." Sdx_check.Check.pp_report r;
+        note "ERROR: static verification found errors; failing";
+        exit 1
+      end);
   (* The equivalence check is the point of this target: make its failure
      visible to CI, not just a field in the JSON. *)
   if not identical then begin
@@ -649,12 +679,19 @@ let commands =
       Term.(const (fun seed scale -> run_par ~seed ~scale) $ seed_t $ scale_t);
     cmd "json" "Write BENCH_compile.json (machine-readable compile bench)."
       Term.(
-        const (fun seed scale out -> run_json ~seed ~scale ~out)
+        const (fun seed scale out verify -> run_json ~seed ~scale ~out ~verify)
         $ seed_t $ scale_t
         $ Arg.(
             value
             & opt string "BENCH_compile.json"
-            & info [ "out" ] ~doc:"Output path for the JSON report."));
+            & info [ "out" ] ~doc:"Output path for the JSON report.")
+        $ Arg.(
+            value & flag
+            & info [ "verify" ]
+                ~doc:
+                  "Also statically verify the compiled classifier \
+                   (isolation, BGP consistency, loops, lints); add \
+                   check_* fields to the JSON and fail on errors."));
     cmd "bechamel" "Bechamel micro-benchmarks."
       Term.(const run_bechamel $ const ());
     cmd "all" "Run every experiment."

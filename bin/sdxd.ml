@@ -227,9 +227,14 @@ let run_trace ixp scale seed =
 (* ------------------------------------------------------------------ *)
 (* replay: churn through the two-stage runtime                         *)
 
-let run_replay participants prefixes seed scale obs_stats stats_json stats_every =
+let run_replay participants prefixes seed scale verify obs_stats stats_json
+    stats_every =
   let rng = Sdx_ixp.Rng.create ~seed in
   let w = Sdx_ixp.Workload.build rng ~participants ~prefixes () in
+  (* With --verify, every compilation the runtime performs during the
+     replay (initial, re-optimizations, fast-path installs) is statically
+     checked; an error finding aborts the replay. *)
+  if verify then Sdx_check.Check.install_runtime_hook ~fail:true ();
   let runtime = Sdx_ixp.Workload.runtime w in
   let profile = Sdx_ixp.Trace.scale Sdx_ixp.Trace.ams_ix scale in
   let trace =
@@ -254,8 +259,78 @@ let run_replay participants prefixes seed scale obs_stats stats_json stats_every
       ignore
         (Unix.setitimer Unix.ITIMER_REAL
            { Unix.it_value = 0.0; it_interval = 0.0 }));
+  if verify then Sdx_check.Check.uninstall_runtime_hook ();
   Format.printf "%a@." Sdx_ixp.Replay.pp_result result;
   emit_stats ~stats:obs_stats ~stats_json (Some runtime)
+
+(* ------------------------------------------------------------------ *)
+(* check: static verification of compiled state                        *)
+
+module Check = Sdx_check.Check
+
+(* Spread the exchange's 1-based switch ports round-robin over a line of
+   [switches] fabric switches so the loop pass exercises real trunks. *)
+let line_fabric runtime ~switches =
+  let nports = Config.port_count (Runtime.config runtime) in
+  if switches <= 1 || nports = 0 then None
+  else
+    let topo =
+      Sdx_fabric.Topology.create
+        ~switches:(List.init switches (fun i -> i + 1))
+        ~links:(List.init (switches - 1) (fun i -> (i + 1, i + 2)))
+        ~port_home:(List.init nports (fun i -> (i + 1, (i mod switches) + 1)))
+    in
+    Some (Sdx_fabric.Topology.build topo (Runtime.classifier runtime))
+
+let check_subject name runtime ~switches ~passes ~verbose =
+  let fabric = line_fabric runtime ~switches in
+  let report = Check.runtime ?fabric ~passes runtime in
+  Format.printf "%s: %s@." name (Check.summary report);
+  let shown =
+    if verbose then report.Check.findings
+    else
+      List.filter
+        (fun (f : Check.finding) -> f.Check.severity <> Check.Info)
+        report.Check.findings
+  in
+  List.iter (fun f -> Format.printf "  %a@." Check.pp_finding f) shown;
+  Check.has_errors report
+
+let run_check paths workload participants prefixes seed switches passes verbose
+    obs_stats stats_json =
+  let passes = if passes = [] then Check.all_passes else passes in
+  List.iter
+    (fun p ->
+      if not (List.mem p Check.all_passes) then
+        failwith
+          (Printf.sprintf "unknown pass %S (have: %s)" p
+             (String.concat ", " Check.all_passes)))
+    passes;
+  if paths = [] && not workload then
+    failwith "nothing to check: give scenario files and/or --workload";
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match Scenario.load path with
+      | Error e ->
+          Format.printf "%s: %a@." path Scenario.pp_error e;
+          failed := true
+      | Ok config ->
+          let runtime = Runtime.create config in
+          if check_subject path runtime ~switches ~passes ~verbose then
+            failed := true)
+    paths;
+  if workload then begin
+    let rng = Sdx_ixp.Rng.create ~seed in
+    let w = Sdx_ixp.Workload.build rng ~participants ~prefixes () in
+    let runtime = Sdx_ixp.Workload.runtime w in
+    let name =
+      Printf.sprintf "workload(n=%d,x=%d,seed=%d)" participants prefixes seed
+    in
+    if check_subject name runtime ~switches ~passes ~verbose then failed := true
+  end;
+  emit_stats ~stats:obs_stats ~stats_json None;
+  if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
 
@@ -352,17 +427,72 @@ let replay_cmd =
           ~doc:"Dump the observability report to stderr every $(docv) while \
                 replaying (SIGUSR1 triggers the same dump on demand).")
   in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Statically verify every compilation during the replay (initial, \
+             re-optimizations, fast-path installs); abort on an error finding.")
+  in
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Replay a day of AMS-IX-like churn through the two-stage runtime.")
     Term.(
-      const (fun n x seed scale stats stats_json every ->
-          run_replay n x seed scale stats stats_json every)
-      $ participants $ prefixes $ seed_t $ scale $ stats_t $ stats_json_t
-      $ stats_every)
+      const (fun n x seed scale verify stats stats_json every ->
+          run_replay n x seed scale verify stats stats_json every)
+      $ participants $ prefixes $ seed_t $ scale $ verify $ stats_t
+      $ stats_json_t $ stats_every)
+
+let check_cmd =
+  let paths =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Scenario files to verify.")
+  in
+  let workload =
+    Arg.(
+      value & flag
+      & info [ "workload" ]
+          ~doc:"Also verify a synthetic 6.1 workload (sized by -n/-x/--seed).")
+  in
+  let participants =
+    Arg.(value & opt int 50 & info [ "n"; "participants" ] ~doc:"Workload participant count.")
+  in
+  let prefixes =
+    Arg.(value & opt int 500 & info [ "x"; "prefixes" ] ~doc:"Workload prefix count.")
+  in
+  let switches =
+    Arg.(
+      value & opt int 2
+      & info [ "switches" ]
+          ~doc:
+            "Spread ports over this many fabric switches for the loop pass \
+             (1 disables the fabric walk).")
+  in
+  let passes =
+    Arg.(
+      value & opt_all string []
+      & info [ "pass" ] ~docv:"PASS"
+          ~doc:"Run only this pass (repeatable): isolation, bgp, loops, lints.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print info-level findings.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify compiled state: isolation, BGP consistency, \
+          loop freedom, and classifier lints.  Exits non-zero if any \
+          error-severity finding exists.")
+    Term.(
+      const (fun paths workload n x seed switches passes verbose stats stats_json ->
+          run_check paths workload n x seed switches passes verbose stats
+            stats_json)
+      $ paths $ workload $ participants $ prefixes $ seed_t $ switches $ passes
+      $ verbose $ stats_t $ stats_json_t)
 
 let () =
   let info = Cmd.info "sdxd" ~doc:"SDX controller inspection tool." in
   exit
     (Cmd.eval
-       (Cmd.group info [ demo_cmd; compile_cmd; load_cmd; trace_cmd; replay_cmd ]))
+       (Cmd.group info
+          [ demo_cmd; compile_cmd; load_cmd; trace_cmd; replay_cmd; check_cmd ]))

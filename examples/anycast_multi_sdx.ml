@@ -65,6 +65,11 @@ let probe net ~from =
   | [] -> "dropped"
   | _ -> "multicast?"
 
+(* Every compilation in this example is statically verified by
+   sdx_check (isolation, BGP consistency, loop freedom); an error
+   finding aborts the run. *)
+let () = Sdx_check.Check.install_runtime_hook ~fail:true ()
+
 let () =
   Format.printf "=== One anycast service at two SDX locations ===@.@.";
   let east_instance = ip "184.72.0.10" in

@@ -20,6 +20,11 @@ let pfx = Prefix.of_string
 let asn_a = Asn.of_int 100
 let asn_b = Asn.of_int 200
 
+(* Every compilation in this example is statically verified by
+   sdx_check (isolation, BGP consistency, loop freedom); an error
+   finding aborts the run. *)
+let () = Sdx_check.Check.install_runtime_hook ~fail:true ()
+
 let () =
   Format.printf "=== The SDX speaking real BGP ===@.@.";
   let a =

@@ -74,6 +74,11 @@ let detect net =
   | (src, n) :: _ when received > 20 && 2 * n > received -> Some src
   | _ -> None
 
+(* Every compilation in this example is statically verified by
+   sdx_check (isolation, BGP consistency, loop freedom); an error
+   finding aborts the run. *)
+let () = Sdx_check.Check.install_runtime_hook ~fail:true ()
+
 let () =
   Format.printf "=== Reactive DoS mitigation ===@.@.";
   let net = ref (build_network []) in

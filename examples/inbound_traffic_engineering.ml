@@ -66,6 +66,11 @@ let show net =
       | _ -> Format.printf "  traffic from %-12s dropped@." src)
     sources
 
+(* Every compilation in this example is statically verified by
+   sdx_check (isolation, BGP consistency, loop freedom); an error
+   finding aborts the run. *)
+let () = Sdx_check.Check.install_runtime_hook ~fail:true ()
+
 let () =
   Format.printf "=== Inbound traffic engineering ===@.@.";
   Format.printf "AS B's inbound policy:@.  %a@.@." Ppolicy.pp split_policy;

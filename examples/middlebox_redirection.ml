@@ -31,6 +31,11 @@ let youtube_pfx = pfx "208.65.152.0/22"
 let other_pfx = pfx "198.51.0.0/16"
 let eyeball_pfx = pfx "73.0.0.0/8"
 
+(* Every compilation in this example is statically verified by
+   sdx_check (isolation, BGP consistency, loop freedom); an error
+   finding aborts the run. *)
+let () = Sdx_check.Check.install_runtime_hook ~fail:true ()
+
 let () =
   Format.printf "=== Middlebox redirection and service chaining ===@.@.";
   (* Wire the exchange: a transit AS, an eyeball, and two middlebox

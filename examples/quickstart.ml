@@ -68,6 +68,11 @@ let participant_d =
     ~ports:[ (mac "dd:dd:dd:dd:dd:01", ip "172.0.0.5") ]
     ()
 
+(* Every compilation in this example is statically verified by
+   sdx_check (isolation, BGP consistency, loop freedom); an error
+   finding aborts the run. *)
+let () = Sdx_check.Check.install_runtime_hook ~fail:true ()
+
 let () =
   let config =
     Config.make [ participant_a; participant_b; participant_c; participant_d ]

@@ -10,6 +10,11 @@
 
 open Sdx_fabric
 
+(* Every compilation in this example is statically verified by
+   sdx_check (isolation, BGP consistency, loop freedom); an error
+   finding aborts the run. *)
+let () = Sdx_check.Check.install_runtime_hook ~fail:true ()
+
 let () =
   Format.printf "=== Wide-area load balancer (Figure 5b) ===@.@.";
   Format.printf

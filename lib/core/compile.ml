@@ -77,6 +77,16 @@ end
 
 module Pipeline_cache = Hashtbl.Make (Pipeline_key)
 
+(* Where a block of compiled rules came from — threaded alongside the
+   classifier so a static checker can attribute every rule to the
+   participant policy (or compiler layer) that produced it. *)
+type provenance =
+  | Outbound of { sender : Asn.t; via : Asn.t option; group : int option }
+  | Group_default of { group : int }
+  | Untagged of { owner : Asn.t }
+  | Catch_all
+  | Unattributed
+
 type t = {
   classifier : Classifier.t;
   groups_ : group list;
@@ -89,13 +99,39 @@ type t = {
   memoize : bool;
   counters : counters;
   mutable next_group_id : int;
+  mutable blocks_ : (provenance * int) list;
+  mutable batch_groups_ : group list;  (* fast-path groups, oldest first *)
 }
 
 let classifier t = t.classifier
 let groups t = t.groups_
+let all_groups t = t.groups_ @ List.rev t.batch_groups_
 let group_of_prefix t p = Hashtbl.find_opt t.by_prefix p
+
+let diverts_via t via =
+  List.exists
+    (fun s -> match s.via with Some v -> Asn.equal v via | None -> false)
+    t.ospecs
 let arp t = t.arp_
 let stats t = t.stats_
+
+let provenance t = t.blocks_
+
+let pp_provenance ppf = function
+  | Outbound { sender; via; group } ->
+      Format.fprintf ppf "outbound[%a%a%a]" Asn.pp sender
+        (fun ppf -> function
+          | Some v -> Format.fprintf ppf "->%a" Asn.pp v
+          | None -> Format.fprintf ppf "->direct")
+        via
+        (fun ppf -> function
+          | Some g -> Format.fprintf ppf ",g%d" g
+          | None -> ())
+        group
+  | Group_default { group } -> Format.fprintf ppf "default[g%d]" group
+  | Untagged { owner } -> Format.fprintf ppf "untagged[%a]" Asn.pp owner
+  | Catch_all -> Format.pp_print_string ppf "catch-all"
+  | Unattributed -> Format.pp_print_string ppf "unattributed"
 
 (* ------------------------------------------------------------------ *)
 (* Destination-prefix restriction of a predicate.                      *)
@@ -603,26 +639,43 @@ let build_optimized t config ~run =
     List.concat_map
       (fun spec ->
         match spec.via with
-        | Some _ ->
+        | Some via ->
             List.map
-              (fun g () -> clause_group_rules t config spec g)
+              (fun g ->
+                ( Outbound
+                    { sender = spec.sender.asn; via = Some via; group = Some g.id },
+                  fun () -> clause_group_rules t config spec g ))
               (groups_by_spec spec)
-        | None -> [ (fun () -> clause_direct_rules t config spec) ])
+        | None ->
+            [
+              ( Outbound { sender = spec.sender.asn; via = None; group = None },
+                fun () -> clause_direct_rules t config spec );
+            ])
       t.ospecs
   in
   let default_jobs =
     List.map
-      (fun g () ->
-        let originator = originator_of config (List.hd g.prefixes) in
-        group_default_rules t config g ~originator)
+      (fun g ->
+        ( Group_default { group = g.id },
+          fun () ->
+            let originator = originator_of config (List.hd g.prefixes) in
+            group_default_rules t config g ~originator ))
       t.groups_
   in
   let untagged_jobs =
     List.map
-      (fun p () -> participant_untagged_rules t config p)
+      (fun (p : Participant.t) ->
+        ( Untagged { owner = p.asn },
+          fun () -> participant_untagged_rules t config p ))
       (Config.participants config)
   in
-  List.concat (run (sender_jobs @ default_jobs @ untagged_jobs)) @ drop_all_rule
+  let jobs = sender_jobs @ default_jobs @ untagged_jobs in
+  let blocks = run (List.map snd jobs) in
+  let provs =
+    List.map2 (fun (p, _) rules -> (p, List.length rules)) jobs blocks
+    @ [ (Catch_all, List.length drop_all_rule) ]
+  in
+  (List.concat blocks @ drop_all_rule, provs)
 
 (* ------------------------------------------------------------------ *)
 (* The naive pipeline (ablation): literal Pyretic-style composition.   *)
@@ -792,6 +845,8 @@ let compile ?(optimized = true) ?(memoize = true) ?domains config vnh_alloc =
       memoize;
       counters = { seq_ops = 0; memo_hits = 0; lock = Mutex.create () };
       next_group_id = List.length groups_;
+      blocks_ = [];
+      batch_groups_ = [];
     }
   in
   let run jobs =
@@ -804,12 +859,16 @@ let compile ?(optimized = true) ?(memoize = true) ?domains config vnh_alloc =
     | Some n -> Parallel.with_pool ~domains:n exec
     | None -> exec (Parallel.global ())
   in
-  let classifier =
-    if optimized then build_optimized t config ~run else build_naive t config
+  let classifier, blocks =
+    if optimized then build_optimized t config ~run
+    else
+      let c = build_naive t config in
+      (c, [ (Unattributed, Classifier.rule_count c) ])
   in
   register_arp t config;
   let elapsed = Unix.gettimeofday () -. t0 in
   let t = { t with classifier } in
+  t.blocks_ <- blocks;
   let stats =
     {
       group_count = List.length groups_;
@@ -947,6 +1006,7 @@ type delta = {
 type batch_delta = {
   batch_rules : Classifier.t;
   batch_groups : group list;
+  batch_provenance : (provenance * int) list;
   batch_elapsed_s : float;
 }
 
@@ -1016,40 +1076,59 @@ let compile_update_batch t config vnh_alloc prefixes =
           }
         in
         t.next_group_id <- t.next_group_id + 1;
+        t.batch_groups_ <- g :: t.batch_groups_;
         List.iter (fun p -> Hashtbl.replace t.by_prefix p g) g.prefixes;
         Sdx_arp.Responder.register t.arp_ vnh vmac;
         g)
       (List.rev !order)
   in
-  let sender_rules_for g =
+  let sender_blocks_for g =
     (* All members share clause membership, so probing one suffices. *)
     let probe = List.hd g.prefixes in
-    List.concat_map
+    List.filter_map
       (fun spec ->
         match spec.via with
         | Some via when Prefix.Set.mem probe spec.prefix_set ->
             (* The clause's prefix set was computed at base-compile time;
-               re-check that [via] still announces and exports the prefix,
-               so a withdrawal immediately stops the diversion (§5.2's
-               "data plane stays in sync with BGP"). *)
+               re-check that [via] still announces a route the server
+               would actually export to the sender (export policy, loop
+               prevention, and route filter — the same predicate the base
+               compiler applies), so a withdrawal immediately stops the
+               diversion (§5.2's "data plane stays in sync with BGP").
+               The diversion rule matches the whole group's VMAC, and the
+               burst is exactly what may have changed per-prefix
+               reachability, so every member must still qualify — when one
+               doesn't, the group falls back to default (best-route)
+               forwarding until the next re-optimization. *)
             let still_reachable =
-              Route_server.exports_to server ~advertiser:via
-                ~receiver:spec.sender.asn
-              && List.exists
-                   (fun (r : Route.t) -> Asn.equal r.learned_from via)
-                   (Route_server.candidates server probe)
+              List.for_all
+                (fun p ->
+                  List.exists
+                    (fun (r : Route.t) -> Asn.equal r.learned_from via)
+                    (Route_server.feasible server ~receiver:spec.sender.asn p))
+                g.prefixes
             in
-            if still_reachable then clause_group_rules t config spec g else []
-        | _ -> [])
+            if still_reachable then
+              Some
+                ( Outbound
+                    { sender = spec.sender.asn; via = Some via; group = Some g.id },
+                  clause_group_rules t config spec g )
+            else None
+        | _ -> None)
       t.ospecs
   in
-  let rules =
+  let blocks =
     List.concat_map
       (fun g ->
         let originator = originator_of config (List.hd g.prefixes) in
-        sender_rules_for g @ group_default_rules t config g ~originator)
+        sender_blocks_for g
+        @ [
+            ( Group_default { group = g.id },
+              group_default_rules t config g ~originator );
+          ])
       groups
   in
+  let rules = List.concat_map snd blocks in
   let elapsed = Unix.gettimeofday () -. t0 in
   Sdx_obs.Registry.Counter.incr Obs.batches;
   Sdx_obs.Registry.Histogram.observe Obs.batch_seconds elapsed;
@@ -1067,6 +1146,7 @@ let compile_update_batch t config vnh_alloc prefixes =
   {
     batch_rules = rules;
     batch_groups = groups;
+    batch_provenance = List.map (fun (p, rs) -> (p, List.length rs)) blocks;
     batch_elapsed_s = elapsed;
   }
 

@@ -37,6 +37,21 @@ type stats = {
   memo_hits : int;  (** §4.3: reuses of a cached sub-compilation *)
 }
 
+type provenance =
+  | Outbound of { sender : Asn.t; via : Asn.t option; group : int option }
+      (** rules compiled from [sender]'s outbound policy; [via] is the
+          peer whose inbound pipeline the rules hand traffic to
+          ([None] for direct clauses: Drop / Phys / Default-with-rewrite
+          / Redirect), [group] the prefix group the VMAC tag selects *)
+  | Group_default of { group : int }
+      (** §4.1 default forwarding for one prefix group *)
+  | Untagged of { owner : Asn.t }
+      (** MAC-learning layer for [owner]'s real interface MACs *)
+  | Catch_all  (** the final drop-all rule *)
+  | Unattributed  (** naive (ablation) build — no per-rule origin *)
+
+val pp_provenance : Format.formatter -> provenance -> unit
+
 type t
 
 val compile :
@@ -60,9 +75,27 @@ val compile :
 
 val classifier : t -> Classifier.t
 val groups : t -> group list
+
+val all_groups : t -> group list
+(** Base-compile groups plus every group minted by the incremental fast
+    path since, in allocation order — the complete VMAC/VNH universe the
+    current classifier can reference. *)
+
 val group_of_prefix : t -> Prefix.t -> group option
 val arp : t -> Sdx_arp.Responder.t
 val stats : t -> stats
+
+val diverts_via : t -> Sdx_bgp.Asn.t -> bool
+(** Whether any participant's outbound policy diverts traffic through
+    [via] (a [fwd(AS)] clause).  Updates from such a peer can change
+    diversion feasibility without moving any best path, so the runtime
+    must re-batch their prefixes too. *)
+
+val provenance : t -> (provenance * int) list
+(** Block structure of {!classifier}: [(origin, rule_count)] pairs in
+    concatenation order, summing to the classifier length.  Static
+    checkers use this to attribute each rule to the policy that produced
+    it. *)
 
 val unaggregated_rule_estimate : t -> int
 (** What the fabric table would cost {e without} §4.2's VMAC tagging:
@@ -117,6 +150,8 @@ type batch_delta = {
       (** non-total rule list to install above the base classifier as
           one block *)
   batch_groups : group list;  (** the fresh groups, allocation order *)
+  batch_provenance : (provenance * int) list;
+      (** block structure of [batch_rules], as {!provenance} *)
   batch_elapsed_s : float;
 }
 

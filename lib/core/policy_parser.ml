@@ -2,14 +2,29 @@ open Sdx_net
 open Sdx_policy
 open Sdx_bgp
 
-type error = { position : int; message : string }
+type error = { position : int; line : int; column : int; message : string }
 
 let pp_error fmt e =
-  Format.fprintf fmt "parse error at offset %d: %s" e.position e.message
+  Format.fprintf fmt "parse error at line %d, column %d: %s" e.line e.column
+    e.message
 
 exception Error of error
 
-let fail position message = raise (Error { position; message })
+(* Raised with a raw offset; [run] fills in line/column from the input
+   before the error escapes. *)
+let fail position message = raise (Error { position; line = 1; column = 1; message })
+
+let locate input (e : error) =
+  let stop = min e.position (String.length input) in
+  let line = ref 1 and column = ref 1 in
+  for i = 0 to stop - 1 do
+    if input.[i] = '\n' then begin
+      incr line;
+      column := 1
+    end
+    else incr column
+  done;
+  { e with line = !line; column = !column }
 
 (* ------------------------------------------------------------------ *)
 (* Tokens                                                              *)
@@ -111,7 +126,13 @@ let lex input =
 (* ------------------------------------------------------------------ *)
 (* Parser state                                                        *)
 
-type state = { mutable rest : spanned list; len : int }
+(* Lint context: when supplied, target references are validated against
+   the exchange while positions are still known. *)
+type lint = { known_asns : Asn.t list option; port_count : int option }
+
+let no_lint = { known_asns = None; port_count = None }
+
+type state = { mutable rest : spanned list; len : int; lint : lint }
 
 let peek st =
   match st.rest with
@@ -279,6 +300,23 @@ let parse_asn st =
       Asn.of_int (int_of_string (String.sub name 2 (String.length name - 2)))
   | _ -> fail (here st) "expected an AS number (e.g. AS200 or 200)"
 
+let check_asn st at asn =
+  match st.lint.known_asns with
+  | Some asns when not (List.exists (Asn.equal asn) asns) ->
+      fail at
+        (Printf.sprintf "AS%d is not a participant of this exchange"
+           (Asn.to_int asn))
+  | _ -> ()
+
+let check_port st at k =
+  match st.lint.port_count with
+  | Some n when k < 0 || k >= n ->
+      fail at
+        (Printf.sprintf "port %d is out of range (participant has %d port%s)" k
+           n
+           (if n = 1 then "" else "s"))
+  | _ -> ()
+
 let parse_target st =
   match peek st with
   | Some { token = Ident "fwd"; _ } -> (
@@ -287,6 +325,7 @@ let parse_target st =
       match peek st with
       | Some { token = Ident "port"; _ } ->
           advance st;
+          let at = here st in
           let k =
             match peek st with
             | Some { token = Number v; _ } ->
@@ -294,16 +333,21 @@ let parse_target st =
                 v
             | _ -> fail (here st) "expected a port index"
           in
+          check_port st at k;
           expect st Rparen "expected ')'";
           Ppolicy.Phys k
       | _ ->
+          let at = here st in
           let asn = parse_asn st in
+          check_asn st at asn;
           expect st Rparen "expected ')'";
           Ppolicy.Peer asn)
   | Some { token = Ident "steer"; _ } ->
       advance st;
       expect st Lparen "expected '(' after steer";
+      let at = here st in
       let asn = parse_asn st in
+      check_asn st at asn;
       expect st Rparen "expected ')'";
       Ppolicy.Redirect asn
   | Some { token = Ident "drop"; _ } ->
@@ -359,9 +403,9 @@ let parse_policy st =
 
 (* ------------------------------------------------------------------ *)
 
-let run input parser_fn =
+let run ?(lint = no_lint) input parser_fn =
   match
-    let st = { rest = lex input; len = String.length input } in
+    let st = { rest = lex input; len = String.length input; lint } in
     let result = parser_fn st in
     (match peek st with
     | Some s -> fail s.at "trailing input"
@@ -369,10 +413,13 @@ let run input parser_fn =
     result
   with
   | result -> Ok result
-  | exception Error e -> Error e
+  | exception Error e -> Error (locate input e)
 
 let parse input = run input parse_policy
 let parse_pred input = run input parse_or
+
+let parse_checked ?known_asns ?port_count input =
+  run ~lint:{ known_asns; port_count } input parse_policy
 
 let parse_exn input =
   match parse input with

@@ -20,10 +20,26 @@
     [proto], [ethtype], [inport].  IP values with a [/len] suffix match
     as prefixes. *)
 
-type error = { position : int; message : string }
+type error = {
+  position : int;  (** byte offset into the input *)
+  line : int;  (** 1-based line of [position] *)
+  column : int;  (** 1-based column of [position] *)
+  message : string;
+}
 
 val parse : string -> (Ppolicy.t, error) result
 (** Parses a full policy (clauses separated by [+]). *)
+
+val parse_checked :
+  ?known_asns:Sdx_bgp.Asn.t list ->
+  ?port_count:int ->
+  string ->
+  (Ppolicy.t, error) result
+(** [parse] plus reference linting: when [known_asns] is given, a
+    [fwd(ASn)]/[steer(ASn)] naming an AS outside the list is rejected at
+    its source position; when [port_count] is given, [fwd(port k)] with
+    [k] outside [0..port_count-1] (the writing participant's own ports)
+    is rejected likewise. *)
 
 val parse_exn : string -> Ppolicy.t
 (** @raise Invalid_argument with a located message on a parse error. *)

@@ -9,10 +9,11 @@ type t = {
   domains : int option;
   mutable compiled : Compile.t;
   (* Fast-path rule blocks, most recent first, each with the stable
-     switch priority of its lowest rule.  Floors only grow, so
-     installing a new block never renumbers older rules — a BGP update
-     translates to a handful of flow-mods, not a table rewrite. *)
-  mutable extras : (Classifier.t * int) list;
+     switch priority of its lowest rule and the provenance of its rules.
+     Floors only grow, so installing a new block never renumbers older
+     rules — a BGP update translates to a handful of flow-mods, not a
+     table rewrite. *)
+  mutable extras : (Classifier.t * int * (Compile.provenance * int) list) list;
   rejected : (Asn.t * Prefix.t) list;
 }
 
@@ -89,11 +90,23 @@ let announce_originated ?rpki config =
     []
     (Config.participants config)
 
+(* A post-compile verification pass (installed by [Sdx_check]); invoked
+   after the initial compilation, after every re-optimization, and after
+   each fast-path block install.  Kept as a hook so [sdx_core] need not
+   depend on the checker. *)
+let check_hook : (t -> unit) option ref = ref None
+let set_check_hook f = check_hook := f
+
+let run_check_hook t =
+  match !check_hook with None -> () | Some f -> f t
+
 let create ?(optimized = true) ?rpki ?domains config =
   let rejected = announce_originated ?rpki config in
   let vnh = Vnh.create () in
   let compiled = Compile.compile ~optimized ?domains config vnh in
-  { config; vnh; optimized; domains; compiled; extras = []; rejected }
+  let t = { config; vnh; optimized; domains; compiled; extras = []; rejected } in
+  run_check_hook t;
+  t
 
 let rejected_originations t = t.rejected
 
@@ -103,13 +116,20 @@ let compiled t = t.compiled
 let classifier t =
   List.concat
     (List.rev_append
-       (List.rev_map fst t.extras)
+       (List.rev_map (fun (c, _, _) -> c) t.extras)
        [ Compile.classifier t.compiled ])
+
+let provenance t =
+  List.concat_map (fun (_, _, provs) -> provs) t.extras
+  @ Compile.provenance t.compiled
+
+let extras_bands t =
+  List.rev_map (fun (c, floor, _) -> (floor, Classifier.rule_count c)) t.extras
 
 let base_rule_count t = Classifier.rule_count (Compile.classifier t.compiled)
 
 let extra_rule_count t =
-  List.fold_left (fun n (c, _) -> n + Classifier.rule_count c) 0 t.extras
+  List.fold_left (fun n (c, _, _) -> n + Classifier.rule_count c) 0 t.extras
 
 let rule_count t = base_rule_count t + extra_rule_count t
 
@@ -126,7 +146,7 @@ let flows t =
   let base = Sdx_openflow.Flow.of_classifier ~base_priority:top base_cls in
   let extra_flows =
     List.concat_map
-      (fun (block, floor) ->
+      (fun (block, floor, _) ->
         Sdx_openflow.Flow.of_classifier
           ~base_priority:(floor + Classifier.rule_count block - 1)
           block)
@@ -149,12 +169,13 @@ let reoptimize t =
   Sdx_obs.Registry.Histogram.observe Obs.reoptimize_seconds stats.Compile.elapsed_s;
   Sdx_obs.Registry.Gauge.set_int Obs.fastpath_blocks 0;
   Sdx_obs.Registry.Gauge.set_int Obs.extra_rules 0;
+  run_check_hook t;
   stats
 
 let next_extras_floor t =
   match t.extras with
   | [] -> extras_floor
-  | (block, floor) :: _ -> floor + Classifier.rule_count block
+  | (block, floor, _) :: _ -> floor + Classifier.rule_count block
 
 (* A burst is handled as a unit: every update is applied to the route
    server first, then the prefixes whose best route moved go through one
@@ -170,10 +191,19 @@ let handle_burst t updates =
   in
   let changed_prefixes =
     (* Burst-internal duplicates are coalesced again by the batch
-       compiler; this keeps first-occurrence order. *)
+       compiler; this keeps first-occurrence order.  A prefix needs
+       re-batching when its best path moved for anyone, and also when the
+       updating peer is a policy diversion target ([fwd(AS)]): diversions
+       follow that peer's own (possibly non-best) route, so its
+       withdrawal or path change alters diversion feasibility without
+       moving any best path. *)
     List.filter_map
-      (fun ((_, c) : _ * Route_server.change) ->
-        if c.best_changed_for = [] then None else Some c.prefix)
+      (fun ((u, c) : _ * Route_server.change) ->
+        if
+          c.best_changed_for <> []
+          || Compile.diverts_via t.compiled (Update.peer u)
+        then Some c.prefix
+        else None)
       changes
   in
   let installed =
@@ -184,14 +214,16 @@ let handle_burst t updates =
           Compile.compile_update_batch t.compiled t.config t.vnh prefixes
         in
         let floor = next_extras_floor t in
-        t.extras <- (batch.batch_rules, floor) :: t.extras;
+        t.extras <-
+          (batch.batch_rules, floor, batch.batch_provenance) :: t.extras;
         let count = Classifier.rule_count batch.batch_rules in
         (* Priority space exhausted: run the background stage now. *)
         if floor + count >= extras_ceiling then begin
           Log.info (fun m ->
               m "fast-path priority space exhausted; re-optimizing in place");
           ignore (reoptimize t)
-        end;
+        end
+        else run_check_hook t;
         count
   in
   let elapsed = Unix.gettimeofday () -. t0 in

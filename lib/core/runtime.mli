@@ -32,6 +32,28 @@ val classifier : t -> Classifier.t
 (** The effective ruleset: incremental rules (most recent first) stacked
     above the base classifier. *)
 
+val provenance : t -> (Compile.provenance * int) list
+(** Block structure of {!classifier} — fast-path blocks first, then the
+    base compile's blocks — with per-block rule counts summing to the
+    classifier length. *)
+
+val extras_bands : t -> (int * int) list
+(** [(priority_floor, rule_count)] of each installed fast-path block,
+    oldest first. *)
+
+val base_priority_top : int
+val extras_floor : int
+val extras_ceiling : int
+(** The switch priority layout: the base classifier descends from
+    {!base_priority_top}; fast-path blocks stack upward from
+    {!extras_floor} toward {!extras_ceiling}. *)
+
+val set_check_hook : (t -> unit) option -> unit
+(** Installs (or clears) a process-wide post-compile verification hook,
+    invoked after {!create}'s initial compilation, after every
+    {!reoptimize}, and after each fast-path block install.  Used by the
+    [sdx_check] static analyzer; the hook must not mutate the runtime. *)
+
 val flows : t -> Sdx_openflow.Flow.t list
 (** The same ruleset as prioritized OpenFlow entries, with a stable
     layout: the base classifier descends from priority 30,000 and each

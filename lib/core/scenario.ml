@@ -35,9 +35,9 @@ let parse_asn line s =
   | Some n when n >= 0 -> Asn.of_int n
   | _ -> fail line (Printf.sprintf "bad AS number %S" s)
 
-let parse_policy line asn text =
+let parse_policy line asn ~known_asns ~port_count text =
   ignore asn;
-  match Policy_parser.parse text with
+  match Policy_parser.parse_checked ~known_asns ~port_count text with
   | Ok p -> p
   | Error e ->
       fail line
@@ -52,6 +52,7 @@ let parse text =
     let drafts : (Asn.t, draft) Hashtbl.t = Hashtbl.create 16 in
     let order : Asn.t list ref = ref [] in
     let announcements : announcement list ref = ref [] in
+    let policy_lines : (int * string * Asn.t * string) list ref = ref [] in
     let draft line asn =
       match Hashtbl.find_opt drafts asn with
       | Some d -> d
@@ -87,7 +88,7 @@ let parse text =
       | ("inbound" | "outbound") :: asn_s :: _ as all ->
           let kind = List.hd all in
           let asn = parse_asn lineno asn_s in
-          let d = draft lineno asn in
+          ignore (draft lineno asn);
           (* The policy is everything after the second token. *)
           let s = String.trim line in
           let n = String.length s in
@@ -101,9 +102,12 @@ let parse text =
           in
           let start = skip_spaces (skip_token (skip_spaces (skip_token 0))) in
           if start >= n then fail lineno "missing policy text";
-          let policy = parse_policy lineno asn (String.sub s start (n - start)) in
-          if kind = "inbound" then d.inbound <- d.inbound @ policy
-          else d.outbound <- d.outbound @ policy
+          (* Parsed after all participants are declared, so policies may
+             reference participants that appear later in the file and
+             still get their AS/port references linted. *)
+          policy_lines :=
+            (lineno, kind, asn, String.sub s start (n - start))
+            :: !policy_lines
       | [ "originate"; asn_s; prefix_s ] -> (
           let asn = parse_asn lineno asn_s in
           let d = draft lineno asn in
@@ -138,6 +142,17 @@ let parse text =
     List.iteri
       (fun i line -> handle_line (i + 1) line)
       (String.split_on_char '\n' text);
+    let known_asns = List.rev !order in
+    List.iter
+      (fun (lineno, kind, asn, text) ->
+        let d = draft lineno asn in
+        let policy =
+          parse_policy lineno asn ~known_asns
+            ~port_count:(List.length d.ports) text
+        in
+        if kind = "inbound" then d.inbound <- d.inbound @ policy
+        else d.outbound <- d.outbound @ policy)
+      (List.rev !policy_lines);
     let participants =
       List.rev_map
         (fun asn ->

@@ -84,7 +84,10 @@ let create ~switches ~links ~port_home =
   }
 
 let switch_count t = List.length t.switches
+let switches t = t.switches
 let home_of_port t p = Hashtbl.find_opt t.port_home p
+let trunk_destination t p = Hashtbl.find_opt t.trunk_owner p
+let physical_ports t = Hashtbl.fold (fun p s acc -> (p, s) :: acc) t.port_home []
 let spanning_tree_edges t = List.rev t.tree_edges
 
 (* Path to the root as a list of switches, used to find tree paths. *)
@@ -172,6 +175,16 @@ let build t classifier =
       Hashtbl.replace tables s (rules @ Classifier.drop_all))
     t.switches;
   { topo = t; tables }
+
+let topo f = f.topo
+
+let tables f =
+  List.filter_map
+    (fun s -> Option.map (fun c -> (s, c)) (Hashtbl.find_opt f.tables s))
+    f.topo.switches
+
+let table f s = Hashtbl.find_opt f.tables s
+let set_table f s c = Hashtbl.replace f.tables s c
 
 let rule_count f s =
   match Hashtbl.find_opt f.tables s with

@@ -34,7 +34,25 @@ val create :
     does not connect all switches. *)
 
 val switch_count : t -> int
+
+val switches : t -> int list
+(** Switch ids, ascending. *)
+
 val home_of_port : t -> int -> int option
+
+val physical_ports : t -> (int * int) list
+(** Every [(port, home switch)] pair, unordered. *)
+
+val trunk_port : t -> from:int -> toward_neighbor:int -> int
+(** Local trunk-port id on [from] for the tree link toward an adjacent
+    switch.  @raise Not_found if the two switches are not tree
+    neighbors. *)
+
+val trunk_destination : t -> int -> (int * int) option
+(** [trunk_destination t p] is [Some (owner, neighbor)] when [p] is a
+    trunk port: a frame leaving [owner] on [p] crosses the link and
+    enters [neighbor] on [trunk_port t ~from:neighbor
+    ~toward_neighbor:owner].  [None] for physical ports. *)
 
 val spanning_tree_edges : t -> (int * int) list
 (** The tree edges actually used for trunking (a subset of [links];
@@ -47,6 +65,19 @@ type fabric
 
 val build : t -> Sdx_policy.Classifier.t -> fabric
 (** Splits the logical classifier and installs the per-switch tables. *)
+
+val topo : fabric -> t
+
+val tables : fabric -> (int * Sdx_policy.Classifier.t) list
+(** The installed per-switch tables, ascending switch id — the input the
+    loop-freedom checker walks. *)
+
+val table : fabric -> int -> Sdx_policy.Classifier.t option
+
+val set_table : fabric -> int -> Sdx_policy.Classifier.t -> unit
+(** Replaces one switch's table in place.  Exists for fault-injection
+    tests (e.g. splicing a forwarding cycle the checker must catch);
+    production code never calls it. *)
 
 val rule_count : fabric -> int -> int
 (** Rules installed on one switch. *)

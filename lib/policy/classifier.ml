@@ -306,6 +306,64 @@ let shadow_prune c =
       end)
     c
 
+(* Report (without removing) which rules an earlier superset rule
+   shadows: [(i, j)] means rule [i] can never match because rule [j < i]
+   matches every packet rule [i] does.  Same bucketed generalization
+   probe as [shadow_prune], with rule indices carried in the buckets. *)
+let shadows c =
+  let tbl = Shadow_tbl.create 256 in
+  let shadowed_by p =
+    let base = erase_prefixes p in
+    let clears = Array.of_list (exact_clearers p) in
+    let k = Array.length clears in
+    let pb = prefix_bits p in
+    let found = ref None in
+    let emask = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let e = ref base in
+      for i = 0 to k - 1 do
+        if !emask land (1 lsl i) <> 0 then e := clears.(i) !e
+      done;
+      let pmask = ref pb in
+      let more_pmasks = ref true in
+      while !more_pmasks && !found = None do
+        (match Shadow_tbl.find_opt tbl (!pmask, !e) with
+        | Some earlier ->
+            List.iter
+              (fun (q, j) ->
+                let better =
+                  match !found with None -> true | Some j' -> j < j'
+                in
+                if better && Pattern.subset p q then found := Some j)
+              !earlier
+        | None -> ());
+        if !pmask = 0 then more_pmasks := false
+        else pmask := (!pmask - 1) land pb
+      done;
+      if !found <> None || !emask = (1 lsl k) - 1 then continue := false
+      else incr emask
+    done;
+    !found
+  in
+  let insert p i =
+    let key = (prefix_bits p, erase_prefixes p) in
+    match Shadow_tbl.find_opt tbl key with
+    | Some earlier -> earlier := (p, i) :: !earlier
+    | None -> Shadow_tbl.add tbl key (ref [ (p, i) ])
+  in
+  let _, pairs =
+    List.fold_left
+      (fun (i, acc) r ->
+        let acc =
+          match shadowed_by r.pattern with Some j -> (i, j) :: acc | None -> acc
+        in
+        insert r.pattern i;
+        (i + 1, acc))
+      (0, []) c
+  in
+  List.rev pairs
+
 (* Remove rules shadowed by an earlier superset rule, and remove
    non-final rules whose action equals the final catch-all's action
    provided no rule in between intersects them with a different action

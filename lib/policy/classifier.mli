@@ -51,6 +51,13 @@ val optimize : t -> t
     superset rule, rules made redundant by an identical-action catch-all,
     and duplicate patterns.  Semantics are preserved. *)
 
+val shadows : t -> (int * int) list
+(** Report (without removing) rules an earlier superset rule shadows:
+    [(i, j)] means rule [i] can never match because rule [j < i] matches
+    every packet rule [i] does.  Index order, lowest shadowing index
+    preferred per rule — the diagnostic counterpart of the pruning
+    {!optimize} performs. *)
+
 val rule_count : t -> int
 
 val equivalent_on : t -> t -> Packet.t list -> bool

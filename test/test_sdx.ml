@@ -704,6 +704,52 @@ let test_parser_errors () =
       check_bool "position within input" true (e.position <= String.length s))
     cases
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_parser_error_positions () =
+  (* Errors carry 1-based line/column pointing at the offending token. *)
+  let e = parse_err "match(dstport=80) >> fwd(AS200) extra" in
+  check_int "line" 1 e.Policy_parser.line;
+  check_int "column" 33 e.Policy_parser.column;
+  let e = parse_err "match(dstport=80) >>\n  fwd(nonsense=)" in
+  check_int "second line" 2 e.Policy_parser.line;
+  check_bool "column into line 2" true (e.Policy_parser.column >= 3);
+  check_bool "message names the problem" true
+    (contains_sub (Format.asprintf "%a" Policy_parser.pp_error e) "line 2")
+
+let test_parser_lint_references () =
+  let known_asns = List.map Asn.of_int [ 100; 200; 300 ] in
+  let checked = Policy_parser.parse_checked ~known_asns ~port_count:2 in
+  (* References inside the exchange parse fine. *)
+  (match checked "match(dstport=80) >> fwd(AS200) + match(srcip=0.0.0.0/1) >> fwd(port 1)" with
+  | Ok p -> check_int "both clauses" 2 (List.length p)
+  | Error e -> Alcotest.failf "lint rejected a valid policy: %a" Policy_parser.pp_error e);
+  (* An AS outside the exchange is rejected, at the reference. *)
+  (match checked "match(dstport=80) >> fwd(AS999)" with
+  | Ok _ -> Alcotest.fail "unknown AS accepted"
+  | Error e ->
+      check_bool "message names the AS" true
+        (contains_sub e.Policy_parser.message "AS999");
+      check_int "points at the AS token" 26 e.Policy_parser.column);
+  (match checked "match(srcip=10.0.0.0/8) >> steer(AS400)" with
+  | Ok _ -> Alcotest.fail "unknown steer target accepted"
+  | Error e ->
+      check_bool "steer lint message" true
+        (contains_sub e.Policy_parser.message "AS400"));
+  (* A port index beyond the participant's own ports is rejected. *)
+  (match checked "match(srcip=0.0.0.0/1) >> fwd(port 2)" with
+  | Ok _ -> Alcotest.fail "out-of-range port accepted"
+  | Error e ->
+      check_bool "port lint message" true
+        (contains_sub e.Policy_parser.message "out of range"));
+  (* Without lint context the same text still parses. *)
+  match Policy_parser.parse "match(dstport=80) >> fwd(AS999)" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unchecked parse failed: %a" Policy_parser.pp_error e
+
 (* Print/parse roundtrip over randomly generated policies: clause
    structure is preserved exactly, predicates semantically. *)
 let gen_parseable_policy =
@@ -1072,6 +1118,38 @@ let test_scenario_errors_located () =
       | Error e -> check_int "error line" want_line e.line)
     cases
 
+let test_scenario_policy_lint () =
+  (* Policies may reference participants declared later in the file... *)
+  (match
+     Scenario.parse
+       "participant AS100 port aa:aa:aa:aa:aa:01 172.0.0.1\n\
+        outbound AS100 match(dstport=80) >> fwd(AS200)\n\
+        participant AS200 port bb:bb:bb:bb:bb:01 172.0.0.2"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "forward reference rejected: %a" Scenario.pp_error e);
+  (* ...but a reference to no participant at all is a load-time error on
+     the policy's line. *)
+  (match
+     Scenario.parse
+       "participant AS100 port aa:aa:aa:aa:aa:01 172.0.0.1\n\
+        outbound AS100 match(dstport=80) >> fwd(AS999)"
+   with
+  | Ok _ -> Alcotest.fail "unknown peer accepted"
+  | Error e ->
+      check_int "error on the policy line" 2 e.line;
+      check_bool "names the AS" true (contains_sub e.message "AS999"));
+  (* fwd(port k) beyond the writer's own ports is also rejected. *)
+  match
+    Scenario.parse
+      "participant AS100 port aa:aa:aa:aa:aa:01 172.0.0.1\n\
+       inbound AS100 match(srcip=0.0.0.0/1) >> fwd(port 3)"
+  with
+  | Ok _ -> Alcotest.fail "out-of-range port accepted"
+  | Error e ->
+      check_int "error on the policy line" 2 e.line;
+      check_bool "out-of-range message" true (contains_sub e.message "out of range")
+
 let test_scenario_serialization_roundtrip () =
   let config = Fig1.make_config () in
   let text = Scenario.to_string config in
@@ -1246,6 +1324,8 @@ let () =
           Alcotest.test_case "pred semantics" `Quick test_parser_pred_semantics;
           Alcotest.test_case "whole pipeline" `Quick test_parser_whole_pipeline;
           Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "error positions" `Quick test_parser_error_positions;
+          Alcotest.test_case "reference lint" `Quick test_parser_lint_references;
           Alcotest.test_case "misc forms" `Quick test_parser_misc_forms;
           QCheck_alcotest.to_alcotest prop_parser_print_roundtrip;
           QCheck_alcotest.to_alcotest prop_parser_never_crashes;
@@ -1270,6 +1350,7 @@ let () =
             test_scenario_reproduces_figure1;
           Alcotest.test_case "originate" `Quick test_scenario_originate;
           Alcotest.test_case "errors located" `Quick test_scenario_errors_located;
+          Alcotest.test_case "policy lint" `Quick test_scenario_policy_lint;
           Alcotest.test_case "serialization roundtrip" `Quick
             test_scenario_serialization_roundtrip;
           Alcotest.test_case "serializes origination" `Quick
