@@ -92,6 +92,23 @@ let matches addr t =
   in
   go t 0 []
 
+(* Like [matches] but without materializing prefixes or a result list:
+   the data-plane engine walks this once per packet, so the traversal
+   must not allocate. *)
+let iter_matches addr f t =
+  let rec go t depth =
+    match t with
+    | Leaf -> ()
+    | Node { value; left; right } ->
+        (match value with
+        | Some v -> f v
+        | None -> ());
+        if depth < 32 then
+          if bit addr depth = 0 then go left (depth + 1)
+          else go right (depth + 1)
+  in
+  go t 0
+
 let update prefix f t =
   match f (find_opt prefix t) with
   | Some v -> add prefix v t

@@ -24,6 +24,12 @@ val longest_match : Ipv4.t -> 'a t -> (Prefix.t * 'a) option
 val matches : Ipv4.t -> 'a t -> (Prefix.t * 'a) list
 (** All bindings whose prefix contains [addr], most-specific first. *)
 
+val iter_matches : Ipv4.t -> ('a -> unit) -> 'a t -> unit
+(** [iter_matches addr f t] applies [f] to the value of every binding
+    whose prefix contains [addr], most-general (shortest prefix) first.
+    Unlike {!matches} it allocates nothing — this is the per-packet hot
+    path of the data-plane match engine. *)
+
 val update : Prefix.t -> ('a option -> 'a option) -> 'a t -> 'a t
 (** [update p f t] applies [f] to the current binding for [p]; [f]
     returning [None] removes the binding. *)

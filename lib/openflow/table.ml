@@ -1,9 +1,109 @@
+open Sdx_net
 open Sdx_policy
 
 type entry = { flow : Flow.t; seq : int; mutable packets : int }
-type t = { mutable entries : entry list; mutable next_seq : int; capacity : int option }
 
 exception Table_full
+
+(* Entries are ordered by descending priority, then ascending insertion
+   sequence; [lookup] must return the minimum matching entry under this
+   order, whichever layer it lives in. *)
+let order a b =
+  match Int.compare b.flow.Flow.priority a.flow.Flow.priority with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+(* ------------------------------------------------------------------ *)
+(* The layered match engine.
+
+   A linear scan over the flow list is what the paper's §4.2 is fighting
+   on the hardware side; on our software data plane it made every replay
+   experiment measure list traversal.  The engine partitions entries
+   into three layers at install time:
+
+   - exact: patterns whose every constraint is a discrete exact field
+     (in_port, MACs/VMAC tag, ethertype, proto, L4 ports).  Grouped by
+     shape (the set of pinned fields, a la tuple-space search); each
+     shape owns a hashtable from a packet-key hash to a small
+     priority-sorted bucket.
+   - prefix: patterns that prefix-match an IP.  Two Prefix_tries of
+     priority-sorted buckets, one keyed on the dst_ip prefix (also
+     hosting rules that constrain both IPs) and one on the src_ip
+     prefix (for rules with no dst_ip pin, e.g. inbound TE); a lookup
+     walks the <= 33 nodes covering the packet's address in each.
+   - residual: everything else — in practice only the wildcard
+     drop/flood catch-alls, a priority-sorted list scanned linearly.
+
+   Hash keys are not injective, and a trie bucket's entries may pin
+   fields beyond its IP prefix, so every candidate is re-verified with
+   [Pattern.matches] before it competes: collisions cost time, never
+   correctness.  Each layer yields its first matching entry (minimal
+   under [order] within the layer); the global winner is the [order]-
+   minimum of the three candidates, which is exactly the entry the
+   linear scan would have found first. *)
+
+type bucket = { mutable items : entry list (* sorted by [order] *) }
+
+type shape = {
+  mask : int;  (* Pattern.Fields bitmask this shape's patterns pin *)
+  tbl : (int, bucket) Hashtbl.t;  (* packet-key hash -> bucket *)
+  mutable population : int;
+}
+
+type engine = {
+  mutable shapes : shape list;
+  mutable dst_trie : bucket Prefix_trie.t;
+  mutable src_trie : bucket Prefix_trie.t;
+  mutable residual : entry list;  (* sorted by [order] *)
+  mutable residual_len : int;
+}
+
+type layer = Exact of int | Dst_prefixed of Prefix.t | Src_prefixed of Prefix.t | Residual
+
+let classify (p : Pattern.t) =
+  match (p.Pattern.dst_ip, p.Pattern.src_ip) with
+  | Some pre, _ -> Dst_prefixed pre
+  | None, Some pre -> Src_prefixed pre
+  | None, None ->
+      let m = Pattern.pinned_mask p in
+      if m = 0 then Residual else Exact m
+
+(* ------------------------------------------------------------------ *)
+
+module Key = struct
+  type t = int * Pattern.t
+
+  let equal (pa, a) (pb, b) = pa = pb && Pattern.equal a b
+  let hash (p, pat) = (p * 0x01000193) lxor Pattern.hash pat
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+(* Sentinel for the lookup scratch slot; compared with [==] only and
+   never mutated, so sharing one across tables is safe. *)
+let no_entry =
+  { flow = Flow.make ~priority:0 ~pattern:Pattern.all ~actions:[]; seq = max_int; packets = 0 }
+
+let dummy_packet = Packet.make ()
+
+type t = {
+  by_key : entry KeyTbl.t;  (* (priority, pattern) -> live entry *)
+  mutable count : int;
+  mutable next_seq : int;
+  capacity : int option;
+  engine : engine;
+  mutable stale : int;  (* incremental engine ops since last build *)
+  mutable rebuilds : int;
+  mutable sorted : entry list;  (* cache; meaningful iff sorted_valid *)
+  mutable sorted_valid : bool;
+  (* Preallocated lookup scratch: the hot loop writes candidates here
+     instead of threading options/tuples through the probes. *)
+  mutable best : entry;
+  mutable best_layer : int;
+  mutable probe_pkt : Packet.t;
+  mutable trie_visit : bucket -> unit;
+  mutable lookups : int;
+}
 
 module Obs = struct
   open Sdx_obs.Registry
@@ -22,86 +122,375 @@ module Obs = struct
     Counter.add installs installed;
     Counter.add removes removed;
     Gauge.add entries (float_of_int (installed - removed))
+
+  let rebuilds = counter "sdx_openflow_engine_rebuilds_total"
+
+  (* Per-layer hit attribution, indexed by the layer tags below; "miss"
+     rides in the same family so dashboards can stack to 100%. *)
+  let layer_hits =
+    Array.map
+      (fun l -> counter ~labels:[ ("layer", l) ] "sdx_openflow_lookup_layer_hits_total")
+      [| "exact"; "prefix"; "residual"; "miss" |]
+
+  (* Sampled 1-in-64: a clock read per packet would cost more than the
+     lookup it measures. *)
+  let lookup_seconds = histogram "sdx_openflow_lookup_seconds"
 end
 
-let create ?capacity () = { entries = []; next_seq = 0; capacity }
+let layer_exact = 0
+let layer_prefix = 1
+let layer_residual = 2
+let layer_miss = 3
 
-(* Entries are kept sorted: descending priority, then ascending insertion
-   sequence, so [lookup] is a linear scan to the first match. *)
-let order a b =
-  match Int.compare b.flow.Flow.priority a.flow.Flow.priority with
-  | 0 -> Int.compare a.seq b.seq
-  | c -> c
+(* ------------------------------------------------------------------ *)
+(* Engine maintenance                                                  *)
+
+let bucket_insert b e = b.items <- List.merge order [ e ] b.items
+let bucket_remove b e = b.items <- List.filter (fun x -> x != e) b.items
+
+let shape_for eng mask =
+  match List.find_opt (fun s -> s.mask = mask) eng.shapes with
+  | Some s -> s
+  | None ->
+      let s = { mask; tbl = Hashtbl.create 64; population = 0 } in
+      eng.shapes <- s :: eng.shapes;
+      s
+
+let trie_insert trie pre e =
+  match Prefix_trie.find_opt pre trie with
+  | Some b ->
+      bucket_insert b e;
+      trie
+  | None -> Prefix_trie.add pre { items = [ e ] } trie
+
+let trie_remove trie pre e =
+  match Prefix_trie.find_opt pre trie with
+  | Some b ->
+      bucket_remove b e;
+      if b.items = [] then Prefix_trie.remove pre trie else trie
+  | None -> trie
+
+let engine_insert t e =
+  let eng = t.engine in
+  (match classify e.flow.Flow.pattern with
+  | Exact mask ->
+      let s = shape_for eng mask in
+      let k = Pattern.pinned_key e.flow.Flow.pattern in
+      (match Hashtbl.find_opt s.tbl k with
+      | Some b -> bucket_insert b e
+      | None -> Hashtbl.add s.tbl k { items = [ e ] });
+      s.population <- s.population + 1
+  | Dst_prefixed pre -> eng.dst_trie <- trie_insert eng.dst_trie pre e
+  | Src_prefixed pre -> eng.src_trie <- trie_insert eng.src_trie pre e
+  | Residual ->
+      eng.residual <- List.merge order [ e ] eng.residual;
+      eng.residual_len <- eng.residual_len + 1);
+  t.stale <- t.stale + 1
+
+let engine_remove t e =
+  let eng = t.engine in
+  (match classify e.flow.Flow.pattern with
+  | Exact mask -> (
+      let s = shape_for eng mask in
+      let k = Pattern.pinned_key e.flow.Flow.pattern in
+      s.population <- s.population - 1;
+      match Hashtbl.find_opt s.tbl k with
+      | Some b ->
+          bucket_remove b e;
+          if b.items = [] then Hashtbl.remove s.tbl k
+      | None -> ())
+  | Dst_prefixed pre -> eng.dst_trie <- trie_remove eng.dst_trie pre e
+  | Src_prefixed pre -> eng.src_trie <- trie_remove eng.src_trie pre e
+  | Residual ->
+      eng.residual <- List.filter (fun x -> x != e) eng.residual;
+      eng.residual_len <- eng.residual_len - 1);
+  t.stale <- t.stale + 1
+
+let sorted_entries t =
+  if not t.sorted_valid then begin
+    t.sorted <- List.sort order (KeyTbl.fold (fun _ e acc -> e :: acc) t.by_key []);
+    t.sorted_valid <- true
+  end;
+  t.sorted
+
+(* Full re-partition from the live entry set.  Entries are consed in
+   reverse sorted order so every bucket and the residual band come out
+   sorted with O(1) work per entry. *)
+let rebuild t =
+  let eng = t.engine in
+  eng.shapes <- [];
+  eng.dst_trie <- Prefix_trie.empty;
+  eng.src_trie <- Prefix_trie.empty;
+  eng.residual <- [];
+  eng.residual_len <- 0;
+  let trie_prepend trie pre e =
+    match Prefix_trie.find_opt pre trie with
+    | Some b ->
+        b.items <- e :: b.items;
+        trie
+    | None -> Prefix_trie.add pre { items = [ e ] } trie
+  in
+  List.iter
+    (fun e ->
+      match classify e.flow.Flow.pattern with
+      | Exact mask ->
+          let s = shape_for eng mask in
+          let k = Pattern.pinned_key e.flow.Flow.pattern in
+          (match Hashtbl.find_opt s.tbl k with
+          | Some b -> b.items <- e :: b.items
+          | None -> Hashtbl.add s.tbl k { items = [ e ] });
+          s.population <- s.population + 1
+      | Dst_prefixed pre -> eng.dst_trie <- trie_prepend eng.dst_trie pre e
+      | Src_prefixed pre -> eng.src_trie <- trie_prepend eng.src_trie pre e
+      | Residual ->
+          eng.residual <- e :: eng.residual;
+          eng.residual_len <- eng.residual_len + 1)
+    (List.rev (sorted_entries t));
+  t.stale <- 0;
+  t.rebuilds <- t.rebuilds + 1;
+  Sdx_obs.Registry.Counter.incr Obs.rebuilds
+
+(* In-place insertion/removal keeps the engine exact, but leaves empty
+   hash buckets, dead trie nodes, and oversized shape tables behind;
+   past this churn budget a full re-partition re-compacts everything. *)
+let staleness_limit t = 64 + (2 * t.count)
+let maybe_rebuild t = if t.stale > staleness_limit t then rebuild t
+
+(* ------------------------------------------------------------------ *)
+
+let create ?capacity () =
+  let t =
+    {
+      by_key = KeyTbl.create 256;
+      count = 0;
+      next_seq = 0;
+      capacity;
+      engine =
+        {
+          shapes = [];
+          dst_trie = Prefix_trie.empty;
+          src_trie = Prefix_trie.empty;
+          residual = [];
+          residual_len = 0;
+        };
+      stale = 0;
+      rebuilds = 0;
+      sorted = [];
+      sorted_valid = true;
+      best = no_entry;
+      best_layer = layer_miss;
+      probe_pkt = dummy_packet;
+      trie_visit = ignore;
+      lookups = 0;
+    }
+  in
+  (* Preallocated once so the per-packet trie walk closes over nothing. *)
+  t.trie_visit <-
+    (fun b ->
+      let rec scan = function
+        | [] -> ()
+        | (e : entry) :: rest ->
+            if Pattern.matches e.flow.Flow.pattern t.probe_pkt then begin
+              if t.best == no_entry || order e t.best < 0 then begin
+                t.best <- e;
+                t.best_layer <- layer_prefix
+              end
+            end
+            else scan rest
+      in
+      scan b.items);
+  t
 
 (* OpenFlow ADD semantics: an entry with the same priority and match
    overwrites the existing one (counters reset). *)
 let install t (flow : Flow.t) =
-  let before = List.length t.entries in
-  let entries =
-    List.filter
-      (fun e ->
-        not
-          (e.flow.Flow.priority = flow.priority
-          && Pattern.equal e.flow.Flow.pattern flow.pattern))
-      t.entries
-  in
-  (match t.capacity with
-  | Some cap when List.length entries >= cap -> raise Table_full
+  let key = (flow.Flow.priority, flow.Flow.pattern) in
+  let existing = KeyTbl.find_opt t.by_key key in
+  (match (t.capacity, existing) with
+  | Some cap, None when t.count >= cap -> raise Table_full
   | _ -> ());
+  let removed =
+    match existing with
+    | Some old ->
+        engine_remove t old;
+        t.count <- t.count - 1;
+        1
+    | None -> 0
+  in
   let e = { flow; seq = t.next_seq; packets = 0 } in
   t.next_seq <- t.next_seq + 1;
-  t.entries <- List.merge order [ e ] entries;
-  Obs.mutate ~installed:1 ~removed:(before - List.length entries)
+  KeyTbl.replace t.by_key key e;
+  t.count <- t.count + 1;
+  t.sorted_valid <- false;
+  engine_insert t e;
+  maybe_rebuild t;
+  Obs.mutate ~installed:1 ~removed
 
-let install_all t flows = List.iter (install t) flows
+(* One-pass batch: update the entry map per flow (preserving per-flow
+   capacity/overwrite semantics), then sort-and-build the engine once.
+   The [finally] keeps the engine consistent even when a capacity
+   overflow aborts the batch midway. *)
+let install_all t flows =
+  let installed = ref 0 and removed = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      t.sorted_valid <- false;
+      rebuild t;
+      Obs.mutate ~installed:!installed ~removed:!removed)
+    (fun () ->
+      List.iter
+        (fun (flow : Flow.t) ->
+          let key = (flow.Flow.priority, flow.Flow.pattern) in
+          (match KeyTbl.find_opt t.by_key key with
+          | Some _ ->
+              KeyTbl.remove t.by_key key;
+              t.count <- t.count - 1;
+              incr removed
+          | None -> (
+              match t.capacity with
+              | Some cap when t.count >= cap -> raise Table_full
+              | _ -> ()));
+          let e = { flow; seq = t.next_seq; packets = 0 } in
+          t.next_seq <- t.next_seq + 1;
+          KeyTbl.replace t.by_key key e;
+          t.count <- t.count + 1;
+          incr installed)
+        flows)
 
 let remove t ~priority ~pattern =
-  let before = List.length t.entries in
-  t.entries <-
-    List.filter
-      (fun e ->
-        not
-          (e.flow.Flow.priority = priority
-          && Pattern.equal e.flow.Flow.pattern pattern))
-      t.entries;
-  Obs.mutate ~installed:0 ~removed:(before - List.length t.entries)
+  match KeyTbl.find_opt t.by_key (priority, pattern) with
+  | None -> Obs.mutate ~installed:0 ~removed:0
+  | Some e ->
+      KeyTbl.remove t.by_key (priority, pattern);
+      t.count <- t.count - 1;
+      t.sorted_valid <- false;
+      engine_remove t e;
+      maybe_rebuild t;
+      Obs.mutate ~installed:0 ~removed:1
 
 let clear t =
-  Obs.mutate ~installed:0 ~removed:(List.length t.entries);
-  t.entries <- []
+  Obs.mutate ~installed:0 ~removed:t.count;
+  KeyTbl.reset t.by_key;
+  t.count <- 0;
+  t.sorted <- [];
+  t.sorted_valid <- true;
+  t.engine.shapes <- [];
+  t.engine.dst_trie <- Prefix_trie.empty;
+  t.engine.src_trie <- Prefix_trie.empty;
+  t.engine.residual <- [];
+  t.engine.residual_len <- 0;
+  t.stale <- 0
 
 let remove_where t pred =
-  let before = List.length t.entries in
-  t.entries <- List.filter (fun e -> not (pred e.flow)) t.entries;
-  let removed = before - List.length t.entries in
-  Obs.mutate ~installed:0 ~removed;
-  removed
+  let victims =
+    KeyTbl.fold (fun k e acc -> if pred e.flow then (k, e) :: acc else acc) t.by_key []
+  in
+  let n = List.length victims in
+  if n > 0 then begin
+    List.iter (fun (k, _) -> KeyTbl.remove t.by_key k) victims;
+    t.count <- t.count - n;
+    t.sorted_valid <- false;
+    rebuild t
+  end;
+  Obs.mutate ~installed:0 ~removed:n;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Lookup                                                              *)
+
+let consider t layer e =
+  if t.best == no_entry || order e t.best < 0 then begin
+    t.best <- e;
+    t.best_layer <- layer
+  end
+
+(* Buckets and the residual band are sorted, so the first match is the
+   layer's best candidate and the scan stops there. *)
+let rec scan_first t pkt layer = function
+  | [] -> ()
+  | e :: rest ->
+      if Pattern.matches e.flow.Flow.pattern pkt then consider t layer e
+      else scan_first t pkt layer rest
+
+let rec probe_shapes t pkt = function
+  | [] -> ()
+  | s :: rest ->
+      (match Hashtbl.find s.tbl (Pattern.packet_key s.mask pkt) with
+      | b -> scan_first t pkt layer_exact b.items
+      | exception Not_found -> ());
+      probe_shapes t pkt rest
+
+let lookup_engine t (pkt : Packet.t) =
+  t.best <- no_entry;
+  t.best_layer <- layer_miss;
+  probe_shapes t pkt t.engine.shapes;
+  t.probe_pkt <- pkt;
+  Prefix_trie.iter_matches pkt.Packet.dst_ip t.trie_visit t.engine.dst_trie;
+  Prefix_trie.iter_matches pkt.Packet.src_ip t.trie_visit t.engine.src_trie;
+  t.probe_pkt <- dummy_packet;
+  scan_first t pkt layer_residual t.engine.residual;
+  if t.best == no_entry then begin
+    Sdx_obs.Registry.Counter.incr Obs.layer_hits.(layer_miss);
+    None
+  end
+  else begin
+    let e = t.best in
+    e.packets <- e.packets + 1;
+    Sdx_obs.Registry.Counter.incr Obs.layer_hits.(t.best_layer);
+    t.best <- no_entry;
+    Some e.flow
+  end
 
 let lookup t pkt =
+  t.lookups <- t.lookups + 1;
+  if t.lookups land 63 = 0 then begin
+    let t0 = Unix.gettimeofday () in
+    let r = lookup_engine t pkt in
+    Sdx_obs.Registry.Histogram.observe Obs.lookup_seconds (Unix.gettimeofday () -. t0);
+    r
+  end
+  else lookup_engine t pkt
+
+(* Reference path: the pre-engine linear scan over the sorted entry
+   list.  Pure (no counters, no metrics) so tests and the dataplane
+   bench can use it as an oracle without disturbing state. *)
+let lookup_linear t pkt =
   let rec go = function
     | [] -> None
     | e :: rest ->
-        if Pattern.matches e.flow.Flow.pattern pkt then begin
-          e.packets <- e.packets + 1;
-          Some e.flow
-        end
-        else go rest
+        if Pattern.matches e.flow.Flow.pattern pkt then Some e.flow else go rest
   in
-  go t.entries
+  go (sorted_entries t)
 
-let size t = List.length t.entries
+(* ------------------------------------------------------------------ *)
+
+let size t = t.count
 let capacity t = t.capacity
-let entries t = List.map (fun e -> e.flow) t.entries
+let entries t = List.map (fun e -> e.flow) (sorted_entries t)
 
 let hits t ~priority ~pattern =
-  match
-    List.find_opt
-      (fun e ->
-        e.flow.Flow.priority = priority && Pattern.equal e.flow.Flow.pattern pattern)
-      t.entries
-  with
+  match KeyTbl.find_opt t.by_key (priority, pattern) with
   | Some e -> e.packets
   | None -> 0
+
+type engine_stats = {
+  exact_shapes : int;
+  exact_entries : int;
+  prefix_entries : int;
+  residual_entries : int;
+  rebuilds : int;
+}
+
+let engine_stats t =
+  {
+    exact_shapes = List.length t.engine.shapes;
+    exact_entries = List.fold_left (fun acc s -> acc + s.population) 0 t.engine.shapes;
+    prefix_entries =
+      Prefix_trie.fold (fun _ b acc -> acc + List.length b.items) t.engine.dst_trie 0
+      + Prefix_trie.fold (fun _ b acc -> acc + List.length b.items) t.engine.src_trie 0;
+    residual_entries = t.engine.residual_len;
+    rebuilds = t.rebuilds;
+  }
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>%a@]"

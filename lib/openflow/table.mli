@@ -1,7 +1,17 @@
 (** A single flow table: priority-ordered flow entries with per-entry hit
     counters and an optional capacity limit, modeling the rule-table
     budget the paper's §4.2 is about (high-end switches hold about half a
-    million rules). *)
+    million rules).
+
+    Lookups go through a layered match engine rather than a linear scan:
+    an exact-match hash layer over the discrete fields SDX rules pin
+    (in_port, dst MAC/VMAC tag, ethertype, ...), a dst-IP
+    longest-prefix band backed by {!Sdx_net.Prefix_trie}, and a residual
+    priority-ordered scan, merged priority-correctly so the result (and
+    every per-entry counter) is identical to the linear scan's.  The
+    engine maintains itself incrementally on {!install}/{!remove} and
+    re-partitions wholesale past a staleness threshold; {!install_all}
+    is a single sort-and-build batch. *)
 
 open Sdx_net
 open Sdx_policy
@@ -27,7 +37,14 @@ val remove_where : t -> (Flow.t -> bool) -> int
 
 val lookup : t -> Packet.t -> Flow.t option
 (** Highest-priority matching entry; among equal priorities the earliest
-    installed wins. *)
+    installed wins.  Dispatched through the layered engine; increments
+    the winning entry's packet counter. *)
+
+val lookup_linear : t -> Packet.t -> Flow.t option
+(** Reference semantics: a linear scan over the priority-sorted entry
+    list.  Pure — touches no packet counter and no metric — so it can
+    serve as the oracle for equivalence tests and as the baseline the
+    [bench dataplane] target measures the engine against. *)
 
 val size : t -> int
 val capacity : t -> int option
@@ -35,6 +52,17 @@ val entries : t -> Flow.t list
 (** In match order (descending priority). *)
 
 val hits : t -> priority:int -> pattern:Pattern.t -> int
-(** Packet counter of an entry; 0 when absent. *)
+(** Packet counter of an entry; 0 when absent.  O(1). *)
+
+type engine_stats = {
+  exact_shapes : int;  (** distinct pinned-field shapes in the exact layer *)
+  exact_entries : int;
+  prefix_entries : int;
+  residual_entries : int;
+  rebuilds : int;  (** full re-partitions this table has performed *)
+}
+
+val engine_stats : t -> engine_stats
+(** Current partition of the entries across the engine's layers. *)
 
 val pp : Format.formatter -> t -> unit

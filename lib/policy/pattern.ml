@@ -183,6 +183,61 @@ let hash t =
   let h = exact h t.src_port in
   exact h t.dst_port
 
+(* Engine support: the data-plane match engine (Sdx_openflow.Table)
+   partitions rules by which discrete fields they exactly pin.  The
+   bitmask and the two key functions below are its vocabulary: a rule
+   whose every constraint is discrete-exact can be dispatched by hashing
+   the packet's values on exactly the fields in [pinned_mask], and
+   [pinned_key]/[packet_key] are built to agree on that mask.  Key
+   collisions are harmless — the engine re-verifies candidates with
+   [matches] — so the keys need not be injective. *)
+
+module Fields = struct
+  let port = 1
+  let src_mac = 2
+  let dst_mac = 4
+  let eth_type = 8
+  let proto = 16
+  let src_port = 32
+  let dst_port = 64
+end
+
+let pinned_mask t =
+  let b mask = function Some _ -> mask | None -> 0 in
+  b Fields.port t.port
+  lor b Fields.src_mac t.src_mac
+  lor b Fields.dst_mac t.dst_mac
+  lor b Fields.eth_type t.eth_type
+  lor b Fields.proto t.proto
+  lor b Fields.src_port t.src_port
+  lor b Fields.dst_port t.dst_port
+
+let seed = 0x811c9dc5
+
+let pinned_key t =
+  let h = seed in
+  let h = match t.port with Some v -> mix h v | None -> h in
+  let h = match t.src_mac with Some m -> mix h (Mac.to_int m) | None -> h in
+  let h = match t.dst_mac with Some m -> mix h (Mac.to_int m) | None -> h in
+  let h = match t.eth_type with Some v -> mix h v | None -> h in
+  let h = match t.proto with Some v -> mix h v | None -> h in
+  let h = match t.src_port with Some v -> mix h v | None -> h in
+  match t.dst_port with Some v -> mix h v | None -> h
+
+let packet_key mask (p : Packet.t) =
+  let h = seed in
+  let h = if mask land Fields.port <> 0 then mix h p.port else h in
+  let h =
+    if mask land Fields.src_mac <> 0 then mix h (Mac.to_int p.src_mac) else h
+  in
+  let h =
+    if mask land Fields.dst_mac <> 0 then mix h (Mac.to_int p.dst_mac) else h
+  in
+  let h = if mask land Fields.eth_type <> 0 then mix h p.eth_type else h in
+  let h = if mask land Fields.proto <> 0 then mix h p.proto else h in
+  let h = if mask land Fields.src_port <> 0 then mix h p.src_port else h in
+  if mask land Fields.dst_port <> 0 then mix h p.dst_port else h
+
 module Tbl = Hashtbl.Make (struct
   type nonrec t = t
 

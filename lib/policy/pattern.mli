@@ -61,6 +61,35 @@ val hash : t -> int
 (** Structural hash consistent with {!equal}; wildcarded and constrained
     fields never collide. *)
 
+module Fields : sig
+  val port : int
+  val src_mac : int
+  val dst_mac : int
+  val eth_type : int
+  val proto : int
+  val src_port : int
+  val dst_port : int
+end
+(** Bit constants naming the discrete (exact-match) fields, for
+    {!pinned_mask} masks.  The two IP fields are not listed: they are
+    prefix-shaped and visible directly as [src_ip]/[dst_ip]. *)
+
+val pinned_mask : t -> int
+(** Bitmask (over {!Fields}) of the discrete fields this pattern pins to
+    an exact value.  A pattern with [pinned_mask p <> 0] and no IP
+    constraint is fully decided by a hash probe on those fields — the
+    shape the data-plane engine's exact layer dispatches on. *)
+
+val pinned_key : t -> int
+(** Hash of the pattern's pinned discrete values.  Agrees with
+    {!packet_key} on [pinned_mask t]: for any packet [pk] matching [t],
+    [packet_key (pinned_mask t) pk = pinned_key t].  Not injective;
+    callers must re-verify candidates with {!matches}. *)
+
+val packet_key : int -> Packet.t -> int
+(** [packet_key mask pk] hashes [pk]'s values on the fields in [mask];
+    allocation-free. *)
+
 module Tbl : Hashtbl.S with type key = t
 (** Hashtables keyed on patterns via {!hash}/{!equal}, replacing
     polymorphic hashing on the hot composition paths. *)

@@ -1,15 +1,24 @@
 #!/bin/sh
-# Bench regression gate: compare a fresh `bench json` report against the
+# Bench regression gate: compare a fresh bench report against the
 # committed baseline.
 #
 #   scripts/bench_gate.sh BASELINE.json CANDIDATE.json
 #
-# Fails (exit 1) on correctness drift: `rules`, `groups`, or
-# `identical_to_sequential` differing from the baseline — those are
-# deterministic for a fixed seed, so any change means the compiler's
-# output changed and the baseline must be consciously re-committed.
-# Warns (exit 0) when `elapsed_s` regressed by more than 25%, since
-# absolute timings vary with CI hardware.
+# Two report schemas, auto-detected:
+#
+# `bench json` (compile): fails (exit 1) on correctness drift — `rules`,
+# `groups`, or `identical_to_sequential` differing from the baseline —
+# those are deterministic for a fixed seed, so any change means the
+# compiler's output changed and the baseline must be consciously
+# re-committed.  Warns (exit 0) when `elapsed_s` regressed by more than
+# 25%, since absolute timings vary with CI hardware.
+#
+# `bench dataplane` (lookup engine): fails on `rules` drift, on
+# `identical_to_linear` != true (the engine diverged from the
+# linear-scan oracle), and on `speedup` < 5.0 — the engine must beat the
+# linear scan by at least 5x at the headline (>= 5k rule) table, with
+# enough margin under the real ~20x that CI jitter does not flake.
+# Warns when `engine_pps` regressed by more than 25% vs the baseline.
 set -eu
 
 if [ $# -ne 2 ]; then
@@ -33,6 +42,53 @@ require() {
 }
 
 fail=0
+
+if grep -q '"identical_to_linear"' "$candidate"; then
+    # --- dataplane schema ---
+    for key in rules identical_to_linear; do
+        base=$(field "$baseline" "$key")
+        cand=$(field "$candidate" "$key")
+        require "$key (baseline)" "$base"
+        require "$key (candidate)" "$cand"
+        if [ "$base" != "$cand" ]; then
+            echo "bench gate: FAIL $key: baseline=$base candidate=$cand"
+            fail=1
+        else
+            echo "bench gate: ok   $key=$cand"
+        fi
+    done
+
+    if [ "$(field "$candidate" identical_to_linear)" != "true" ]; then
+        echo "bench gate: FAIL engine lookup is not equivalent to the linear scan"
+        fail=1
+    fi
+
+    speedup=$(field "$candidate" speedup)
+    require "speedup" "$speedup"
+    if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 5.0) }'; then
+        echo "bench gate: FAIL dataplane speedup ${speedup}x is below the 5x floor"
+        fail=1
+    else
+        echo "bench gate: ok   speedup=${speedup}x (floor 5x)"
+    fi
+
+    base_pps=$(field "$baseline" engine_pps)
+    cand_pps=$(field "$candidate" engine_pps)
+    require "engine_pps (baseline)" "$base_pps"
+    require "engine_pps (candidate)" "$cand_pps"
+    awk -v base="$base_pps" -v cand="$cand_pps" 'BEGIN {
+        if (base > 0 && cand < base * 0.75) {
+            printf "bench gate: WARN engine_pps %.0f is %.0f%% below baseline %.0f\n",
+                cand, (1 - cand / base) * 100, base
+        } else {
+            printf "bench gate: ok   engine_pps=%.0f (baseline %.0f)\n", cand, base
+        }
+    }'
+
+    exit "$fail"
+fi
+
+# --- compile schema ---
 for key in rules groups identical_to_sequential; do
     base=$(field "$baseline" "$key")
     cand=$(field "$candidate" "$key")

@@ -96,6 +96,247 @@ let test_table_clear () =
   check_int "cleared" 0 (Table.size t);
   check_bool "no match after clear" true (Table.lookup t (Packet.make ()) = None)
 
+(* The engine partitions rules across its three layers and merges
+   priority-correctly between them. *)
+let test_table_engine_layers () =
+  let t = Table.create () in
+  let vmac = Mac.of_int 0x020000000007 in
+  let net = Prefix.of_string "10.1.0.0/16" in
+  Table.install t (flow ~priority:30 ~pattern:(Pattern.make ~dst_mac:vmac ()) [ out 1 ]);
+  Table.install t (flow ~priority:20 ~pattern:(Pattern.make ~dst_ip:net ()) [ out 2 ]);
+  Table.install t
+    (flow ~priority:10 ~pattern:(Pattern.make ~src_ip:(Prefix.of_string "10.2.0.0/16") ())
+       [ out 3 ]);
+  Table.install t (flow ~priority:1 [ out 9 ]);
+  let s = Table.engine_stats t in
+  check_int "exact layer" 1 s.Table.exact_entries;
+  check_int "prefix layer (dst + src tries)" 2 s.Table.prefix_entries;
+  check_int "residual layer (catch-all)" 1 s.Table.residual_entries;
+  check_int "one shape" 1 s.Table.exact_shapes;
+  (* A packet matching both the exact and the prefix rule: the exact one
+     wins on priority, not on layer order. *)
+  let pkt = Packet.make ~dst_mac:vmac ~dst_ip:(Ipv4.of_string "10.1.2.3") () in
+  (match Table.lookup t pkt with
+  | Some f -> check_int "priority merge across layers" 30 f.priority
+  | None -> Alcotest.fail "no match");
+  (* Same packet, exact rule removed: the prefix band serves it. *)
+  Table.remove t ~priority:30 ~pattern:(Pattern.make ~dst_mac:vmac ());
+  (match Table.lookup t pkt with
+  | Some f -> check_int "prefix band fallback" 20 f.priority
+  | None -> Alcotest.fail "no prefix match");
+  (* The src-trie side of the prefix band. *)
+  (match Table.lookup t (Packet.make ~src_ip:(Ipv4.of_string "10.2.9.9") ()) with
+  | Some f -> check_int "src-trie match" 10 f.priority
+  | None -> Alcotest.fail "no src-trie match");
+  (* And the residual catch-all takes what no index covers. *)
+  match Table.lookup t (Packet.make ~src_ip:(Ipv4.of_string "172.16.0.1") ()) with
+  | Some f -> check_int "residual catch-all" 1 f.priority
+  | None -> Alcotest.fail "no residual match"
+
+let test_table_engine_rebuilds () =
+  let t = Table.create () in
+  (* Enough single-rule churn to blow the staleness budget repeatedly. *)
+  for i = 0 to 999 do
+    let pat = Pattern.make ~dst_port:(1000 + (i mod 50)) () in
+    Table.install t (flow ~priority:(i mod 7) ~pattern:pat [ out 1 ]);
+    if i mod 3 = 0 then Table.remove t ~priority:(i mod 7) ~pattern:pat
+  done;
+  let s = Table.engine_stats t in
+  check_bool "staleness rebuilds happened" true (s.Table.rebuilds > 0);
+  check_int "partition covers the table" (Table.size t)
+    (s.Table.exact_entries + s.Table.prefix_entries + s.Table.residual_entries)
+
+let test_table_install_all_batch () =
+  (* install_all (one sort-and-build) must agree with per-flow install. *)
+  let flows =
+    List.init 200 (fun i ->
+        flow ~priority:(i mod 11)
+          ~pattern:(Pattern.make ~dst_port:(i mod 23) ~proto:(if i mod 2 = 0 then 6 else 17) ())
+          [ out (i mod 4) ])
+  in
+  let batch = Table.create () in
+  Table.install_all batch flows;
+  let one_by_one = Table.create () in
+  List.iter (Table.install one_by_one) flows;
+  check_bool "same entries, same order" true
+    (Table.entries batch = Table.entries one_by_one);
+  check_int "overwrites collapsed" (Table.size one_by_one) (Table.size batch)
+
+let test_table_overwrite_resets_counter () =
+  let t = Table.create () in
+  Table.install t (flow ~priority:10 [ out 1 ]);
+  ignore (Table.lookup t (Packet.make ()));
+  check_int "counted" 1 (Table.hits t ~priority:10 ~pattern:Pattern.all);
+  Table.install t (flow ~priority:10 [ out 2 ]);
+  check_int "reset on overwrite" 0 (Table.hits t ~priority:10 ~pattern:Pattern.all)
+
+(* ------------------------------------------------------------------ *)
+(* Engine vs. linear-scan oracle (qcheck)                              *)
+
+(* A literal reimplementation of the pre-engine table: a sorted list
+   with first-match lookup and in-place counters.  The engine must be
+   observationally identical under any install/remove/lookup
+   interleaving, including OpenFlow's overwrite-on-ADD. *)
+module Model = struct
+  type entry = { flow : Flow.t; seq : int; mutable packets : int }
+  type t = { mutable entries : entry list; mutable next_seq : int }
+
+  let create () = { entries = []; next_seq = 0 }
+
+  let order a b =
+    match Int.compare b.flow.Flow.priority a.flow.Flow.priority with
+    | 0 -> Int.compare a.seq b.seq
+    | c -> c
+
+  let drop t ~priority ~pattern =
+    t.entries <-
+      List.filter
+        (fun e ->
+          not
+            (e.flow.Flow.priority = priority
+            && Pattern.equal e.flow.Flow.pattern pattern))
+        t.entries
+
+  let install t (flow : Flow.t) =
+    drop t ~priority:flow.priority ~pattern:flow.pattern;
+    let e = { flow; seq = t.next_seq; packets = 0 } in
+    t.next_seq <- t.next_seq + 1;
+    t.entries <- List.merge order [ e ] t.entries
+
+  let lookup t pkt =
+    let rec go = function
+      | [] -> None
+      | e :: rest ->
+          if Pattern.matches e.flow.Flow.pattern pkt then begin
+            e.packets <- e.packets + 1;
+            Some e.flow
+          end
+          else go rest
+    in
+    go t.entries
+
+  let hits t ~priority ~pattern =
+    match
+      List.find_opt
+        (fun e ->
+          e.flow.Flow.priority = priority && Pattern.equal e.flow.Flow.pattern pattern)
+        t.entries
+    with
+    | Some e -> e.packets
+    | None -> 0
+
+  let flows t = List.map (fun e -> e.flow) t.entries
+end
+
+(* Small value pools so that installs collide (overwrites), removes hit
+   live entries, and packets actually match rules. *)
+let pool_mac = List.map (fun i -> Mac.of_int (0x020000000000 + i)) [ 1; 2; 3 ]
+let pool_ip = List.map Ipv4.of_string [ "10.0.0.1"; "10.0.1.9"; "10.1.2.3"; "192.168.0.5" ]
+
+let pool_prefix =
+  List.map Prefix.of_string
+    [ "10.0.0.0/8"; "10.0.0.0/16"; "10.0.1.0/24"; "10.1.2.3/32"; "192.168.0.0/16" ]
+
+let gen_engine_pattern =
+  let open QCheck2.Gen in
+  let opt g = option ~ratio:0.4 g in
+  let* port = opt (int_range 0 3) in
+  let* dst_mac = opt (oneofl pool_mac) in
+  let* eth_type = opt (oneofl [ 0x0800; 0x0806 ]) in
+  let* proto = opt (oneofl [ 6; 17 ]) in
+  let* dst_port = opt (oneofl [ 80; 443 ]) in
+  let* src_ip = option ~ratio:0.2 (oneofl pool_prefix) in
+  let* dst_ip = option ~ratio:0.5 (oneofl pool_prefix) in
+  return
+    (Pattern.make ?port ?dst_mac ?eth_type ?proto ?dst_port ?src_ip ?dst_ip ())
+
+let gen_engine_packet =
+  let open QCheck2.Gen in
+  let* port = int_range 0 3 in
+  let* dst_mac = oneofl (Mac.zero :: pool_mac) in
+  let* eth_type = oneofl [ 0x0800; 0x0806 ] in
+  let* proto = oneofl [ 6; 17 ] in
+  let* dst_port = oneofl [ 80; 443; 22 ] in
+  let* src_ip = oneofl pool_ip in
+  let* dst_ip = oneofl pool_ip in
+  return (Packet.make ~port ~dst_mac ~eth_type ~proto ~dst_port ~src_ip ~dst_ip ())
+
+type table_op =
+  | Op_install of Flow.t
+  | Op_remove of int * Pattern.t
+  | Op_lookup of Packet.t
+
+let gen_op =
+  let open QCheck2.Gen in
+  frequency
+    [
+      ( 4,
+        let* priority = int_range 0 4 in
+        let* pattern = gen_engine_pattern in
+        let* p = int_range 0 3 in
+        return (Op_install (Flow.make ~priority ~pattern ~actions:[ out p ])) );
+      ( 1,
+        let* priority = int_range 0 4 in
+        let* pattern = gen_engine_pattern in
+        return (Op_remove (priority, pattern)) );
+      (5, map (fun pkt -> Op_lookup pkt) gen_engine_packet);
+    ]
+
+let prop_engine_equals_linear_oracle =
+  QCheck2.Test.make ~name:"engine lookup/counters = linear-scan oracle" ~count:300
+    QCheck2.Gen.(list_size (int_range 20 120) gen_op)
+    (fun ops ->
+      let tbl = Table.create () in
+      let model = Model.create () in
+      let keys = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Op_install f ->
+              keys := (f.Flow.priority, f.Flow.pattern) :: !keys;
+              Table.install tbl f;
+              Model.install model f;
+              true
+          | Op_remove (priority, pattern) ->
+              Table.remove tbl ~priority ~pattern;
+              Model.drop model ~priority ~pattern;
+              true
+          | Op_lookup pkt ->
+              (* The pure linear reference, the engine, and the model
+                 must elect the same entry... *)
+              let linear = Table.lookup_linear tbl pkt in
+              let engine = Table.lookup tbl pkt in
+              let reference = Model.lookup model pkt in
+              engine = linear && engine = reference)
+        ops
+      (* ... and after the run, table contents and every per-entry
+         packet counter must agree too. *)
+      && Table.entries tbl = Model.flows model
+      && Table.size tbl = List.length (Model.flows model)
+      && List.for_all
+           (fun (priority, pattern) ->
+             Table.hits tbl ~priority ~pattern = Model.hits model ~priority ~pattern)
+           !keys)
+
+let prop_install_all_equals_sequential =
+  QCheck2.Test.make ~name:"install_all batch = sequential installs" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 60)
+           (map2
+              (fun (priority, pattern) p ->
+                Flow.make ~priority ~pattern ~actions:[ out p ])
+              (pair (int_range 0 4) gen_engine_pattern)
+              (int_range 0 3)))
+        (list_size (int_range 1 20) gen_engine_packet))
+    (fun (flows, pkts) ->
+      let batch = Table.create () in
+      Table.install_all batch flows;
+      let seq = Table.create () in
+      List.iter (Table.install seq) flows;
+      Table.entries batch = Table.entries seq
+      && List.for_all (fun pkt -> Table.lookup batch pkt = Table.lookup seq pkt) pkts)
+
 (* ------------------------------------------------------------------ *)
 (* Switch                                                              *)
 
@@ -285,7 +526,14 @@ let () =
           Alcotest.test_case "remove" `Quick test_table_remove;
           Alcotest.test_case "hits" `Quick test_table_hits;
           Alcotest.test_case "clear" `Quick test_table_clear;
-        ] );
+          Alcotest.test_case "engine layers" `Quick test_table_engine_layers;
+          Alcotest.test_case "engine rebuilds" `Quick test_table_engine_rebuilds;
+          Alcotest.test_case "install_all batch" `Quick test_table_install_all_batch;
+          Alcotest.test_case "overwrite resets counter" `Quick
+            test_table_overwrite_resets_counter;
+        ]
+        @ qsuite
+            [ prop_engine_equals_linear_oracle; prop_install_all_equals_sequential ] );
       ( "switch",
         [
           Alcotest.test_case "process" `Quick test_switch_process_basic;
