@@ -708,6 +708,88 @@ let run_dataplane ~seed ~scale ~packets ~out =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Churn soak: VNH lifecycle and transactional bursts under faults     *)
+
+let run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
+    ~checkpoint_every ~out =
+  section "Churn soak: fault-injected BGP churn through the runtime";
+  note
+    "withdraw storms, session flaps, duplicate trains and same-prefix \
+     trains; sdx_check and a from-scratch-recompile equivalence probe run \
+     at every checkpoint";
+  let rng = Rng.create ~seed in
+  let w = Workload.build rng ~participants ~prefixes () in
+  (* A deliberately small VNH pool so the lifecycle (reclaim on
+     supersession, pressure-triggered re-optimization) is actually
+     exercised rather than hiding behind a /12's head-room.  It must
+     still hold one VNH per prefix group, and under churn the group
+     count approaches the prefix count — a pool smaller than that is a
+     configuration error no lifecycle can absorb (the from-scratch
+     recompile itself would not fit). *)
+  let vnh_pool = Prefix.of_string (Printf.sprintf "172.16.0.0/%d" pool_bits) in
+  let runtime = Sdx_core.Runtime.create ~vnh_pool w.Workload.config in
+  note "%d participants, %d prefixes, VNH pool /%d (%d addresses)"
+    participants prefixes pool_bits
+    (Sdx_core.Vnh.capacity (Sdx_core.Runtime.vnh runtime));
+  let check rt =
+    let report = Sdx_check.Check.runtime rt in
+    List.length (Sdx_check.Check.errors report)
+  in
+  let checkpoint_every =
+    if checkpoint_every > 0 then checkpoint_every else max 1 (updates / 10)
+  in
+  let config =
+    { Replay.default_soak_config with target_updates = updates; checkpoint_every }
+  in
+  let r = Replay.soak ~config ~check rng w runtime in
+  Format.printf "  %a@." Replay.pp_soak_result r;
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"participants\": %d,\n\
+    \  \"prefixes\": %d,\n\
+    \  \"vnh_pool_bits\": %d,\n\
+    \  \"updates\": %d,\n\
+    \  \"bursts\": %d,\n\
+    \  \"withdraw_storms\": %d,\n\
+    \  \"session_flaps\": %d,\n\
+    \  \"duplicate_trains\": %d,\n\
+    \  \"same_prefix_trains\": %d,\n\
+    \  \"checkpoints\": %d,\n\
+    \  \"check_errors\": %d,\n\
+    \  \"equiv_divergences\": %d,\n\
+    \  \"reoptimizations\": %d,\n\
+    \  \"vnh_reclaimed\": %d,\n\
+    \  \"vnh_peak_live\": %d,\n\
+    \  \"vnh_capacity\": %d,\n\
+    \  \"peak_extra_rules\": %d,\n\
+    \  \"peak_fastpath_blocks\": %d,\n\
+    \  \"elapsed_s\": %.3f,\n\
+    \  \"updates_per_s\": %.0f\n\
+     }\n"
+    participants prefixes pool_bits r.Replay.soak_updates r.soak_bursts
+    r.soak_withdraw_storms r.soak_session_flaps r.soak_duplicate_trains
+    r.soak_same_prefix_trains r.soak_checkpoints r.soak_check_errors
+    r.soak_equiv_divergences r.soak_reoptimizations r.soak_vnh_reclaimed
+    r.soak_vnh_peak_live r.soak_vnh_capacity r.soak_peak_extra_rules
+    r.soak_peak_fastpath_blocks r.soak_elapsed_s r.soak_updates_per_s;
+  close_out oc;
+  note "wrote %s (%d updates, %d check errors, %d divergences)" out
+    r.soak_updates r.soak_check_errors r.soak_equiv_divergences;
+  (* Surviving is the contract: any checkpoint error or fast-path
+     divergence from a from-scratch recompile fails the target. *)
+  if r.soak_check_errors > 0 then begin
+    note "ERROR: sdx_check reported error findings at a checkpoint; failing";
+    exit 1
+  end;
+  if r.soak_equiv_divergences > 0 then begin
+    note
+      "ERROR: fast-path forwarding diverges from a from-scratch recompile; \
+       failing";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let run_bechamel () =
@@ -885,6 +967,47 @@ let commands =
         $ Arg.(
             value
             & opt string "BENCH_dataplane.json"
+            & info [ "out" ] ~doc:"Output path for the JSON report."));
+    cmd "soak"
+      "Fault-injected churn soak: VNH lifecycle, transactional bursts, \
+       checkpointed verification; writes BENCH_churn.json."
+      Term.(
+        const (fun seed updates participants prefixes pool_bits
+                   checkpoint_every out ->
+            run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
+              ~checkpoint_every ~out)
+        $ seed_t
+        $ Arg.(
+            value
+            & opt int 1_000_000
+            & info [ "updates" ] ~doc:"Total BGP updates to push through.")
+        $ Arg.(
+            value
+            & opt int 40
+            & info [ "participants" ] ~doc:"IXP participants in the workload.")
+        $ Arg.(
+            value
+            & opt int 400
+            & info [ "prefixes" ] ~doc:"Announced prefixes in the workload.")
+        $ Arg.(
+            value
+            & opt int 23
+            & info [ "pool-bits" ]
+                ~doc:
+                  "VNH pool prefix length; small pools exercise reclamation \
+                   and pressure re-optimization, but the pool must still \
+                   hold one VNH per prefix group (roughly the prefix \
+                   count under churn).")
+        $ Arg.(
+            value
+            & opt int 0
+            & info [ "checkpoint-every" ]
+                ~doc:
+                  "Updates between verification checkpoints (0 = a tenth of \
+                   the total).")
+        $ Arg.(
+            value
+            & opt string "BENCH_churn.json"
             & info [ "out" ] ~doc:"Output path for the JSON report."));
     cmd "bechamel" "Bechamel micro-benchmarks."
       Term.(const run_bechamel $ const ());

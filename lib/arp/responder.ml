@@ -12,3 +12,38 @@ let bindings t =
   List.sort
     (fun (a, _) (b, _) -> Ipv4.compare a b)
     (Hashtbl.fold (fun ip mac acc -> (ip, mac) :: acc) t.table [])
+
+type drift =
+  | Missing of Ipv4.t * Mac.t
+  | Stale of Ipv4.t * Mac.t * Mac.t
+  | Orphaned of Ipv4.t * Mac.t
+
+let diff t ~expected =
+  let wanted = Hashtbl.create (List.length expected) in
+  List.iter (fun (ip, mac) -> Hashtbl.replace wanted ip mac) expected;
+  let missing_or_stale =
+    Hashtbl.fold
+      (fun ip mac acc ->
+        match Hashtbl.find_opt t.table ip with
+        | None -> Missing (ip, mac) :: acc
+        | Some actual when not (Mac.equal actual mac) ->
+            Stale (ip, mac, actual) :: acc
+        | Some _ -> acc)
+      wanted []
+  in
+  let orphaned =
+    Hashtbl.fold
+      (fun ip mac acc ->
+        if Hashtbl.mem wanted ip then acc else Orphaned (ip, mac) :: acc)
+      t.table []
+  in
+  List.sort compare (missing_or_stale @ orphaned)
+
+let pp_drift ppf = function
+  | Missing (ip, mac) ->
+      Format.fprintf ppf "missing %a -> %a" Ipv4.pp ip Mac.pp mac
+  | Stale (ip, mac, actual) ->
+      Format.fprintf ppf "stale %a -> %a (expected %a)" Ipv4.pp ip Mac.pp
+        actual Mac.pp mac
+  | Orphaned (ip, mac) ->
+      Format.fprintf ppf "orphaned %a -> %a" Ipv4.pp ip Mac.pp mac

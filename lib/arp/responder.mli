@@ -22,3 +22,20 @@ val query : t -> Ipv4.t -> Mac.t option
 
 val size : t -> int
 val bindings : t -> (Ipv4.t * Mac.t) list
+
+type drift =
+  | Missing of Ipv4.t * Mac.t  (** expected binding the responder lacks *)
+  | Stale of Ipv4.t * Mac.t * Mac.t
+      (** [Stale (ip, expected, actual)]: the responder answers [ip]
+          with [actual] instead of [expected] *)
+  | Orphaned of Ipv4.t * Mac.t
+      (** binding the responder still answers although nothing expects
+          it — e.g. a retired VNH that was never unregistered *)
+
+val diff : t -> expected:(Ipv4.t * Mac.t) list -> drift list
+(** Compares the responder's table against the set of bindings the
+    caller believes should exist.  Empty iff they agree exactly; the
+    static checker runs this against the live group/port universe so an
+    orphaned VNH answer is a finding, not a silent hazard. *)
+
+val pp_drift : Format.formatter -> drift -> unit

@@ -29,7 +29,7 @@ type report = {
   elapsed_s : float;
 }
 
-let all_passes = [ "isolation"; "bgp"; "loops"; "lints" ]
+let all_passes = [ "isolation"; "bgp"; "loops"; "arp"; "lints" ]
 
 module Obs = struct
   open Sdx_obs.Registry
@@ -920,7 +920,62 @@ let loops ?fabric subj =
   @ match fabric with None -> [] | Some f -> fabric_loops f
 
 (* ------------------------------------------------------------------ *)
-(* Pass 4: classifier lints.                                           *)
+(* Pass 4: ARP consistency.                                            *)
+
+(* The responder's table must agree exactly with the live binding
+   universe: every participant port and every active (non-retired) group
+   resolves, and nothing else does.  A missing or stale VNH binding
+   blackholes announced traffic (the border router cannot resolve the
+   next hop the SDX advertised); an orphaned one means a retired VNH
+   still answers — the §4.3.2 fast path re-binds VNHs on every burst, so
+   a leak here grows without bound under churn. *)
+let arp_consistency subj =
+  let config = subj.config in
+  let expected =
+    List.concat_map
+      (fun (p : Participant.t) ->
+        List.map
+          (fun (port : Participant.port) -> (port.Participant.ip, port.Participant.mac))
+          p.ports)
+      (Config.participants config)
+    @ List.map
+        (fun (g : Compile.group) -> (g.Compile.vnh, g.Compile.vmac))
+        (Compile.active_groups subj.compiled)
+  in
+  List.map
+    (fun drift ->
+      let code, detail =
+        match drift with
+        | Sdx_arp.Responder.Missing (ip, mac) ->
+            ( "arp-binding-missing",
+              Format.asprintf
+                "no ARP binding for %a (expected %a): announced traffic \
+                 toward this next hop cannot resolve"
+                Ipv4.pp ip Mac.pp mac )
+        | Sdx_arp.Responder.Stale (ip, expected, actual) ->
+            ( "arp-binding-stale",
+              Format.asprintf
+                "ARP answers %a with %a, but the live binding is %a"
+                Ipv4.pp ip Mac.pp actual Mac.pp expected )
+        | Sdx_arp.Responder.Orphaned (ip, mac) ->
+            ( "orphaned-arp-binding",
+              Format.asprintf
+                "ARP still answers %a with %a, but no live group or port \
+                 owns that address (a retired VNH was not unregistered)"
+                Ipv4.pp ip Mac.pp mac )
+      in
+      {
+        pass = "arp";
+        code;
+        severity = Error;
+        detail;
+        rules = [];
+        witness = None;
+      })
+    (Sdx_arp.Responder.diff (Compile.arp subj.compiled) ~expected)
+
+(* ------------------------------------------------------------------ *)
+(* Pass 5: classifier lints.                                           *)
 
 let max_shadow_findings = 50
 
@@ -1096,6 +1151,7 @@ let run ?fabric ?(passes = all_passes) subj =
     (if wants "isolation" then isolation subj else [])
     @ (if wants "bgp" then bgp_consistency subj else [])
     @ (if wants "loops" then loops ?fabric subj else [])
+    @ (if wants "arp" then arp_consistency subj else [])
     @ if wants "lints" then lints subj else []
   in
   let findings =

@@ -2,7 +2,7 @@
 
     A header-space-style analyzer over [Classifier.t] plus runtime
     state, using the {!Sdx_policy.Pattern} algebra as its symbolic
-    domain.  Four passes:
+    domain.  Five passes:
 
     - {b isolation}: no packet entering on participant A's ports can be
       forwarded or modified by rules derived from participant B's policy
@@ -16,6 +16,11 @@
     - {b loops}: forwarding-cycle detection over middlebox redirect
       chains (the Prelude failure mode) and, when a fabric is supplied,
       symbolic reachability over the multi-switch tables;
+    - {b arp}: the ARP responder answers exactly the live binding
+      universe — every participant port and every active VNH resolves to
+      its MAC, and no retired VNH still answers
+      ({!Sdx_arp.Responder.diff} against
+      {!Sdx_core.Compile.active_groups});
     - {b lints}: shadowed/unreachable rules, stage-1/stage-2 VMAC tag
       mismatches in the two-table variant, and priority-band overlap
       between fast-path blocks and the base classifier.
@@ -33,7 +38,7 @@ val severity_label : severity -> string
 val pp_severity : Format.formatter -> severity -> unit
 
 type finding = {
-  pass : string;  (** "isolation", "bgp", "loops", or "lints" *)
+  pass : string;  (** "isolation", "bgp", "loops", "arp", or "lints" *)
   code : string;  (** stable machine-readable finding kind *)
   severity : severity;
   detail : string;

@@ -37,6 +37,12 @@ module Obs = struct
   (* Fresh VNHs allocated by the fast path — the quantity the batch
      coalescing exists to keep sub-linear in burst size. *)
   let batch_vnhs = counter "sdx_compile_batch_vnh_total"
+
+  (* VNHs returned to the free-list when a burst left a fast-path group
+     with no bound prefixes, and batches abandoned because the pool
+     could not cover them. *)
+  let vnhs_retired = counter "sdx_compile_vnh_retired_total"
+  let batch_exhausted = counter "sdx_compile_batch_exhausted_total"
 end
 
 (* An outbound clause together with the prefixes whose default behavior it
@@ -101,11 +107,22 @@ type t = {
   mutable next_group_id : int;
   mutable blocks_ : (provenance * int) list;
   mutable batch_groups_ : group list;  (* fast-path groups, oldest first *)
+  (* Fast-path groups every member prefix of which was since rebound or
+     withdrawn: their VNHs are back on the free-list and their ARP
+     bindings gone, but older fast-path blocks may still carry their
+     (dead, shadowed) rules — kept as tombstones so provenance
+     attribution still resolves their ids. *)
+  mutable retired_groups_ : group list;
 }
 
 let classifier t = t.classifier
 let groups t = t.groups_
-let all_groups t = t.groups_ @ List.rev t.batch_groups_
+
+let all_groups t =
+  t.groups_ @ List.rev t.batch_groups_ @ t.retired_groups_
+
+let active_groups t = t.groups_ @ List.rev t.batch_groups_
+let retired_groups t = t.retired_groups_
 let group_of_prefix t p = Hashtbl.find_opt t.by_prefix p
 
 let diverts_via t via =
@@ -847,6 +864,7 @@ let compile ?(optimized = true) ?(memoize = true) ?domains config vnh_alloc =
       next_group_id = List.length groups_;
       blocks_ = [];
       batch_groups_ = [];
+      retired_groups_ = [];
     }
   in
   let run jobs =
@@ -997,16 +1015,11 @@ let fold_announcements t config ~receiver f init =
 (* ------------------------------------------------------------------ *)
 (* Incremental fast path (§4.3.2).                                     *)
 
-type delta = {
-  delta_rules : Classifier.t;
-  delta_group : group;
-  delta_elapsed_s : float;
-}
-
 type batch_delta = {
   batch_rules : Classifier.t;
   batch_groups : group list;
   batch_provenance : (provenance * int) list;
+  batch_retired : int;
   batch_elapsed_s : float;
 }
 
@@ -1014,7 +1027,14 @@ type batch_delta = {
    over the route-server state serve the whole burst.  Duplicate
    prefixes are coalesced (only the final route state matters within a
    burst), and prefixes with the same clause membership and default
-   fingerprint share one fresh VNH instead of burning one each. *)
+   fingerprint share one fresh VNH instead of burning one each.
+
+   The function is transactional with respect to the compiler state:
+   every VNH the batch needs is reserved before the first mutation, so
+   an exhausted pool surfaces as [Error `Vnh_exhausted] with [t], the
+   ARP responder, and the allocator all unchanged — the runtime then
+   rolls forward into a full recompile instead of running with a
+   half-installed burst. *)
 let compile_update_batch t config vnh_alloc prefixes =
   let t0 = Unix.gettimeofday () in
   let server = Config.server config in
@@ -1032,16 +1052,49 @@ let compile_update_batch t config vnh_alloc prefixes =
         end)
       prefixes
   in
-  (* Indices of the via-clauses whose prefix set contains [prefix] —
-     prefixes agreeing on this and on the default fingerprint get
-     identical rule slices, hence one shared group. *)
+  (* A prefix with no remaining candidate route (and no SDX originator)
+     needs no group at all: it gets unbound below so its old VNH can
+     retire, instead of burning a fresh VNH on an empty rule slice —
+     withdraw storms used to drain the pool exactly that way. *)
+  let alive, dead =
+    List.partition
+      (fun p ->
+        Route_server.candidates server p <> []
+        || originator_of config p <> None)
+      prefixes
+  in
+  (* Indices of the via-clauses covering [prefix] — prefixes agreeing on
+     this and on the default fingerprint get identical rule slices,
+     hence one shared group.  Coverage is recomputed against the live
+     Loc-RIBs (the same predicate [collect_ospecs] evaluates at base
+     compile time: the clause's destination restriction, plus a route
+     via the target the server actually exports to the sender) rather
+     than read from the stale base-compile prefix sets — so a route that
+     became reachable through a diversion target since the last
+     re-optimization diverts on the fast path exactly as a from-scratch
+     recompile would, and a withdrawn one stops diverting. *)
+  let ospec_arr = Array.of_list t.ospecs in
   let membership prefix =
     List.concat
       (List.mapi
          (fun i spec ->
            match spec.via with
-           | Some _ when Prefix.Set.mem prefix spec.prefix_set -> [ i ]
-           | _ -> [])
+           | Some via ->
+               let allowed =
+                 match dst_restriction spec.clause.pred with
+                 | None -> true
+                 | Some allowed ->
+                     List.exists (Prefix.overlaps prefix) allowed
+               in
+               if
+                 allowed
+                 && List.exists
+                      (fun (r : Route.t) -> Asn.equal r.learned_from via)
+                      (Route_server.feasible server ~receiver:spec.sender.asn
+                         prefix)
+               then [ i ]
+               else []
+           | None -> [])
          t.ospecs)
   in
   let sig_tbl = Hashtbl.create 16 in
@@ -1061,11 +1114,41 @@ let compile_update_batch t config vnh_alloc prefixes =
           let members = ref [ prefix ] in
           Hashtbl.replace sig_tbl s members;
           order := (s, members) :: !order)
-    prefixes;
-  let groups =
-    List.map
-      (fun ((_, key_id, _), members) ->
-        let vnh, vmac = Vnh.fresh vnh_alloc in
+    alive;
+  let wanted = List.rev !order in
+  (* Reserve every VNH up front; nothing has been mutated yet, so on
+     exhaustion the reservations go straight back and the caller sees a
+     clean failure. *)
+  let reserve n =
+    let rec go acc n =
+      if n = 0 then Ok (List.rev acc)
+      else
+        match Vnh.alloc vnh_alloc with
+        | `Fresh p -> go (p :: acc) (n - 1)
+        | `Exhausted ->
+            List.iter (fun (ip, _) -> ignore (Vnh.release vnh_alloc ip)) acc;
+            Error `Vnh_exhausted
+    in
+    go [] n
+  in
+  match reserve (List.length wanted) with
+  | Error `Vnh_exhausted ->
+      Sdx_obs.Registry.Counter.incr Obs.batch_exhausted;
+      Error `Vnh_exhausted
+  | Ok reserved ->
+  (* From here on the batch cannot fail: mutate the bindings, then build
+     the rule block.  Record the previous owner groups first so the ones
+     this burst fully supersedes can retire. *)
+  let prior = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt t.by_prefix p with
+      | Some g -> Hashtbl.replace prior g.id g
+      | None -> ())
+    (alive @ dead);
+  let grouped =
+    List.map2
+      (fun ((mem, key_id, _), members) (vnh, vmac) ->
         let g =
           {
             id = t.next_group_id;
@@ -1079,54 +1162,79 @@ let compile_update_batch t config vnh_alloc prefixes =
         t.batch_groups_ <- g :: t.batch_groups_;
         List.iter (fun p -> Hashtbl.replace t.by_prefix p g) g.prefixes;
         Sdx_arp.Responder.register t.arp_ vnh vmac;
-        g)
-      (List.rev !order)
+        (g, mem))
+      wanted reserved
   in
-  let sender_blocks_for g =
-    (* All members share clause membership, so probing one suffices. *)
-    let probe = List.hd g.prefixes in
+  let groups = List.map fst grouped in
+  List.iter (fun p -> Hashtbl.remove t.by_prefix p) dead;
+  (* Retire previously-minted fast-path groups this burst left with no
+     bound prefix: their rules (in older, lower-priority blocks) are
+     shadowed by the new block, so the VNH goes back on the free-list
+     and the ARP responder stops answering for it.  Base-compile groups
+     keep their allocation until the next re-optimization, which resets
+     the whole pool anyway. *)
+  let fastpath_ids = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace fastpath_ids g.id ()) t.batch_groups_;
+  let retired =
+    Hashtbl.fold
+      (fun id g acc ->
+        let superseded =
+          Hashtbl.mem fastpath_ids id
+          && not
+               (List.exists
+                  (fun p ->
+                    match Hashtbl.find_opt t.by_prefix p with
+                    | Some g' -> g'.id = id
+                    | None -> false)
+                  g.prefixes)
+        in
+        if superseded then g :: acc else acc)
+      prior []
+  in
+  List.iter
+    (fun (g : group) ->
+      Sdx_arp.Responder.unregister t.arp_ g.vnh;
+      ignore (Vnh.release vnh_alloc g.vnh))
+    retired;
+  (match retired with
+  | [] -> ()
+  | _ ->
+      let retired_ids = Hashtbl.create 8 in
+      List.iter (fun (g : group) -> Hashtbl.replace retired_ids g.id ()) retired;
+      t.batch_groups_ <-
+        List.filter (fun g -> not (Hashtbl.mem retired_ids g.id)) t.batch_groups_;
+      t.retired_groups_ <- retired @ t.retired_groups_;
+      Sdx_obs.Registry.Counter.add Obs.vnhs_retired (List.length retired));
+  (* The group's membership was just computed against the live Loc-RIBs
+     (export policy, loop prevention, and route filter — the same
+     predicate the base compiler applies), so every listed clause is
+     known to divert every member: a withdrawal immediately stops a
+     diversion and a new announcement immediately starts one, exactly as
+     a from-scratch recompile would (§5.2's "data plane stays in sync
+     with BGP"). *)
+  let sender_blocks_for g mem =
     List.filter_map
-      (fun spec ->
+      (fun i ->
+        let spec = ospec_arr.(i) in
         match spec.via with
-        | Some via when Prefix.Set.mem probe spec.prefix_set ->
-            (* The clause's prefix set was computed at base-compile time;
-               re-check that [via] still announces a route the server
-               would actually export to the sender (export policy, loop
-               prevention, and route filter — the same predicate the base
-               compiler applies), so a withdrawal immediately stops the
-               diversion (§5.2's "data plane stays in sync with BGP").
-               The diversion rule matches the whole group's VMAC, and the
-               burst is exactly what may have changed per-prefix
-               reachability, so every member must still qualify — when one
-               doesn't, the group falls back to default (best-route)
-               forwarding until the next re-optimization. *)
-            let still_reachable =
-              List.for_all
-                (fun p ->
-                  List.exists
-                    (fun (r : Route.t) -> Asn.equal r.learned_from via)
-                    (Route_server.feasible server ~receiver:spec.sender.asn p))
-                g.prefixes
-            in
-            if still_reachable then
-              Some
-                ( Outbound
-                    { sender = spec.sender.asn; via = Some via; group = Some g.id },
-                  clause_group_rules t config spec g )
-            else None
-        | _ -> None)
-      t.ospecs
+        | Some via ->
+            Some
+              ( Outbound
+                  { sender = spec.sender.asn; via = Some via; group = Some g.id },
+                clause_group_rules t config spec g )
+        | None -> None)
+      mem
   in
   let blocks =
     List.concat_map
-      (fun g ->
+      (fun (g, mem) ->
         let originator = originator_of config (List.hd g.prefixes) in
-        sender_blocks_for g
+        sender_blocks_for g mem
         @ [
             ( Group_default { group = g.id },
               group_default_rules t config g ~originator );
           ])
-      groups
+      grouped
   in
   let rules = List.concat_map snd blocks in
   let elapsed = Unix.gettimeofday () -. t0 in
@@ -1143,20 +1251,11 @@ let compile_update_batch t config vnh_alloc prefixes =
         ("rules", string_of_int (Classifier.rule_count rules));
       ]
     ();
-  {
-    batch_rules = rules;
-    batch_groups = groups;
-    batch_provenance = List.map (fun (p, rs) -> (p, List.length rs)) blocks;
-    batch_elapsed_s = elapsed;
-  }
-
-let compile_update t config vnh_alloc prefix =
-  let b = compile_update_batch t config vnh_alloc [ prefix ] in
-  match b.batch_groups with
-  | [ g ] ->
-      {
-        delta_rules = b.batch_rules;
-        delta_group = g;
-        delta_elapsed_s = b.batch_elapsed_s;
-      }
-  | _ -> assert false
+  Ok
+    {
+      batch_rules = rules;
+      batch_groups = groups;
+      batch_provenance = List.map (fun (p, rs) -> (p, List.length rs)) blocks;
+      batch_retired = List.length retired;
+      batch_elapsed_s = elapsed;
+    }

@@ -78,8 +78,19 @@ val groups : t -> group list
 
 val all_groups : t -> group list
 (** Base-compile groups plus every group minted by the incremental fast
-    path since, in allocation order — the complete VMAC/VNH universe the
-    current classifier can reference. *)
+    path since (including retired tombstones, so provenance attribution
+    of older fast-path blocks still resolves) — the complete VMAC/VNH
+    universe the current classifier can reference. *)
+
+val active_groups : t -> group list
+(** Like {!all_groups}, but without retired fast-path groups: exactly
+    the groups that own a live VNH and an ARP binding. *)
+
+val retired_groups : t -> group list
+(** Fast-path groups whose every member prefix was rebound or withdrawn
+    by a later burst: their VNHs have been released and their ARP
+    bindings removed, while their (shadowed) rules may linger in older
+    fast-path blocks until the next re-optimization. *)
 
 val group_of_prefix : t -> Prefix.t -> group option
 val arp : t -> Sdx_arp.Responder.t
@@ -131,20 +142,6 @@ val announcement : t -> Config.t -> receiver:Asn.t -> Prefix.t -> Route.t option
 val fold_announcements :
   t -> Config.t -> receiver:Asn.t -> (Prefix.t -> Route.t -> 'a -> 'a) -> 'a -> 'a
 
-type delta = {
-  delta_rules : Classifier.t;
-      (** non-total rule list to install above the base classifier *)
-  delta_group : group;  (** the fresh single-prefix group *)
-  delta_elapsed_s : float;
-}
-
-val compile_update : t -> Config.t -> Vnh.t -> Prefix.t -> delta
-(** The §4.3.2 fast path: a best-route change for one prefix gets a
-    fresh VNH and only the policy slice related to that prefix is
-    recompiled, bypassing group optimization.  Updates [t]'s prefix-to-
-    group binding and ARP table in place.  Equivalent to a one-prefix
-    {!compile_update_batch}. *)
-
 type batch_delta = {
   batch_rules : Classifier.t;
       (** non-total rule list to install above the base classifier as
@@ -152,13 +149,28 @@ type batch_delta = {
   batch_groups : group list;  (** the fresh groups, allocation order *)
   batch_provenance : (provenance * int) list;
       (** block structure of [batch_rules], as {!provenance} *)
+  batch_retired : int;
+      (** fast-path groups the burst fully superseded: their VNHs went
+          back to the allocator's free-list and their ARP bindings were
+          removed *)
   batch_elapsed_s : float;
 }
 
-val compile_update_batch : t -> Config.t -> Vnh.t -> Prefix.t list -> batch_delta
+val compile_update_batch :
+  t ->
+  Config.t ->
+  Vnh.t ->
+  Prefix.t list ->
+  (batch_delta, [ `Vnh_exhausted ]) result
 (** The fast path for a whole burst (Table 1: most bursts touch ≤3
     prefixes): one {e Default_keys} instance and one route-server pass
     serve every prefix, duplicates are coalesced to their final state,
     and prefixes sharing clause membership and default fingerprint share
-    one fresh VNH.  Must be called after the burst's updates have been
-    applied to the route server. *)
+    one fresh VNH.  Fully-withdrawn prefixes are unbound instead of
+    grouped, retiring their superseded VNHs.  Must be called after the
+    burst's updates have been applied to the route server.
+
+    Transactional: [Error `Vnh_exhausted] means the pool could not cover
+    the burst and {e nothing} — bindings, groups, ARP entries, allocator
+    — was changed; the caller is expected to fall back to a full
+    re-optimization. *)

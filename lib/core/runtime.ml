@@ -15,15 +15,23 @@ type t = {
      table rewrite. *)
   mutable extras : (Classifier.t * int * (Compile.provenance * int) list) list;
   rejected : (Asn.t * Prefix.t) list;
+  ceiling : int;  (* per-instance fast-path priority ceiling *)
+  mutable reoptimizes : int;
 }
 
 (* Switch priority layout: the base classifier descends from
    [base_priority_top]; fast-path blocks stack upward from
-   [extras_floor]; when they would reach [extras_ceiling] the runtime
+   [extras_floor]; when they would reach the ceiling (the global
+   [extras_ceiling], unless [create] was given a lower one) the runtime
    forces the background re-optimization. *)
 let base_priority_top = 30_000
 let extras_floor = 40_000
 let extras_ceiling = 65_000
+
+(* Live-VNH fraction past which a burst triggers the in-place background
+   stage: re-optimizing at 80% reclaims the whole pool long before
+   [Vnh.alloc] could report exhaustion mid-burst. *)
+let vnh_pressure_threshold = 0.8
 
 let log_src = Logs.Src.create "sdx.runtime" ~doc:"SDX runtime"
 
@@ -54,6 +62,22 @@ module Obs = struct
   let extra_rules = gauge "sdx_runtime_extra_rules"
   let reoptimizations = counter "sdx_runtime_reoptimize_total"
   let reoptimize_seconds = histogram "sdx_runtime_reoptimize_seconds"
+
+  (* The degradation ladder: bursts abandoned into a full recompile
+     (pool exhausted mid-burst or the batch compiler failed), VNH
+     pressure crossings, and base classifiers grown into the fast-path
+     band — each rung trades fast-path latency for a consistent table
+     instead of crashing or emitting overlapping priorities. *)
+  let fastpath_fallbacks = counter "sdx_runtime_fastpath_fallback_total"
+
+  let pressure_reoptimizations =
+    counter "sdx_runtime_vnh_pressure_reoptimize_total"
+
+  let overlap_reoptimizations =
+    counter "sdx_runtime_band_overlap_reoptimize_total"
+
+  let vnh_live = gauge "sdx_runtime_vnh_live"
+  let vnh_reclaimed = gauge "sdx_runtime_vnh_reclaimed_total"
 end
 
 (* Placeholder next hop for SDX-originated prefixes: it resolves to no
@@ -100,11 +124,24 @@ let set_check_hook f = check_hook := f
 let run_check_hook t =
   match !check_hook with None -> () | Some f -> f t
 
-let create ?(optimized = true) ?rpki ?domains config =
+let create ?(optimized = true) ?rpki ?domains ?vnh_pool
+    ?(extras_ceiling = extras_ceiling) config =
   let rejected = announce_originated ?rpki config in
-  let vnh = Vnh.create () in
+  let vnh = Vnh.create ?pool:vnh_pool () in
   let compiled = Compile.compile ~optimized ?domains config vnh in
-  let t = { config; vnh; optimized; domains; compiled; extras = []; rejected } in
+  let t =
+    {
+      config;
+      vnh;
+      optimized;
+      domains;
+      compiled;
+      extras = [];
+      rejected;
+      ceiling = extras_ceiling;
+      reoptimizes = 0;
+    }
+  in
   run_check_hook t;
   t
 
@@ -133,30 +170,6 @@ let extra_rule_count t =
 
 let rule_count t = base_rule_count t + extra_rule_count t
 
-let flows t =
-  let base_cls = Compile.classifier t.compiled in
-  let count = Classifier.rule_count base_cls in
-  (* The base band holds ~30k rules; a bigger table pushes its top up
-     (one large resync) rather than wrapping priorities below zero. *)
-  let top = max base_priority_top count in
-  if top >= extras_floor then
-    Log.warn (fun m ->
-        m "base classifier (%d rules) overlaps the fast-path priority band"
-          count);
-  let base = Sdx_openflow.Flow.of_classifier ~base_priority:top base_cls in
-  let extra_flows =
-    List.concat_map
-      (fun (block, floor, _) ->
-        Sdx_openflow.Flow.of_classifier
-          ~base_priority:(floor + Classifier.rule_count block - 1)
-          block)
-      t.extras
-  in
-  extra_flows @ base
-let group_count t = List.length (Compile.groups t.compiled)
-let arp t = Compile.arp t.compiled
-let announcement t ~receiver prefix = Compile.announcement t.compiled t.config ~receiver prefix
-
 let reoptimize t =
   Vnh.reset t.vnh;
   let compiled =
@@ -164,18 +177,77 @@ let reoptimize t =
   in
   t.compiled <- compiled;
   t.extras <- [];
+  t.reoptimizes <- t.reoptimizes + 1;
   let stats = Compile.stats compiled in
   Sdx_obs.Registry.Counter.incr Obs.reoptimizations;
   Sdx_obs.Registry.Histogram.observe Obs.reoptimize_seconds stats.Compile.elapsed_s;
   Sdx_obs.Registry.Gauge.set_int Obs.fastpath_blocks 0;
   Sdx_obs.Registry.Gauge.set_int Obs.extra_rules 0;
+  Sdx_obs.Registry.Gauge.set_int Obs.vnh_live (Vnh.allocated t.vnh);
+  Sdx_obs.Registry.Gauge.set_int Obs.vnh_reclaimed (Vnh.reclaimed_total t.vnh);
   run_check_hook t;
   stats
+
+let rec flows t =
+  let base_cls = Compile.classifier t.compiled in
+  let count = Classifier.rule_count base_cls in
+  (* The base band holds ~30k rules; a bigger table pushes its top up
+     (one large resync) rather than wrapping priorities below zero. *)
+  let top = max base_priority_top count in
+  if top >= extras_floor && t.extras <> [] then begin
+    (* The base classifier grew into the fast-path band while blocks are
+       stacked there: emitting both would hand the switch overlapping
+       priorities with undefined match order.  Re-optimize in place —
+       that folds the blocks back into the base table — and lay the
+       flows out again.  The recursion terminates because the second
+       pass finds no extras. *)
+    Log.warn (fun m ->
+        m
+          "base classifier (%d rules) overlaps the fast-path priority \
+           band; re-optimizing in place"
+          count);
+    Sdx_obs.Registry.Counter.incr Obs.overlap_reoptimizations;
+    ignore (reoptimize t);
+    flows t
+  end
+  else begin
+    if top >= extras_floor then
+      Log.warn (fun m ->
+          m "base classifier (%d rules) overlaps the fast-path priority band"
+            count);
+    let base = Sdx_openflow.Flow.of_classifier ~base_priority:top base_cls in
+    let extra_flows =
+      List.concat_map
+        (fun (block, floor, _) ->
+          Sdx_openflow.Flow.of_classifier
+            ~base_priority:(floor + Classifier.rule_count block - 1)
+            block)
+        t.extras
+    in
+    extra_flows @ base
+  end
+
+let group_count t = List.length (Compile.groups t.compiled)
+let arp t = Compile.arp t.compiled
+let announcement t ~receiver prefix = Compile.announcement t.compiled t.config ~receiver prefix
 
 let next_extras_floor t =
   match t.extras with
   | [] -> extras_floor
   | (block, floor, _) :: _ -> floor + Classifier.rule_count block
+
+(* The fast path could not serve this burst — the VNH pool ran dry
+   mid-reservation, or the batch compiler failed outright.  The route
+   server has already absorbed the updates, so the only safe direction
+   is forward: a full recompile reads the post-update RIBs and rebuilds
+   a consistent table (the batch compiler is transactional, so no
+   half-installed state needs undoing). *)
+let fallback_recompile t reason =
+  Log.warn (fun m ->
+      m "fast path abandoned (%s); falling forward into a full recompile"
+        reason);
+  Sdx_obs.Registry.Counter.incr Obs.fastpath_fallbacks;
+  ignore (reoptimize t)
 
 (* A burst is handled as a unit: every update is applied to the route
    server first, then the prefixes whose best route moved go through one
@@ -209,22 +281,41 @@ let handle_burst t updates =
   let installed =
     match changed_prefixes with
     | [] -> 0
-    | prefixes ->
-        let batch =
+    | prefixes -> (
+        match
           Compile.compile_update_batch t.compiled t.config t.vnh prefixes
-        in
-        let floor = next_extras_floor t in
-        t.extras <-
-          (batch.batch_rules, floor, batch.batch_provenance) :: t.extras;
-        let count = Classifier.rule_count batch.batch_rules in
-        (* Priority space exhausted: run the background stage now. *)
-        if floor + count >= extras_ceiling then begin
-          Log.info (fun m ->
-              m "fast-path priority space exhausted; re-optimizing in place");
-          ignore (reoptimize t)
-        end
-        else run_check_hook t;
-        count
+        with
+        | exception exn ->
+            fallback_recompile t (Printexc.to_string exn);
+            0
+        | Error `Vnh_exhausted ->
+            fallback_recompile t "VNH pool exhausted";
+            0
+        | Ok batch ->
+            let floor = next_extras_floor t in
+            t.extras <-
+              (batch.batch_rules, floor, batch.batch_provenance) :: t.extras;
+            let count = Classifier.rule_count batch.batch_rules in
+            (* Priority space exhausted: run the background stage now. *)
+            if floor + count >= t.ceiling then begin
+              Log.info (fun m ->
+                  m "fast-path priority space exhausted; re-optimizing in place");
+              ignore (reoptimize t)
+            end
+            else if Vnh.pressure t.vnh >= vnh_pressure_threshold then begin
+              (* Reclaim the pool before a later burst can hit
+                 exhaustion mid-flight. *)
+              Log.info (fun m ->
+                  m
+                    "VNH pool at %.0f%% (%d/%d live); re-optimizing before \
+                     exhaustion"
+                    (100. *. Vnh.pressure t.vnh)
+                    (Vnh.allocated t.vnh) (Vnh.capacity t.vnh));
+              Sdx_obs.Registry.Counter.incr Obs.pressure_reoptimizations;
+              ignore (reoptimize t)
+            end
+            else run_check_hook t;
+            count)
   in
   let elapsed = Unix.gettimeofday () -. t0 in
   let n_updates = List.length updates in
@@ -239,6 +330,8 @@ let handle_burst t updates =
   Sdx_obs.Registry.Histogram.observe Obs.burst_seconds elapsed;
   Sdx_obs.Registry.Gauge.set_int Obs.fastpath_blocks (List.length t.extras);
   Sdx_obs.Registry.Gauge.set_int Obs.extra_rules (extra_rule_count t);
+  Sdx_obs.Registry.Gauge.set_int Obs.vnh_live (Vnh.allocated t.vnh);
+  Sdx_obs.Registry.Gauge.set_int Obs.vnh_reclaimed (Vnh.reclaimed_total t.vnh);
   Sdx_obs.Trace.record ~name:"handle_burst" ~start_s:t0 ~dur_s:elapsed
     ~attrs:
       [
@@ -272,6 +365,8 @@ let handle_update t update =
   | _ -> assert false
 
 let fast_path_block_count t = List.length t.extras
+let vnh t = t.vnh
+let reoptimize_count t = t.reoptimizes
 
 let set_policies t asn ~inbound ~outbound =
   let config =

@@ -13,14 +13,24 @@ open Sdx_bgp
 
 type t
 
-val create : ?optimized:bool -> ?rpki:Rpki.t -> ?domains:int -> Config.t -> t
+val create :
+  ?optimized:bool ->
+  ?rpki:Rpki.t ->
+  ?domains:int ->
+  ?vnh_pool:Prefix.t ->
+  ?extras_ceiling:int ->
+  Config.t ->
+  t
 (** Announces every participant's SDX-originated prefixes to the route
     server, then runs the initial compilation.  When [rpki] is given,
     each originated prefix must validate as [Valid] for its owner
     (§3.2's ownership check); prefixes that fail are not originated and
     a warning is logged.  [domains] is threaded through to
-    {!Compile.compile} for the initial build and every
-    {!reoptimize}. *)
+    {!Compile.compile} for the initial build and every {!reoptimize}.
+    [vnh_pool] overrides the VNH allocator's address pool (soak tests
+    use tiny pools to hit lifecycle boundaries quickly), and
+    [extras_ceiling] lowers this instance's fast-path priority ceiling
+    below the global {!extras_ceiling} for the same reason. *)
 
 val rejected_originations : t -> (Asn.t * Prefix.t) list
 (** Originations refused by RPKI validation at creation time. *)
@@ -47,6 +57,11 @@ val extras_ceiling : int
 (** The switch priority layout: the base classifier descends from
     {!base_priority_top}; fast-path blocks stack upward from
     {!extras_floor} toward {!extras_ceiling}. *)
+
+val vnh_pressure_threshold : float
+(** Live-VNH fraction past which {!handle_burst} triggers the in-place
+    background stage, reclaiming the pool before {!Vnh.alloc} could
+    report exhaustion mid-burst. *)
 
 val set_check_hook : (t -> unit) option -> unit
 (** Installs (or clears) a process-wide post-compile verification hook,
@@ -95,12 +110,30 @@ val handle_burst : t -> Update.t list -> update_stats list
     coalesced into one rule slice reflecting the final route state.
     [extra_rules] of the first best-changing update carries the block's
     rule count; later updates in the burst report 0, so the sum over the
-    burst equals the installed rules. *)
+    burst equals the installed rules.
+
+    Never raises and never leaves RIB and data plane divergent: an
+    exhausted VNH pool or a batch-compiler failure falls forward into
+    {!reoptimize} (the route server already holds the burst, so the full
+    recompile lands on the post-update state), a burst that would cross
+    the priority ceiling re-optimizes in place, and a burst that leaves
+    the VNH pool past {!vnh_pressure_threshold} does the same before the
+    pool can run dry. *)
 
 val fast_path_block_count : t -> int
 (** Number of fast-path blocks currently stacked above the base
     classifier — one per burst with best-route changes since the last
     {!reoptimize}. *)
+
+val vnh : t -> Vnh.t
+(** The runtime's VNH allocator (pressure and reclamation are soak-test
+    observables). *)
+
+val reoptimize_count : t -> int
+(** Background-stage runs since creation, whether explicit
+    ({!reoptimize}, {!set_policies}) or triggered by the degradation
+    ladder (priority ceiling, VNH pressure, fast-path fallback, band
+    overlap). *)
 
 val reoptimize : t -> Compile.stats
 (** Background re-optimization: recomputes groups and the classifier

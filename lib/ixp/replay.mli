@@ -36,3 +36,82 @@ val trace_for_workload :
     best paths actually move) and touch its announced prefixes. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Churn soak}
+
+    Unbounded synthetic churn with injected faults — the harness behind
+    [bench soak].  Where {!run} replays a realistic trace, {!soak}
+    deliberately drives the runtime into its degradation ladder:
+    withdraw storms and session flaps drain and refill the RIBs,
+    duplicate trains stress burst coalescing, and pathological
+    same-prefix trains mint a VNH per burst until the lifecycle manager
+    must reclaim or re-optimize.  At checkpoints the live state is
+    verified against a from-scratch recompile. *)
+
+type delivery =
+  | No_route
+  | Unresolved
+      (** announced next hop has no ARP binding — always a bug *)
+  | No_match  (** tagged probe fell through the classifier *)
+  | Delivered of Sdx_policy.Mods.t list
+
+val forwarding_divergences :
+  Sdx_core.Runtime.t ->
+  reference:Sdx_core.Runtime.t ->
+  (Sdx_bgp.Asn.t * Sdx_net.Prefix.t) list
+(** For every (participant with switch ports, announced prefix) pair,
+    resolves the end-to-end delivery — BGP announcement, ARP resolution
+    of the announced next hop, flow-table lookup of the tagged probe —
+    in both runtimes and reports the pairs whose deliveries differ.
+    VNH identities are expected to differ between independent compiles;
+    the resolved forwarding actions must not.  Empty iff the fast path
+    is equivalent to the reference's from-scratch compile. *)
+
+type soak_config = {
+  target_updates : int;
+  checkpoint_every : int;
+  fault_every : int;  (** bursts between injected faults *)
+  storm_size : int;  (** prefixes withdrawn per storm / session flap *)
+  train_length : int;  (** updates per duplicate / same-prefix train *)
+  max_burst : int;  (** normal-traffic burst size cap *)
+}
+
+val default_soak_config : soak_config
+(** 1M updates, checkpoints every 100k, a fault every 25 bursts. *)
+
+type soak_result = {
+  soak_updates : int;
+  soak_bursts : int;
+  soak_withdraw_storms : int;
+  soak_session_flaps : int;
+  soak_duplicate_trains : int;
+  soak_same_prefix_trains : int;
+  soak_checkpoints : int;
+  soak_check_errors : int;  (** error findings across all checkpoints *)
+  soak_equiv_divergences : int;
+      (** forwarding divergences vs. from-scratch recompiles *)
+  soak_reoptimizations : int;
+  soak_vnh_reclaimed : int;
+  soak_vnh_peak_live : int;
+  soak_vnh_capacity : int;
+  soak_peak_extra_rules : int;
+  soak_peak_fastpath_blocks : int;
+  soak_elapsed_s : float;
+  soak_updates_per_s : float;
+}
+
+val soak :
+  ?config:soak_config ->
+  ?check:(Sdx_core.Runtime.t -> int) ->
+  Rng.t ->
+  Workload.t ->
+  Sdx_core.Runtime.t ->
+  soak_result
+(** Drives [runtime] with churn until [target_updates] updates have been
+    handled.  [check], called at every checkpoint and once at the end,
+    returns the number of error findings (the bench wires in the
+    [sdx_check] analyzer here; the library carries no dependency on it).
+    Withdrawn sessions are restored before the mandatory final
+    checkpoint, so the result reflects a settled table. *)
+
+val pp_soak_result : Format.formatter -> soak_result -> unit

@@ -19,6 +19,15 @@
 # linear scan by at least 5x at the headline (>= 5k rule) table, with
 # enough margin under the real ~20x that CI jitter does not flake.
 # Warns when `engine_pps` regressed by more than 25% vs the baseline.
+#
+# `bench soak` (churn): fails on any `check_errors` or
+# `equiv_divergences` (the soak must stay verified and equivalent to
+# from-scratch recompiles), and on `reoptimizations` or `vnh_reclaimed`
+# of zero — a soak that never re-optimized or never reclaimed a VNH did
+# not exercise the lifecycle it exists to test.  Warns when
+# `updates_per_s` regressed by more than 25% vs the baseline.  Update
+# counts are deliberately NOT compared: the committed baseline is a
+# million-update run while CI soaks a smaller count.
 set -eu
 
 if [ $# -ne 2 ]; then
@@ -82,6 +91,46 @@ if grep -q '"identical_to_linear"' "$candidate"; then
                 cand, (1 - cand / base) * 100, base
         } else {
             printf "bench gate: ok   engine_pps=%.0f (baseline %.0f)\n", cand, base
+        }
+    }'
+
+    exit "$fail"
+fi
+
+if grep -q '"updates_per_s"' "$candidate"; then
+    # --- churn soak schema ---
+    for key in check_errors equiv_divergences; do
+        cand=$(field "$candidate" "$key")
+        require "$key" "$cand"
+        if [ "$cand" != "0" ]; then
+            echo "bench gate: FAIL $key=$cand (must be 0)"
+            fail=1
+        else
+            echo "bench gate: ok   $key=0"
+        fi
+    done
+
+    for key in reoptimizations vnh_reclaimed; do
+        cand=$(field "$candidate" "$key")
+        require "$key" "$cand"
+        if [ "$cand" = "0" ]; then
+            echo "bench gate: FAIL $key=0 (soak did not exercise the VNH lifecycle)"
+            fail=1
+        else
+            echo "bench gate: ok   $key=$cand"
+        fi
+    done
+
+    base_rate=$(field "$baseline" updates_per_s)
+    cand_rate=$(field "$candidate" updates_per_s)
+    require "updates_per_s (baseline)" "$base_rate"
+    require "updates_per_s (candidate)" "$cand_rate"
+    awk -v base="$base_rate" -v cand="$cand_rate" 'BEGIN {
+        if (base > 0 && cand < base * 0.75) {
+            printf "bench gate: WARN updates_per_s %.0f is %.0f%% below baseline %.0f\n",
+                cand, (1 - cand / base) * 100, base
+        } else {
+            printf "bench gate: ok   updates_per_s=%.0f (baseline %.0f)\n", cand, base
         }
     }'
 

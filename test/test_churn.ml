@@ -1,0 +1,246 @@
+(* VNH lifecycle and churn survival: typed allocation, reclamation,
+   transactional bursts that fall forward instead of crashing, the ARP
+   drift detector, and a randomized soak that drives the runtime past
+   both the VNH-pressure and priority-ceiling boundaries while asserting
+   classifier equivalence with a from-scratch recompile. *)
+
+open Sdx_net
+open Sdx_core
+open Sdx_ixp
+module Check = Sdx_check.Check
+module Responder = Sdx_arp.Responder
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let pp_errors r =
+  Format.asprintf "%a" Check.pp_report
+    { r with Check.findings = Check.errors r }
+
+(* ------------------------------------------------------------------ *)
+(* Vnh: typed allocation, free-list reuse, guards.                     *)
+
+let test_vnh_alloc_release_reuse () =
+  let v = Vnh.create ~pool:(Prefix.of_string "172.16.0.0/28") () in
+  check_int "capacity excludes the network address" 15 (Vnh.capacity v);
+  let ip1, mac1 = Vnh.fresh v in
+  let ip2, _ = Vnh.fresh v in
+  check_int "two live" 2 (Vnh.allocated v);
+  check_bool "release succeeds" true (Vnh.release v ip1);
+  check_int "one live after release" 1 (Vnh.allocated v);
+  check_int "one reclaimed" 1 (Vnh.reclaimed_total v);
+  check_int "peak unchanged by release" 2 (Vnh.peak_live v);
+  (* The free-list is LIFO and an index keeps its identity. *)
+  let ip1', mac1' = Vnh.fresh v in
+  check_bool "released pair is reused" true
+    (Ipv4.equal ip1 ip1' && Mac.equal mac1 mac1');
+  check_bool "distinct from the other live VNH" false (Ipv4.equal ip1' ip2)
+
+let test_vnh_release_guards () =
+  let v = Vnh.create ~pool:(Prefix.of_string "172.16.0.0/28") () in
+  let ip, _ = Vnh.fresh v in
+  check_bool "double release rejected" true
+    (Vnh.release v ip && not (Vnh.release v ip));
+  check_bool "foreign address rejected" false
+    (Vnh.release v (Ipv4.of_string "10.0.0.1"));
+  check_bool "never-allocated index rejected" false
+    (Vnh.release v (Prefix.host (Prefix.of_string "172.16.0.0/28") 9));
+  check_int "guards reclaim nothing extra" 1 (Vnh.reclaimed_total v)
+
+let test_vnh_typed_exhaustion () =
+  let v = Vnh.create ~pool:(Prefix.of_string "172.16.0.0/30") () in
+  check_int "three usable addresses" 3 (Vnh.capacity v);
+  for _ = 1 to 3 do
+    match Vnh.alloc v with
+    | `Fresh _ -> ()
+    | `Exhausted -> Alcotest.fail "exhausted before capacity"
+  done;
+  check_bool "alloc reports exhaustion" true (Vnh.alloc v = `Exhausted);
+  check_bool "fresh raises on exhaustion" true
+    (match Vnh.fresh v with
+    | exception Failure _ -> true
+    | _ -> false);
+  check_bool "pressure saturates at 1" true (Vnh.pressure v >= 1.0);
+  let ip = Prefix.host (Prefix.of_string "172.16.0.0/30") 2 in
+  check_bool "release reopens the pool" true (Vnh.release v ip);
+  check_bool "alloc succeeds again" true
+    (match Vnh.alloc v with `Fresh _ -> true | `Exhausted -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Responder.diff: the drift detector behind the arp check pass.       *)
+
+let test_responder_diff () =
+  let ip i = Ipv4.of_string (Printf.sprintf "172.16.0.%d" i) in
+  let mac i = Mac.of_int (0x02_00_00_00_00_00 + i) in
+  let r = Responder.create () in
+  Responder.register r (ip 1) (mac 1);
+  check_bool "agreement is empty" true
+    (Responder.diff r ~expected:[ (ip 1, mac 1) ] = []);
+  check_bool "missing binding reported" true
+    (List.mem
+       (Responder.Missing (ip 2, mac 2))
+       (Responder.diff r ~expected:[ (ip 1, mac 1); (ip 2, mac 2) ]));
+  Responder.register r (ip 1) (mac 9);
+  check_bool "stale binding reported" true
+    (List.mem
+       (Responder.Stale (ip 1, mac 1, mac 9))
+       (Responder.diff r ~expected:[ (ip 1, mac 1) ]));
+  Responder.register r (ip 3) (mac 3);
+  check_bool "orphaned binding reported" true
+    (List.mem
+       (Responder.Orphaned (ip 3, mac 3))
+       (Responder.diff r ~expected:[ (ip 1, mac 1) ]))
+
+let test_arp_pass_catches_drift () =
+  let w = Workload.build (Rng.create ~seed:11) ~participants:8 ~prefixes:50 () in
+  let runtime = Workload.runtime w in
+  let report = Check.runtime runtime in
+  check_bool
+    (Format.asprintf "fresh runtime verifies clean: %s" (pp_errors report))
+    false
+    (Check.has_errors report);
+  (* An orphaned answer — a retired VNH nobody unregistered — is an
+     error finding, not a silent hazard. *)
+  Responder.register (Runtime.arp runtime)
+    (Ipv4.of_string "172.16.77.77")
+    (Mac.of_int 0x02_00_00_77_77_77);
+  let report = Check.runtime runtime in
+  check_bool "orphaned binding is an error" true
+    (List.exists
+       (fun (f : Check.finding) -> f.Check.code = "orphaned-arp-binding")
+       (Check.errors report));
+  Responder.unregister (Runtime.arp runtime) (Ipv4.of_string "172.16.77.77");
+  (* A VNH the classifier rewrites to but the responder cannot resolve
+     is the opposite drift. *)
+  (match Compile.active_groups (Runtime.compiled runtime) with
+  | [] -> Alcotest.fail "workload compiled to no groups"
+  | g :: _ -> Responder.unregister (Runtime.arp runtime) g.Compile.vnh);
+  let report = Check.runtime runtime in
+  check_bool "missing binding is an error" true
+    (List.exists
+       (fun (f : Check.finding) -> f.Check.code = "arp-binding-missing")
+       (Check.errors report))
+
+(* ------------------------------------------------------------------ *)
+(* Transactional bursts: exhaustion falls forward, never raises.       *)
+
+let test_burst_survives_exhausted_pool () =
+  let rng = Rng.create ~seed:5 in
+  let w = Workload.build rng ~participants:5 ~prefixes:20 () in
+  let vnh_pool = Prefix.of_string "172.16.0.0/27" in
+  let runtime = Runtime.create ~vnh_pool w.Workload.config in
+  (* Drain whatever the base compile left so the next fast-path batch
+     cannot reserve a single VNH. *)
+  let drained = ref 0 in
+  let rec drain () =
+    match Vnh.alloc (Runtime.vnh runtime) with
+    | `Fresh _ ->
+        incr drained;
+        drain ()
+    | `Exhausted -> ()
+  in
+  drain ();
+  check_bool "pool is drained" true (!drained > 0);
+  let stats = Runtime.handle_burst runtime (Workload.burst rng w ~size:3) in
+  check_int "burst was processed, not dropped" 3 (List.length stats);
+  check_bool "fell forward into a full recompile" true
+    (Runtime.reoptimize_count runtime >= 1);
+  (* Roll-forward means the data plane reflects the post-burst RIB:
+     equivalent to compiling the same state from scratch. *)
+  let reference = Runtime.create (Runtime.config runtime) in
+  check_bool "equivalent to a from-scratch recompile" true
+    (Replay.forwarding_divergences runtime ~reference = []);
+  let report = Check.runtime runtime in
+  check_bool
+    (Format.asprintf "state verifies clean after fallback: %s"
+       (pp_errors report))
+    false
+    (Check.has_errors report)
+
+(* ------------------------------------------------------------------ *)
+(* Soak: random churn across both lifecycle boundaries.                *)
+
+(* A /26 pool (63 VNHs) over 60 prefixes crosses the 80% pressure
+   threshold under churn while still fitting a from-scratch recompile;
+   an extras ceiling a few hundred priorities above the floor (well
+   under the global ceiling the lints assume) forces the
+   priority-ceiling re-optimization too. *)
+let soak_once ~seed ~updates =
+  let rng = Rng.create ~seed in
+  let w = Workload.build rng ~participants:8 ~prefixes:60 () in
+  let vnh_pool = Prefix.of_string "172.16.0.0/26" in
+  let extras_ceiling = Runtime.extras_floor + 400 in
+  let runtime = Runtime.create ~vnh_pool ~extras_ceiling w.Workload.config in
+  let config =
+    {
+      Replay.target_updates = updates;
+      checkpoint_every = max 1 (updates / 4);
+      fault_every = 10;
+      storm_size = 20;
+      train_length = 15;
+      max_burst = 4;
+    }
+  in
+  let check rt = List.length (Check.errors (Check.runtime rt)) in
+  (Replay.soak ~config ~check rng w runtime, runtime)
+
+let prop_soak_survives =
+  QCheck.Test.make ~count:5
+    ~name:"random churn past VNH-pressure and ceiling boundaries stays clean"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let r, _ = soak_once ~seed ~updates:1_500 in
+      if r.Replay.soak_check_errors > 0 then
+        QCheck.Test.fail_reportf "seed %d: %d sdx_check error(s) at checkpoints"
+          seed r.Replay.soak_check_errors;
+      if r.Replay.soak_equiv_divergences > 0 then
+        QCheck.Test.fail_reportf
+          "seed %d: %d divergence(s) from a from-scratch recompile" seed
+          r.Replay.soak_equiv_divergences;
+      r.Replay.soak_updates >= 1_500)
+
+let test_soak_exercises_lifecycle () =
+  let r, runtime = soak_once ~seed:42 ~updates:3_000 in
+  check_int "no checkpoint errors" 0 r.Replay.soak_check_errors;
+  check_int "no forwarding divergences" 0 r.Replay.soak_equiv_divergences;
+  check_bool "VNHs were reclaimed" true (r.Replay.soak_vnh_reclaimed > 0);
+  check_bool "the background stage ran" true
+    (r.Replay.soak_reoptimizations >= 1);
+  check_bool "faults were injected" true
+    (r.Replay.soak_withdraw_storms + r.Replay.soak_session_flaps
+     + r.Replay.soak_duplicate_trains + r.Replay.soak_same_prefix_trains
+    > 0);
+  check_bool "live VNHs stayed within the pool" true
+    (r.Replay.soak_vnh_peak_live <= r.Replay.soak_vnh_capacity);
+  check_bool "pool never grew past capacity" true
+    (Vnh.allocated (Runtime.vnh runtime) <= Vnh.capacity (Runtime.vnh runtime))
+
+let () =
+  Alcotest.run "churn"
+    [
+      ( "vnh",
+        [
+          Alcotest.test_case "alloc/release/reuse" `Quick
+            test_vnh_alloc_release_reuse;
+          Alcotest.test_case "release guards" `Quick test_vnh_release_guards;
+          Alcotest.test_case "typed exhaustion" `Quick
+            test_vnh_typed_exhaustion;
+        ] );
+      ( "arp",
+        [
+          Alcotest.test_case "responder diff" `Quick test_responder_diff;
+          Alcotest.test_case "check pass catches drift" `Quick
+            test_arp_pass_catches_drift;
+        ] );
+      ( "burst",
+        [
+          Alcotest.test_case "exhausted pool falls forward" `Quick
+            test_burst_survives_exhausted_pool;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "lifecycle is exercised" `Slow
+            test_soak_exercises_lifecycle;
+          QCheck_alcotest.to_alcotest prop_soak_survives;
+        ] );
+    ]
