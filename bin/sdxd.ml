@@ -140,8 +140,12 @@ let run_compile participants prefixes seed naive obs_stats stats_json =
   Format.printf "prefix groups:      %d@." stats.group_count;
   Format.printf "flow rules:         %d@." stats.rule_count;
   Format.printf "compile time:       %.3f s@." stats.elapsed_s;
+  Format.printf "compose time:       %.3f s@." stats.compose_s;
   Format.printf "seq compositions:   %d@." stats.seq_ops;
   Format.printf "memo hits:          %d@." stats.memo_hits;
+  Format.printf "fdd nodes:          %d@." stats.fdd_nodes;
+  Format.printf "fdd memo hits:      %d@." stats.fdd_memo_hits;
+  Format.printf "fdd unique table:   %d@." stats.fdd_table_size;
   let policied =
     List.length
       (List.filter

@@ -4,6 +4,18 @@ open Sdx_bgp
 
 let blackhole_port = 0
 
+let profile_on = lazy (Sys.getenv_opt "SDX_PROFILE" <> None)
+
+let profile_stage name f =
+  if not (Lazy.force profile_on) then f ()
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      Printf.eprintf "[profile] %-12s %8.3fs\n%!" name
+        (Unix.gettimeofday () -. t0);
+      r
+    end
+
 type group = {
   id : int;
   vnh : Ipv4.t;
@@ -16,9 +28,32 @@ type stats = {
   group_count : int;
   rule_count : int;
   elapsed_s : float;
+  compose_s : float;
   seq_ops : int;
   memo_hits : int;
+  fdd_build_s : float;
+  fdd_merge_s : float;
+  fdd_extract_s : float;
+  fdd_nodes : int;
+  fdd_memo_hits : int;
+  fdd_table_size : int;
 }
+
+let zero_stats =
+  {
+    group_count = 0;
+    rule_count = 0;
+    elapsed_s = 0.;
+    compose_s = 0.;
+    seq_ops = 0;
+    memo_hits = 0;
+    fdd_build_s = 0.;
+    fdd_merge_s = 0.;
+    fdd_extract_s = 0.;
+    fdd_nodes = 0;
+    fdd_memo_hits = 0;
+    fdd_table_size = 0;
+  }
 
 module Obs = struct
   open Sdx_obs.Registry
@@ -43,34 +78,24 @@ module Obs = struct
      could not cover them. *)
   let vnhs_retired = counter "sdx_compile_vnh_retired_total"
   let batch_exhausted = counter "sdx_compile_batch_exhausted_total"
+
+  (* The FDD intermediate representation: node population of the merged
+     main manager, memo-cache hits across all shard managers, and live
+     unique-table entries after the shard-merge pass. *)
+  let fdd_nodes = gauge "sdx_fdd_nodes"
+  let fdd_memo_hits = counter "sdx_fdd_memo_hits_total"
+  let fdd_table_size = gauge "sdx_fdd_unique_table_size"
 end
 
 (* An outbound clause together with the prefixes whose default behavior it
    overrides — one element of the collection the MDS partition runs on. *)
 type ospec = {
+  spec_id : int;  (** position in collection order; keys per-shard caches *)
   sender : Participant.t;
   clause : Ppolicy.clause;
   via : Asn.t option;
   prefix_set : Prefix.Set.t;
 }
-
-(* Rule-generation jobs may run on any pool domain, so the operation
-   counters are mutated under a lock. *)
-type counters = {
-  mutable seq_ops : int;
-  mutable memo_hits : int;
-  lock : Mutex.t;
-}
-
-let bump_seq (c : counters) =
-  Mutex.lock c.lock;
-  c.seq_ops <- c.seq_ops + 1;
-  Mutex.unlock c.lock
-
-let bump_memo (c : counters) =
-  Mutex.lock c.lock;
-  c.memo_hits <- c.memo_hits + 1;
-  Mutex.unlock c.lock
 
 module Pipeline_key = struct
   type t = Asn.t * Mods.t option
@@ -82,6 +107,54 @@ module Pipeline_key = struct
 end
 
 module Pipeline_cache = Hashtbl.Make (Pipeline_key)
+
+(* Everything a rule-generation job mutates lives in a per-domain shard:
+   the domain's private FDD manager, its pipeline caches, its operation
+   counters and phase timers.  Jobs run lock-free; the coordinating
+   domain aggregates counters and hash-conses the shard diagrams into
+   the main manager after the fan-out settles (the satellite fix for the
+   old global-mutex counters, which serialized the pool on stats). *)
+type shard = {
+  fdd : Fdd.manager;
+  fdd_pipelines : Fdd.t Pipeline_cache.t;
+  cls_pipelines : Classifier.t Pipeline_cache.t;
+  head_fdds : (int, Fdd.t) Hashtbl.t;
+      (* clause-head diagram per [spec_id]: group-independent, so every
+         group of a clause reuses one diagram *)
+  extracts : (int, Classifier.t) Hashtbl.t;
+      (* extracted classifier per diagram id: extraction runs once per
+         distinct diagram, and per-group blocks are sliced out of the
+         cached classifier by pattern restriction *)
+  delivery : (Asn.t * int, (Participant.port * int) option) Hashtbl.t;
+      (* delivery port per (via, group id): every clause diverting
+         through [via] asks the same question of the same group, and the
+         answer only depends on route-server state that is fixed for the
+         duration of a build *)
+  mutable seq_ops : int;
+  mutable memo_hits : int;
+  mutable build_s : float;  (* CPU-seconds constructing diagrams *)
+  mutable extract_s : float;  (* CPU-seconds extracting classifiers *)
+}
+
+let fresh_shard () =
+  {
+    fdd = Fdd.create ();
+    fdd_pipelines = Pipeline_cache.create 64;
+    cls_pipelines = Pipeline_cache.create 64;
+    head_fdds = Hashtbl.create 64;
+    extracts = Hashtbl.create 64;
+    delivery = Hashtbl.create 64;
+    seq_ops = 0;
+    memo_hits = 0;
+    build_s = 0.;
+    extract_s = 0.;
+  }
+
+(* Compile runs are numbered by a process-wide epoch; each pool domain
+   keeps (at most) one live shard, keyed by the epoch that created it, so
+   a new run never sees a stale manager from a previous one. *)
+let epoch_counter = Atomic.make 0
+let shard_slot : shard Parallel.Local.t = Parallel.Local.create ()
 
 (* Where a block of compiled rules came from — threaded alongside the
    classifier so a static checker can attribute every rule to the
@@ -100,10 +173,24 @@ type t = {
   arp_ : Sdx_arp.Responder.t;
   mutable stats_ : stats;
   ospecs : ospec list;
-  pipeline_cache : Classifier.t Pipeline_cache.t;
-  cache_lock : Mutex.t;
   memoize : bool;
-  counters : counters;
+  mode : [ `Fdd | `Crossproduct ];
+  epoch : int;
+  (* The coordinating domain's shard, pinned for the life of [t]: the
+     incremental fast path keeps reusing its pipeline caches long after
+     the build fan-out is gone. *)
+  main_shard : shard;
+  (* Extracted body classifiers shared across every shard of the run:
+     clause bodies keyed by (spec id, delivery switch port), inbound
+     pipelines keyed by (owner, delivery switch port).  A classifier is
+     immutable data, so one domain's extraction serves every other
+     domain's groups — each distinct diagram is built and extracted once
+     per run, not once per shard. *)
+  shared_bodies : (int * int, Classifier.t) Hashtbl.t;
+  shared_pipes : (Asn.t * int option, Classifier.t) Hashtbl.t;
+  shared_lock : Mutex.t;
+  mutable shards_ : shard list;
+  shards_lock : Mutex.t;
   mutable next_group_id : int;
   mutable blocks_ : (provenance * int) list;
   mutable batch_groups_ : group list;  (* fast-path groups, oldest first *)
@@ -131,6 +218,34 @@ let diverts_via t via =
     t.ospecs
 let arp t = t.arp_
 let stats t = t.stats_
+
+(* The calling domain's shard for this compile run, created (and
+   registered for end-of-run aggregation) on first use.  The main
+   domain's slot is pre-seeded with [t.main_shard]; pool domains mint
+   their own.  Only the registration list is shared, so the lock guards
+   a cons, never real work. *)
+let shard_of t =
+  match Parallel.Local.find shard_slot ~epoch:t.epoch with
+  | Some s -> s
+  | None ->
+      let s = fresh_shard () in
+      Mutex.lock t.shards_lock;
+      t.shards_ <- s :: t.shards_;
+      Mutex.unlock t.shards_lock;
+      Parallel.Local.set shard_slot ~epoch:t.epoch s;
+      s
+
+let time_build (shard : shard) f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  shard.build_s <- shard.build_s +. (Unix.gettimeofday () -. t0);
+  r
+
+let time_extract (shard : shard) f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  shard.extract_s <- shard.extract_s +. (Unix.gettimeofday () -. t0);
+  r
 
 let provenance t = t.blocks_
 
@@ -352,35 +467,127 @@ let inbound_pipeline_ast config (receiver : Participant.t) ~default_deliver =
       Policy.if_ c.pred (inbound_action config receiver c) acc)
     receiver.inbound base
 
-(* On a cache miss the pipeline is compiled outside the lock: two
-   domains racing on the same key both compile the same (deterministic)
-   classifier and one [replace] wins, so correctness is unaffected and
-   the lock is never held across real work. *)
-let compiled_pipeline t config (receiver : Participant.t) ~default_deliver =
+(* Pipeline caches are per-shard (domain-private), so lookups are plain
+   hash-table reads with no locking.  Two domains compiling the same
+   receiver each pay the (deterministic) compilation once — the price of
+   lock-freedom, recovered many times over on the hot path. *)
+let compiled_pipeline t shard config (receiver : Participant.t) ~default_deliver
+    =
   let key = (receiver.Participant.asn, default_deliver) in
-  let cached =
-    if t.memoize then begin
-      Mutex.lock t.cache_lock;
-      let c = Pipeline_cache.find_opt t.pipeline_cache key in
-      Mutex.unlock t.cache_lock;
-      c
-    end
-    else None
-  in
-  match cached with
+  match
+    if t.memoize then Pipeline_cache.find_opt shard.cls_pipelines key else None
+  with
   | Some c ->
-      bump_memo t.counters;
+      shard.memo_hits <- shard.memo_hits + 1;
       c
   | None ->
       let c =
         Classifier.compile (inbound_pipeline_ast config receiver ~default_deliver)
       in
-      if t.memoize then begin
-        Mutex.lock t.cache_lock;
-        Pipeline_cache.replace t.pipeline_cache key c;
-        Mutex.unlock t.cache_lock
-      end;
+      if t.memoize then Pipeline_cache.replace shard.cls_pipelines key c;
       c
+
+(* The same pipeline as a diagram in the shard's manager.  Cache hits
+   here are what make the FDD path sub-linear in groups: every group of
+   a clause [seq]s the same pipeline diagram, so the manager's memo
+   tables short-circuit all but the first composition. *)
+let pipeline_fdd t shard config (receiver : Participant.t) ~default_deliver =
+  let key = (receiver.Participant.asn, default_deliver) in
+  match
+    if t.memoize then Pipeline_cache.find_opt shard.fdd_pipelines key else None
+  with
+  | Some d ->
+      shard.memo_hits <- shard.memo_hits + 1;
+      d
+  | None ->
+      let d =
+        Fdd.of_policy shard.fdd
+          (inbound_pipeline_ast config receiver ~default_deliver)
+      in
+      if t.memoize then Pipeline_cache.replace shard.fdd_pipelines key d;
+      d
+
+(* Extraction runs once per distinct diagram per shard; per-group blocks
+   are then sliced out of the cached classifier by pattern restriction.
+   This is what makes the FDD path's per-group marginal cost proportional
+   to the block's own rule count instead of the pipeline's size: the
+   diagram walk happens once per clause, not once per (clause, group).
+   Returns the diagrams to hand to the merge pass — the diagram itself on
+   a fresh extraction, nothing on a hit (the merge would only re-import
+   identical structure). *)
+let extract_cached t shard d =
+  let id = Fdd.node_id d in
+  match if t.memoize then Hashtbl.find_opt shard.extracts id else None with
+  | Some c ->
+      shard.memo_hits <- shard.memo_hits + 1;
+      (c, [])
+  | None ->
+      let c = time_extract shard (fun () -> Fdd.to_classifier d) in
+      if t.memoize then Hashtbl.replace shard.extracts id c;
+      (c, [ d ])
+
+(* The group-independent head of an outbound clause — the sender's
+   in-ports, the clause predicate, and the clause rewrites, but not the
+   group's VMAC (that is restricted in per group after extraction). *)
+let spec_head_fdd t shard config (spec : ospec) =
+  match
+    if t.memoize then Hashtbl.find_opt shard.head_fdds spec.spec_id else None
+  with
+  | Some d ->
+      shard.memo_hits <- shard.memo_hits + 1;
+      d
+  | None ->
+      let head_pred =
+        Pred.and_ (in_ports_pred config spec.sender) spec.clause.pred
+      in
+      let d =
+        Fdd.of_policy shard.fdd
+          (Policy.seq
+             [ Policy.filter head_pred; Policy.modify spec.clause.mods ])
+      in
+      if t.memoize then Hashtbl.replace shard.head_fdds spec.spec_id d;
+      d
+
+(* The shared tables are read and written from pool domains; the lock is
+   held only around the table operation, never around diagram work, so a
+   simultaneous miss costs at most one duplicated build — and both
+   results are interchangeable, because hash-consing keeps diagrams
+   canonical and extraction depends only on diagram structure. *)
+let shared_find t tbl key =
+  if not t.memoize then None
+  else begin
+    Mutex.lock t.shared_lock;
+    let r = Hashtbl.find_opt tbl key in
+    Mutex.unlock t.shared_lock;
+    r
+  end
+
+let shared_put t tbl key v =
+  if t.memoize then begin
+    Mutex.lock t.shared_lock;
+    if not (Hashtbl.mem tbl key) then Hashtbl.replace tbl key v;
+    Mutex.unlock t.shared_lock
+  end
+
+(* [owner]'s extracted inbound pipeline for one delivery port, through
+   the run-wide shared cache.  [dport] must determine [default_deliver]
+   (it does: the delivery mods are a function of the owner's port
+   record, which the switch port number identifies). *)
+let shared_pipeline_cls t shard config (owner : Participant.t) ~default_deliver
+    ~dport =
+  let key = (owner.Participant.asn, dport) in
+  match shared_find t t.shared_pipes key with
+  | Some c ->
+      shard.memo_hits <- shard.memo_hits + 1;
+      (c, [])
+  | None ->
+      let pipe =
+        time_build shard (fun () ->
+            pipeline_fdd t shard config owner ~default_deliver)
+      in
+      let c, fresh = extract_cached t shard pipe in
+      shared_put t t.shared_pipes key c;
+      (c, fresh)
 
 (* ------------------------------------------------------------------ *)
 (* Confinement: discarding totality filler.                            *)
@@ -431,37 +638,92 @@ let delivery_port_for_via config (via : Participant.t) group_prefixes =
 
 (* Rules for one outbound clause applied to one prefix group: match the
    sender's in-port, the clause predicate, and the group's VMAC; apply
-   the clause rewrites; hand to the target peer's inbound pipeline. *)
-let clause_group_rules t config (spec : ospec) (g : group) =
+   the clause rewrites; hand to the target peer's inbound pipeline.
+
+   Each builder returns its rule block together with the diagrams it
+   composed (empty in crossproduct mode) so the coordinator can
+   hash-cons them into the main manager during the merge phase. *)
+let clause_group_rules t shard config (spec : ospec) (g : group) =
   let sender_ports = Config.switch_ports_of config spec.sender.asn in
-  if sender_ports = [] then []
+  if sender_ports = [] then ([], [])
   else
-    let head_pred =
-      Pred.conj [ in_ports_pred config spec.sender; spec.clause.pred; Pred.dst_mac g.vmac ]
-    in
-    let head =
-      Policy.seq [ Policy.filter head_pred; Policy.modify spec.clause.mods ]
-    in
-    let head_cls = Classifier.compile head in
     match spec.via with
     | Some via_asn -> (
         let via = Config.participant config via_asn in
-        match delivery_port_for_via config via g.prefixes with
-        | None -> []
-        | Some (port, n) ->
+        let delivery =
+          let key = (via_asn, g.id) in
+          match Hashtbl.find_opt shard.delivery key with
+          | Some d -> d
+          | None ->
+              let d = delivery_port_for_via config via g.prefixes in
+              Hashtbl.replace shard.delivery key d;
+              d
+        in
+        match delivery with
+        | None -> ([], [])
+        | Some (port, n) -> (
             let deliver = Some (deliver_mods Mods.identity port n) in
-            let pipeline = compiled_pipeline t config via ~default_deliver:deliver in
-            bump_seq t.counters;
-            keep_forwards (Classifier.seq head_cls pipeline))
-    | None -> []
+            shard.seq_ops <- shard.seq_ops + 1;
+            match t.mode with
+            | `Crossproduct ->
+                let head_pred =
+                  Pred.conj
+                    [
+                      in_ports_pred config spec.sender;
+                      spec.clause.pred;
+                      Pred.dst_mac g.vmac;
+                    ]
+                in
+                let head =
+                  Policy.seq
+                    [ Policy.filter head_pred; Policy.modify spec.clause.mods ]
+                in
+                let pipeline =
+                  compiled_pipeline t shard config via ~default_deliver:deliver
+                in
+                ( keep_forwards (Classifier.seq (Classifier.compile head) pipeline),
+                  [] )
+            | `Fdd ->
+                (* The group-independent body (clause head composed with
+                   the via pipeline) is built and extracted once per run;
+                   the group's share is the VMAC slice of that
+                   classifier.  Restricting the input pattern commutes
+                   with the filter inside the diagram, so this is
+                   per-packet identical to composing the VMAC into the
+                   head. *)
+                let body_cls, fresh =
+                  match shared_find t t.shared_bodies (spec.spec_id, n) with
+                  | Some c ->
+                      shard.memo_hits <- shard.memo_hits + 1;
+                      (c, [])
+                  | None ->
+                      let body =
+                        time_build shard (fun () ->
+                            let pipeline =
+                              pipeline_fdd t shard config via
+                                ~default_deliver:deliver
+                            in
+                            Fdd.seq shard.fdd
+                              (spec_head_fdd t shard config spec)
+                              pipeline)
+                      in
+                      let c, fresh = extract_cached t shard body in
+                      shared_put t t.shared_bodies (spec.spec_id, n) c;
+                      (c, fresh)
+                in
+                ( keep_forwards
+                    (Classifier.restrict (Pattern.make ~dst_mac:g.vmac ())
+                       body_cls),
+                  fresh )))
+    | None -> ([], [])
 
 (* Rules for outbound clauses that do not target a peer (Drop, Default
    with a rewrite, or a forward to the sender's own port).  These match
    on the clause predicate directly rather than on a VMAC. *)
-let clause_direct_rules t config (spec : ospec) =
+let clause_direct_rules t shard config (spec : ospec) =
   let sender = spec.sender in
   let sender_ports = Config.switch_ports_of config sender.asn in
-  if sender_ports = [] then []
+  if sender_ports = [] then ([], [])
   else
     let head_pred = Pred.and_ (in_ports_pred config sender) spec.clause.pred in
     let action =
@@ -483,11 +745,16 @@ let clause_direct_rules t config (spec : ospec) =
       | Ppolicy.Peer _ -> None
     in
     match action with
-    | None -> []
-    | Some act ->
-        bump_seq t.counters;
-        keep_forwards
-          (Classifier.compile (Policy.seq [ Policy.filter head_pred; act ]))
+    | None -> ([], [])
+    | Some act -> (
+        shard.seq_ops <- shard.seq_ops + 1;
+        let pol = Policy.seq [ Policy.filter head_pred; act ] in
+        match t.mode with
+        | `Crossproduct -> (keep_forwards (Classifier.compile pol), [])
+        | `Fdd ->
+            let d = time_build shard (fun () -> Fdd.of_policy shard.fdd pol) in
+            ( keep_forwards (time_extract shard (fun () -> Fdd.to_classifier d)),
+              [ d ] ))
 
 (* Default-forwarding rules for one group: traffic tagged with the
    group's VMAC runs through the next-hop participant's inbound pipeline
@@ -499,26 +766,46 @@ let clause_direct_rules t config (spec : ospec) =
    costs a couple of extra rules, not one rule per participant.  Variants
    whose senders cannot emit tagged traffic at all (no resolvable next
    hop and no originator pipeline) are dropped outright. *)
-let group_default_rules t config (g : group) ~originator =
-  let block_for pred nh_opt =
+let group_default_rules t shard config (g : group) ~originator =
+  (* [patterns] is [pred] split into disjoint patterns (one per in-port
+     variant), so the FDD path can slice the owner's extracted pipeline
+     instead of re-walking its diagram per group. *)
+  let with_pipeline pred patterns owner ~deliver ~dport =
+    shard.seq_ops <- shard.seq_ops + 1;
+    match t.mode with
+    | `Crossproduct ->
+        let pipeline =
+          compiled_pipeline t shard config owner ~default_deliver:deliver
+        in
+        ( keep_forwards (Classifier.seq (Classifier.compile_pred pred) pipeline),
+          [] )
+    | `Fdd ->
+        let pipe_cls, fresh =
+          shared_pipeline_cls t shard config owner ~default_deliver:deliver
+            ~dport
+        in
+        ( List.concat_map
+            (fun pat -> keep_forwards (Classifier.restrict pat pipe_cls))
+            patterns,
+          fresh )
+  in
+  let block_for pred patterns nh_opt =
     match nh_opt with
     | Some nh -> (
         match Config.port_of_next_hop config nh with
         | None -> None
         | Some (owner, port, n) ->
-            let deliver = Some (deliver_mods Mods.identity port n) in
-            let pipeline = compiled_pipeline t config owner ~default_deliver:deliver in
-            bump_seq t.counters;
-            Some (Classifier.seq (Classifier.compile_pred pred) pipeline))
+            Some
+              (with_pipeline pred patterns owner
+                 ~deliver:(Some (deliver_mods Mods.identity port n))
+                 ~dport:(Some n)))
     | None -> (
         (* No next hop: SDX-originated prefixes terminate at the
            originator's inbound pipeline (wide-area load balancing). *)
         match originator with
         | None -> None
         | Some owner ->
-            let pipeline = compiled_pipeline t config owner ~default_deliver:None in
-            bump_seq t.counters;
-            Some (Classifier.seq (Classifier.compile_pred pred) pipeline))
+            Some (with_pipeline pred patterns owner ~deliver:None ~dport:None))
   in
   let vmac_pred = Pred.dst_mac g.vmac in
   let emitting =
@@ -534,51 +821,75 @@ let group_default_rules t config (g : group) ~originator =
       (fun (_, r1) (_, r2) -> Int.compare (List.length r2) (List.length r1))
       emitting
   with
-  | [] -> []
+  | [] -> ([], [])
   | (majority_nh, _) :: minorities ->
-      let minority_rules =
-        List.concat_map
+      let minority_blocks =
+        List.filter_map
           (fun (nh_opt, receivers) ->
             let ports =
               List.concat_map
                 (fun asn -> Config.switch_ports_of config asn)
                 receivers
             in
-            if ports = [] then []
+            if ports = [] then None
             else
               let pred = Pred.and_ (Pred.any_of_ports ports) vmac_pred in
-              match block_for pred nh_opt with
-              | Some block -> keep_forwards block
-              | None -> [])
+              let patterns =
+                List.map (fun n -> Pattern.make ~port:n ~dst_mac:g.vmac ()) ports
+              in
+              block_for pred patterns nh_opt)
           minorities
       in
-      let majority_rules =
-        match block_for vmac_pred majority_nh with
-        | Some block -> keep_forwards block
+      let majority_blocks =
+        match block_for vmac_pred [ Pattern.make ~dst_mac:g.vmac () ] majority_nh with
+        | Some b -> [ b ]
         | None -> []
       in
-      minority_rules @ majority_rules
+      let blocks = minority_blocks @ majority_blocks in
+      (List.concat_map fst blocks, List.concat_map snd blocks)
 
 (* MAC-learning rules for default-only (ungrouped) prefixes: the route
    server leaves their next hop untouched, so packets arrive with the
    real next-hop interface MAC; forward them on that interface's port
    through the owner's inbound pipeline. *)
-let participant_untagged_rules t config (p : Participant.t) =
-  List.concat_map
-    (fun (port : Participant.port) ->
-      let n = Config.switch_port config p.asn port.index in
-      let deliver = Some (deliver_mods Mods.identity port n) in
-      let pipeline = compiled_pipeline t config p ~default_deliver:deliver in
-      bump_seq t.counters;
-      keep_forwards
-        (Classifier.seq (Classifier.compile_pred (Pred.dst_mac port.mac)) pipeline))
-    p.ports
+let participant_untagged_rules t shard config (p : Participant.t) =
+  let per_port (port : Participant.port) =
+    let n = Config.switch_port config p.asn port.index in
+    let deliver = Some (deliver_mods Mods.identity port n) in
+    shard.seq_ops <- shard.seq_ops + 1;
+    match t.mode with
+    | `Crossproduct ->
+        let pipeline =
+          compiled_pipeline t shard config p ~default_deliver:deliver
+        in
+        ( keep_forwards
+            (Classifier.seq
+               (Classifier.compile_pred (Pred.dst_mac port.mac))
+               pipeline),
+          [] )
+    | `Fdd ->
+        let pipe_cls, fresh =
+          shared_pipeline_cls t shard config p ~default_deliver:deliver
+            ~dport:(Some n)
+        in
+        ( keep_forwards
+            (Classifier.restrict (Pattern.make ~dst_mac:port.mac ()) pipe_cls),
+          fresh )
+  in
+  let blocks = List.map per_port p.ports in
+  (List.concat_map fst blocks, List.concat_map snd blocks)
 
 (* ------------------------------------------------------------------ *)
 (* Collecting outbound specs and originated prefixes.                  *)
 
 let collect_ospecs config =
   let server = Config.server config in
+  let next_id = ref 0 in
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
   List.concat_map
     (fun (sender : Participant.t) ->
       List.map
@@ -591,6 +902,7 @@ let collect_ospecs config =
                   (Route_server.reachable_prefixes server ~receiver:sender.asn ~via)
               in
               {
+                spec_id = fresh_id ();
                 sender;
                 clause;
                 via = Some via;
@@ -600,7 +912,13 @@ let collect_ospecs config =
               (* These clauses compile to rules matching the predicate
                  directly rather than a VMAC tag, so they impose no
                  prefix-group structure. *)
-              { sender; clause; via = None; prefix_set = Prefix.Set.empty })
+              {
+                spec_id = fresh_id ();
+                sender;
+                clause;
+                via = None;
+                prefix_set = Prefix.Set.empty;
+              })
         sender.outbound)
     (Config.participants config)
 
@@ -653,6 +971,7 @@ let build_optimized t config ~run =
       t.groups_
   in
   let sender_jobs =
+    profile_stage "senderjobs" @@ fun () ->
     List.concat_map
       (fun spec ->
         match spec.via with
@@ -661,12 +980,12 @@ let build_optimized t config ~run =
               (fun g ->
                 ( Outbound
                     { sender = spec.sender.asn; via = Some via; group = Some g.id },
-                  fun () -> clause_group_rules t config spec g ))
+                  fun () -> clause_group_rules t (shard_of t) config spec g ))
               (groups_by_spec spec)
         | None ->
             [
               ( Outbound { sender = spec.sender.asn; via = None; group = None },
-                fun () -> clause_direct_rules t config spec );
+                fun () -> clause_direct_rules t (shard_of t) config spec );
             ])
       t.ospecs
   in
@@ -676,23 +995,46 @@ let build_optimized t config ~run =
         ( Group_default { group = g.id },
           fun () ->
             let originator = originator_of config (List.hd g.prefixes) in
-            group_default_rules t config g ~originator ))
+            group_default_rules t (shard_of t) config g ~originator ))
       t.groups_
   in
   let untagged_jobs =
     List.map
       (fun (p : Participant.t) ->
         ( Untagged { owner = p.asn },
-          fun () -> participant_untagged_rules t config p ))
+          fun () -> participant_untagged_rules t (shard_of t) config p ))
       (Config.participants config)
   in
-  let jobs = sender_jobs @ default_jobs @ untagged_jobs in
-  let blocks = run (List.map snd jobs) in
+  let jobs =
+    profile_stage "joblist" (fun () ->
+        sender_jobs @ default_jobs @ untagged_jobs)
+  in
+  (if Lazy.force profile_on then
+     Printf.eprintf "[profile] jobs: sender=%d default=%d untagged=%d\n%!"
+       (List.length sender_jobs) (List.length default_jobs)
+       (List.length untagged_jobs));
+  (* The composition stage — fanning the rule-generation jobs out and
+     merging shard diagrams back — is timed on its own: it is the stage
+     the FDD core replaces, so both engines report a comparable
+     [compose_s] (see the compile bench). *)
+  let compose_t0 = Unix.gettimeofday () in
+  let results = profile_stage "run" (fun () -> run (List.map snd jobs)) in
+  let blocks = List.map fst results in
+  (* Shard-merge pass: hash-cons every block diagram (built in whichever
+     shard manager its job's domain owned) into the main manager, so the
+     post-merge node/table metrics describe one shared population. *)
+  let merge_t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (_, fdds) ->
+      List.iter (fun d -> ignore (Fdd.import t.main_shard.fdd d)) fdds)
+    results;
+  let merge_s = Unix.gettimeofday () -. merge_t0 in
+  let compose_s = Unix.gettimeofday () -. compose_t0 in
   let provs =
     List.map2 (fun (p, _) rules -> (p, List.length rules)) jobs blocks
     @ [ (Catch_all, List.length drop_all_rule) ]
   in
-  (List.concat blocks @ drop_all_rule, provs)
+  (List.concat blocks @ drop_all_rule, provs, merge_s, compose_s)
 
 (* ------------------------------------------------------------------ *)
 (* The naive pipeline (ablation): literal Pyretic-style composition.   *)
@@ -838,29 +1180,42 @@ let register_arp t config =
         p.ports)
     (Config.participants config)
 
-let compile ?(optimized = true) ?(memoize = true) ?domains config vnh_alloc =
+let compile ?(optimized = true) ?(memoize = true) ?(ir = `Fdd) ?domains config
+    vnh_alloc =
   let t0 = Unix.gettimeofday () in
-  let ospecs = collect_ospecs config in
+  let ospecs = profile_stage "ospecs" (fun () -> collect_ospecs config) in
   (* Group computation allocates VNHs through [vnh_alloc]; it stays on
      the coordinating domain, before any fan-out. *)
-  let groups_ = compute_groups config vnh_alloc ospecs in
+  let groups_ =
+    profile_stage "groups" (fun () -> compute_groups config vnh_alloc ospecs)
+  in
   let by_prefix = Hashtbl.create 1024 in
   List.iter
     (fun g -> List.iter (fun p -> Hashtbl.replace by_prefix p g) g.prefixes)
     groups_;
+  let epoch = Atomic.fetch_and_add epoch_counter 1 in
+  let main_shard = fresh_shard () in
+  (* Seed the coordinating domain's slot so jobs the submitter drains
+     itself land in [main_shard], and so the fast path's later use of
+     [main_shard] agrees with what this run's DLS says. *)
+  Parallel.Local.set shard_slot ~epoch main_shard;
   let t =
     {
       classifier = [];
       groups_;
       by_prefix;
       arp_ = Sdx_arp.Responder.create ();
-      stats_ =
-        { group_count = 0; rule_count = 0; elapsed_s = 0.; seq_ops = 0; memo_hits = 0 };
+      stats_ = zero_stats;
       ospecs;
-      pipeline_cache = Pipeline_cache.create 64;
-      cache_lock = Mutex.create ();
       memoize;
-      counters = { seq_ops = 0; memo_hits = 0; lock = Mutex.create () };
+      mode = ir;
+      epoch;
+      main_shard;
+      shared_bodies = Hashtbl.create 256;
+      shared_pipes = Hashtbl.create 256;
+      shared_lock = Mutex.create ();
+      shards_ = [ main_shard ];
+      shards_lock = Mutex.create ();
       next_group_id = List.length groups_;
       blocks_ = [];
       batch_groups_ = [];
@@ -877,23 +1232,37 @@ let compile ?(optimized = true) ?(memoize = true) ?domains config vnh_alloc =
     | Some n -> Parallel.with_pool ~domains:n exec
     | None -> exec (Parallel.global ())
   in
-  let classifier, blocks =
-    if optimized then build_optimized t config ~run
-    else
+  let classifier, blocks, merge_s, compose_s =
+    if optimized then profile_stage "blocks" (fun () -> build_optimized t config ~run)
+    else begin
+      let t0 = Unix.gettimeofday () in
       let c = build_naive t config in
-      (c, [ (Unattributed, Classifier.rule_count c) ])
+      let dt = Unix.gettimeofday () -. t0 in
+      (c, [ (Unattributed, Classifier.rule_count c) ], 0., dt)
+    end
   in
   register_arp t config;
   let elapsed = Unix.gettimeofday () -. t0 in
   let t = { t with classifier } in
   t.blocks_ <- blocks;
+  let shards = t.shards_ in
+  let sum f = List.fold_left (fun n s -> n + f s) 0 shards in
+  let sum_f f = List.fold_left (fun x s -> x +. f s) 0. shards in
+  let main_fdd = Fdd.stats main_shard.fdd in
   let stats =
     {
       group_count = List.length groups_;
       rule_count = Classifier.rule_count classifier;
       elapsed_s = elapsed;
-      seq_ops = t.counters.seq_ops;
-      memo_hits = t.counters.memo_hits;
+      compose_s;
+      seq_ops = sum (fun s -> s.seq_ops);
+      memo_hits = sum (fun s -> s.memo_hits);
+      fdd_build_s = sum_f (fun s -> s.build_s);
+      fdd_merge_s = merge_s;
+      fdd_extract_s = sum_f (fun s -> s.extract_s);
+      fdd_nodes = main_fdd.Fdd.nodes;
+      fdd_memo_hits = sum (fun s -> (Fdd.stats s.fdd).Fdd.memo_hits);
+      fdd_table_size = main_fdd.Fdd.unique_table_size;
     }
   in
   t.stats_ <- stats;
@@ -903,15 +1272,25 @@ let compile ?(optimized = true) ?(memoize = true) ?domains config vnh_alloc =
   Sdx_obs.Registry.Gauge.set_int Obs.groups stats.group_count;
   Sdx_obs.Registry.Counter.add Obs.seq_ops stats.seq_ops;
   Sdx_obs.Registry.Counter.add Obs.memo_hits stats.memo_hits;
+  Sdx_obs.Registry.Gauge.set_int Obs.fdd_nodes stats.fdd_nodes;
+  Sdx_obs.Registry.Counter.add Obs.fdd_memo_hits stats.fdd_memo_hits;
+  Sdx_obs.Registry.Gauge.set_int Obs.fdd_table_size stats.fdd_table_size;
   Sdx_obs.Trace.record ~name:"compile" ~start_s:t0 ~dur_s:elapsed
     ~attrs:
       [
         ("rules", string_of_int stats.rule_count);
         ("groups", string_of_int stats.group_count);
         ("mode", if optimized then "optimized" else "naive");
+        ("ir", match ir with `Fdd -> "fdd" | `Crossproduct -> "crossproduct");
       ]
     ();
   t
+
+(* The pre-FDD composition pipeline, kept verbatim as the correctness
+   oracle: same blocks, same job structure, but every composition is a
+   classifier cross-product. *)
+let compile_crossproduct ?optimized ?memoize ?domains config vnh_alloc =
+  compile ?optimized ?memoize ~ir:`Crossproduct ?domains config vnh_alloc
 
 let estimate_with_group_cost t cost_of_group =
   let cost_of_vmac = Hashtbl.create 64 in
@@ -1212,6 +1591,11 @@ let compile_update_batch t config vnh_alloc prefixes =
      diversion and a new announcement immediately starts one, exactly as
      a from-scratch recompile would (§5.2's "data plane stays in sync
      with BGP"). *)
+  (* The fast path runs on the coordinating domain and always composes
+     in [t.main_shard]: its pipeline caches (classifier and FDD alike)
+     persist across bursts, which is what keeps per-burst latency flat.
+     It must not consult the DLS slot — a later compile's epoch would
+     have evicted this run's shard. *)
   let sender_blocks_for g mem =
     List.filter_map
       (fun i ->
@@ -1221,7 +1605,7 @@ let compile_update_batch t config vnh_alloc prefixes =
             Some
               ( Outbound
                   { sender = spec.sender.asn; via = Some via; group = Some g.id },
-                clause_group_rules t config spec g )
+                fst (clause_group_rules t t.main_shard config spec g) )
         | None -> None)
       mem
   in
@@ -1232,7 +1616,7 @@ let compile_update_batch t config vnh_alloc prefixes =
         sender_blocks_for g mem
         @ [
             ( Group_default { group = g.id },
-              group_default_rules t config g ~originator );
+              fst (group_default_rules t t.main_shard config g ~originator) );
           ])
       grouped
   in

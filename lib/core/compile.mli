@@ -33,8 +33,25 @@ type stats = {
   group_count : int;
   rule_count : int;
   elapsed_s : float;  (** wall-clock compilation time *)
-  seq_ops : int;  (** sequential classifier compositions performed *)
-  memo_hits : int;  (** §4.3: reuses of a cached sub-compilation *)
+  compose_s : float;
+      (** wall-clock of the composition stage alone — rule-block fan-out
+          plus the shard-merge pass.  This is the stage the two [ir]
+          engines implement differently (group computation, reachability
+          collection, and ARP registration are engine-independent), so
+          FDD-vs-crossproduct comparisons divide these *)
+  seq_ops : int;  (** sequential compositions performed (either IR) *)
+  memo_hits : int;  (** §4.3: reuses of a cached pipeline compilation *)
+  fdd_build_s : float;
+      (** CPU-seconds constructing diagrams, summed over shards (zero in
+          crossproduct/naive mode, like every field below) *)
+  fdd_merge_s : float;
+      (** wall-clock of the final shard-merge hash-cons pass *)
+  fdd_extract_s : float;
+      (** CPU-seconds extracting classifiers from diagrams, summed over
+          shards *)
+  fdd_nodes : int;  (** nodes in the merged main manager *)
+  fdd_memo_hits : int;  (** FDD memo-cache hits, summed over shards *)
+  fdd_table_size : int;  (** unique-table entries in the main manager *)
 }
 
 type provenance =
@@ -55,7 +72,13 @@ val pp_provenance : Format.formatter -> provenance -> unit
 type t
 
 val compile :
-  ?optimized:bool -> ?memoize:bool -> ?domains:int -> Config.t -> Vnh.t -> t
+  ?optimized:bool ->
+  ?memoize:bool ->
+  ?ir:[ `Fdd | `Crossproduct ] ->
+  ?domains:int ->
+  Config.t ->
+  Vnh.t ->
+  t
 (** Runs the full pipeline.  [optimized] (default true) enables the
     §4.3.1 optimizations — composing only participants that exchange
     traffic, exploiting policy disjointness, and memoizing repeated
@@ -66,12 +89,26 @@ val compile :
     memoizes all the intermediate compilation results"), so its
     contribution can be measured separately.
 
+    [ir] selects the composition engine of the optimized path: [`Fdd]
+    (the default) builds hash-consed forwarding decision diagrams per
+    block and extracts a priority-ordered classifier at the end;
+    [`Crossproduct] is the pre-FDD classifier algebra, kept as the
+    correctness oracle (see {!compile_crossproduct}).  Both produce
+    per-packet-identical classifiers; block boundaries and provenance
+    are the same.
+
     [domains] controls the pool the independent rule blocks of the
     optimized path are fanned across: [Some 1] forces a fully sequential
     build, [Some n] uses a private n-domain pool for this compilation,
     and [None] (the default) uses {!Parallel.global}.  The classifier is
-    rule-for-rule identical for every setting — blocks are pure and
-    concatenated in input order. *)
+    rule-for-rule identical for every setting — blocks are pure, FDD
+    construction is sharded per domain with deterministic extraction,
+    and blocks are concatenated in input order. *)
+
+val compile_crossproduct :
+  ?optimized:bool -> ?memoize:bool -> ?domains:int -> Config.t -> Vnh.t -> t
+(** [compile ~ir:`Crossproduct]: the sequential cross-product engine the
+    FDD core is benchmarked (and property-tested) against. *)
 
 val classifier : t -> Classifier.t
 val groups : t -> group list

@@ -76,20 +76,29 @@ let map t f xs =
       let arr = Array.of_list xs in
       let n = Array.length arr in
       let results = Array.make n Pending in
-      let remaining = ref n in
+      (* Contiguous chunks, a few per domain, instead of one task per
+         element: queue traffic (two lock acquisitions per task) is paid
+         per chunk, and adjacent elements — which tend to share
+         memoizable structure, like a clause's run of prefix groups —
+         stay on the same domain and hit its caches.  Each slot is
+         written by exactly one domain and only read after the final
+         [batch_done] synchronization, so the array needs no lock. *)
+      let chunks = min n (8 * t.size) in
+      let remaining = ref chunks in
       let batch_mutex = Mutex.create () in
       let batch_done = Condition.create () in
-      let task i () =
-        let r = try Done (f arr.(i)) with e -> Failed e in
+      let task lo hi () =
+        for i = lo to hi - 1 do
+          results.(i) <- (try Done (f arr.(i)) with e -> Failed e)
+        done;
         Mutex.lock batch_mutex;
-        results.(i) <- r;
         decr remaining;
         if !remaining = 0 then Condition.broadcast batch_done;
         Mutex.unlock batch_mutex
       in
       Mutex.lock t.mutex;
-      for i = 0 to n - 1 do
-        Queue.add (task i) t.queue
+      for c = 0 to chunks - 1 do
+        Queue.add (task (c * n / chunks) ((c + 1) * n / chunks)) t.queue
       done;
       Condition.broadcast t.pending;
       Mutex.unlock t.mutex;
@@ -118,6 +127,25 @@ let map t f xs =
              | Failed e -> raise e
              | Pending -> assert false)
            results)
+
+(* Epoch-validated domain-local slots.  A slot holds one ['a] per domain
+   per epoch: [get] returns the current domain's value if it was stored
+   under the same epoch, else creates a fresh one via [make] and stores
+   it.  Bumping the epoch (a new compile run) invalidates every domain's
+   cached value at once without touching the other domains — exactly the
+   lifecycle of per-domain FDD shard managers. *)
+module Local = struct
+  type 'a t = (int * 'a) option ref Domain.DLS.key
+
+  let create () = Domain.DLS.new_key (fun () -> ref None)
+
+  let find t ~epoch =
+    match !(Domain.DLS.get t) with
+    | Some (e, v) when e = epoch -> Some v
+    | _ -> None
+
+  let set t ~epoch v = Domain.DLS.get t := Some (epoch, v)
+end
 
 let default_domains () =
   match Option.bind (Sys.getenv_opt "SDX_DOMAINS") int_of_string_opt with

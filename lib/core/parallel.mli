@@ -28,6 +28,26 @@ val shutdown : t -> unit
 val with_pool : domains:int -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exceptions). *)
 
+(** Epoch-validated domain-local storage, for state that is private to a
+    domain but scoped to one run (e.g. the compiler's per-domain FDD
+    shard managers): each domain lazily creates its own value the first
+    time it asks under a given epoch, and a new epoch invalidates every
+    domain's cached value without coordination. *)
+module Local : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val find : 'a t -> epoch:int -> 'a option
+  (** This domain's value, if one was stored under the same [epoch];
+      [None] if the slot is empty or holds another epoch's value. *)
+
+  val set : 'a t -> epoch:int -> 'a -> unit
+  (** Store this domain's value for [epoch] (the compiler registers each
+      domain's freshly created shard, and pins the main domain's shard so
+      the fast path can reuse it between runs). *)
+end
+
 val default_domains : unit -> int
 (** [SDX_DOMAINS] if set to a positive integer, else
     [Domain.recommended_domain_count ()]. *)

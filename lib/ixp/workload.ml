@@ -143,7 +143,8 @@ let top_fraction specs ~fraction =
 
 type plan = { mutable inbound : Ppolicy.t; mutable outbound : Ppolicy.t }
 
-let build_policies rng ?(transit_picks = 1) (layout : layout) =
+let build_policies rng ?(transit_picks = 1) ?(inbound_density = 1.0)
+    (layout : layout) =
   let specs = layout.specs in
   let index_of =
     let tbl = Hashtbl.create 64 in
@@ -166,10 +167,16 @@ let build_policies rng ?(transit_picks = 1) (layout : layout) =
   let contents = Population.by_kind specs Population.Content in
   let top_eyeballs = top_fraction eyeballs ~fraction:0.15 in
   let top_transits = top_fraction transits ~fraction:0.05 in
+  (* [inbound_density] widens the participating content-provider slice;
+     every eyeball and transit inbound policy gains clauses with it,
+     since they engage per chosen content provider. *)
+  let content_fraction = Float.min 1.0 (0.05 *. inbound_density) in
   let chosen_contents =
     Rng.sample rng contents
       (max 1
-         (int_of_float (Float.round (0.05 *. float_of_int (List.length contents)))))
+         (int_of_float
+            (Float.round
+               (content_fraction *. float_of_int (List.length contents)))))
   in
   (* Content providers: application-specific peering toward three top
      eyeball networks, plus one single-field inbound redirection. *)
@@ -246,13 +253,14 @@ let build_policies rng ?(transit_picks = 1) (layout : layout) =
 (* ------------------------------------------------------------------ *)
 
 let build rng ~participants ~prefixes ?(dual_homed_fraction = 0.0)
-    ?(with_policies = true) ?transit_picks () =
+    ?(with_policies = true) ?transit_picks ?inbound_density () =
   ignore dual_homed_fraction;
   let layout = make_layout rng ~participants ~prefixes () in
   let specs = layout.specs in
   let spec_arr = Array.of_list specs in
   let policies_of =
-    if with_policies then build_policies rng ?transit_picks layout
+    if with_policies then
+      build_policies rng ?transit_picks ?inbound_density layout
     else fun _ -> ([], [])
   in
   let participants_list =

@@ -23,6 +23,7 @@ val build :
   ?dual_homed_fraction:float ->
   ?with_policies:bool ->
   ?transit_picks:int ->
+  ?inbound_density:float ->
   unit ->
   t
 (** Builds the emulated exchange.  [dual_homed_fraction] (default 0.05)
@@ -32,7 +33,15 @@ val build :
     of content providers get custom policies.  [transit_picks]
     (default 1) is how many destination prefixes each transit policy
     pins per target eyeball — raising it with the table size sweeps the
-    prefix-group axis the way the paper's Figures 7-8 do. *)
+    prefix-group axis the way the paper's Figures 7-8 do.
+    [inbound_density] (default 1.0) multiplies the fraction of content
+    providers participating in the mix (capped at the whole class),
+    which in turn deepens every eyeball and transit inbound pipeline —
+    the application-mix axis: inbound traffic engineering is the
+    paper's flagship SDX application, and its per-pipeline clause count
+    is what separates compilation strategies (a cross-product pays per
+    clause {e per group}, a decision diagram amortizes the pipeline
+    across its groups). *)
 
 val announcement_sets :
   Rng.t -> participants:int -> prefixes:int -> Prefix.Set.t list

@@ -4,9 +4,21 @@
 #
 #   scripts/bench_gate.sh BASELINE.json CANDIDATE.json
 #
-# Two report schemas, auto-detected:
+# Report schemas, auto-detected:
 #
-# `bench json` (compile): fails (exit 1) on correctness drift — `rules`,
+# `bench json` (FDD sweep, current): fails (exit 1) when any sweep point
+# reports `identical_to_crossproduct: false` (the FDD engine must agree
+# with the cross-product oracle everywhere), when the headline `speedup`
+# (composition-stage, cross-product over sharded FDD, at the largest
+# point) is below the 3x floor, or when a `check_errors` field is
+# present and non-zero.  Absolute rule/group counts are NOT compared to
+# the baseline: the committed baseline is a full-scale (--scale 1)
+# sweep while CI runs the default scale, so the grids differ by design.
+# Warns when the candidate's speedup is under a quarter of the
+# baseline's (the ratio grows with workload size, so candidates at
+# smaller scales legitimately report less).
+#
+# `bench json` (compile, pre-FDD): fails on correctness drift — `rules`,
 # `groups`, or `identical_to_sequential` differing from the baseline —
 # those are deterministic for a fixed seed, so any change means the
 # compiler's output changed and the baseline must be consciously
@@ -137,7 +149,55 @@ if grep -q '"updates_per_s"' "$candidate"; then
     exit "$fail"
 fi
 
-# --- compile schema ---
+if grep -q '"identical_to_crossproduct"' "$candidate"; then
+    # --- FDD compile-sweep schema ---
+    if grep -q '"identical_to_crossproduct": false' "$candidate"; then
+        echo "bench gate: FAIL a sweep point diverged from the cross-product oracle"
+        grep -o '{"participants": [0-9]*, "prefixes": [0-9]*' "$candidate" | head -n 5
+        fail=1
+    else
+        points=$(grep -c '"identical_to_crossproduct": true' "$candidate")
+        echo "bench gate: ok   identical_to_crossproduct=true ($points occurrence(s))"
+    fi
+
+    # The summary block repeats the largest point's numbers after the
+    # sweep array; field() reads the first line whose key starts the
+    # line, which only the summary's dedicated lines do.
+    speedup=$(field "$candidate" speedup)
+    require "speedup" "$speedup"
+    if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 3.0) }'; then
+        echo "bench gate: FAIL compose speedup ${speedup}x is below the 3x floor"
+        fail=1
+    else
+        echo "bench gate: ok   speedup=${speedup}x (floor 3x, cross-product/FDD compose)"
+    fi
+
+    errors=$(field "$candidate" check_errors)
+    if [ -n "$errors" ]; then
+        if [ "$errors" != "0" ]; then
+            echo "bench gate: FAIL check_errors=$errors (static verification)"
+            fail=1
+        else
+            echo "bench gate: ok   check_errors=0"
+        fi
+    fi
+
+    base_speedup=$(field "$baseline" speedup)
+    if [ -n "$base_speedup" ]; then
+        awk -v base="$base_speedup" -v cand="$speedup" 'BEGIN {
+            if (base > 0 && cand < base * 0.25) {
+                printf "bench gate: WARN speedup %.2fx is under a quarter of baseline %.2fx\n",
+                    cand, base
+            } else {
+                printf "bench gate: ok   speedup=%.2fx (baseline %.2fx)\n", cand, base
+            }
+        }'
+    fi
+
+    exit "$fail"
+fi
+
+# --- compile schema (pre-FDD reports) ---
 for key in rules groups identical_to_sequential; do
     base=$(field "$baseline" "$key")
     cand=$(field "$candidate" "$key")
