@@ -764,6 +764,7 @@ type dataplane_point = {
   dp_rules : int;
   dp_engine_pps : float;
   dp_linear_pps : float;
+  dp_batch_pps : float;
   dp_identical : bool;
   dp_stats : Sdx_openflow.Table.engine_stats;
 }
@@ -781,12 +782,18 @@ let dataplane_point ~seed ~packets all_flows size =
   (* The linear scan is O(rules) per packet; give it a budget that keeps
      the bench finite at 10k+ rules and normalize to pkts/sec. *)
   let m_linear = max 1_000 (min packets (4_000_000 / max 1 rules)) in
+  (* Batched lookup first: it must agree with both the per-packet engine
+     path and the linear oracle below. *)
+  let t0 = Unix.gettimeofday () in
+  let batch = Sdx_openflow.Table.lookup_batch table pkts in
+  let batch_s = Unix.gettimeofday () -. t0 in
   let identical = ref true in
   for i = 0 to m_linear - 1 do
     (* Oracle first (pure), then the engine (counts the packet). *)
     let linear = Sdx_openflow.Table.lookup_linear table pkts.(i) in
     let engine = Sdx_openflow.Table.lookup table pkts.(i) in
-    if engine <> linear then identical := false
+    if engine <> linear then identical := false;
+    if batch.(i) <> linear then identical := false
   done;
   let time f =
     let t0 = Unix.gettimeofday () in
@@ -809,6 +816,7 @@ let dataplane_point ~seed ~packets all_flows size =
     dp_rules = rules;
     dp_engine_pps = float_of_int packets /. engine_s;
     dp_linear_pps = float_of_int m_linear /. linear_s;
+    dp_batch_pps = float_of_int packets /. batch_s;
     dp_identical = !identical;
     dp_stats = Sdx_openflow.Table.engine_stats table;
   }
@@ -825,7 +833,9 @@ let dataplane_sweep ~seed ~scale ~packets =
     List.sort_uniq Int.compare
       (List.filter (fun s -> s <= total) [ 100; 1_000; 5_000; 10_000; 20_000; total ])
   in
-  (total, List.map (fun s -> dataplane_point ~seed ~packets all_flows s) sizes)
+  ( total,
+    List.map (fun s -> dataplane_point ~seed ~packets all_flows s) sizes,
+    runtime )
 
 let pp_dataplane_points points =
   Format.printf "  %10s %14s %14s %9s %7s %7s %7s %6s %10s@." "rules"
@@ -840,19 +850,136 @@ let pp_dataplane_points points =
         p.dp_stats.residual_entries p.dp_stats.exact_shapes p.dp_identical)
     points
 
-let run_dataplane ~seed ~scale ~packets ~out =
+(* Parallel RCU dataplane: every worker domain walks the full packet
+   vector against one shared immutable snapshot through its own private
+   searcher cursor, so aggregate throughput is [w * packets / wall] and
+   scaling is limited only by cores and memory bandwidth — there is no
+   lock to contend on.  Each worker cross-checks a budgeted sample of
+   its answers against the frozen snapshot's linear scan. *)
+type parallel_point = {
+  pw_workers : int;
+  pw_aggregate_pps : float;
+  pw_identical : bool;
+}
+
+type parallel_result = {
+  par_workers : int;
+  par_single_pps : float;
+  par_aggregate_pps : float;  (* at [par_workers] workers *)
+  par_shard_pps : float;  (* one vector sharded across the driver *)
+  par_identical : bool;
+  par_sweep : parallel_point list;
+}
+
+let dataplane_parallel ~seed ~packets ~domains runtime =
+  let module Table = Sdx_openflow.Table in
+  let module Parallel = Sdx_core.Parallel in
+  let dp = Sdx_core.Runtime.dataplane ~domains runtime in
+  let snap = Sdx_core.Runtime.dataplane_snapshot dp in
+  let rules = Table.snapshot_size snap in
+  let flow_arr = Array.of_list (Sdx_core.Runtime.flows runtime) in
+  let rng = Rng.create ~seed:(seed + 7919) in
+  let pkts = Array.init packets (fun _ -> synth_packet rng flow_arr) in
+  let m_oracle = max 1_000 (min packets (4_000_000 / max 1 rules)) in
+  let oracle =
+    Array.init m_oracle (fun i -> Table.snapshot_linear snap pkts.(i))
+  in
+  let identical = ref true in
+  (* Single-core baseline: one searcher cursor over the whole vector. *)
+  let find = Table.searcher snap in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to packets - 1 do
+    ignore (find pkts.(i))
+  done;
+  let single_s = Unix.gettimeofday () -. t0 in
+  for i = 0 to m_oracle - 1 do
+    if find pkts.(i) <> oracle.(i) then identical := false
+  done;
+  (* The Runtime driver: one vector sharded across the worker pool. *)
+  let t0 = Unix.gettimeofday () in
+  let sharded = Sdx_core.Runtime.dataplane_process dp pkts in
+  let shard_s = Unix.gettimeofday () -. t0 in
+  for i = 0 to m_oracle - 1 do
+    if sharded.(i) <> oracle.(i) then identical := false
+  done;
+  (* Workers sweep: aggregate pps with w independent reader domains. *)
+  let sweep_ws =
+    List.sort_uniq Int.compare
+      (List.filter (fun w -> w >= 1 && w <= domains)
+         [ 1; 2; 4; max 1 (domains / 2); domains ])
+  in
+  let run_workers w =
+    Parallel.with_pool ~domains:w (fun pool ->
+        let t0 = Unix.gettimeofday () in
+        let oks =
+          Parallel.map pool
+            (fun _ ->
+              let find = Table.searcher snap in
+              let ok = ref true in
+              for i = 0 to packets - 1 do
+                let r = find pkts.(i) in
+                if i < m_oracle && r <> oracle.(i) then ok := false
+              done;
+              !ok)
+            (List.init w Fun.id)
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        {
+          pw_workers = w;
+          pw_aggregate_pps = float_of_int (w * packets) /. wall;
+          pw_identical = List.for_all Fun.id oks;
+        })
+  in
+  let sweep = List.map run_workers sweep_ws in
+  let top = List.nth sweep (List.length sweep - 1) in
+  List.iter (fun p -> if not p.pw_identical then identical := false) sweep;
+  {
+    par_workers = domains;
+    par_single_pps = float_of_int packets /. single_s;
+    par_aggregate_pps = top.pw_aggregate_pps;
+    par_shard_pps = float_of_int packets /. shard_s;
+    par_identical = !identical;
+    par_sweep = sweep;
+  }
+
+let pp_parallel_result r =
+  Format.printf "  %8s %16s %9s %10s@." "workers" "aggregate pkt/s" "scaling"
+    "identical";
+  List.iter
+    (fun p ->
+      Format.printf "  %8d %16.0f %8.2fx %10b@." p.pw_workers
+        p.pw_aggregate_pps
+        (p.pw_aggregate_pps /. r.par_single_pps)
+        p.pw_identical)
+    r.par_sweep;
+  Format.printf
+    "  single-core %.0f pkt/s; sharded vector through the driver %.0f pkt/s@."
+    r.par_single_pps r.par_shard_pps
+
+let run_dataplane ~seed ~scale ~packets ~domains ~out =
   section "Data plane: layered match engine vs linear scan (4.2 motivation)";
   note
     "tables are prefixes of one compiled 300-participant scenario; packets \
      are 70%% rule-directed / 30%% noise; 'linear pkt/s' is the pre-engine \
      list scan on the same table";
-  let total, points = dataplane_sweep ~seed ~scale ~packets in
+  let total, points, runtime = dataplane_sweep ~seed ~scale ~packets in
   note "compiled scenario yields %d rules; sweep truncates it per row" total;
   pp_dataplane_points points;
   let identical = List.for_all (fun p -> p.dp_identical) points in
   (* The headline JSON point is the largest table: that is where the
      engine has to earn its keep (acceptance asks >= 5x at >= 5k rules). *)
   let top = List.nth points (List.length points - 1) in
+  section "Parallel RCU dataplane: per-domain workers over one snapshot";
+  note
+    "every worker walks the full %d-packet vector against the shared \
+     snapshot through a private searcher; a sample of each worker's \
+     answers is cross-checked against the snapshot's linear scan"
+    packets;
+  let domains =
+    if domains > 0 then domains else Sdx_core.Parallel.default_domains ()
+  in
+  let par = dataplane_parallel ~seed ~packets ~domains runtime in
+  pp_parallel_result par;
   let oc = open_out out in
   Printf.fprintf oc
     "{\n\
@@ -861,17 +988,26 @@ let run_dataplane ~seed ~scale ~packets ~out =
     \  \"packets\": %d,\n\
     \  \"engine_pps\": %.0f,\n\
     \  \"linear_pps\": %.0f,\n\
+    \  \"batch_pps\": %.0f,\n\
     \  \"speedup\": %.2f,\n\
     \  \"identical_to_linear\": %b,\n\
+    \  \"workers\": %d,\n\
+    \  \"single_core_pps\": %.0f,\n\
+    \  \"aggregate_pps\": %.0f,\n\
+    \  \"shard_pps\": %.0f,\n\
+    \  \"parallel_identical\": %b,\n\
     \  \"exact_entries\": %d,\n\
     \  \"prefix_entries\": %d,\n\
     \  \"residual_entries\": %d,\n\
     \  \"exact_shapes\": %d,\n\
-    \  \"sweep\": [\n%s  ]\n\
+    \  \"sweep\": [\n%s  ],\n\
+    \  \"workers_sweep\": [\n%s  ]\n\
      }\n"
-    top.dp_rules packets top.dp_engine_pps top.dp_linear_pps
+    top.dp_rules packets top.dp_engine_pps top.dp_linear_pps top.dp_batch_pps
     (top.dp_engine_pps /. top.dp_linear_pps)
-    identical top.dp_stats.Sdx_openflow.Table.exact_entries
+    identical par.par_workers par.par_single_pps par.par_aggregate_pps
+    par.par_shard_pps par.par_identical
+    top.dp_stats.Sdx_openflow.Table.exact_entries
     top.dp_stats.prefix_entries top.dp_stats.residual_entries
     top.dp_stats.exact_shapes
     (String.concat ",\n"
@@ -883,15 +1019,34 @@ let run_dataplane ~seed ~scale ~packets ~out =
               p.dp_rules p.dp_engine_pps p.dp_linear_pps
               (p.dp_engine_pps /. p.dp_linear_pps))
           points)
+     ^ "\n")
+    (String.concat ",\n"
+       (List.map
+          (fun p ->
+            Printf.sprintf
+              "    {\"sweep_workers\": %d, \"sweep_aggregate_pps\": %.0f, \
+               \"sweep_identical\": %b}"
+              p.pw_workers p.pw_aggregate_pps p.pw_identical)
+          par.par_sweep)
      ^ "\n");
   close_out oc;
   note "wrote %s (rules=%d, speedup %.1fx, identical=%b)" out top.dp_rules
     (top.dp_engine_pps /. top.dp_linear_pps)
     identical;
+  note "parallel: %d workers, %.0f aggregate pkt/s (%.2fx single core), \
+        identical=%b" par.par_workers par.par_aggregate_pps
+    (par.par_aggregate_pps /. par.par_single_pps)
+    par.par_identical;
   (* Equivalence is the contract: fail loudly, like `json` does for the
      parallel compiler. *)
   if not identical then begin
     note "ERROR: engine lookup diverges from the linear scan; failing";
+    exit 1
+  end;
+  if not par.par_identical then begin
+    note
+      "ERROR: a parallel worker's lookups diverge from the snapshot's \
+       linear scan; failing";
     exit 1
   end
 
@@ -899,12 +1054,13 @@ let run_dataplane ~seed ~scale ~packets ~out =
 (* Churn soak: VNH lifecycle and transactional bursts under faults     *)
 
 let run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
-    ~checkpoint_every ~out =
+    ~checkpoint_every ~check_every ~out =
   section "Churn soak: fault-injected BGP churn through the runtime";
   note
     "withdraw storms, session flaps, duplicate trains and same-prefix \
      trains; sdx_check and a from-scratch-recompile equivalence probe run \
-     at every checkpoint";
+     at every checkpoint; the incremental checker re-verifies the dirty \
+     set inline every %d burst(s)" (max check_every 0);
   let rng = Rng.create ~seed in
   let w = Workload.build rng ~participants ~prefixes () in
   (* A deliberately small VNH pool so the lifecycle (reclaim on
@@ -927,9 +1083,18 @@ let run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
     if checkpoint_every > 0 then checkpoint_every else max 1 (updates / 10)
   in
   let config =
-    { Replay.default_soak_config with target_updates = updates; checkpoint_every }
+    {
+      Replay.default_soak_config with
+      target_updates = updates;
+      checkpoint_every;
+      check_every;
+    }
   in
-  let r = Replay.soak ~config ~check rng w runtime in
+  let check_incremental rt =
+    let report = Sdx_check.Check.runtime_incremental rt in
+    List.length (Sdx_check.Check.errors report)
+  in
+  let r = Replay.soak ~config ~check ~check_incremental rng w runtime in
   Format.printf "  %a@." Replay.pp_soak_result r;
   let oc = open_out out in
   Printf.fprintf oc
@@ -945,6 +1110,8 @@ let run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
     \  \"same_prefix_trains\": %d,\n\
     \  \"checkpoints\": %d,\n\
     \  \"check_errors\": %d,\n\
+    \  \"incremental_checks\": %d,\n\
+    \  \"incremental_errors\": %d,\n\
     \  \"equiv_divergences\": %d,\n\
     \  \"reoptimizations\": %d,\n\
     \  \"vnh_reclaimed\": %d,\n\
@@ -958,16 +1125,25 @@ let run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
     participants prefixes pool_bits r.Replay.soak_updates r.soak_bursts
     r.soak_withdraw_storms r.soak_session_flaps r.soak_duplicate_trains
     r.soak_same_prefix_trains r.soak_checkpoints r.soak_check_errors
+    r.soak_incremental_checks r.soak_incremental_errors
     r.soak_equiv_divergences r.soak_reoptimizations r.soak_vnh_reclaimed
     r.soak_vnh_peak_live r.soak_vnh_capacity r.soak_peak_extra_rules
     r.soak_peak_fastpath_blocks r.soak_elapsed_s r.soak_updates_per_s;
   close_out oc;
-  note "wrote %s (%d updates, %d check errors, %d divergences)" out
-    r.soak_updates r.soak_check_errors r.soak_equiv_divergences;
-  (* Surviving is the contract: any checkpoint error or fast-path
-     divergence from a from-scratch recompile fails the target. *)
+  note "wrote %s (%d updates, %d check errors, %d/%d inline, %d divergences)"
+    out r.soak_updates r.soak_check_errors r.soak_incremental_errors
+    r.soak_incremental_checks r.soak_equiv_divergences;
+  (* Surviving is the contract: any checkpoint error, inline incremental
+     error, or fast-path divergence from a from-scratch recompile fails
+     the target. *)
   if r.soak_check_errors > 0 then begin
     note "ERROR: sdx_check reported error findings at a checkpoint; failing";
+    exit 1
+  end;
+  if r.soak_incremental_errors > 0 then begin
+    note
+      "ERROR: the incremental checker reported error findings on a burst \
+       commit; failing";
     exit 1
   end;
   if r.soak_equiv_divergences > 0 then begin
@@ -1055,7 +1231,8 @@ let run_all ~seed ~scale ~samples ~repeats =
   run_multiswitch ~seed ~scale;
   run_replay ~seed ~scale;
   run_par ~seed ~scale;
-  run_dataplane ~seed ~scale ~packets:100_000 ~out:"BENCH_dataplane.json";
+  run_dataplane ~seed ~scale ~packets:100_000 ~domains:0
+    ~out:"BENCH_dataplane.json";
   run_bechamel ();
   Format.printf "@.done.@."
 
@@ -1146,12 +1323,20 @@ let commands =
       "Data-plane lookup throughput: layered match engine vs linear scan; \
        writes BENCH_dataplane.json."
       Term.(
-        const (fun seed scale packets out -> run_dataplane ~seed ~scale ~packets ~out)
+        const (fun seed scale packets domains out ->
+            run_dataplane ~seed ~scale ~packets ~domains ~out)
         $ seed_t $ scale_t
         $ Arg.(
             value
             & opt int 100_000
             & info [ "packets" ] ~doc:"Lookups to time per table size.")
+        $ Arg.(
+            value
+            & opt int 0
+            & info [ "domains" ]
+                ~doc:
+                  "Worker domains for the parallel RCU sweep (0 = \
+                   SDX_DOMAINS or the recommended domain count).")
         $ Arg.(
             value
             & opt string "BENCH_dataplane.json"
@@ -1161,9 +1346,9 @@ let commands =
        checkpointed verification; writes BENCH_churn.json."
       Term.(
         const (fun seed updates participants prefixes pool_bits
-                   checkpoint_every out ->
+                   checkpoint_every check_every out ->
             run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
-              ~checkpoint_every ~out)
+              ~checkpoint_every ~check_every ~out)
         $ seed_t
         $ Arg.(
             value
@@ -1193,6 +1378,13 @@ let commands =
                 ~doc:
                   "Updates between verification checkpoints (0 = a tenth of \
                    the total).")
+        $ Arg.(
+            value
+            & opt int 1
+            & info [ "check-every" ]
+                ~doc:
+                  "Bursts between inline incremental checks (1 = verify \
+                   every burst commit; 0 = disable).")
         $ Arg.(
             value
             & opt string "BENCH_churn.json"

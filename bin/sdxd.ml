@@ -298,10 +298,50 @@ let check_subject name runtime ~switches ~passes ~verbose =
         report.Check.findings
   in
   List.iter (fun f -> Format.printf "  %a@." Check.pp_finding f) shown;
-  Check.has_errors report
+  (report, Check.has_errors report)
+
+(* Machine-readable findings dump, witness packets included — CI uploads
+   this as an artifact when the check job fails so the offending packet
+   survives the ephemeral runner. *)
+let write_witnesses path reports =
+  let buf = Buffer.create 4096 in
+  let esc s = String.concat "\\\"" (String.split_on_char '"' s) in
+  Buffer.add_string buf "[\n";
+  let first = ref true in
+  List.iter
+    (fun (name, (report : Check.report)) ->
+      List.iter
+        (fun (f : Check.finding) ->
+          if not !first then Buffer.add_string buf ",\n";
+          first := false;
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  {\"subject\": \"%s\", \"pass\": \"%s\", \"code\": \"%s\", \
+                \"severity\": \"%s\", \"detail\": \"%s\", \"rules\": [%s], \
+                \"witness\": %s}"
+               (esc name) f.Check.pass f.Check.code
+               (Check.severity_label f.Check.severity)
+               (esc f.Check.detail)
+               (String.concat ", " (List.map string_of_int f.Check.rules))
+               (match f.Check.witness with
+               | None -> "null"
+               | Some pkt ->
+                   Printf.sprintf "\"%s\""
+                     (esc (Format.asprintf "%a" Sdx_net.Packet.pp pkt)))))
+        report.Check.findings)
+    reports;
+  Buffer.add_string buf "\n]\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %d finding(s) to %s@."
+    (List.fold_left
+       (fun n (_, (r : Check.report)) -> n + List.length r.Check.findings)
+       0 reports)
+    path
 
 let run_check paths workload participants prefixes seed switches passes verbose
-    obs_stats stats_json =
+    witness_out obs_stats stats_json =
   let passes = if passes = [] then Check.all_passes else passes in
   List.iter
     (fun p ->
@@ -313,6 +353,7 @@ let run_check paths workload participants prefixes seed switches passes verbose
   if paths = [] && not workload then
     failwith "nothing to check: give scenario files and/or --workload";
   let failed = ref false in
+  let reports = ref [] in
   List.iter
     (fun path ->
       match Scenario.load path with
@@ -321,8 +362,9 @@ let run_check paths workload participants prefixes seed switches passes verbose
           failed := true
       | Ok config ->
           let runtime = Runtime.create config in
-          if check_subject path runtime ~switches ~passes ~verbose then
-            failed := true)
+          let report, errs = check_subject path runtime ~switches ~passes ~verbose in
+          reports := (path, report) :: !reports;
+          if errs then failed := true)
     paths;
   if workload then begin
     let rng = Sdx_ixp.Rng.create ~seed in
@@ -331,8 +373,11 @@ let run_check paths workload participants prefixes seed switches passes verbose
     let name =
       Printf.sprintf "workload(n=%d,x=%d,seed=%d)" participants prefixes seed
     in
-    if check_subject name runtime ~switches ~passes ~verbose then failed := true
+    let report, errs = check_subject name runtime ~switches ~passes ~verbose in
+    reports := (name, report) :: !reports;
+    if errs then failed := true
   end;
+  Option.iter (fun path -> write_witnesses path (List.rev !reports)) witness_out;
   emit_stats ~stats:obs_stats ~stats_json None;
   if !failed then exit 1
 
@@ -481,6 +526,15 @@ let check_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print info-level findings.")
   in
+  let witness_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "witness-out" ] ~docv:"FILE"
+          ~doc:
+            "Write every finding — witness packets included — as JSON to \
+             $(docv); CI uploads it as an artifact on failure.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -488,11 +542,12 @@ let check_cmd =
           loop freedom, and classifier lints.  Exits non-zero if any \
           error-severity finding exists.")
     Term.(
-      const (fun paths workload n x seed switches passes verbose stats stats_json ->
-          run_check paths workload n x seed switches passes verbose stats
-            stats_json)
+      const (fun paths workload n x seed switches passes verbose witness_out
+                 stats stats_json ->
+          run_check paths workload n x seed switches passes verbose witness_out
+            stats stats_json)
       $ paths $ workload $ participants $ prefixes $ seed_t $ switches $ passes
-      $ verbose $ stats_t $ stats_json_t)
+      $ verbose $ witness_out $ stats_t $ stats_json_t)
 
 let () =
   let info = Cmd.info "sdxd" ~doc:"SDX controller inspection tool." in

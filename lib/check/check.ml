@@ -50,6 +50,14 @@ module Obs = struct
     | Error -> findings_error
     | Warning -> findings_warning
     | Info -> findings_info
+
+  (* The incremental path gets its own family: its per-call cost is what
+     lets the soak harness verify every burst, so it must be observable
+     separately from full passes. *)
+  let incremental = counter "sdx_check_incremental_total"
+  let incremental_seconds = histogram "sdx_check_incremental_seconds"
+  let incremental_dirty_rules = gauge "sdx_check_incremental_dirty_rules"
+  let incremental_dirty_groups = gauge "sdx_check_incremental_dirty_groups"
 end
 
 (* ------------------------------------------------------------------ *)
@@ -208,8 +216,12 @@ let mem_port p ports = List.exists (Int.equal p) ports
 
 (* Every rule derived from participant A's policy must (a) match only
    packets entering on A's own ports, and (b) deliver only to ports an
-   explicit peering, redirect, or default-route resolution justifies. *)
-let isolation subj =
+   explicit peering, redirect, or default-route resolution justifies.
+
+   Obligations are per-rule and independent, so [only] restricts the
+   pass to a dirty subset with findings (indices, details, witnesses)
+   identical to what the full pass reports for those rules. *)
+let isolation ?(only = fun _ -> true) subj =
   let config = subj.config in
   let findings = ref [] in
   let add f = findings := f :: !findings in
@@ -235,6 +247,7 @@ let isolation subj =
   in
   Array.iteri
     (fun i ((r : Classifier.rule), prov) ->
+      if only i then
       match prov with
       | Compile.Outbound { sender; via; group = _ } -> (
           let sender_ports = Config.switch_ports_of config sender in
@@ -465,8 +478,14 @@ let isolation subj =
    [sender] — re-checked against the live Loc-RIBs, so withdrawn routes
    turn stale diversions into findings even before the background
    re-optimization runs.  (b) Every default-forwarding rule must deliver
-   along a route currently feasible for the emitting participant. *)
-let bgp_consistency subj =
+   along a route currently feasible for the emitting participant.
+
+   [only] restricts part (a) to a dirty rule subset; [only_group]
+   restricts part (b)'s per-(sender, group) traces to dirty provenance
+   groups.  Part (a) obligations are per-rule and part (b) obligations
+   per-group, so both filters preserve finding-for-finding agreement
+   with the full pass on the restricted sets. *)
+let bgp_consistency ?(only = fun _ -> true) ?(only_group = fun _ -> true) subj =
   let config = subj.config in
   let server = Config.server config in
   let findings = ref [] in
@@ -486,6 +505,7 @@ let bgp_consistency subj =
   in
   Array.iteri
     (fun i ((r : Classifier.rule), prov) ->
+      if only i then
       match prov with
       | Compile.Outbound { sender; via = Some via; group = Some gid } -> (
           match group_by_id subj gid with
@@ -554,10 +574,12 @@ let bgp_consistency subj =
   in
   let groups =
     List.filter_map
-      (fun g ->
-        match live_prefixes subj g with
-        | [] -> None
-        | live -> Some (g, List.hd live))
+      (fun (g : Compile.group) ->
+        if not (only_group g.id) then None
+        else
+          match live_prefixes subj g with
+          | [] -> None
+          | live -> Some (g, List.hd live))
       (Compile.all_groups subj.compiled)
   in
   List.iter
@@ -979,7 +1001,12 @@ let arp_consistency subj =
 
 let max_shadow_findings = 50
 
-let lints subj =
+(* [deep:false] (the incremental mode) keeps the cheap global
+   obligations — provenance coverage and the priority-band layout, both
+   burst-affected — and skips the O(n^2) shadow scan and the stage-1
+   tagging sweep, which depend on the whole ruleset and are re-verified
+   by the periodic full checkpoints. *)
+let lints ?(deep = true) subj =
   let config = subj.config in
   let findings = ref [] in
   let add f = findings := f :: !findings in
@@ -996,6 +1023,7 @@ let lints subj =
         rules = [];
         witness = None;
       };
+  if deep then begin
   (* Shadowed / unreachable rules. *)
   let classifier = subject_classifier subj in
   let pairs = Classifier.shadows classifier in
@@ -1086,7 +1114,8 @@ let lints subj =
                     witness = Some (witness_of_pattern r.pattern);
                   })
         r.action)
-    tagging;
+    tagging
+  end;
   (* Priority-band layout: the base classifier must stay below the
      fast-path floor, and stacked blocks below the ceiling. *)
   let base_top = max Runtime.base_priority_top subj.base_rules in
@@ -1185,6 +1214,77 @@ let runtime ?fabric ?passes rt = run ?fabric ?passes (subject_of_runtime rt)
 
 let compiled ?fabric ?passes c config =
   run ?fabric ?passes (subject_of_compiled c config)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental driver: re-verify only the obligations a burst touched.  *)
+
+let incremental_passes = [ "isolation"; "bgp"; "arp"; "lints" ]
+
+(* The dirty-set protocol (see DESIGN.md): isolation and BGP part (a)
+   are per-rule obligations, filtered to the dirty rule indices; BGP
+   part (b) is per-(sender, group), filtered to the dirty provenance
+   groups; the ARP pass is global but cheap and burst-affected, so it
+   always runs in full; lints run shallow (band layout + provenance
+   coverage).  The loop pass is skipped entirely: its obligations derive
+   from policies and the fabric topology, which BGP bursts never touch —
+   policy changes go through [Runtime.reoptimize], which resets the
+   dirty-set and forces a full check.  RIB-induced staleness of rules
+   the burst did NOT touch (e.g. a withdrawal invalidating an old
+   block's diversion) is caught by the periodic full checkpoints, not
+   here. *)
+let run_incremental ?(passes = incremental_passes) ~dirty:(d : Runtime.dirty)
+    subj =
+  let t0 = Unix.gettimeofday () in
+  let wants p = List.mem p passes in
+  let n = Array.length subj.rules in
+  let rule_set = Hashtbl.create (List.length d.dirty_rules) in
+  List.iter
+    (fun i -> if i >= 0 && i < n then Hashtbl.replace rule_set i ())
+    d.Runtime.dirty_rules;
+  let group_set = Hashtbl.create (List.length d.dirty_groups) in
+  List.iter (fun g -> Hashtbl.replace group_set g ()) d.Runtime.dirty_groups;
+  let only i = Hashtbl.mem rule_set i in
+  let only_group g = Hashtbl.mem group_set g in
+  let findings =
+    (if wants "isolation" then isolation ~only subj else [])
+    @ (if wants "bgp" then bgp_consistency ~only ~only_group subj else [])
+    @ (if wants "arp" then arp_consistency subj else [])
+    @ if wants "lints" then lints ~deep:false subj else []
+  in
+  let findings = List.filter (fun f -> wants f.pass) findings in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Sdx_obs.Registry.Counter.incr Obs.incremental;
+  Sdx_obs.Registry.Histogram.observe Obs.incremental_seconds elapsed;
+  Sdx_obs.Registry.Gauge.set_int Obs.incremental_dirty_rules
+    (Hashtbl.length rule_set);
+  Sdx_obs.Registry.Gauge.set_int Obs.incremental_dirty_groups
+    (Hashtbl.length group_set);
+  List.iter
+    (fun f -> Sdx_obs.Registry.Counter.incr (Obs.of_severity f.severity))
+    findings;
+  Sdx_obs.Trace.record ~name:"check_incremental" ~start_s:t0 ~dur_s:elapsed
+    ~attrs:
+      [
+        ("dirty_rules", string_of_int (Hashtbl.length rule_set));
+        ("dirty_groups", string_of_int (Hashtbl.length group_set));
+        ("findings", string_of_int (List.length findings));
+      ]
+    ();
+  {
+    findings;
+    rules_checked = Hashtbl.length rule_set;
+    passes_run = List.filter wants incremental_passes;
+    elapsed_s = elapsed;
+  }
+
+(* Per-burst entry point: incremental over the runtime's accumulated
+   dirty-set when one is available, a full pass when the table was
+   rebuilt since the last consume.  Either way the runtime's current
+   state counts as verified afterwards ([Runtime.consume_dirty]). *)
+let runtime_incremental ?fabric rt =
+  match Runtime.consume_dirty rt with
+  | Some dirty -> run_incremental ~dirty (subject_of_runtime rt)
+  | None -> runtime ?fabric rt
 
 let errors r = List.filter (fun f -> f.severity = Error) r.findings
 let warnings r = List.filter (fun f -> f.severity = Warning) r.findings

@@ -85,6 +85,37 @@ val run : ?fabric:Topology.fabric -> ?passes:string list -> subject -> report
 val runtime :
   ?fabric:Topology.fabric -> ?passes:string list -> Runtime.t -> report
 
+(** {1 Incremental checking}
+
+    The always-on mode: instead of re-verifying the whole table after
+    every burst, re-verify only the obligations the burst touched — the
+    {!Sdx_core.Runtime.dirty} rule indices (isolation and the per-rule
+    half of the BGP pass) and provenance groups (the per-group trace
+    half of the BGP pass).  The ARP pass is global but cheap and
+    burst-affected, so it always runs in full; lints run shallow
+    (priority-band layout and provenance coverage only); the loop pass
+    is skipped because its obligations derive from policies and the
+    fabric, which BGP bursts never change (policy changes reoptimize,
+    which resets the dirty-set and forces a full check).  Staleness a
+    burst induces on {e untouched} rules is the one class this misses —
+    the periodic full checkpoints cover it. *)
+
+val incremental_passes : string list
+(** [["isolation"; "bgp"; "arp"; "lints"]]. *)
+
+val run_incremental :
+  ?passes:string list -> dirty:Runtime.dirty -> subject -> report
+(** Findings are reported with the same codes, details, rule indices and
+    witnesses the full {!run} would produce for the dirty subset, so the
+    two cross-validate (the qcheck suite asserts it).  [rules_checked]
+    counts the dirty rules actually in range. *)
+
+val runtime_incremental : ?fabric:Topology.fabric -> Runtime.t -> report
+(** Per-burst entry point: {!Sdx_core.Runtime.consume_dirty}, then
+    {!run_incremental} over [Some] dirty-set or a full {!runtime} pass
+    after a rebuild ([None]).  Wire it into [Replay.soak]'s
+    [check_incremental] callback to verify every burst commit inline. *)
+
 val compiled :
   ?fabric:Topology.fabric ->
   ?passes:string list ->

@@ -1399,6 +1399,7 @@ type batch_delta = {
   batch_groups : group list;
   batch_provenance : (provenance * int) list;
   batch_retired : int;
+  batch_touched_groups : int list;
   batch_elapsed_s : float;
 }
 
@@ -1641,5 +1642,11 @@ let compile_update_batch t config vnh_alloc prefixes =
       batch_groups = groups;
       batch_provenance = List.map (fun (p, rs) -> (p, List.length rs)) blocks;
       batch_retired = List.length retired;
+      batch_touched_groups =
+        (* Every provenance group whose obligations this burst may have
+           changed: the freshly minted ones plus each prefix's previous
+           owner (whose rules the new block now shadows or retires). *)
+        List.map (fun g -> g.id) groups
+        @ Hashtbl.fold (fun id _ acc -> id :: acc) prior [];
       batch_elapsed_s = elapsed;
     }

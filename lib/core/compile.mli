@@ -190,6 +190,10 @@ type batch_delta = {
       (** fast-path groups the burst fully superseded: their VNHs went
           back to the allocator's free-list and their ARP bindings were
           removed *)
+  batch_touched_groups : int list;
+      (** dirty-set for incremental verification: ids of every group
+          whose obligations this burst may have changed — the fresh
+          groups plus each touched prefix's previous owner *)
   batch_elapsed_s : float;
 }
 

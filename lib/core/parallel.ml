@@ -67,6 +67,57 @@ let with_pool ~domains f =
 
 type 'b cell = Pending | Done of 'b | Failed of exn
 
+(* Run [task lo hi] over a partition of [0, n) into contiguous chunks, a
+   few per domain, instead of one task per element: queue traffic (two
+   lock acquisitions per task) is paid per chunk, and adjacent elements —
+   which tend to share memoizable structure, like a clause's run of
+   prefix groups — stay on the same domain and hit its caches.  The
+   submitting domain drains the queue alongside the workers, then waits
+   out chunks still running elsewhere.  Callers arrange that each index
+   is written by exactly one domain and only read after this returns, so
+   result arrays need no lock. *)
+let run_chunks t n task =
+  let chunks = min n (8 * t.size) in
+  let remaining = ref chunks in
+  let batch_mutex = Mutex.create () in
+  let batch_done = Condition.create () in
+  let job lo hi () =
+    task lo hi;
+    Mutex.lock batch_mutex;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast batch_done;
+    Mutex.unlock batch_mutex
+  in
+  Mutex.lock t.mutex;
+  for c = 0 to chunks - 1 do
+    Queue.add (job (c * n / chunks) ((c + 1) * n / chunks)) t.queue
+  done;
+  Condition.broadcast t.pending;
+  Mutex.unlock t.mutex;
+  (* The submitter works too... *)
+  let rec help () =
+    Mutex.lock t.mutex;
+    let job = Queue.take_opt t.queue in
+    Mutex.unlock t.mutex;
+    match job with
+    | Some job ->
+        job ();
+        help ()
+    | None -> ()
+  in
+  help ();
+  (* ...then waits out tasks still running on other domains. *)
+  Mutex.lock batch_mutex;
+  while !remaining > 0 do
+    Condition.wait batch_done batch_mutex
+  done;
+  Mutex.unlock batch_mutex
+
+let collect results =
+  Array.map
+    (function Done v -> v | Failed e -> raise e | Pending -> assert false)
+    results
+
 let map t f xs =
   match xs with
   | [] -> []
@@ -76,57 +127,24 @@ let map t f xs =
       let arr = Array.of_list xs in
       let n = Array.length arr in
       let results = Array.make n Pending in
-      (* Contiguous chunks, a few per domain, instead of one task per
-         element: queue traffic (two lock acquisitions per task) is paid
-         per chunk, and adjacent elements — which tend to share
-         memoizable structure, like a clause's run of prefix groups —
-         stay on the same domain and hit its caches.  Each slot is
-         written by exactly one domain and only read after the final
-         [batch_done] synchronization, so the array needs no lock. *)
-      let chunks = min n (8 * t.size) in
-      let remaining = ref chunks in
-      let batch_mutex = Mutex.create () in
-      let batch_done = Condition.create () in
-      let task lo hi () =
+      run_chunks t n (fun lo hi ->
+          for i = lo to hi - 1 do
+            results.(i) <- (try Done (f arr.(i)) with e -> Failed e)
+          done);
+      Array.to_list (collect results)
+
+let map_array t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if n = 1 || t.size <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n Pending in
+    run_chunks t n (fun lo hi ->
         for i = lo to hi - 1 do
-          results.(i) <- (try Done (f arr.(i)) with e -> Failed e)
-        done;
-        Mutex.lock batch_mutex;
-        decr remaining;
-        if !remaining = 0 then Condition.broadcast batch_done;
-        Mutex.unlock batch_mutex
-      in
-      Mutex.lock t.mutex;
-      for c = 0 to chunks - 1 do
-        Queue.add (task (c * n / chunks) ((c + 1) * n / chunks)) t.queue
-      done;
-      Condition.broadcast t.pending;
-      Mutex.unlock t.mutex;
-      (* The submitter works too... *)
-      let rec help () =
-        Mutex.lock t.mutex;
-        let task = Queue.take_opt t.queue in
-        Mutex.unlock t.mutex;
-        match task with
-        | Some task ->
-            task ();
-            help ()
-        | None -> ()
-      in
-      help ();
-      (* ...then waits out tasks still running on other domains. *)
-      Mutex.lock batch_mutex;
-      while !remaining > 0 do
-        Condition.wait batch_done batch_mutex
-      done;
-      Mutex.unlock batch_mutex;
-      Array.to_list
-        (Array.map
-           (function
-             | Done v -> v
-             | Failed e -> raise e
-             | Pending -> assert false)
-           results)
+          results.(i) <- (try Done (f xs.(i)) with e -> Failed e)
+        done);
+    collect results
+  end
 
 (* Epoch-validated domain-local slots.  A slot holds one ['a] per domain
    per epoch: [get] returns the current domain's value if it was stored

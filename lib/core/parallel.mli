@@ -22,6 +22,11 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     after the whole batch settles.  [f] runs on arbitrary domains — it
     must only touch shared mutable state under its own locks. *)
 
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** {!map} over arrays, sharded into contiguous chunks: the natural
+    entry point for data-plane batches (e.g. a packet vector split
+    across domains).  Same ordering and exception contract as {!map}. *)
+
 val shutdown : t -> unit
 (** Joins the worker domains.  The pool must be idle. *)
 

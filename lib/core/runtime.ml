@@ -17,6 +17,21 @@ type t = {
   rejected : (Asn.t * Prefix.t) list;
   ceiling : int;  (* per-instance fast-path priority ceiling *)
   mutable reoptimizes : int;
+  (* Cumulative dirty-set of fast-path block installs since the last
+     [consume_dirty], for incremental verification; [None] whenever the
+     whole table was rebuilt (create/reoptimize/fallback) since then, in
+     which case only a full check applies.  [None] is sticky until
+     consumed: blocks stacked on top of an unverified rebuild are
+     covered by the pending full check. *)
+  mutable last_dirty : dirty option;
+}
+
+and dirty = {
+  dirty_rules : int list;
+      (* indices into [classifier t] of the rules those bursts installed *)
+  dirty_groups : int list;
+      (* provenance group ids whose obligations those bursts may have
+         changed (fresh groups + superseded previous owners) *)
 }
 
 (* Switch priority layout: the base classifier descends from
@@ -140,6 +155,7 @@ let create ?(optimized = true) ?rpki ?domains ?vnh_pool
       rejected;
       ceiling = extras_ceiling;
       reoptimizes = 0;
+      last_dirty = None;
     }
   in
   run_check_hook t;
@@ -171,6 +187,7 @@ let extra_rule_count t =
 let rule_count t = base_rule_count t + extra_rule_count t
 
 let reoptimize t =
+  t.last_dirty <- None;
   Vnh.reset t.vnh;
   let compiled =
     Compile.compile ~optimized:t.optimized ?domains:t.domains t.config t.vnh
@@ -296,6 +313,21 @@ let handle_burst t updates =
             t.extras <-
               (batch.batch_rules, floor, batch.batch_provenance) :: t.extras;
             let count = Classifier.rule_count batch.batch_rules in
+            (* The new block heads [classifier t], so its rules occupy
+               global indices 0..count-1 and every previously dirty rule
+               shifts up by [count]. *)
+            (match t.last_dirty with
+            | None -> ()  (* pending full check covers this block too *)
+            | Some prev ->
+                t.last_dirty <-
+                  Some
+                    {
+                      dirty_rules =
+                        List.init count Fun.id
+                        @ List.map (fun i -> i + count) prev.dirty_rules;
+                      dirty_groups =
+                        batch.Compile.batch_touched_groups @ prev.dirty_groups;
+                    });
             (* Priority space exhausted: run the background stage now. *)
             if floor + count >= t.ceiling then begin
               Log.info (fun m ->
@@ -386,3 +418,84 @@ let announce t ~peer ~port ?as_path prefix =
   handle_update t (Update.announce route)
 
 let withdraw t ~peer prefix = handle_update t (Update.withdraw ~peer prefix)
+
+(* ------------------------------------------------------------------ *)
+(* Dirty-set accessors for incremental verification                     *)
+
+let no_dirty = { dirty_rules = []; dirty_groups = [] }
+let last_dirty t = t.last_dirty
+
+let consume_dirty t =
+  let d = t.last_dirty in
+  (* Whatever the caller now verifies (incrementally from [Some d], or a
+     full pass from [None]) covers the state as of this call. *)
+  t.last_dirty <- Some no_dirty;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Parallel dataplane driver: per-domain packet workers over an RCU
+   snapshot of the flow table.                                          *)
+
+module Table = Sdx_openflow.Table
+
+type dataplane = {
+  dp_table : Table.t;
+  mutable dp_snap : Table.snapshot;
+  dp_workers : int;
+}
+
+module Dp_obs = struct
+  open Sdx_obs.Registry
+
+  let workers = gauge "sdx_dataplane_workers"
+  let packets = counter "sdx_dataplane_packets_total"
+end
+
+let dataplane ?domains t =
+  let workers =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Parallel.default_domains ()
+  in
+  let table = Table.create () in
+  Table.install_all table (flows t);
+  let dp = { dp_table = table; dp_snap = Table.snapshot table; dp_workers = workers } in
+  Sdx_obs.Registry.Gauge.set_int Dp_obs.workers workers;
+  dp
+
+let dataplane_refresh dp t =
+  Table.clear dp.dp_table;
+  Table.install_all dp.dp_table (flows t);
+  dp.dp_snap <- Table.snapshot dp.dp_table
+
+let dataplane_workers dp = dp.dp_workers
+let dataplane_snapshot dp = dp.dp_snap
+
+let dataplane_process dp (pkts : Packet.t array) =
+  let n = Array.length pkts in
+  let out = Array.make n None in
+  if n > 0 then begin
+    let snap = dp.dp_snap in
+    let w = min dp.dp_workers n in
+    if w <= 1 then begin
+      let find = Table.searcher snap in
+      for i = 0 to n - 1 do
+        Array.unsafe_set out i (find (Array.unsafe_get pkts i))
+      done
+    end
+    else
+      (* Contiguous shards, one per worker; each worker holds its own
+         searcher cursor and writes a disjoint slice of [out], so the
+         only shared state is the frozen snapshot. *)
+      ignore
+        (Parallel.map (Parallel.global ())
+           (fun k ->
+             let lo = k * n / w and hi = (k + 1) * n / w in
+             let find = Table.searcher snap in
+             for i = lo to hi - 1 do
+               Array.unsafe_set out i (find (Array.unsafe_get pkts i))
+             done)
+           (List.init w Fun.id));
+    Sdx_obs.Registry.Counter.add Dp_obs.packets n
+  end;
+  out

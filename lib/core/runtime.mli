@@ -152,3 +152,62 @@ val announce : t -> peer:Asn.t -> port:int -> ?as_path:Asn.t list -> Prefix.t ->
     participant's port and running it through {!handle_update}. *)
 
 val withdraw : t -> peer:Asn.t -> Prefix.t -> update_stats
+
+(** {2 Dirty-sets for incremental verification}
+
+    Every fast-path block install records which classifier rules and
+    provenance groups the burst may have re-obligated, so a checker can
+    re-verify just those instead of the whole table (the Prelude-style
+    incremental protocol — see DESIGN.md). *)
+
+type dirty = {
+  dirty_rules : int list;
+      (** indices into {!classifier} of rules installed since the last
+          {!consume_dirty} (new blocks head the classifier, so earlier
+          dirty indices are shifted up as later blocks stack) *)
+  dirty_groups : int list;
+      (** provenance group ids whose obligations may have changed: the
+          bursts' fresh groups plus each touched prefix's previous
+          owner; may contain duplicates *)
+}
+
+val last_dirty : t -> dirty option
+(** Cumulative dirty-set since the last {!consume_dirty}.  [None] means
+    the whole table was rebuilt (creation, {!reoptimize}, fast-path
+    fallback) since then, so only a full check is sound; [None] stays
+    until consumed even if further blocks stack on top. *)
+
+val consume_dirty : t -> dirty option
+(** {!last_dirty}, then reset the accumulator to the empty dirty-set on
+    the assumption that the caller now verifies the current state
+    (incrementally from [Some], or with a full pass from [None]). *)
+
+(** {2 Parallel dataplane driver}
+
+    Per-domain packet workers over a read-copy-update snapshot of the
+    flow table ({!Sdx_openflow.Table.snapshot}): lookups never lock, and
+    a policy change republishes a fresh snapshot instead of mutating the
+    one in flight. *)
+
+type dataplane
+
+val dataplane : ?domains:int -> t -> dataplane
+(** Builds a flow table from {!flows}, publishes its first snapshot, and
+    sizes the worker shard count ([domains], default
+    {!Parallel.default_domains}).  Workers run on {!Parallel.global}. *)
+
+val dataplane_refresh : dataplane -> t -> unit
+(** Reloads the table from the runtime's current {!flows} and publishes
+    a fresh snapshot; lookups already running keep the old snapshot
+    until their batch completes. *)
+
+val dataplane_process :
+  dataplane -> Packet.t array -> Sdx_openflow.Flow.t option array
+(** Looks every packet up against the current snapshot, sharding the
+    vector across the worker domains (contiguous shards, one private
+    searcher cursor per worker).  Result order matches input order. *)
+
+val dataplane_workers : dataplane -> int
+val dataplane_snapshot : dataplane -> Sdx_openflow.Table.snapshot
+(** The currently published snapshot (tests probe it with
+    {!Sdx_openflow.Table.snapshot_linear} as an oracle). *)

@@ -149,6 +149,9 @@ type soak_config = {
   storm_size : int;  (** prefixes withdrawn per storm / session flap *)
   train_length : int;  (** updates per duplicate / same-prefix train *)
   max_burst : int;  (** normal-traffic burst size cap *)
+  check_every : int;
+      (** bursts between inline incremental checks (0 = disabled);
+          1 verifies every burst commit *)
 }
 
 let default_soak_config =
@@ -159,6 +162,7 @@ let default_soak_config =
     storm_size = 100;
     train_length = 50;
     max_burst = 8;
+    check_every = 1;
   }
 
 type soak_result = {
@@ -170,6 +174,8 @@ type soak_result = {
   soak_same_prefix_trains : int;
   soak_checkpoints : int;
   soak_check_errors : int;
+  soak_incremental_checks : int;
+  soak_incremental_errors : int;
   soak_equiv_divergences : int;
   soak_reoptimizations : int;
   soak_vnh_reclaimed : int;
@@ -181,7 +187,8 @@ type soak_result = {
   soak_updates_per_s : float;
 }
 
-let soak ?(config = default_soak_config) ?check rng (w : Workload.t) runtime =
+let soak ?(config = default_soak_config) ?check ?check_incremental rng
+    (w : Workload.t) runtime =
   let server = Config.server w.config in
   let specs = Array.of_list w.specs in
   let n_specs = Array.length specs in
@@ -194,6 +201,8 @@ let soak ?(config = default_soak_config) ?check rng (w : Workload.t) runtime =
   let prefix_trains = ref 0 in
   let checkpoints = ref 0 in
   let check_errors = ref 0 in
+  let incr_checks = ref 0 in
+  let incr_errors = ref 0 in
   let equiv = ref 0 in
   let peak_extras = ref 0 in
   let peak_blocks = ref 0 in
@@ -209,7 +218,16 @@ let soak ?(config = default_soak_config) ?check rng (w : Workload.t) runtime =
         incr bursts;
         updates_done := !updates_done + List.length us;
         peak_extras := max !peak_extras (Runtime.extra_rule_count runtime);
-        peak_blocks := max !peak_blocks (Runtime.fast_path_block_count runtime)
+        peak_blocks := max !peak_blocks (Runtime.fast_path_block_count runtime);
+        (* Inline verification of the burst commit: the callback is
+           expected to consume the runtime's dirty-set and run the
+           incremental checker (a full pass after rebuilds). *)
+        (match check_incremental with
+        | Some f when config.check_every > 0 && !bursts mod config.check_every = 0
+          ->
+            incr incr_checks;
+            incr_errors := !incr_errors + f runtime
+        | _ -> ())
   in
   let flush_pending () =
     let rec go () =
@@ -334,6 +352,8 @@ let soak ?(config = default_soak_config) ?check rng (w : Workload.t) runtime =
     soak_same_prefix_trains = !prefix_trains;
     soak_checkpoints = !checkpoints;
     soak_check_errors = !check_errors;
+    soak_incremental_checks = !incr_checks;
+    soak_incremental_errors = !incr_errors;
     soak_equiv_divergences = !equiv;
     soak_reoptimizations = Runtime.reoptimize_count runtime;
     soak_vnh_reclaimed = vnh.Vnh.reclaimed_total;
@@ -352,12 +372,14 @@ let pp_soak_result fmt r =
      faults: %d withdraw storms, %d session flaps, %d duplicate trains, \
      %d same-prefix trains@,\
      checkpoints: %d (%d check errors, %d forwarding divergences)@,\
+     inline checks: %d (%d errors)@,\
      re-optimizations: %d@,\
      VNHs: %d reclaimed, peak %d live of %d@,\
      peak fast path: %d rules in %d blocks@]"
     r.soak_updates r.soak_bursts r.soak_updates_per_s r.soak_elapsed_s
     r.soak_withdraw_storms r.soak_session_flaps r.soak_duplicate_trains
     r.soak_same_prefix_trains r.soak_checkpoints r.soak_check_errors
-    r.soak_equiv_divergences r.soak_reoptimizations r.soak_vnh_reclaimed
+    r.soak_equiv_divergences r.soak_incremental_checks r.soak_incremental_errors
+    r.soak_reoptimizations r.soak_vnh_reclaimed
     r.soak_vnh_peak_live r.soak_vnh_capacity r.soak_peak_extra_rules
     r.soak_peak_fastpath_blocks

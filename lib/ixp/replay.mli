@@ -74,10 +74,16 @@ type soak_config = {
   storm_size : int;  (** prefixes withdrawn per storm / session flap *)
   train_length : int;  (** updates per duplicate / same-prefix train *)
   max_burst : int;  (** normal-traffic burst size cap *)
+  check_every : int;
+      (** bursts between inline incremental checks via the
+          [check_incremental] callback (0 = disabled); 1 verifies every
+          burst commit *)
 }
 
 val default_soak_config : soak_config
-(** 1M updates, checkpoints every 100k, a fault every 25 bursts. *)
+(** 1M updates, checkpoints every 100k, a fault every 25 bursts,
+    inline checks on every burst ([check_every = 1], a no-op unless a
+    [check_incremental] callback is supplied). *)
 
 type soak_result = {
   soak_updates : int;
@@ -88,6 +94,10 @@ type soak_result = {
   soak_same_prefix_trains : int;
   soak_checkpoints : int;
   soak_check_errors : int;  (** error findings across all checkpoints *)
+  soak_incremental_checks : int;
+      (** inline per-burst checks run via [check_incremental] *)
+  soak_incremental_errors : int;
+      (** error findings across all inline checks *)
   soak_equiv_divergences : int;
       (** forwarding divergences vs. from-scratch recompiles *)
   soak_reoptimizations : int;
@@ -103,6 +113,7 @@ type soak_result = {
 val soak :
   ?config:soak_config ->
   ?check:(Sdx_core.Runtime.t -> int) ->
+  ?check_incremental:(Sdx_core.Runtime.t -> int) ->
   Rng.t ->
   Workload.t ->
   Sdx_core.Runtime.t ->
@@ -111,7 +122,12 @@ val soak :
     handled.  [check], called at every checkpoint and once at the end,
     returns the number of error findings (the bench wires in the
     [sdx_check] analyzer here; the library carries no dependency on it).
-    Withdrawn sessions are restored before the mandatory final
-    checkpoint, so the result reflects a settled table. *)
+    [check_incremental], called after every [check_every]-th burst
+    commit, is expected to consume the runtime's dirty-set
+    ({!Sdx_core.Runtime.consume_dirty}) and verify just the touched
+    obligations — the bench wires in [Check.runtime_incremental], which
+    falls back to a full pass after table rebuilds.  Withdrawn sessions
+    are restored before the mandatory final checkpoint, so the result
+    reflects a settled table. *)
 
 val pp_soak_result : Format.formatter -> soak_result -> unit

@@ -86,6 +86,20 @@ let no_entry =
 
 let dummy_packet = Packet.make ()
 
+(* A read-copy-update view of the table: an engine plus a sorted entry
+   array, built once by the owning domain and never mutated afterwards.
+   Readers on any domain may probe [snap_engine] concurrently — the hash
+   tables, tries and buckets inside are frozen, so there is no resize,
+   no rebalancing, and nothing to lock.  The only mutable state a
+   snapshot shares with the live table is [entry.packets], which
+   snapshot lookups deliberately never touch (counters stay owned by the
+   writer domain). *)
+type snapshot = {
+  snap_engine : engine;
+  snap_entries : entry array;  (* sorted by [order]; the frozen oracle *)
+  snap_seq : int;  (* table's next_seq at build time, for diagnostics *)
+}
+
 type t = {
   by_key : entry KeyTbl.t;  (* (priority, pattern) -> live entry *)
   mutable count : int;
@@ -103,6 +117,10 @@ type t = {
   mutable probe_pkt : Packet.t;
   mutable trie_visit : bucket -> unit;
   mutable lookups : int;
+  (* Published RCU snapshot: [None] after any mutation, lazily rebuilt
+     by [snapshot].  Single writer (the owning domain), many readers. *)
+  snap : snapshot option Atomic.t;
+  mutable snapshots : int;
 }
 
 module Obs = struct
@@ -124,6 +142,7 @@ module Obs = struct
     Gauge.add entries (float_of_int (installed - removed))
 
   let rebuilds = counter "sdx_openflow_engine_rebuilds_total"
+  let snapshot_builds = counter "sdx_openflow_snapshot_builds_total"
 
   (* Per-layer hit attribution, indexed by the layer tags below; "miss"
      rides in the same family so dashboards can stack to 100%. *)
@@ -213,16 +232,11 @@ let sorted_entries t =
   end;
   t.sorted
 
-(* Full re-partition from the live entry set.  Entries are consed in
-   reverse sorted order so every bucket and the residual band come out
-   sorted with O(1) work per entry. *)
-let rebuild t =
-  let eng = t.engine in
-  eng.shapes <- [];
-  eng.dst_trie <- Prefix_trie.empty;
-  eng.src_trie <- Prefix_trie.empty;
-  eng.residual <- [];
-  eng.residual_len <- 0;
+(* Partition a reverse-sorted entry list into [eng]'s layers.  Entries
+   are consed in reverse sorted order so every bucket and the residual
+   band come out sorted with O(1) work per entry.  Shared by the
+   in-place [rebuild] and the RCU [snapshot] builder. *)
+let partition_rev eng rev_sorted =
   let trie_prepend trie pre e =
     match Prefix_trie.find_opt pre trie with
     | Some b ->
@@ -245,10 +259,25 @@ let rebuild t =
       | Residual ->
           eng.residual <- e :: eng.residual;
           eng.residual_len <- eng.residual_len + 1)
-    (List.rev (sorted_entries t));
+    rev_sorted
+
+(* Full re-partition from the live entry set. *)
+let rebuild t =
+  let eng = t.engine in
+  eng.shapes <- [];
+  eng.dst_trie <- Prefix_trie.empty;
+  eng.src_trie <- Prefix_trie.empty;
+  eng.residual <- [];
+  eng.residual_len <- 0;
+  partition_rev eng (List.rev (sorted_entries t));
   t.stale <- 0;
   t.rebuilds <- t.rebuilds + 1;
   Sdx_obs.Registry.Counter.incr Obs.rebuilds
+
+(* Any mutation retires the published snapshot; readers holding the old
+   one keep a consistent (pre-mutation) view until they re-[snapshot]. *)
+let invalidate_snapshot t =
+  match Atomic.get t.snap with None -> () | Some _ -> Atomic.set t.snap None
 
 (* In-place insertion/removal keeps the engine exact, but leaves empty
    hash buckets, dead trie nodes, and oversized shape tables behind;
@@ -282,6 +311,8 @@ let create ?capacity () =
       probe_pkt = dummy_packet;
       trie_visit = ignore;
       lookups = 0;
+      snap = Atomic.make None;
+      snapshots = 0;
     }
   in
   (* Preallocated once so the per-packet trie walk closes over nothing. *)
@@ -322,6 +353,7 @@ let install t (flow : Flow.t) =
   KeyTbl.replace t.by_key key e;
   t.count <- t.count + 1;
   t.sorted_valid <- false;
+  invalidate_snapshot t;
   engine_insert t e;
   maybe_rebuild t;
   Obs.mutate ~installed:1 ~removed
@@ -335,6 +367,7 @@ let install_all t flows =
   Fun.protect
     ~finally:(fun () ->
       t.sorted_valid <- false;
+      invalidate_snapshot t;
       rebuild t;
       Obs.mutate ~installed:!installed ~removed:!removed)
     (fun () ->
@@ -364,6 +397,7 @@ let remove t ~priority ~pattern =
       KeyTbl.remove t.by_key (priority, pattern);
       t.count <- t.count - 1;
       t.sorted_valid <- false;
+      invalidate_snapshot t;
       engine_remove t e;
       maybe_rebuild t;
       Obs.mutate ~installed:0 ~removed:1
@@ -374,6 +408,7 @@ let clear t =
   t.count <- 0;
   t.sorted <- [];
   t.sorted_valid <- true;
+  invalidate_snapshot t;
   t.engine.shapes <- [];
   t.engine.dst_trie <- Prefix_trie.empty;
   t.engine.src_trie <- Prefix_trie.empty;
@@ -390,6 +425,7 @@ let remove_where t pred =
     List.iter (fun (k, _) -> KeyTbl.remove t.by_key k) victims;
     t.count <- t.count - n;
     t.sorted_valid <- false;
+    invalidate_snapshot t;
     rebuild t
   end;
   Obs.mutate ~installed:0 ~removed:n;
@@ -463,6 +499,131 @@ let lookup_linear t pkt =
   go (sorted_entries t)
 
 (* ------------------------------------------------------------------ *)
+(* RCU snapshots and batched lookup                                     *)
+
+(* Build (or return the published) immutable view.  Single-writer
+   discipline: only the domain that mutates the table may call this;
+   the returned snapshot may then be probed from any domain. *)
+let snapshot t =
+  match Atomic.get t.snap with
+  | Some s -> s
+  | None ->
+      let sorted = sorted_entries t in
+      let eng =
+        {
+          shapes = [];
+          dst_trie = Prefix_trie.empty;
+          src_trie = Prefix_trie.empty;
+          residual = [];
+          residual_len = 0;
+        }
+      in
+      partition_rev eng (List.rev sorted);
+      let s =
+        { snap_engine = eng; snap_entries = Array.of_list sorted; snap_seq = t.next_seq }
+      in
+      t.snapshots <- t.snapshots + 1;
+      Sdx_obs.Registry.Counter.incr Obs.snapshot_builds;
+      Atomic.set t.snap (Some s);
+      s
+
+let snapshot_size s = Array.length s.snap_entries
+let snapshot_seq s = s.snap_seq
+
+(* A lookup function over a frozen snapshot with a private cursor, so
+   each domain can own one and probe the shared engine without touching
+   any shared mutable state.  Pure: no packet counters, no metrics —
+   the writer domain owns those. *)
+let searcher snap =
+  let eng = snap.snap_engine in
+  let best = ref no_entry in
+  let probe = ref dummy_packet in
+  let consider (e : entry) = if !best == no_entry || order e !best < 0 then best := e in
+  let visit b =
+    let rec scan = function
+      | [] -> ()
+      | (e : entry) :: rest ->
+          if Pattern.matches e.flow.Flow.pattern !probe then consider e else scan rest
+    in
+    scan b.items
+  in
+  let rec scan_first pkt = function
+    | [] -> ()
+    | (e : entry) :: rest ->
+        if Pattern.matches e.flow.Flow.pattern pkt then consider e
+        else scan_first pkt rest
+  in
+  let rec probe_shapes pkt = function
+    | [] -> ()
+    | s :: rest ->
+        (match Hashtbl.find s.tbl (Pattern.packet_key s.mask pkt) with
+        | b -> scan_first pkt b.items
+        | exception Not_found -> ());
+        probe_shapes pkt rest
+  in
+  fun (pkt : Packet.t) ->
+    best := no_entry;
+    probe_shapes pkt eng.shapes;
+    probe := pkt;
+    Prefix_trie.iter_matches pkt.Packet.dst_ip visit eng.dst_trie;
+    Prefix_trie.iter_matches pkt.Packet.src_ip visit eng.src_trie;
+    probe := dummy_packet;
+    scan_first pkt eng.residual;
+    if !best == no_entry then None else Some (!best).flow
+
+(* One-shot convenience over [searcher]; allocates a cursor per call, so
+   hot loops should hold a searcher instead. *)
+let snapshot_lookup snap pkt = searcher snap pkt
+
+(* Linear oracle over the frozen entry array: agrees with what [searcher]
+   answers for THIS snapshot even while the live table keeps mutating,
+   which makes concurrent equivalence checks exact. *)
+let snapshot_linear snap pkt =
+  let entries = snap.snap_entries in
+  let n = Array.length entries in
+  let rec go i =
+    if i >= n then None
+    else
+      let e = Array.unsafe_get entries i in
+      if Pattern.matches e.flow.Flow.pattern pkt then Some e.flow else go (i + 1)
+  in
+  go 0
+
+(* Owner-domain batched lookup: same results and the same per-entry /
+   per-layer counter effects as [lookup] packet-by-packet, but the
+   engine layers are hoisted out of the loop and the metric counters are
+   flushed once per batch instead of once per packet. *)
+let lookup_batch t (pkts : Packet.t array) =
+  let n = Array.length pkts in
+  let out = Array.make n None in
+  let hits = [| 0; 0; 0; 0 |] in
+  let eng = t.engine in
+  for i = 0 to n - 1 do
+    let pkt = Array.unsafe_get pkts i in
+    t.best <- no_entry;
+    t.best_layer <- layer_miss;
+    probe_shapes t pkt eng.shapes;
+    t.probe_pkt <- pkt;
+    Prefix_trie.iter_matches pkt.Packet.dst_ip t.trie_visit eng.dst_trie;
+    Prefix_trie.iter_matches pkt.Packet.src_ip t.trie_visit eng.src_trie;
+    t.probe_pkt <- dummy_packet;
+    scan_first t pkt layer_residual eng.residual;
+    if t.best == no_entry then hits.(layer_miss) <- hits.(layer_miss) + 1
+    else begin
+      let e = t.best in
+      e.packets <- e.packets + 1;
+      hits.(t.best_layer) <- hits.(t.best_layer) + 1;
+      t.best <- no_entry;
+      Array.unsafe_set out i (Some e.flow)
+    end
+  done;
+  t.lookups <- t.lookups + n;
+  Array.iteri
+    (fun l c -> if c > 0 then Sdx_obs.Registry.Counter.add Obs.layer_hits.(l) c)
+    hits;
+  out
+
+(* ------------------------------------------------------------------ *)
 
 let size t = t.count
 let capacity t = t.capacity
@@ -479,6 +640,7 @@ type engine_stats = {
   prefix_entries : int;
   residual_entries : int;
   rebuilds : int;
+  snapshots : int;
 }
 
 let engine_stats t =
@@ -490,6 +652,7 @@ let engine_stats t =
       + Prefix_trie.fold (fun _ b acc -> acc + List.length b.items) t.engine.src_trie 0;
     residual_entries = t.engine.residual_len;
     rebuilds = t.rebuilds;
+    snapshots = t.snapshots;
   }
 
 let pp fmt t =

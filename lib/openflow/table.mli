@@ -46,6 +46,51 @@ val lookup_linear : t -> Packet.t -> Flow.t option
     serve as the oracle for equivalence tests and as the baseline the
     [bench dataplane] target measures the engine against. *)
 
+val lookup_batch : t -> Packet.t array -> Flow.t option array
+(** [lookup] over a packet vector, on the owning domain: identical
+    results and identical per-entry / per-layer counter effects as
+    looking each packet up in order, but the engine layers are hoisted
+    out of the loop and the observability counters are flushed once per
+    batch rather than once per packet. *)
+
+(** {2 Read-copy-update snapshots}
+
+    A snapshot is an immutable copy of the engine plus the sorted entry
+    array, built by the table's owning domain ({!snapshot}) and safe to
+    probe concurrently from any number of reader domains — nothing in it
+    is ever mutated after publication, so lookups never lock.  Any
+    mutation on the live table retires the published snapshot; readers
+    holding one keep a consistent pre-mutation view until they call
+    {!snapshot} again.  Snapshot lookups are pure: packet counters and
+    metrics stay owned by the writer domain. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** The published snapshot, building (and atomically publishing) a fresh
+    one if a mutation retired it.  Must be called from the domain that
+    owns the table; the result may be shared with any domain. *)
+
+val searcher : snapshot -> Packet.t -> Flow.t option
+(** [searcher snap] is a lookup function with a private cursor: create
+    one per reader domain and apply it per packet.  The partial
+    application allocates the cursor, so hot loops must hold on to
+    [let find = searcher snap] rather than calling [searcher snap pkt]
+    per packet. *)
+
+val snapshot_lookup : snapshot -> Packet.t -> Flow.t option
+(** One-shot convenience over {!searcher} (allocates a cursor per
+    call). *)
+
+val snapshot_linear : snapshot -> Packet.t -> Flow.t option
+(** Linear-scan oracle over the snapshot's frozen entry array: agrees
+    with {!searcher} on this snapshot even while the live table keeps
+    mutating, which makes concurrent equivalence checks exact. *)
+
+val snapshot_size : snapshot -> int
+val snapshot_seq : snapshot -> int
+(** Table sequence number at build time (monotone across rebuilds). *)
+
 val size : t -> int
 val capacity : t -> int option
 val entries : t -> Flow.t list
@@ -60,6 +105,7 @@ type engine_stats = {
   prefix_entries : int;
   residual_entries : int;
   rebuilds : int;  (** full re-partitions this table has performed *)
+  snapshots : int;  (** RCU snapshots this table has published *)
 }
 
 val engine_stats : t -> engine_stats

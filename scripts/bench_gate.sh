@@ -31,15 +31,24 @@
 # linear scan by at least 5x at the headline (>= 5k rule) table, with
 # enough margin under the real ~20x that CI jitter does not flake.
 # Warns when `engine_pps` regressed by more than 25% vs the baseline.
+# When the report carries the parallel RCU keys (`aggregate_pps`,
+# `parallel_identical`, `single_core_pps`), additionally fails on
+# `parallel_identical` != true (a worker domain diverged from the
+# snapshot's linear scan — an RCU bug, not jitter), and enforces the
+# scaling floor `aggregate_pps >= 1.5 * single_core_pps` only when the
+# host has >= 2 cores (`nproc`); single-core hosts cannot scale, so
+# there the floor is a warning.
 #
 # `bench soak` (churn): fails on any `check_errors` or
 # `equiv_divergences` (the soak must stay verified and equivalent to
-# from-scratch recompiles), and on `reoptimizations` or `vnh_reclaimed`
-# of zero — a soak that never re-optimized or never reclaimed a VNH did
-# not exercise the lifecycle it exists to test.  Warns when
-# `updates_per_s` regressed by more than 25% vs the baseline.  Update
-# counts are deliberately NOT compared: the committed baseline is a
-# million-update run while CI soaks a smaller count.
+# from-scratch recompiles), on any `incremental_errors` when the report
+# carries the inline-check keys (every burst commit must verify), and on
+# `reoptimizations` or `vnh_reclaimed` of zero — a soak that never
+# re-optimized or never reclaimed a VNH did not exercise the lifecycle
+# it exists to test.  Warns when `updates_per_s` regressed by more than
+# 25% vs the baseline.  Update counts are deliberately NOT compared: the
+# committed baseline is a million-update run while CI soaks a smaller
+# count.
 set -eu
 
 if [ $# -ne 2 ]; then
@@ -106,6 +115,32 @@ if grep -q '"identical_to_linear"' "$candidate"; then
         }
     }'
 
+    # --- parallel RCU keys (present once the report carries them) ---
+    par_identical=$(field "$candidate" parallel_identical)
+    if [ -n "$par_identical" ]; then
+        if [ "$par_identical" != "true" ]; then
+            echo "bench gate: FAIL a parallel worker diverged from the snapshot linear scan"
+            fail=1
+        else
+            echo "bench gate: ok   parallel_identical=true"
+        fi
+
+        aggregate=$(field "$candidate" aggregate_pps)
+        single=$(field "$candidate" single_core_pps)
+        workers=$(field "$candidate" workers)
+        require "aggregate_pps" "$aggregate"
+        require "single_core_pps" "$single"
+        cores=$( (nproc 2>/dev/null || echo 1) | head -n 1)
+        if awk -v a="$aggregate" -v s="$single" 'BEGIN { exit !(s > 0 && a >= s * 1.5) }'; then
+            echo "bench gate: ok   aggregate_pps=$aggregate ($workers workers, single_core_pps=$single)"
+        elif [ "$cores" -ge 2 ]; then
+            echo "bench gate: FAIL aggregate_pps=$aggregate is under 1.5x single_core_pps=$single on a ${cores}-core host"
+            fail=1
+        else
+            echo "bench gate: WARN aggregate_pps=$aggregate under 1.5x single_core_pps=$single (single-core host; scaling floor not enforced)"
+        fi
+    fi
+
     exit "$fail"
 fi
 
@@ -121,6 +156,17 @@ if grep -q '"updates_per_s"' "$candidate"; then
             echo "bench gate: ok   $key=0"
         fi
     done
+
+    incr_errors=$(field "$candidate" incremental_errors)
+    if [ -n "$incr_errors" ]; then
+        incr_checks=$(field "$candidate" incremental_checks)
+        if [ "$incr_errors" != "0" ]; then
+            echo "bench gate: FAIL incremental_errors=$incr_errors across $incr_checks inline check(s)"
+            fail=1
+        else
+            echo "bench gate: ok   incremental_errors=0 ($incr_checks inline check(s))"
+        fi
+    fi
 
     for key in reoptimizations vnh_reclaimed; do
         cand=$(field "$candidate" "$key")

@@ -294,6 +294,144 @@ let test_shadow_lint () =
   check_bool "shadowed rule reported" true
     (has_code "shadowed-rule" (Check.warnings report))
 
+(* ------------------------------------------------------------------ *)
+(* Incremental checking: the dirty-set protocol cross-validated against
+   the full pass.                                                       *)
+
+let test_incremental_after_burst () =
+  let runtime = Fig1.make_runtime () in
+  (* Creation rebuilds the whole table, so the first consumer must fall
+     back to a full pass. *)
+  check_bool "fresh runtime reports a rebuild" true
+    (Runtime.consume_dirty runtime = None);
+  let stats =
+    Runtime.announce runtime ~peer:Fig1.asn_d ~port:0
+      (Prefix.of_string "50.0.0.0/8")
+  in
+  check_bool "fast path installed rules" true (stats.Runtime.extra_rules > 0);
+  (match Runtime.last_dirty runtime with
+  | None -> Alcotest.fail "expected a dirty-set after a fast-path burst"
+  | Some d ->
+      check_bool "dirty rules recorded" true (d.Runtime.dirty_rules <> []);
+      check_bool "dirty groups recorded" true (d.Runtime.dirty_groups <> []);
+      let subject = Check.subject_of_runtime runtime in
+      let report = Check.run_incremental ~dirty:d subject in
+      check_bool
+        (Format.asprintf "incremental verifies clean: %s" (pp_errors report))
+        false (Check.has_errors report);
+      check_bool "scoped to the dirty rules" true
+        (report.Check.rules_checked > 0
+        && report.Check.rules_checked <= List.length d.Runtime.dirty_rules);
+      check_bool "loop pass skipped" false
+        (List.mem "loops" report.Check.passes_run));
+  ignore (Runtime.consume_dirty runtime);
+  (* Consuming resets the accumulator to the empty dirty-set... *)
+  (match Runtime.consume_dirty runtime with
+  | Some d -> check_bool "empty after consume" true (d.Runtime.dirty_rules = [])
+  | None -> Alcotest.fail "expected the empty dirty-set after consuming");
+  (* ...and a re-optimization invalidates it outright, forcing the
+     runtime_incremental entry point into its full-pass fallback. *)
+  ignore (Runtime.reoptimize runtime);
+  let report = Check.runtime_incremental runtime in
+  check_bool "fallback ran the full pass" true
+    (List.mem "loops" report.Check.passes_run);
+  check_bool
+    (Format.asprintf "fallback verifies clean: %s" (pp_errors report))
+    false (Check.has_errors report)
+
+(* Staleness seeded into the dirty rules themselves must be caught by the
+   inline incremental check — the per-burst always-on mode. *)
+let test_incremental_catches_stale_burst () =
+  let runtime = Fig1.make_runtime () in
+  ignore (Runtime.consume_dirty runtime);
+  let p_new = Prefix.of_string "50.0.0.0/8" in
+  ignore (Runtime.announce runtime ~peer:Fig1.asn_d ~port:0 p_new);
+  (* Withdraw behind the runtime's back: the just-installed fast-path
+     block goes stale, and its rules are exactly the dirty ones. *)
+  ignore (Config.withdraw (Runtime.config runtime) ~peer:Fig1.asn_d p_new);
+  let report = Check.runtime_incremental runtime in
+  check_bool "incremental passes only" false
+    (List.mem "loops" report.Check.passes_run);
+  check_bool "stale dirty rules caught incrementally" true
+    (error_with_code "forward-beyond-export" report
+    || error_with_code "stale-default-forward" report)
+
+(* Precision: a violation seeded OUTSIDE the dirty-set is skipped by the
+   incremental pass (that is the whole point — the periodic full
+   checkpoints cover untouched rules) while the full pass still sees it. *)
+let test_incremental_scopes_to_dirty () =
+  let runtime = Fig1.make_runtime () in
+  ignore (Runtime.consume_dirty runtime);
+  ignore
+    (Runtime.announce runtime ~peer:Fig1.asn_d ~port:0
+       (Prefix.of_string "50.0.0.0/8"));
+  let dirty =
+    match Runtime.consume_dirty runtime with
+    | Some d -> d
+    | None -> Alcotest.fail "expected a dirty-set"
+  in
+  let subject = Check.subject_of_runtime runtime in
+  let mutated = ref None in
+  let rules =
+    List.mapi
+      (fun i ((r : Classifier.rule), prov) ->
+        match prov with
+        | Compile.Outbound { via = Some _; _ }
+          when !mutated = None && not (List.mem i dirty.Runtime.dirty_rules) ->
+            mutated := Some i;
+            ( {
+                r with
+                Classifier.pattern = { r.pattern with Pattern.port = None };
+              },
+              prov )
+        | _ -> (r, prov))
+      (Check.rules subject)
+  in
+  check_bool "found an untouched policy rule to mutate" true (!mutated <> None);
+  let mutated_subject = Check.with_rules subject rules in
+  let full = Check.run mutated_subject in
+  check_bool "full pass catches the mutation" true
+    (error_with_code "unpinned-policy-rule" full);
+  let inc = Check.run_incremental ~dirty mutated_subject in
+  check_bool "incremental skips the untouched rule" false
+    (error_with_code "unpinned-policy-rule" inc)
+
+let prop_incremental_cross_validates =
+  QCheck.Test.make ~count:6
+    ~name:"incremental findings cross-validate against the full pass"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let w = Workload.build rng ~participants:10 ~prefixes:80 () in
+      let runtime = Workload.runtime w in
+      ignore (Runtime.consume_dirty runtime);
+      ignore (Runtime.handle_burst runtime (Workload.burst rng w ~size:5));
+      ignore (Runtime.handle_burst runtime (Workload.burst rng w ~size:3));
+      match Runtime.consume_dirty runtime with
+      | None -> true (* a burst fell forward into a rebuild; full pass covers it *)
+      | Some dirty ->
+          let subject = Check.subject_of_runtime runtime in
+          let inc = Check.run_incremental ~dirty subject in
+          let full = Check.run ~passes:Check.incremental_passes subject in
+          let key (f : Check.finding) =
+            (f.Check.pass, f.Check.code, f.Check.rules)
+          in
+          let full_keys = List.map key full.Check.findings in
+          let missing =
+            List.filter
+              (fun f -> not (List.mem (key f) full_keys))
+              inc.Check.findings
+          in
+          if missing <> [] then
+            QCheck.Test.fail_reportf
+              "seed %d: incremental-only finding(s) absent from the full \
+               pass: %s"
+              seed
+              (pp_errors { inc with Check.findings = missing })
+          else if Check.has_errors inc then
+            QCheck.Test.fail_reportf "seed %d: %s" seed (pp_errors inc)
+          else true)
+
 let () =
   Alcotest.run "sdx_check"
     [
@@ -323,5 +461,15 @@ let () =
           Alcotest.test_case "unhandled VMAC" `Quick
             test_mutation_unhandled_vmac;
           Alcotest.test_case "shadowed rule lint" `Quick test_shadow_lint;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "dirty-set after a burst" `Quick
+            test_incremental_after_burst;
+          Alcotest.test_case "catches a stale burst inline" `Quick
+            test_incremental_catches_stale_burst;
+          Alcotest.test_case "scopes to the dirty rules" `Quick
+            test_incremental_scopes_to_dirty;
+          QCheck_alcotest.to_alcotest prop_incremental_cross_validates;
         ] );
     ]

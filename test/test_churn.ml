@@ -179,10 +179,14 @@ let soak_once ~seed ~updates =
       storm_size = 20;
       train_length = 15;
       max_burst = 4;
+      check_every = 1;
     }
   in
   let check rt = List.length (Check.errors (Check.runtime rt)) in
-  (Replay.soak ~config ~check rng w runtime, runtime)
+  let check_incremental rt =
+    List.length (Check.errors (Check.runtime_incremental rt))
+  in
+  (Replay.soak ~config ~check ~check_incremental rng w runtime, runtime)
 
 let prop_soak_survives =
   QCheck.Test.make ~count:5
@@ -197,12 +201,19 @@ let prop_soak_survives =
         QCheck.Test.fail_reportf
           "seed %d: %d divergence(s) from a from-scratch recompile" seed
           r.Replay.soak_equiv_divergences;
+      if r.Replay.soak_incremental_errors > 0 then
+        QCheck.Test.fail_reportf
+          "seed %d: %d error(s) from inline incremental checks" seed
+          r.Replay.soak_incremental_errors;
       r.Replay.soak_updates >= 1_500)
 
 let test_soak_exercises_lifecycle () =
   let r, runtime = soak_once ~seed:42 ~updates:3_000 in
   check_int "no checkpoint errors" 0 r.Replay.soak_check_errors;
   check_int "no forwarding divergences" 0 r.Replay.soak_equiv_divergences;
+  check_bool "inline checks ran on every burst" true
+    (r.Replay.soak_incremental_checks >= r.Replay.soak_bursts);
+  check_int "no inline incremental errors" 0 r.Replay.soak_incremental_errors;
   check_bool "VNHs were reclaimed" true (r.Replay.soak_vnh_reclaimed > 0);
   check_bool "the background stage ran" true
     (r.Replay.soak_reoptimizations >= 1);

@@ -318,16 +318,18 @@ let prop_engine_equals_linear_oracle =
              Table.hits tbl ~priority ~pattern = Model.hits model ~priority ~pattern)
            !keys)
 
+let gen_engine_flow =
+  QCheck2.Gen.(
+    map2
+      (fun (priority, pattern) p -> Flow.make ~priority ~pattern ~actions:[ out p ])
+      (pair (int_range 0 4) gen_engine_pattern)
+      (int_range 0 3))
+
 let prop_install_all_equals_sequential =
   QCheck2.Test.make ~name:"install_all batch = sequential installs" ~count:200
     QCheck2.Gen.(
       pair
-        (list_size (int_range 0 60)
-           (map2
-              (fun (priority, pattern) p ->
-                Flow.make ~priority ~pattern ~actions:[ out p ])
-              (pair (int_range 0 4) gen_engine_pattern)
-              (int_range 0 3)))
+        (list_size (int_range 0 60) gen_engine_flow)
         (list_size (int_range 1 20) gen_engine_packet))
     (fun (flows, pkts) ->
       let batch = Table.create () in
@@ -336,6 +338,73 @@ let prop_install_all_equals_sequential =
       List.iter (Table.install seq) flows;
       Table.entries batch = Table.entries seq
       && List.for_all (fun pkt -> Table.lookup batch pkt = Table.lookup seq pkt) pkts)
+
+let prop_lookup_batch_equals_lookup =
+  QCheck2.Test.make
+    ~name:"lookup_batch = per-packet lookup (results, counters, oracle)"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 60) gen_engine_flow)
+        (list_size (int_range 0 40) gen_engine_packet))
+    (fun (flows, pkts) ->
+      let a = Table.create () in
+      let b = Table.create () in
+      Table.install_all a flows;
+      Table.install_all b flows;
+      let arr = Array.of_list pkts in
+      let batch = Table.lookup_batch a arr in
+      let one_by_one = Array.map (Table.lookup b) arr in
+      batch = one_by_one
+      (* ... and agrees with the pure linear oracle ... *)
+      && Array.for_all Fun.id
+           (Array.mapi (fun i pkt -> batch.(i) = Table.lookup_linear a pkt) arr)
+      (* ... and leaves every per-entry packet counter exactly as the
+         per-packet path does. *)
+      && List.for_all
+           (fun (f : Flow.t) ->
+             Table.hits a ~priority:f.priority ~pattern:f.pattern
+             = Table.hits b ~priority:f.priority ~pattern:f.pattern)
+           flows)
+
+(* The RCU contract: a published snapshot is frozen.  A reader domain
+   drains the packet vector against it while the owner domain keeps
+   installing, removing, and republishing; the reader must see exactly
+   the answers the snapshot's own linear scan gave before the churn
+   started, and the post-churn snapshot must match the mutated table. *)
+let prop_snapshot_frozen_under_churn =
+  QCheck2.Test.make
+    ~name:"RCU snapshot lookups are immutable under concurrent rebuilds"
+    ~count:50
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 50) gen_engine_flow)
+        (list_size (int_range 1 30) gen_engine_flow)
+        (list_size (int_range 1 30) gen_engine_packet))
+    (fun (initial, later, pkts) ->
+      let t = Table.create () in
+      Table.install_all t initial;
+      let snap = Table.snapshot t in
+      let arr = Array.of_list pkts in
+      let oracle = Array.map (Table.snapshot_linear snap) arr in
+      let reader =
+        Domain.spawn (fun () ->
+            let find = Table.searcher snap in
+            Array.map find arr)
+      in
+      List.iter
+        (fun f ->
+          Table.install t f;
+          ignore (Table.snapshot t))
+        later;
+      ignore (Table.remove_where t (fun (f : Flow.t) -> f.priority = 0));
+      let fresh = Table.snapshot t in
+      let got = Domain.join reader in
+      got = oracle
+      && Array.for_all
+           (fun pkt -> Table.snapshot_lookup fresh pkt = Table.lookup_linear t pkt)
+           arr
+      && Table.snapshot_size fresh = Table.size t)
 
 (* ------------------------------------------------------------------ *)
 (* Switch                                                              *)
@@ -533,7 +602,12 @@ let () =
             test_table_overwrite_resets_counter;
         ]
         @ qsuite
-            [ prop_engine_equals_linear_oracle; prop_install_all_equals_sequential ] );
+            [
+              prop_engine_equals_linear_oracle;
+              prop_install_all_equals_sequential;
+              prop_lookup_batch_equals_lookup;
+              prop_snapshot_frozen_under_churn;
+            ] );
       ( "switch",
         [
           Alcotest.test_case "process" `Quick test_switch_process_basic;
