@@ -442,7 +442,7 @@ let run_par ~seed ~scale =
   let w, participants, prefixes = par_workload ~seed ~scale in
   note "%d participants, %d prefixes; host recommends %d domain(s)"
     participants prefixes
-    (Domain.recommended_domain_count ());
+    (Sdx_sanitize.Sync.Domain.recommended_count ());
   let base, base_s = compile_with_domains w 1 in
   let base_cls = Sdx_core.Compile.classifier base in
   let base_stats = Sdx_core.Compile.stats base in
@@ -1096,6 +1096,51 @@ let run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
   in
   let r = Replay.soak ~config ~check ~check_incremental rng w runtime in
   Format.printf "  %a@." Replay.pp_soak_result r;
+  (* Instrumented-vs-plain overhead: replay a short identical slice of
+     the same churn with the sdx_race detector off and then in Record
+     mode.  The workload and runtime are rebuilt inside each slice so
+     the Record-mode run constructs *tracked* pools/tables/registries
+     (structures created while the detector is off stay passthrough for
+     their lifetime).  The instrumented slice doubles as the
+     "zero races on the unmutated tree" soak check: any report fails
+     the target. *)
+  let module Sync = Sdx_sanitize.Sync in
+  let slice_updates = max 1_000 (min updates 20_000) in
+  let slice () =
+    let rng = Rng.create ~seed:(seed + 1) in
+    let w = Workload.build rng ~participants ~prefixes () in
+    let runtime = Sdx_core.Runtime.create ~vnh_pool w.Workload.config in
+    let config =
+      {
+        config with
+        Replay.target_updates = slice_updates;
+        checkpoint_every = slice_updates + 1;
+        check_every = 0;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    ignore (Replay.soak ~config rng w runtime);
+    Unix.gettimeofday () -. t0
+  in
+  let prev_mode = Sync.mode () in
+  let plain_s =
+    Sync.set_mode Sync.Off;
+    slice ()
+  in
+  Sync.set_mode Sync.Record;
+  let record_s =
+    Fun.protect ~finally:(fun () -> Sync.set_mode prev_mode) slice
+  in
+  let sanitizer_races = List.length (Sync.races ()) in
+  List.iter
+    (fun rep -> note "sanitizer: %s" (Sync.report_summary rep))
+    (Sync.races ());
+  Sync.clear_races ();
+  let overhead_x = if plain_s > 0. then record_s /. plain_s else 1. in
+  note
+    "sanitizer overhead (%d-update slice): plain %.3fs, record %.3fs \
+     (%.2fx), %d race report(s)"
+    slice_updates plain_s record_s overhead_x sanitizer_races;
   let oc = open_out out in
   Printf.fprintf oc
     "{\n\
@@ -1120,7 +1165,12 @@ let run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
     \  \"peak_extra_rules\": %d,\n\
     \  \"peak_fastpath_blocks\": %d,\n\
     \  \"elapsed_s\": %.3f,\n\
-    \  \"updates_per_s\": %.0f\n\
+    \  \"updates_per_s\": %.0f,\n\
+    \  \"sanitizer_slice_updates\": %d,\n\
+    \  \"sanitizer_plain_s\": %.3f,\n\
+    \  \"sanitizer_record_s\": %.3f,\n\
+    \  \"sanitizer_overhead_x\": %.2f,\n\
+    \  \"sanitizer_races\": %d\n\
      }\n"
     participants prefixes pool_bits r.Replay.soak_updates r.soak_bursts
     r.soak_withdraw_storms r.soak_session_flaps r.soak_duplicate_trains
@@ -1128,7 +1178,8 @@ let run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
     r.soak_incremental_checks r.soak_incremental_errors
     r.soak_equiv_divergences r.soak_reoptimizations r.soak_vnh_reclaimed
     r.soak_vnh_peak_live r.soak_vnh_capacity r.soak_peak_extra_rules
-    r.soak_peak_fastpath_blocks r.soak_elapsed_s r.soak_updates_per_s;
+    r.soak_peak_fastpath_blocks r.soak_elapsed_s r.soak_updates_per_s
+    slice_updates plain_s record_s overhead_x sanitizer_races;
   close_out oc;
   note "wrote %s (%d updates, %d check errors, %d/%d inline, %d divergences)"
     out r.soak_updates r.soak_check_errors r.soak_incremental_errors
@@ -1150,6 +1201,12 @@ let run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
     note
       "ERROR: fast-path forwarding diverges from a from-scratch recompile; \
        failing";
+    exit 1
+  end;
+  if sanitizer_races > 0 then begin
+    note
+      "ERROR: the sdx_race detector flagged the unmutated runtime during \
+       the instrumented soak slice; failing";
     exit 1
   end
 

@@ -1,0 +1,28 @@
+(** Source-level concurrency lint.
+
+    Rejects raw [Mutex.]/[Condition.]/[Atomic.]/[Thread.]/[Domain.]
+    usage outside [lib/sanitize] (everything must go through the
+    [Sdx_sanitize.Sync] shim so the race detector sees it), and flags
+    [mutable] record fields in Sync-using modules that lack an
+    [sdx-owner:] ownership annotation in their enclosing top-level
+    item.  Comments, string and character literals are stripped before
+    matching.  Run by [sdxd lint] and [scripts/lint_concurrency.sh]. *)
+
+type finding = {
+  lint_file : string;
+  lint_line : int;  (** 1-based *)
+  lint_rule : string;  (** ["raw-primitive"] or ["unowned-mutable"] *)
+  lint_message : string;
+}
+
+val scan_source : path:string -> string -> finding list
+(** Lint one compilation unit's source text (exposed for tests). *)
+
+val scan_file : string -> finding list
+(** Lint one file; [lib/sanitize] paths return no findings. *)
+
+val scan_dirs : string list -> finding list
+(** Recursively lint every [.ml]/[.mli] under the given directories,
+    skipping [_build], [.git] and [lib/sanitize]. *)
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,6 +1,7 @@
 open Sdx_net
 open Sdx_policy
 open Sdx_bgp
+module Sync = Sdx_sanitize.Sync
 
 let blackhole_port = 0
 
@@ -130,6 +131,9 @@ type shard = {
          through [via] asks the same question of the same group, and the
          answer only depends on route-server state that is fixed for the
          duration of a build *)
+  (* sdx-owner: shard stats are domain-private (one shard per domain
+     per epoch, reached only through the DLS slot) until [aggregate]
+     reads them after the pool batch joins. *)
   mutable seq_ops : int;
   mutable memo_hits : int;
   mutable build_s : float;  (* CPU-seconds constructing diagrams *)
@@ -153,7 +157,7 @@ let fresh_shard () =
 (* Compile runs are numbered by a process-wide epoch; each pool domain
    keeps (at most) one live shard, keyed by the epoch that created it, so
    a new run never sees a stale manager from a previous one. *)
-let epoch_counter = Atomic.make 0
+let epoch_counter = Sync.Atomic.make 0
 let shard_slot : shard Parallel.Local.t = Parallel.Local.create ()
 
 (* Where a block of compiled rules came from — threaded alongside the
@@ -171,6 +175,10 @@ type t = {
   groups_ : group list;
   by_prefix : (Prefix.t, group) Hashtbl.t;
   arp_ : Sdx_arp.Responder.t;
+  (* sdx-owner: stats_, next_group_id, blocks_, batch_groups_ and
+     retired_groups_ are only written by the coordinating thread between
+     pool batches; shards_ is the exception and is guarded by
+     [shards_lock]. *)
   mutable stats_ : stats;
   ospecs : ospec list;
   memoize : bool;
@@ -188,9 +196,9 @@ type t = {
      per run, not once per shard. *)
   shared_bodies : (int * int, Classifier.t) Hashtbl.t;
   shared_pipes : (Asn.t * int option, Classifier.t) Hashtbl.t;
-  shared_lock : Mutex.t;
+  shared_lock : Sync.Mutex.t;
   mutable shards_ : shard list;
-  shards_lock : Mutex.t;
+  shards_lock : Sync.Mutex.t;
   mutable next_group_id : int;
   mutable blocks_ : (provenance * int) list;
   mutable batch_groups_ : group list;  (* fast-path groups, oldest first *)
@@ -229,9 +237,9 @@ let shard_of t =
   | Some s -> s
   | None ->
       let s = fresh_shard () in
-      Mutex.lock t.shards_lock;
+      Sync.Mutex.lock t.shards_lock;
       t.shards_ <- s :: t.shards_;
-      Mutex.unlock t.shards_lock;
+      Sync.Mutex.unlock t.shards_lock;
       Parallel.Local.set shard_slot ~epoch:t.epoch s;
       s
 
@@ -313,7 +321,7 @@ module Default_keys = struct
     fp_ids : ((Asn.t * Ipv4.t) list, int) Hashtbl.t;
     variants_of_id : (int, (Ipv4.t option * Asn.t list) list) Hashtbl.t;
     (* The memo tables may be consulted from pool domains. *)
-    lock : Mutex.t;
+    lock : Sync.Mutex.t;
   }
 
   let create config =
@@ -321,7 +329,7 @@ module Default_keys = struct
       config;
       fp_ids = Hashtbl.create 256;
       variants_of_id = Hashtbl.create 256;
-      lock = Mutex.create ();
+      lock = Sync.Mutex.create ();
     }
 
   let variants_of_fingerprint t fp =
@@ -362,7 +370,7 @@ module Default_keys = struct
     let fp =
       List.map (fun (r : Route.t) -> (r.learned_from, r.next_hop)) sorted
     in
-    Mutex.lock t.lock;
+    Sync.Mutex.lock t.lock;
     let id =
       match Hashtbl.find_opt t.fp_ids fp with
       | Some id -> id
@@ -374,13 +382,13 @@ module Default_keys = struct
           Hashtbl.replace t.variants_of_id id (variants_of_fingerprint t fp);
           id
     in
-    Mutex.unlock t.lock;
+    Sync.Mutex.unlock t.lock;
     id
 
   let variants t id =
-    Mutex.lock t.lock;
+    Sync.Mutex.lock t.lock;
     let v = Hashtbl.find t.variants_of_id id in
-    Mutex.unlock t.lock;
+    Sync.Mutex.unlock t.lock;
     v
 
   (* Variants for a single prefix, bypassing the fingerprint memo — used
@@ -556,17 +564,17 @@ let spec_head_fdd t shard config (spec : ospec) =
 let shared_find t tbl key =
   if not t.memoize then None
   else begin
-    Mutex.lock t.shared_lock;
+    Sync.Mutex.lock t.shared_lock;
     let r = Hashtbl.find_opt tbl key in
-    Mutex.unlock t.shared_lock;
+    Sync.Mutex.unlock t.shared_lock;
     r
   end
 
 let shared_put t tbl key v =
   if t.memoize then begin
-    Mutex.lock t.shared_lock;
+    Sync.Mutex.lock t.shared_lock;
     if not (Hashtbl.mem tbl key) then Hashtbl.replace tbl key v;
-    Mutex.unlock t.shared_lock
+    Sync.Mutex.unlock t.shared_lock
   end
 
 (* [owner]'s extracted inbound pipeline for one delivery port, through
@@ -1193,7 +1201,7 @@ let compile ?(optimized = true) ?(memoize = true) ?(ir = `Fdd) ?domains config
   List.iter
     (fun g -> List.iter (fun p -> Hashtbl.replace by_prefix p g) g.prefixes)
     groups_;
-  let epoch = Atomic.fetch_and_add epoch_counter 1 in
+  let epoch = Sync.Atomic.fetch_and_add epoch_counter 1 in
   let main_shard = fresh_shard () in
   (* Seed the coordinating domain's slot so jobs the submitter drains
      itself land in [main_shard], and so the fast path's later use of
@@ -1213,9 +1221,9 @@ let compile ?(optimized = true) ?(memoize = true) ?(ir = `Fdd) ?domains config
       main_shard;
       shared_bodies = Hashtbl.create 256;
       shared_pipes = Hashtbl.create 256;
-      shared_lock = Mutex.create ();
+      shared_lock = Sync.Mutex.create ();
       shards_ = [ main_shard ];
-      shards_lock = Mutex.create ();
+      shards_lock = Sync.Mutex.create ();
       next_group_id = List.length groups_;
       blocks_ = [];
       batch_groups_ = [];

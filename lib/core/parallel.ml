@@ -1,37 +1,57 @@
-(* A minimal fixed-size domain pool built on stdlib [Domain], [Mutex]
-   and [Condition] only.
+(* A minimal fixed-size domain pool built on the [Sync] sanitizer shim
+   over stdlib [Domain], [Mutex] and [Condition].
 
    Workers block on a shared task queue.  [map] enqueues one task per
    input element and the submitting domain drains the queue alongside
    the workers, so a pool of size [n] keeps [n] domains busy while only
    [n - 1] are spawned.  Each task writes its result into a slot indexed
    by input position, which makes [map] order-preserving no matter which
-   domain finishes first. *)
+   domain finishes first.
+
+   Every synchronization primitive goes through [Sync] so that under
+   SDX_RACE=1 the pool's happens-before edges are recorded, and under
+   the model explorer its operations become deterministic scheduling
+   points.  The [queue] and [stopped] fields are registered as tracked
+   locations: both are guarded by [mutex], and the tracker proves it —
+   dropping a lock anywhere on their access paths surfaces as a
+   write/write or write/read race (the seeded-mutation suite checks
+   exactly that). *)
+
+module Sync = Sdx_sanitize.Sync
 
 type t = {
   size : int;
-  mutex : Mutex.t;
-  pending : Condition.t;
+  mutex : Sync.Mutex.t;
+  pending : Sync.Condition.t;
   queue : (unit -> unit) Queue.t;
+  queue_tr : Sync.Tracked.t;  (* every Queue.add/take on [queue] *)
+  stopped_tr : Sync.Tracked.t;
+  (* sdx-owner: stopped is written only in [shutdown] and read in the
+     worker loop, both under [mutex]; tracked via [stopped_tr]. *)
   mutable stopped : bool;
-  mutable workers : unit Domain.t list;
+  (* sdx-owner: workers is written by the creating thread in [create]
+     and [shutdown] only; never touched from worker domains. *)
+  mutable workers : unit Sync.Domain.t list;
 }
 
 let size t = t.size
 
 let rec worker t =
-  Mutex.lock t.mutex;
+  Sync.Mutex.lock t.mutex;
   let rec next () =
+    Sync.Tracked.read t.stopped_tr;
     if t.stopped then None
-    else
+    else begin
+      Sync.Tracked.write t.queue_tr;
       match Queue.take_opt t.queue with
       | Some _ as task -> task
       | None ->
-          Condition.wait t.pending t.mutex;
+          Sync.Condition.wait t.pending t.mutex;
           next ()
+    end
   in
   let task = next () in
-  Mutex.unlock t.mutex;
+  Sync.Mutex.unlock t.mutex;
   match task with
   | None -> ()
   | Some task ->
@@ -43,22 +63,27 @@ let create ~domains =
   let t =
     {
       size;
-      mutex = Mutex.create ();
-      pending = Condition.create ();
+      mutex = Sync.Mutex.create ~name:"Parallel.pool" ();
+      pending = Sync.Condition.create ~name:"Parallel.pending" ();
       queue = Queue.create ();
+      queue_tr = Sync.Tracked.create "Parallel.queue";
+      stopped_tr = Sync.Tracked.create "Parallel.stopped";
       stopped = false;
       workers = [];
     }
   in
-  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <-
+    List.init (size - 1) (fun _ ->
+        Sync.Domain.spawn ~name:"pool-worker" (fun () -> worker t));
   t
 
 let shutdown t =
-  Mutex.lock t.mutex;
+  Sync.Mutex.lock t.mutex;
+  Sync.Tracked.write t.stopped_tr;
   t.stopped <- true;
-  Condition.broadcast t.pending;
-  Mutex.unlock t.mutex;
-  List.iter Domain.join t.workers;
+  Sync.Condition.broadcast t.pending;
+  Sync.Mutex.unlock t.mutex;
+  List.iter Sync.Domain.join t.workers;
   t.workers <- []
 
 let with_pool ~domains f =
@@ -75,30 +100,35 @@ type 'b cell = Pending | Done of 'b | Failed of exn
    submitting domain drains the queue alongside the workers, then waits
    out chunks still running elsewhere.  Callers arrange that each index
    is written by exactly one domain and only read after this returns, so
-   result arrays need no lock. *)
+   result arrays need no lock (and are deliberately not tracked: their
+   per-slot disjoint writes would alias to one location). *)
 let run_chunks t n task =
   let chunks = min n (8 * t.size) in
   let remaining = ref chunks in
-  let batch_mutex = Mutex.create () in
-  let batch_done = Condition.create () in
+  let remaining_tr = Sync.Tracked.create "Parallel.run_chunks.remaining" in
+  let batch_mutex = Sync.Mutex.create ~name:"Parallel.batch" () in
+  let batch_done = Sync.Condition.create ~name:"Parallel.batch_done" () in
   let job lo hi () =
     task lo hi;
-    Mutex.lock batch_mutex;
+    Sync.Mutex.lock batch_mutex;
+    Sync.Tracked.write remaining_tr;
     decr remaining;
-    if !remaining = 0 then Condition.broadcast batch_done;
-    Mutex.unlock batch_mutex
+    if !remaining = 0 then Sync.Condition.broadcast batch_done;
+    Sync.Mutex.unlock batch_mutex
   in
-  Mutex.lock t.mutex;
+  Sync.Mutex.lock t.mutex;
+  Sync.Tracked.write t.queue_tr;
   for c = 0 to chunks - 1 do
     Queue.add (job (c * n / chunks) ((c + 1) * n / chunks)) t.queue
   done;
-  Condition.broadcast t.pending;
-  Mutex.unlock t.mutex;
+  Sync.Condition.broadcast t.pending;
+  Sync.Mutex.unlock t.mutex;
   (* The submitter works too... *)
   let rec help () =
-    Mutex.lock t.mutex;
+    Sync.Mutex.lock t.mutex;
+    Sync.Tracked.write t.queue_tr;
     let job = Queue.take_opt t.queue in
-    Mutex.unlock t.mutex;
+    Sync.Mutex.unlock t.mutex;
     match job with
     | Some job ->
         job ();
@@ -107,11 +137,13 @@ let run_chunks t n task =
   in
   help ();
   (* ...then waits out tasks still running on other domains. *)
-  Mutex.lock batch_mutex;
+  Sync.Mutex.lock batch_mutex;
+  Sync.Tracked.read remaining_tr;
   while !remaining > 0 do
-    Condition.wait batch_done batch_mutex
+    Sync.Condition.wait batch_done batch_mutex;
+    Sync.Tracked.read remaining_tr
   done;
-  Mutex.unlock batch_mutex
+  Sync.Mutex.unlock batch_mutex
 
 let collect results =
   Array.map
@@ -153,31 +185,31 @@ let map_array t f xs =
    cached value at once without touching the other domains — exactly the
    lifecycle of per-domain FDD shard managers. *)
 module Local = struct
-  type 'a t = (int * 'a) option ref Domain.DLS.key
+  type 'a t = (int * 'a) option ref Sync.Dls.key
 
-  let create () = Domain.DLS.new_key (fun () -> ref None)
+  let create () = Sync.Dls.new_key (fun () -> ref None)
 
   let find t ~epoch =
-    match !(Domain.DLS.get t) with
+    match !(Sync.Dls.get t) with
     | Some (e, v) when e = epoch -> Some v
     | _ -> None
 
-  let set t ~epoch v = Domain.DLS.get t := Some (epoch, v)
+  let set t ~epoch v = Sync.Dls.get t := Some (epoch, v)
 end
 
 let default_domains () =
   match Option.bind (Sys.getenv_opt "SDX_DOMAINS") int_of_string_opt with
   | Some n when n >= 1 -> n
-  | Some _ | None -> Domain.recommended_domain_count ()
+  | Some _ | None -> Sync.Domain.recommended_count ()
 
 (* One process-wide pool, sized for the machine, created on first use.
    Never shut down: its workers are blocked (not spinning) when idle and
    die with the process. *)
-let global_mutex = Mutex.create ()
+let global_mutex = Sync.Mutex.create ~name:"Parallel.global" ()
 let global_pool = ref None
 
 let global () =
-  Mutex.lock global_mutex;
+  Sync.Mutex.lock global_mutex;
   let pool =
     match !global_pool with
     | Some p -> p
@@ -186,5 +218,5 @@ let global () =
         global_pool := Some p;
         p
   in
-  Mutex.unlock global_mutex;
+  Sync.Mutex.unlock global_mutex;
   pool

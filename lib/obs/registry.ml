@@ -1,35 +1,41 @@
+(* All synchronization goes through the sanitizer shim: in production
+   (Off) mode each wrapper is a passthrough costing one field load and
+   branch; under SDX_RACE=1 every operation records happens-before
+   edges for the race detector. *)
+module Sync = Sdx_sanitize.Sync
+
 (* Atomic float accumulator: OCaml atomics CAS on the boxed value, so a
    retry loop gives a lock-free fetch-and-add. *)
-let atomic_add_float (a : float Atomic.t) x =
+let atomic_add_float (a : float Sync.Atomic.t) x =
   let rec go () =
-    let old = Atomic.get a in
-    if not (Atomic.compare_and_set a old (old +. x)) then go ()
+    let old = Sync.Atomic.get a in
+    if not (Sync.Atomic.compare_and_set a old (old +. x)) then go ()
   in
   go ()
 
 module Counter = struct
-  type t = int Atomic.t
+  type t = int Sync.Atomic.t
 
-  let make () = Atomic.make 0
-  let incr t = ignore (Atomic.fetch_and_add t 1)
+  let make () = Sync.Atomic.make 0
+  let incr t = ignore (Sync.Atomic.fetch_and_add t 1)
 
   let add t n =
     if n < 0 then invalid_arg "Registry.Counter.add: negative delta";
-    ignore (Atomic.fetch_and_add t n)
+    ignore (Sync.Atomic.fetch_and_add t n)
 
-  let value t = Atomic.get t
-  let reset t = Atomic.set t 0
+  let value t = Sync.Atomic.get t
+  let reset t = Sync.Atomic.set t 0
 end
 
 module Gauge = struct
-  type t = float Atomic.t
+  type t = float Sync.Atomic.t
 
-  let make () = Atomic.make 0.0
-  let set t x = Atomic.set t x
+  let make () = Sync.Atomic.make 0.0
+  let set t x = Sync.Atomic.set t x
   let add t x = atomic_add_float t x
-  let set_int t n = Atomic.set t (float_of_int n)
-  let value t = Atomic.get t
-  let reset t = Atomic.set t 0.0
+  let set_int t n = Sync.Atomic.set t (float_of_int n)
+  let value t = Sync.Atomic.get t
+  let reset t = Sync.Atomic.set t 0.0
 end
 
 module Histogram = struct
@@ -37,9 +43,9 @@ module Histogram = struct
     (* Strictly increasing upper bounds; counts has one extra overflow
        slot for observations above the last bound. *)
     bounds : float array;
-    counts : int Atomic.t array;
-    total : int Atomic.t;
-    sum : float Atomic.t;
+    counts : int Sync.Atomic.t array;
+    total : int Sync.Atomic.t;
+    sum : float Sync.Atomic.t;
   }
 
   (* {1, 2.5, 5} x 10^k from 1e-6 s up to 10 s. *)
@@ -59,9 +65,9 @@ module Histogram = struct
     if Array.length bounds = 0 then invalid_arg "Registry.Histogram: no buckets";
     {
       bounds;
-      counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
-      total = Atomic.make 0;
-      sum = Atomic.make 0.0;
+      counts = Array.init (Array.length bounds + 1) (fun _ -> Sync.Atomic.make 0);
+      total = Sync.Atomic.make 0;
+      sum = Sync.Atomic.make 0.0;
     }
 
   let bucket_of t x =
@@ -70,12 +76,12 @@ module Histogram = struct
     go 0
 
   let observe t x =
-    ignore (Atomic.fetch_and_add t.counts.(bucket_of t x) 1);
-    ignore (Atomic.fetch_and_add t.total 1);
+    ignore (Sync.Atomic.fetch_and_add t.counts.(bucket_of t x) 1);
+    ignore (Sync.Atomic.fetch_and_add t.total 1);
     atomic_add_float t.sum x
 
-  let count t = Atomic.get t.total
-  let sum t = Atomic.get t.sum
+  let count t = Sync.Atomic.get t.total
+  let sum t = Sync.Atomic.get t.sum
 
   let percentile t q =
     let total = count t in
@@ -86,7 +92,7 @@ module Histogram = struct
       let rec go i cum =
         if i > n then t.bounds.(n - 1)
         else
-          let here = Atomic.get t.counts.(i) in
+          let here = Sync.Atomic.get t.counts.(i) in
           let cum' = cum +. float_of_int here in
           if cum' >= target && here > 0 then
             if i >= n then t.bounds.(n - 1)
@@ -99,9 +105,9 @@ module Histogram = struct
       go 0 0.0
 
   let reset t =
-    Array.iter (fun c -> Atomic.set c 0) t.counts;
-    Atomic.set t.total 0;
-    Atomic.set t.sum 0.0
+    Array.iter (fun c -> Sync.Atomic.set c 0) t.counts;
+    Sync.Atomic.set t.total 0;
+    Sync.Atomic.set t.sum 0.0
 end
 
 type metric =
@@ -113,8 +119,9 @@ type key = string * (string * string) list
 
 type t = {
   tbl : (key, metric) Hashtbl.t;
-  lock : Mutex.t;
+  lock : Sync.Mutex.t;
   (* Registration order, newest first; samples reverse it. *)
+  (* sdx-owner: order (and tbl) are only touched under [lock]. *)
   mutable order : key list;
 }
 
@@ -129,7 +136,7 @@ type sample = {
   sample_value : value;
 }
 
-let create () = { tbl = Hashtbl.create 64; lock = Mutex.create (); order = [] }
+let create () = { tbl = Hashtbl.create 64; lock = Sync.Mutex.create (); order = [] }
 let default = create ()
 
 let kind_name = function
@@ -144,7 +151,7 @@ let normalize_labels labels =
    compile pipeline cache there is no benefit to building outside it. *)
 let intern registry ?(labels = []) name ~make ~extract ~wanted =
   let key = (name, normalize_labels labels) in
-  Mutex.lock registry.lock;
+  Sync.Mutex.lock registry.lock;
   let m =
     match Hashtbl.find_opt registry.tbl key with
     | Some m -> m
@@ -154,7 +161,7 @@ let intern registry ?(labels = []) name ~make ~extract ~wanted =
         registry.order <- key :: registry.order;
         m
   in
-  Mutex.unlock registry.lock;
+  Sync.Mutex.unlock registry.lock;
   match extract m with
   | Some v -> v
   | None ->
@@ -199,23 +206,23 @@ let sample_of_metric (name, labels) m =
   { sample_name = name; sample_labels = labels; sample_value }
 
 let samples t =
-  Mutex.lock t.lock;
+  Sync.Mutex.lock t.lock;
   let keys = List.rev t.order in
   let out =
     List.map (fun key -> sample_of_metric key (Hashtbl.find t.tbl key)) keys
   in
-  Mutex.unlock t.lock;
+  Sync.Mutex.unlock t.lock;
   out
 
 let reset t =
-  Mutex.lock t.lock;
+  Sync.Mutex.lock t.lock;
   Hashtbl.iter
     (fun _ -> function
       | M_counter c -> Counter.reset c
       | M_gauge g -> Gauge.reset g
       | M_histogram h -> Histogram.reset h)
     t.tbl;
-  Mutex.unlock t.lock
+  Sync.Mutex.unlock t.lock
 
 (* ------------------------------------------------------------------ *)
 (* Rendering.                                                          *)

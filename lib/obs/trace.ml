@@ -1,3 +1,5 @@
+module Sync = Sdx_sanitize.Sync
+
 type span = {
   span_name : string;
   start_s : float;
@@ -7,25 +9,26 @@ type span = {
 
 type t = {
   ring : span option array;
-  lock : Mutex.t;
+  lock : Sync.Mutex.t;
+  (* sdx-owner: total and the ring slots are only touched under [lock]. *)
   mutable total : int;
 }
 
 let create ?(capacity = 1024) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { ring = Array.make capacity None; lock = Mutex.create (); total = 0 }
+  { ring = Array.make capacity None; lock = Sync.Mutex.create (); total = 0 }
 
 let default = create ()
 
 let record ?(tracer = default) ?(attrs = []) ~name ~start_s ~dur_s () =
   let span = { span_name = name; start_s; dur_s; attrs } in
-  Mutex.lock tracer.lock;
+  Sync.Mutex.lock tracer.lock;
   tracer.ring.(tracer.total mod Array.length tracer.ring) <- Some span;
   tracer.total <- tracer.total + 1;
-  Mutex.unlock tracer.lock
+  Sync.Mutex.unlock tracer.lock
 
 let spans t =
-  Mutex.lock t.lock;
+  Sync.Mutex.lock t.lock;
   let cap = Array.length t.ring in
   let n = min t.total cap in
   let first = if t.total <= cap then 0 else t.total mod cap in
@@ -35,26 +38,26 @@ let spans t =
         | Some s -> s
         | None -> assert false)
   in
-  Mutex.unlock t.lock;
+  Sync.Mutex.unlock t.lock;
   out
 
 let recorded t =
-  Mutex.lock t.lock;
+  Sync.Mutex.lock t.lock;
   let n = t.total in
-  Mutex.unlock t.lock;
+  Sync.Mutex.unlock t.lock;
   n
 
 let dropped t =
-  Mutex.lock t.lock;
+  Sync.Mutex.lock t.lock;
   let n = max 0 (t.total - Array.length t.ring) in
-  Mutex.unlock t.lock;
+  Sync.Mutex.unlock t.lock;
   n
 
 let reset t =
-  Mutex.lock t.lock;
+  Sync.Mutex.lock t.lock;
   Array.fill t.ring 0 (Array.length t.ring) None;
   t.total <- 0;
-  Mutex.unlock t.lock
+  Sync.Mutex.unlock t.lock
 
 let json_of_span s =
   let buf = Buffer.create 128 in

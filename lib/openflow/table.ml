@@ -1,6 +1,9 @@
 open Sdx_net
 open Sdx_policy
+module Sync = Sdx_sanitize.Sync
 
+(* sdx-owner: packets is bumped by the owning (writer) domain's lookup
+   path only; snapshot lookups are pure and never touch it. *)
 type entry = { flow : Flow.t; seq : int; mutable packets : int }
 
 exception Table_full
@@ -42,14 +45,19 @@ let order a b =
    minimum of the three candidates, which is exactly the entry the
    linear scan would have found first. *)
 
+(* sdx-owner: engine internals (buckets, shapes, tries, residual) are
+   private to the owning domain; cross-domain readers only ever see them
+   through a frozen snapshot. *)
 type bucket = { mutable items : entry list (* sorted by [order] *) }
 
+(* sdx-owner: see [bucket] — owning domain only. *)
 type shape = {
   mask : int;  (* Pattern.Fields bitmask this shape's patterns pin *)
   tbl : (int, bucket) Hashtbl.t;  (* packet-key hash -> bucket *)
   mutable population : int;
 }
 
+(* sdx-owner: see [bucket] — owning domain only. *)
 type engine = {
   mutable shapes : shape list;
   mutable dst_trie : bucket Prefix_trie.t;
@@ -102,6 +110,9 @@ type snapshot = {
 
 type t = {
   by_key : entry KeyTbl.t;  (* (priority, pattern) -> live entry *)
+  (* sdx-owner: every mutable field below belongs to the single writer
+     domain, a contract asserted at runtime via [owner]; [snap] is the
+     one cross-domain cell and goes through Sync.Atomic. *)
   mutable count : int;
   mutable next_seq : int;
   capacity : int option;
@@ -119,7 +130,12 @@ type t = {
   mutable lookups : int;
   (* Published RCU snapshot: [None] after any mutation, lazily rebuilt
      by [snapshot].  Single writer (the owning domain), many readers. *)
-  snap : snapshot option Atomic.t;
+  snap : snapshot option Sync.Atomic.t;
+  (* Single-writer contract, checked under SDX_RACE=1: the first thread
+     to mutate the table (or build a snapshot) owns it for the detector
+     session; any other thread doing so is reported. *)
+  owner : Sync.Owner.t;
+  snapshots_tr : Sync.Tracked.t;
   mutable snapshots : int;
 }
 
@@ -275,9 +291,15 @@ let rebuild t =
   Sdx_obs.Registry.Counter.incr Obs.rebuilds
 
 (* Any mutation retires the published snapshot; readers holding the old
-   one keep a consistent (pre-mutation) view until they re-[snapshot]. *)
+   one keep a consistent (pre-mutation) view until they re-[snapshot].
+   Unconditional exchange: the previous get-then-set pair was benign
+   only by grace of the single-writer discipline, and encoding that
+   discipline as an [Owner] assertion (checked under SDX_RACE=1) is both
+   cheaper and honest — a second concurrent writer now gets reported
+   instead of silently racing the check-then-act window. *)
 let invalidate_snapshot t =
-  match Atomic.get t.snap with None -> () | Some _ -> Atomic.set t.snap None
+  Sync.Owner.assert_owner t.owner;
+  ignore (Sync.Atomic.exchange t.snap None)
 
 (* In-place insertion/removal keeps the engine exact, but leaves empty
    hash buckets, dead trie nodes, and oversized shape tables behind;
@@ -311,7 +333,9 @@ let create ?capacity () =
       probe_pkt = dummy_packet;
       trie_visit = ignore;
       lookups = 0;
-      snap = Atomic.make None;
+      snap = Sync.Atomic.make ~name:"Table.snap" None;
+      owner = Sync.Owner.create "Table.writer";
+      snapshots_tr = Sync.Tracked.create "Table.snapshots";
       snapshots = 0;
     }
   in
@@ -504,10 +528,13 @@ let lookup_linear t pkt =
 (* Build (or return the published) immutable view.  Single-writer
    discipline: only the domain that mutates the table may call this;
    the returned snapshot may then be probed from any domain. *)
+let published_snapshot t = Sync.Atomic.get t.snap
+
 let snapshot t =
-  match Atomic.get t.snap with
+  match Sync.Atomic.get t.snap with
   | Some s -> s
   | None ->
+      Sync.Owner.assert_owner t.owner;
       let sorted = sorted_entries t in
       let eng =
         {
@@ -522,9 +549,10 @@ let snapshot t =
       let s =
         { snap_engine = eng; snap_entries = Array.of_list sorted; snap_seq = t.next_seq }
       in
+      Sync.Tracked.write t.snapshots_tr;
       t.snapshots <- t.snapshots + 1;
       Sdx_obs.Registry.Counter.incr Obs.snapshot_builds;
-      Atomic.set t.snap (Some s);
+      Sync.Atomic.set t.snap (Some s);
       s
 
 let snapshot_size s = Array.length s.snap_entries

@@ -69,7 +69,13 @@ type snapshot
 val snapshot : t -> snapshot
 (** The published snapshot, building (and atomically publishing) a fresh
     one if a mutation retired it.  Must be called from the domain that
-    owns the table; the result may be shared with any domain. *)
+    owns the table (a contract asserted by the race detector under
+    [SDX_RACE=1]); the result may be shared with any domain. *)
+
+val published_snapshot : t -> snapshot option
+(** The currently published snapshot, if no mutation has retired it.
+    Unlike {!snapshot} this never builds and is safe to call from any
+    domain — it is the reader side of the RCU handshake. *)
 
 val searcher : snapshot -> Packet.t -> Flow.t option
 (** [searcher snap] is a lookup function with a private cursor: create

@@ -1,0 +1,365 @@
+(* Deterministic interleaving explorer (DPOR-lite).
+
+   A scenario is a function run as virtual thread 0 under [Sync]'s
+   Model mode: every operation on a tracked object declares itself
+   (via an effect) and yields to this scheduler *before* executing, so
+   at each scheduling point the explorer knows every runnable thread's
+   pending operation.  The explorer enumerates interleavings by
+   stateless re-execution: a DFS over the tree of scheduling choices,
+   where each execution replays a prefix of recorded decisions and then
+   follows a deterministic default policy, recording the choice points
+   it passes for later backtracking.
+
+   Reduction ("DPOR-lite") is by sleep sets over a conservative
+   dependence relation: two pending operations are independent iff they
+   touch different locations or are both reads.  After a branch [t] is
+   fully explored at a node, [t] joins the node's sleep set; subsequent
+   branches at that node do not re-explore [t] first, and the sleep set
+   is propagated down every transition, dropping entries whose pending
+   operation conflicts with the executed one (thread termination
+   conservatively wakes every sleeper, since it can enable joiners).
+   If every enabled thread at a node is asleep the execution is
+   redundant and pruned.  With [~dpor:false] the sleep machinery is
+   bypassed and the state space is enumerated in full — the test suite
+   cross-checks the two modes against each other on the seeded-race
+   scenarios.
+
+   Determinism: given the same scenario and seed, the explorer makes
+   identical choices (the seed only permutes candidate order at each
+   node), visits interleavings in the same order and reports identical
+   traces — a property the test suite asserts, since reproducibility is
+   what makes an explorer-found race debuggable.  Scenarios must
+   therefore be deterministic apart from scheduling: no wall-clock, no
+   [Random], and every shared structure under test created inside the
+   scenario body (so it is tracked and its operations yield). *)
+
+module ED = Effect.Deep
+
+type step =
+  | Done_
+  | Raised of exn
+  | Yielded of Sync.pending_op * (unit, step) ED.continuation
+  | Blocked of Sync.pending_op * (unit -> bool) * (unit, step) ED.continuation
+  | Spawned of string * (unit -> unit) * (int, step) ED.continuation
+
+let run_body (body : unit -> unit) : step =
+  ED.match_with body ()
+    {
+      retc = (fun () -> Done_);
+      exnc = (fun e -> Raised e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sync.Yield op ->
+              Some (fun (k : (a, step) ED.continuation) -> Yielded (op, k))
+          | Sync.Block (op, pred) ->
+              Some (fun (k : (a, step) ED.continuation) -> Blocked (op, pred, k))
+          | Sync.Spawn (name, fn) ->
+              Some (fun (k : (a, step) ED.continuation) -> Spawned (name, fn, k))
+          | _ -> None);
+    }
+
+(* The op a thread will perform when next resumed.  [op_loc = -1] marks
+   "not yet known" (a thread that has not reached its first yield) and
+   is treated as conflicting with everything. *)
+let unknown_op = { Sync.op_loc = -1; op_write = true; op_desc = "start" }
+
+let independent (a : Sync.pending_op) (b : Sync.pending_op) =
+  a.Sync.op_loc >= 0 && b.Sync.op_loc >= 0
+  && (a.Sync.op_loc <> b.Sync.op_loc
+     || ((not a.Sync.op_write) && not b.Sync.op_write))
+
+type tstate =
+  | Ready of (unit -> step)
+  | Waiting of (unit -> bool) * (unit -> step)
+  | Finished
+  | Crashed of exn
+
+type trec = {
+  tid : int;
+  tname : string;
+  mutable st : tstate;
+  mutable pending : Sync.pending_op;
+}
+
+(* A choice point along the current path.  Sleep and tried sets store
+   tids only: re-execution is deterministic, so when a later run replays
+   up to this frame, each such thread's live [pending] op is exactly the
+   op it had when the frame was first created. *)
+type frame = {
+  f_enabled : int list;  (* tids enabled here, ascending *)
+  f_sleep : int list;  (* inherited sleep set at this node *)
+  mutable f_chosen : int;
+  mutable f_tried : int list;  (* branches fully explored here *)
+}
+
+type result = {
+  executions : int;
+  pruned : int;  (* executions cut short by the sleep-set reduction *)
+  max_depth : int;  (* most choice points seen along one schedule *)
+  deadlocks : int;
+  deadlock_trace : string list;  (* first deadlock's interleaving *)
+  races : Sync.report list;  (* deduplicated across interleavings *)
+  errors : string list;  (* exceptions escaping scenario threads *)
+  truncated : bool;  (* hit max_execs or max_steps: NOT exhaustive *)
+  first_trace : string list;  (* the first execution's interleaving *)
+}
+
+let ok r = r.deadlocks = 0 && r.races = [] && r.errors = [] && not r.truncated
+
+let pp_summary fmt r =
+  Format.fprintf fmt
+    "%d interleavings (%d pruned, depth<=%d)%s: %d deadlock(s), %d race(s), %d error(s)"
+    r.executions r.pruned r.max_depth
+    (if r.truncated then " TRUNCATED" else "")
+    r.deadlocks (List.length r.races) (List.length r.errors)
+
+exception Prune
+exception Step_limit
+
+(* Deterministic candidate rotation: the only effect of [seed]. *)
+let mix seed depth n =
+  if n <= 1 then 0
+  else
+    let h = (seed * 48271) + (depth * 40503) + 12345 in
+    (h land max_int) mod n
+
+let run ?(seed = 0) ?(dpor = true) ?(max_execs = 20_000) ?(max_steps = 5_000)
+    (scenario : unit -> unit) : result =
+  let prev_mode = Sync.mode () in
+  let stack : frame list ref = ref [] in  (* deepest first *)
+  let executions = ref 0 in
+  let pruned = ref 0 in
+  let max_depth = ref 0 in
+  let deadlocks = ref 0 in
+  let deadlock_trace = ref [] in
+  let errors : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let race_keys : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let races = ref [] in
+  let truncated = ref false in
+  let first_trace = ref [] in
+
+  (* One execution: replay the decisions recorded in [stack] (oldest
+     first), then follow the default policy, pushing a frame at every
+     choice point passed beyond the replayed prefix. *)
+  let exec () =
+    Sync.Model.begin_execution ();
+    let threads : trec array ref = ref [||] in
+    let add_thread tid name st =
+      if tid <> Array.length !threads then
+        invalid_arg "Explore: non-dense vthread ids";
+      threads :=
+        Array.append !threads [| { tid; tname = name; st; pending = unknown_op } |]
+    in
+    add_thread 0 "main" (Ready (fun () -> run_body scenario));
+    Sync.Model.set_done_hook (fun tid ->
+        tid >= Array.length !threads
+        || match !threads.(tid).st with Finished | Crashed _ -> true | _ -> false);
+    let trace = ref [] in
+    Sync.Model.set_trace_hook (fun () -> List.rev !trace);
+    let op_of tid = !threads.(tid).pending in
+    let replay_left = ref (List.rev !stack) in  (* oldest first *)
+    let new_frames = ref [] in  (* deepest first *)
+    let depth = ref 0 in
+    let steps = ref 0 in
+    let cur_sleep : int list ref = ref [] in
+    let rec advance (t : trec) thunk =
+      match thunk () with
+      | Done_ -> t.st <- Finished
+      | Raised e ->
+          t.st <- Crashed e;
+          Hashtbl.replace errors
+            (Printf.sprintf "%s (thread %d/%s)" (Printexc.to_string e) t.tid
+               t.tname)
+            ()
+      | Yielded (op, k) ->
+          t.pending <- op;
+          t.st <- Ready (fun () -> ED.continue k ())
+      | Blocked (op, pred, k) ->
+          t.pending <- op;
+          t.st <- Waiting (pred, fun () -> ED.continue k ())
+      | Spawned (name, fn, k) ->
+          let child = Sync.Model.new_vthread name in
+          add_thread child name (Ready (fun () -> run_body fn));
+          advance t (fun () -> ED.continue k child)
+    in
+    let outcome = ref `Ok in
+    (try
+       let running = ref true in
+       while !running do
+         incr steps;
+         if !steps > max_steps then raise Step_limit;
+         let enabled =
+           Array.to_list !threads
+           |> List.filter_map (fun tr ->
+                  match tr.st with
+                  | Ready _ -> Some tr.tid
+                  | Waiting (pred, _) -> if pred () then Some tr.tid else None
+                  | Finished | Crashed _ -> None)
+         in
+         match enabled with
+         | [] ->
+             let stuck =
+               Array.exists
+                 (fun tr -> match tr.st with Waiting _ -> true | _ -> false)
+                 !threads
+             in
+             if stuck then begin
+               incr deadlocks;
+               if !deadlock_trace = [] then deadlock_trace := List.rev !trace;
+               outcome := `Deadlock
+             end;
+             running := false
+         | _ ->
+             let asleep tid = dpor && List.mem tid !cur_sleep in
+             let chosen =
+               match (!replay_left, enabled) with
+               | fr :: rest, _ :: _ :: _ ->
+                   (* replayed choice point *)
+                   replay_left := rest;
+                   incr depth;
+                   if not (List.mem fr.f_chosen enabled) then
+                     failwith
+                       "Explore: scenario is nondeterministic (replayed choice \
+                        not enabled)";
+                   cur_sleep :=
+                     List.filter
+                       (fun u -> independent (op_of u) (op_of fr.f_chosen))
+                       (fr.f_sleep @ fr.f_tried);
+                   fr.f_chosen
+               | _, [ only ] ->
+                   if asleep only then begin
+                     incr pruned;
+                     outcome := `Pruned;
+                     raise Prune
+                   end;
+                   only
+               | _, _ -> (
+                   (* fresh choice point *)
+                   incr depth;
+                   let candidates =
+                     List.filter (fun tid -> not (asleep tid)) enabled
+                   in
+                   match candidates with
+                   | [] ->
+                       incr pruned;
+                       outcome := `Pruned;
+                       raise Prune
+                   | _ ->
+                       let c =
+                         List.nth candidates
+                           (mix seed !depth (List.length candidates))
+                       in
+                       new_frames :=
+                         {
+                           f_enabled = enabled;
+                           f_sleep = !cur_sleep;
+                           f_chosen = c;
+                           f_tried = [];
+                         }
+                         :: !new_frames;
+                       cur_sleep :=
+                         List.filter
+                           (fun u -> independent (op_of u) (op_of c))
+                           !cur_sleep;
+                       c)
+             in
+             let tr = !threads.(chosen) in
+             let op = tr.pending in
+             trace :=
+               Printf.sprintf "t%d(%s): %s" chosen tr.tname op.Sync.op_desc
+               :: !trace;
+             (* the executed operation wakes conflicting sleepers *)
+             cur_sleep :=
+               List.filter (fun u -> independent (op_of u) op) !cur_sleep;
+             let thunk =
+               match tr.st with
+               | Ready f -> f
+               | Waiting (_, f) -> f
+               | Finished | Crashed _ -> assert false
+             in
+             Sync.Model.set_current chosen;
+             advance tr thunk;
+             (match tr.st with
+             | Finished | Crashed _ ->
+                 (* termination can enable joiners: conservatively wake
+                    every sleeper *)
+                 cur_sleep := []
+             | _ -> ())
+       done
+     with
+    | Prune -> ()
+    | Step_limit ->
+        truncated := true;
+        outcome := `StepLimit);
+    Sync.Model.clear_current ();
+    (* fold this execution's races into the deduplicated set *)
+    List.iter
+      (fun (r : Sync.report) ->
+        let key = r.Sync.r_kind ^ "|" ^ r.Sync.r_location in
+        if not (Hashtbl.mem race_keys key) then begin
+          Hashtbl.replace race_keys key ();
+          races := r :: !races
+        end)
+      (Sync.races ());
+    Sync.clear_races ();
+    if !depth > !max_depth then max_depth := !depth;
+    (* graft the new frames onto the path (both lists deepest first) *)
+    stack := !new_frames @ !stack;
+    (List.rev !trace, !outcome)
+  in
+
+  (* Advance the deepest frame with untried, non-sleeping candidates to
+     its next branch; pop exhausted frames.  Returns false when the
+     whole tree is explored. *)
+  let rec backtrack () =
+    match !stack with
+    | [] -> false
+    | fr :: rest -> (
+        fr.f_tried <- fr.f_chosen :: fr.f_tried;
+        let candidates =
+          List.filter
+            (fun tid ->
+              (not (List.mem tid fr.f_tried))
+              && not (dpor && List.mem tid fr.f_sleep))
+            fr.f_enabled
+        in
+        match candidates with
+        | [] ->
+            stack := rest;
+            backtrack ()
+        | c :: _ ->
+            fr.f_chosen <- c;
+            true)
+  in
+
+  Fun.protect
+    ~finally:(fun () -> Sync.set_mode prev_mode)
+    (fun () ->
+      Sync.set_mode Model;
+      Sync.clear_races ();
+      let continue_ = ref true in
+      while !continue_ do
+        if !executions >= max_execs then begin
+          truncated := true;
+          continue_ := false
+        end
+        else begin
+          let trace, outcome = exec () in
+          (match outcome with `Pruned -> () | _ -> incr executions);
+          if !first_trace = [] && outcome <> `Pruned then first_trace := trace;
+          if not (backtrack ()) then continue_ := false
+        end
+      done;
+      {
+        executions = !executions;
+        pruned = !pruned;
+        max_depth = !max_depth;
+        deadlocks = !deadlocks;
+        deadlock_trace = !deadlock_trace;
+        races = List.rev !races;
+        errors =
+          List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) errors []);
+        truncated = !truncated;
+        first_trace = !first_trace;
+      })

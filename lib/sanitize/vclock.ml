@@ -1,0 +1,73 @@
+(* Vector clocks for the happens-before race detector.
+
+   A clock maps a thread index (a small dense int assigned by the
+   detector, not a raw [Domain.id]) to the number of release operations
+   that thread has performed.  The representation is a plain int array
+   indexed by thread, with missing entries meaning 0; values are
+   normalized so trailing zeroes never survive a constructor, which
+   makes structural equality coincide with clock equality.
+
+   Operations are functional — arrays are never mutated after they are
+   returned — so the qcheck algebra suite can treat clocks as values and
+   the detector can hand snapshots across threads without defensive
+   copies. *)
+
+type t = int array
+
+let empty : t = [||]
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_array a =
+  if Array.exists (fun x -> x < 0) a then
+    invalid_arg "Vclock.of_array: negative component";
+  normalize (Array.copy a)
+
+let to_array (t : t) = Array.copy t
+let get (t : t) i = if i < 0 then invalid_arg "Vclock.get" else if i < Array.length t then t.(i) else 0
+
+let tick (t : t) i =
+  if i < 0 then invalid_arg "Vclock.tick";
+  let n = max (Array.length t) (i + 1) in
+  let out = Array.make n 0 in
+  Array.blit t 0 out 0 (Array.length t);
+  out.(i) <- out.(i) + 1;
+  (* ticking can only grow a component, never zero a trailing one *)
+  out
+
+let join (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let n = max la lb in
+    let out = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let x = if i < la then a.(i) else 0 and y = if i < lb then b.(i) else 0 in
+      out.(i) <- if x > y then x else y
+    done;
+    (* both inputs are normalized, so the longer one's last component is
+       non-zero and the join needs no re-normalization *)
+    out
+  end
+
+let leq (a : t) (b : t) =
+  let lb = Array.length b in
+  let rec go i =
+    if i >= Array.length a then true
+    else if a.(i) <= (if i < lb then b.(i) else 0) then go (i + 1)
+    else false
+  in
+  go 0
+
+let equal (a : t) (b : t) = a = b
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let to_string (t : t) =
+  "<"
+  ^ String.concat ","
+      (List.init (Array.length t) (fun i -> string_of_int t.(i)))
+  ^ ">"

@@ -1,0 +1,39 @@
+(** Vector clocks for the happens-before race detector.
+
+    Values are immutable and normalized (no trailing zero components),
+    so {!equal} is structural and the algebra laws the qcheck suite
+    exercises — [join] is associative, commutative and idempotent,
+    [tick] is strictly monotone, [leq] is a partial order with [join]
+    as least upper bound — hold on the representation itself. *)
+
+type t
+
+val empty : t
+(** The zero clock: [leq empty c] for every [c]. *)
+
+val of_array : int array -> t
+(** Clock with component [i] = [a.(i)].  Raises [Invalid_argument] on a
+    negative component. *)
+
+val to_array : t -> int array
+val get : t -> int -> int
+
+val tick : t -> int -> t
+(** [tick c i] increments thread [i]'s component: the thread's local
+    step after a release operation. *)
+
+val join : t -> t -> t
+(** Pointwise maximum: what a thread learns when it acquires a lock or
+    reads a released atomic. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff every component of [a] is <= the same component of
+    [b]: [a] happens-before-or-equals [b]. *)
+
+val equal : t -> t -> bool
+
+val concurrent : t -> t -> bool
+(** Neither [leq a b] nor [leq b a]: the defining condition of a data
+    race between the two accesses' clocks. *)
+
+val to_string : t -> string

@@ -45,10 +45,15 @@
 # carries the inline-check keys (every burst commit must verify), and on
 # `reoptimizations` or `vnh_reclaimed` of zero — a soak that never
 # re-optimized or never reclaimed a VNH did not exercise the lifecycle
-# it exists to test.  Warns when `updates_per_s` regressed by more than
-# 25% vs the baseline.  Update counts are deliberately NOT compared: the
-# committed baseline is a million-update run while CI soaks a smaller
-# count.
+# it exists to test.  When the report carries the sanitizer keys
+# (`sanitizer_races`, `sanitizer_overhead_x`), additionally fails on
+# `sanitizer_races` != 0 — the sdx_race detector must stay silent on
+# the unmutated runtime — and warns when the instrumented-vs-plain
+# overhead exceeds 10x (Record mode serializes on the detector lock, so
+# a blow-up means a hot path grew a tracked operation).  Warns when
+# `updates_per_s` regressed by more than 25% vs the baseline.  Update
+# counts are deliberately NOT compared: the committed baseline is a
+# million-update run while CI soaks a smaller count.
 set -eu
 
 if [ $# -ne 2 ]; then
@@ -178,6 +183,26 @@ if grep -q '"updates_per_s"' "$candidate"; then
             echo "bench gate: ok   $key=$cand"
         fi
     done
+
+    san_races=$(field "$candidate" sanitizer_races)
+    if [ -n "$san_races" ]; then
+        if [ "$san_races" != "0" ]; then
+            echo "bench gate: FAIL sanitizer_races=$san_races on the unmutated runtime"
+            fail=1
+        else
+            echo "bench gate: ok   sanitizer_races=0"
+        fi
+
+        overhead=$(field "$candidate" sanitizer_overhead_x)
+        require "sanitizer_overhead_x" "$overhead"
+        awk -v x="$overhead" 'BEGIN {
+            if (x > 10.0) {
+                printf "bench gate: WARN sanitizer overhead %.2fx exceeds the 10x guideline\n", x
+            } else {
+                printf "bench gate: ok   sanitizer_overhead_x=%.2f (guideline <= 10x)\n", x
+            }
+        }'
+    fi
 
     base_rate=$(field "$baseline" updates_per_s)
     cand_rate=$(field "$candidate" updates_per_s)

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Concurrency lint gate: no raw Mutex/Condition/Atomic/Domain usage
+# outside lib/sanitize, and every mutable field in a Sync-using module
+# carries an sdx-owner: annotation.  Runs the sdxd lint verb over the
+# whole tree; exits non-zero on any finding (CI fails the lint job).
+#
+#   scripts/lint_concurrency.sh [DIR...]
+#
+# With no arguments lints lib bin bench test.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build bin/sdxd.exe
+exec dune exec --no-build bin/sdxd.exe -- lint "$@"

@@ -4,6 +4,8 @@
    schema sanity, the span ring, and the end-to-end check that a compile
    and a burst actually populate the registry. *)
 
+module Sync = Sdx_sanitize.Sync
+
 open Sdx_obs
 open Sdx_ixp
 
@@ -121,12 +123,12 @@ let test_concurrent_counter () =
   let per_domain = 25_000 and domains = 4 in
   let spawned =
     List.init domains (fun _ ->
-        Domain.spawn (fun () ->
+        Sync.Domain.spawn (fun () ->
             for _ = 1 to per_domain do
               Registry.Counter.incr c
             done))
   in
-  List.iter Domain.join spawned;
+  List.iter Sync.Domain.join spawned;
   check_int "no lost increments" (domains * per_domain) (Registry.Counter.value c)
 
 let test_concurrent_histogram_and_gauge () =
@@ -136,13 +138,13 @@ let test_concurrent_histogram_and_gauge () =
   let per_domain = 10_000 and domains = 4 in
   let spawned =
     List.init domains (fun _ ->
-        Domain.spawn (fun () ->
+        Sync.Domain.spawn (fun () ->
             for _ = 1 to per_domain do
               Registry.Histogram.observe h 0.0005;
               Registry.Gauge.add g 1.0
             done))
   in
-  List.iter Domain.join spawned;
+  List.iter Sync.Domain.join spawned;
   let n = domains * per_domain in
   check_int "no lost observations" n (Registry.Histogram.count h);
   (* Every increment is the same value, so the float sums are exact up
@@ -159,7 +161,7 @@ let test_concurrent_registration () =
   let r = Registry.create () in
   let spawned =
     List.init 4 (fun d ->
-        Domain.spawn (fun () ->
+        Sync.Domain.spawn (fun () ->
             for i = 1 to 100 do
               (* Every domain races on the same 100 keys. *)
               Registry.Counter.incr
@@ -167,7 +169,7 @@ let test_concurrent_registration () =
               ignore d
             done))
   in
-  List.iter Domain.join spawned;
+  List.iter Sync.Domain.join spawned;
   check_int "one cell per key" 100 (List.length (Registry.samples r));
   List.iter
     (fun s ->

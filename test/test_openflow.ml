@@ -3,6 +3,7 @@
 
 open Sdx_net
 open Sdx_policy
+module Sync = Sdx_sanitize.Sync
 open Sdx_openflow
 
 let check_bool = Alcotest.(check bool)
@@ -178,6 +179,8 @@ let test_table_overwrite_resets_counter () =
    observationally identical under any install/remove/lookup
    interleaving, including OpenFlow's overwrite-on-ADD. *)
 module Model = struct
+  (* sdx-owner: the oracle is driven single-threaded by the qcheck
+     property; nothing here crosses a domain. *)
   type entry = { flow : Flow.t; seq : int; mutable packets : int }
   type t = { mutable entries : entry list; mutable next_seq : int }
 
@@ -388,7 +391,7 @@ let prop_snapshot_frozen_under_churn =
       let arr = Array.of_list pkts in
       let oracle = Array.map (Table.snapshot_linear snap) arr in
       let reader =
-        Domain.spawn (fun () ->
+        Sync.Domain.spawn (fun () ->
             let find = Table.searcher snap in
             Array.map find arr)
       in
@@ -399,7 +402,7 @@ let prop_snapshot_frozen_under_churn =
         later;
       ignore (Table.remove_where t (fun (f : Flow.t) -> f.priority = 0));
       let fresh = Table.snapshot t in
-      let got = Domain.join reader in
+      let got = Sync.Domain.join reader in
       got = oracle
       && Array.for_all
            (fun pkt -> Table.snapshot_lookup fresh pkt = Table.lookup_linear t pkt)
