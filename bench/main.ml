@@ -507,6 +507,7 @@ type compile_point = {
   sw_prefixes : int;
   sw_groups : int;
   sw_rules : int;
+  sw_probes : int;
   sw_cross_s : float;
   sw_fdd_seq_s : float;
   sw_fdd_par_s : float;
@@ -526,43 +527,67 @@ type compile_point = {
   sw_memo_hits : int;
   sw_table : int;
   sw_identical : bool;
+  (* Group-phase instrumentation (ISSUE 9): wall-clock of the
+     export-vector reachability pass and the interning pass, the
+     naive-oracle (per-spec sets + Fec partition) wall-clock, the
+     resulting phase speedup, and whether the interned partition is
+     structurally identical to the oracle's. *)
+  sw_reachability_s : float;
+  sw_group_s : float;
+  sw_naive_group_s : float;
+  sw_group_speedup : float;
+  sw_group_identical : bool;
+  sw_heap_words : int;
+      (* [Gc.quick_stat ()].top_heap_words sampled after the point: the
+         process-lifetime high-water mark, i.e. the cumulative peak over
+         this point and every earlier (smaller) one — an upper bound on
+         the point's own footprint, not a per-point attribution (see
+         EXPERIMENTS.md). *)
 }
 
 let run_json ~seed ~scale ~out ~verify =
   section "Machine-readable compile benchmark: FDD vs cross-product sweep";
   note
     "per point: sequential cross-product oracle, FDD on 1 domain, FDD \
-     sharded across domains; 'identical' is per-packet agreement with \
-     the oracle on steered probe packets; the workload densifies the \
-     paper's inbound-TE mix (3x content participation), the regime \
-     where per-clause-per-group cross-products separate from \
-     output-proportional diagram extraction";
+     sharded across domains, and the naive grouping oracle (per-spec \
+     reachability sets + pairwise Fec partition) against the interned \
+     export-vector pipeline; 'identical' is per-packet agreement with \
+     the cross-product oracle on steered probes AND structural identity \
+     of the two partitions; the workload densifies the paper's \
+     inbound-TE mix (3x content participation); the top row pushes the \
+     prefix axis to 1M at full scale";
   let grid =
     List.map
       (fun (p, px) -> (p, max 100 (int_of_float (float_of_int px *. scale))))
-      [ (100, 5_000); (300, 25_000); (500, 50_000) ]
+      [ (100, 5_000); (300, 25_000); (500, 50_000); (100, 1_000_000) ]
   in
   (* On a single-core host the default pool has one domain, which would
      never exercise the sharded build + merge path; force at least two
      shards so the JSON always reflects a real multi-domain run. *)
   let domains = max 2 (Sdx_core.Parallel.default_domains ()) in
-  let probes = 2_500 in
   let check = ref None in
-  let last = List.length grid - 1 in
-  Format.printf "  %14s %9s %9s %9s %9s %10s@." "point" "cross.c" "fdd1.c"
+  Format.printf "  %14s %9s %9s %9s %9s %9s %10s@." "point" "cross.c" "fdd1.c"
     (Printf.sprintf "fdd%d.c" domains)
-    "speedup" "identical";
+    "speedup" "grp.spd" "identical";
   let points =
-    List.mapi
-      (fun i (participants, prefixes) ->
-        let transit_picks = max 1 (prefixes / 500) in
-        let rng = Rng.create ~seed:(seed + participants) in
+    List.map
+      (fun (participants, prefixes) ->
+        (* Transit policies scale with the table but are capped so the
+           1M point stresses grouping volume, not policy count. *)
+        let transit_picks = max 1 (min 200 (prefixes / 500)) in
+        let rng = Rng.create ~seed:(seed + participants + prefixes) in
         let w =
           Workload.build rng ~participants ~prefixes ~transit_picks
             ~inbound_density:3.0 ()
         in
         let compile ~ir ~domains =
           let vnh = Sdx_core.Vnh.create () in
+          (* Each timed engine run starts from a compacted heap: the
+             previous engine's garbage would otherwise smear major-GC
+             slices into this engine's phase timers, and at the 50k+
+             points that smear (over a several-hundred-MB heap) swings
+             the phase ratios by 2-3x run to run. *)
+          Gc.compact ();
           let t0 = Unix.gettimeofday () in
           let c = Sdx_core.Compile.compile ~ir ~domains w.Workload.config vnh in
           (c, Unix.gettimeofday () -. t0)
@@ -582,26 +607,56 @@ let run_json ~seed ~scale ~out ~verify =
             participants prefixes;
           exit 1
         end;
+        let stats = Sdx_core.Compile.stats fdd_par in
+        (* Probe volume scales with the table so oracle-equivalence
+           coverage does not thin out at the 1M point. *)
+        let probes = max 2_500 (stats.rule_count / 16) in
         let prng = Rng.create ~seed:(seed + (7 * participants)) in
         let rules = Array.of_list cross_cls in
         let pkts = List.init probes (fun _ -> sweep_probe prng rules) in
         let identical =
           Sdx_policy.Classifier.equivalent_on par_cls cross_cls pkts
         in
-        let stats = Sdx_core.Compile.stats fdd_par in
         let cross_compose = (Sdx_core.Compile.stats cross).compose_s in
         let seq_compose = (Sdx_core.Compile.stats fdd_seq).compose_s in
-        if verify && i = last then
+        (* The naive grouping oracle: per-spec reachability sets plus the
+           pairwise-signature Fec partition, compared structurally
+           against the interned pipeline's groups.  Timed from a
+           compacted heap, like every engine run above. *)
+        Gc.compact ();
+        let naive_t0 = Unix.gettimeofday () in
+        let naive_parts =
+          Sdx_core.Compile.group_partition_naive w.Workload.config
+        in
+        let naive_s = Unix.gettimeofday () -. naive_t0 in
+        let group_identical =
+          List.map
+            (fun (g : Sdx_core.Compile.group) -> g.prefixes)
+            (Sdx_core.Compile.groups fdd_par)
+          = naive_parts
+        in
+        (* Like-for-like grouping comparison: the oracle is sequential,
+           so the interned side's phases are read off the 1-domain FDD
+           compile.  The sharded run's fan-out cost is a parallelism
+           axis (par_speedup), not a grouping-pipeline property — on a
+           1-core host it would only add domain-scheduling noise to
+           this ratio. *)
+        let stats_seq = Sdx_core.Compile.stats fdd_seq in
+        let phase_s = stats_seq.reachability_s +. stats_seq.group_s in
+        let group_speedup = naive_s /. Float.max phase_s 1e-9 in
+        if verify && participants = 500 then
           check := Some (Sdx_check.Check.compiled fdd_par w.Workload.config);
-        Format.printf "  %6dx%7d %9.3f %9.3f %9.3f %8.2fx %10b@." participants
-          prefixes cross_compose seq_compose stats.compose_s
+        Format.printf "  %6dx%7d %9.3f %9.3f %9.3f %8.2fx %8.2fx %10b@."
+          participants prefixes cross_compose seq_compose stats.compose_s
           (cross_compose /. stats.compose_s)
-          identical;
+          group_speedup
+          (identical && group_identical);
         {
           sw_participants = participants;
           sw_prefixes = prefixes;
           sw_groups = stats.group_count;
           sw_rules = stats.rule_count;
+          sw_probes = probes;
           sw_cross_s = cross_s;
           sw_fdd_seq_s = fdd_seq_s;
           sw_fdd_par_s = fdd_par_s;
@@ -615,11 +670,34 @@ let run_json ~seed ~scale ~out ~verify =
           sw_memo_hits = stats.fdd_memo_hits;
           sw_table = stats.fdd_table_size;
           sw_identical = identical;
+          sw_reachability_s = stats_seq.reachability_s;
+          sw_group_s = stats_seq.group_s;
+          sw_naive_group_s = naive_s;
+          sw_group_speedup = group_speedup;
+          sw_group_identical = group_identical;
+          sw_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
         })
       grid
   in
-  let top = List.nth points (List.length points - 1) in
+  (* Headline summary point: the densest-policy point (500x50k at full
+     scale) — the grouping-speedup floor and the FDD compose floor are
+     both stated there.  The deepest point (1M prefixes at full scale)
+     gets its own top_point_* summary keys. *)
+  let headline =
+    List.fold_left
+      (fun a p -> if p.sw_participants > a.sw_participants then p else a)
+      (List.hd points) points
+  in
+  let deepest =
+    List.fold_left
+      (fun a p -> if p.sw_prefixes > a.sw_prefixes then p else a)
+      (List.hd points) points
+  in
+  let peak_heap = List.fold_left (fun a p -> max a p.sw_heap_words) 0 points in
   let all_identical = List.for_all (fun p -> p.sw_identical) points in
+  let all_group_identical =
+    List.for_all (fun p -> p.sw_group_identical) points
+  in
   let check_fields =
     match !check with
     | None -> ""
@@ -637,26 +715,33 @@ let run_json ~seed ~scale ~out ~verify =
   let point_json p =
     Printf.sprintf
       "    {\"participants\": %d, \"prefixes\": %d, \"groups\": %d, \
-       \"rules\": %d, \"crossproduct_s\": %.6f, \"fdd_seq_s\": %.6f, \
+       \"rules\": %d, \"probes\": %d, \"crossproduct_s\": %.6f, \
+       \"fdd_seq_s\": %.6f, \
        \"fdd_par_s\": %.6f, \"crossproduct_compose_s\": %.6f, \
        \"fdd_seq_compose_s\": %.6f, \"fdd_par_compose_s\": %.6f, \
        \"build_s\": %.6f, \"merge_s\": %.6f, \
        \"extract_s\": %.6f, \"fdd_nodes\": %d, \"fdd_memo_hits\": %d, \
        \"fdd_unique_table_size\": %d, \"par_speedup\": %.3f, \
        \"total_speedup\": %.3f, \"speedup\": %.3f, \
+       \"reachability_s\": %.6f, \"group_s\": %.6f, \
+       \"naive_group_s\": %.6f, \"group_speedup\": %.3f, \
+       \"peak_heap_words\": %d, \
+       \"identical_to_group_naive\": %b, \
        \"identical_to_crossproduct\": %b}"
-      p.sw_participants p.sw_prefixes p.sw_groups p.sw_rules p.sw_cross_s
-      p.sw_fdd_seq_s p.sw_fdd_par_s p.sw_cross_compose_s p.sw_seq_compose_s
-      p.sw_par_compose_s p.sw_build_s p.sw_merge_s p.sw_extract_s
-      p.sw_nodes p.sw_memo_hits p.sw_table
+      p.sw_participants p.sw_prefixes p.sw_groups p.sw_rules p.sw_probes
+      p.sw_cross_s p.sw_fdd_seq_s p.sw_fdd_par_s p.sw_cross_compose_s
+      p.sw_seq_compose_s p.sw_par_compose_s p.sw_build_s p.sw_merge_s
+      p.sw_extract_s p.sw_nodes p.sw_memo_hits p.sw_table
       (p.sw_seq_compose_s /. p.sw_par_compose_s)
       (p.sw_cross_s /. p.sw_fdd_par_s)
       (p.sw_cross_compose_s /. p.sw_par_compose_s)
-      p.sw_identical
+      p.sw_reachability_s p.sw_group_s p.sw_naive_group_s p.sw_group_speedup
+      p.sw_heap_words p.sw_group_identical p.sw_identical
   in
-  (* Summary fields repeat the largest point after the sweep array, so
-     "last occurrence" greps (the bench gate) land on the headline
-     numbers. *)
+  (* Summary fields repeat the headline (densest-policy) point after the
+     sweep array, so line-anchored greps (the bench gate) land on the
+     headline numbers; top_point_* keys describe the deepest-prefix
+     point. *)
   let oc = open_out out in
   Printf.fprintf oc
     "{\n\
@@ -682,24 +767,43 @@ let run_json ~seed ~scale ~out ~verify =
     \  \"par_speedup\": %.3f,\n\
     \  \"total_speedup\": %.3f,\n\
     \  \"speedup\": %.3f,\n\
+    \  \"reachability_s\": %.6f,\n\
+    \  \"group_s\": %.6f,\n\
+    \  \"naive_group_s\": %.6f,\n\
+    \  \"group_speedup\": %.3f,\n\
+    \  \"identical_to_group_naive\": %b,\n\
+    \  \"top_point_participants\": %d,\n\
+    \  \"top_point_prefixes\": %d,\n\
+    \  \"top_point_groups\": %d,\n\
+    \  \"top_point_elapsed_s\": %.6f,\n\
+    \  \"top_point_group_speedup\": %.3f,\n\
+    \  \"peak_heap_words\": %d,\n\
     \  \"identical_to_crossproduct\": %b%s\n\
      }\n"
-    domains probes
+    domains headline.sw_probes
     (String.concat ",\n" (List.map point_json points))
-    top.sw_participants top.sw_prefixes top.sw_groups top.sw_rules
-    top.sw_cross_s top.sw_fdd_seq_s top.sw_fdd_par_s top.sw_cross_compose_s
-    top.sw_seq_compose_s top.sw_par_compose_s top.sw_build_s
-    top.sw_merge_s top.sw_extract_s top.sw_nodes top.sw_memo_hits top.sw_table
-    (top.sw_seq_compose_s /. top.sw_par_compose_s)
-    (top.sw_cross_s /. top.sw_fdd_par_s)
-    (top.sw_cross_compose_s /. top.sw_par_compose_s)
-    all_identical check_fields;
+    headline.sw_participants headline.sw_prefixes headline.sw_groups
+    headline.sw_rules headline.sw_cross_s headline.sw_fdd_seq_s
+    headline.sw_fdd_par_s headline.sw_cross_compose_s headline.sw_seq_compose_s
+    headline.sw_par_compose_s headline.sw_build_s headline.sw_merge_s
+    headline.sw_extract_s headline.sw_nodes headline.sw_memo_hits
+    headline.sw_table
+    (headline.sw_seq_compose_s /. headline.sw_par_compose_s)
+    (headline.sw_cross_s /. headline.sw_fdd_par_s)
+    (headline.sw_cross_compose_s /. headline.sw_par_compose_s)
+    headline.sw_reachability_s headline.sw_group_s headline.sw_naive_group_s
+    headline.sw_group_speedup all_group_identical deepest.sw_participants
+    deepest.sw_prefixes deepest.sw_groups deepest.sw_fdd_par_s
+    deepest.sw_group_speedup peak_heap all_identical check_fields;
   close_out oc;
   note
-    "wrote %s (top point %dx%d: compose %.2fx vs cross-product, identical=%b)"
-    out top.sw_participants top.sw_prefixes
-    (top.sw_cross_compose_s /. top.sw_par_compose_s)
-    all_identical;
+    "wrote %s (headline %dx%d: compose %.2fx, grouping %.2fx; top point \
+     %dx%d in %.2fs, identical=%b)"
+    out headline.sw_participants headline.sw_prefixes
+    (headline.sw_cross_compose_s /. headline.sw_par_compose_s)
+    headline.sw_group_speedup deepest.sw_participants deepest.sw_prefixes
+    deepest.sw_fdd_par_s
+    (all_identical && all_group_identical);
   (match !check with
   | None -> ()
   | Some r ->
@@ -713,6 +817,12 @@ let run_json ~seed ~scale ~out ~verify =
      visible to CI, not just a field in the JSON. *)
   if not all_identical then begin
     note "ERROR: FDD classifier differs from the cross-product oracle; failing";
+    exit 1
+  end;
+  if not all_group_identical then begin
+    note
+      "ERROR: interned grouping differs from the naive grouping oracle; \
+       failing";
     exit 1
   end
 
@@ -1164,6 +1274,10 @@ let run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
     \  \"vnh_capacity\": %d,\n\
     \  \"peak_extra_rules\": %d,\n\
     \  \"peak_fastpath_blocks\": %d,\n\
+    \  \"groups_minted\": %d,\n\
+    \  \"group_migrations\": %d,\n\
+    \  \"groups_retired\": %d,\n\
+    \  \"retired_tombstones\": %d,\n\
     \  \"elapsed_s\": %.3f,\n\
     \  \"updates_per_s\": %.0f,\n\
     \  \"sanitizer_slice_updates\": %d,\n\
@@ -1178,8 +1292,10 @@ let run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
     r.soak_incremental_checks r.soak_incremental_errors
     r.soak_equiv_divergences r.soak_reoptimizations r.soak_vnh_reclaimed
     r.soak_vnh_peak_live r.soak_vnh_capacity r.soak_peak_extra_rules
-    r.soak_peak_fastpath_blocks r.soak_elapsed_s r.soak_updates_per_s
-    slice_updates plain_s record_s overhead_x sanitizer_races;
+    r.soak_peak_fastpath_blocks r.soak_groups_minted r.soak_group_migrations
+    r.soak_groups_retired r.soak_retired_tombstones r.soak_elapsed_s
+    r.soak_updates_per_s slice_updates plain_s record_s overhead_x
+    sanitizer_races;
   close_out oc;
   note "wrote %s (%d updates, %d check errors, %d/%d inline, %d divergences)"
     out r.soak_updates r.soak_check_errors r.soak_incremental_errors

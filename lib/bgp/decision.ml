@@ -5,29 +5,28 @@ let origin_rank = function
   | Route.Egp -> 1
   | Route.Incomplete -> 2
 
-(* Returns > 0 when [a] is preferred over [b]. *)
+(* Returns > 0 when [a] is preferred over [b].  Straight-line tie-break
+   chain: this comparator sits under every [sort]/[best] in the decision
+   process and runs once per candidate pair per covered prefix in both
+   grouping pipelines, so it must not allocate. *)
 let prefer (a : Route.t) (b : Route.t) =
-  let steps =
-    [
-      (fun () -> Int.compare a.local_pref b.local_pref);
-      (fun () -> Int.compare (List.length b.as_path) (List.length a.as_path));
-      (fun () -> Int.compare (origin_rank b.origin) (origin_rank a.origin));
-      (fun () -> Int.compare b.med a.med);
-      (fun () ->
-        Int.compare
-          (Asn.to_int b.learned_from)
-          (Asn.to_int a.learned_from));
-      (fun () ->
-        Int.compare (Ipv4.to_int b.next_hop) (Ipv4.to_int a.next_hop));
-    ]
-  in
-  let rec go = function
-    | [] -> 0
-    | step :: rest ->
-        let c = step () in
-        if c <> 0 then c else go rest
-  in
-  go steps
+  let c = Int.compare a.local_pref b.local_pref in
+  if c <> 0 then c
+  else
+    let c = Int.compare (List.length b.as_path) (List.length a.as_path) in
+    if c <> 0 then c
+    else
+      let c = Int.compare (origin_rank b.origin) (origin_rank a.origin) in
+      if c <> 0 then c
+      else
+        let c = Int.compare b.med a.med in
+        if c <> 0 then c
+        else
+          let c =
+            Int.compare (Asn.to_int b.learned_from) (Asn.to_int a.learned_from)
+          in
+          if c <> 0 then c
+          else Int.compare (Ipv4.to_int b.next_hop) (Ipv4.to_int a.next_hop)
 
 let best = function
   | [] -> None

@@ -55,7 +55,11 @@ let exports_to t ~advertiser ~receiver =
 let candidates t prefix =
   match Hashtbl.find_opt t.by_prefix prefix with
   | None -> []
-  | Some m -> List.map snd (Asn.Map.bindings m)
+  | Some m ->
+      (* ascending advertiser order, same as [Asn.Map.bindings], without
+         materializing the intermediate pair list — this runs once per
+         covered prefix in both grouping pipelines. *)
+      List.rev (Asn.Map.fold (fun _ r acc -> r :: acc) m [])
 
 (* Standard BGP loop prevention: never hand a route to a receiver whose
    own AS number already appears in its path — one half of the §4.1
@@ -86,12 +90,10 @@ let require_participant t asn =
 let bests_snapshot t prefix =
   List.map (fun receiver -> (receiver, best t ~receiver prefix)) t.peers
 
-let apply t update =
+let mutate_ribs t update =
   let peer = Update.peer update in
-  require_participant t peer;
   let prefix = Update.prefix update in
-  let before = bests_snapshot t prefix in
-  (match update with
+  match update with
   | Update.Announce route ->
       let adj = Hashtbl.find t.adj_in peer in
       Rib.Adj_in.add adj route;
@@ -111,7 +113,14 @@ let apply t update =
             Hashtbl.remove t.by_prefix prefix;
             t.prefix_index <- Prefix_trie.remove prefix t.prefix_index
           end
-          else Hashtbl.replace t.by_prefix prefix m));
+          else Hashtbl.replace t.by_prefix prefix m)
+
+let apply t update =
+  let peer = Update.peer update in
+  require_participant t peer;
+  let prefix = Update.prefix update in
+  let before = bests_snapshot t prefix in
+  mutate_ribs t update;
   let after = bests_snapshot t prefix in
   let best_changed_for =
     List.filter_map
@@ -135,6 +144,34 @@ let apply t update =
   { prefix; best_changed_for }
 
 let apply_burst t updates = List.map (apply t) updates
+
+(* Notification-free bulk load for initial table builds: identical RIB
+   mutations to [apply] but without the per-update before/after
+   best-route diff, which costs O(participants x candidates) per update
+   and dominates million-prefix loads.  Nothing compiled exists yet at
+   load time, so there is no state the skipped change notifications
+   could have invalidated. *)
+let load t update =
+  require_participant t (Update.peer update);
+  mutate_ribs t update;
+  Sdx_obs.Registry.Counter.incr Obs.updates;
+  Sdx_obs.Registry.Counter.incr
+    (match update with
+    | Update.Announce _ -> Obs.announces
+    | Update.Withdraw _ -> Obs.withdraws);
+  Sdx_obs.Registry.Gauge.set_int Obs.prefixes (Hashtbl.length t.by_prefix)
+
+let fold_adj_in t ~via f init =
+  require_participant t via;
+  Rib.Adj_in.fold f (Hashtbl.find t.adj_in via) init
+
+let fold_announced_overlapping t prefix f init =
+  Prefix_trie.fold_overlapping prefix
+    (fun p () acc -> f p acc)
+    t.prefix_index init
+
+let trivial_route_filter t = t.route_filter == default_route_filter
+let route_filter_passes t route ~receiver = t.route_filter route ~receiver
 
 let reachable_prefixes t ~receiver ~via =
   require_participant t via;

@@ -45,6 +45,35 @@ val apply : t -> Update.t -> change
 
 val apply_burst : t -> Update.t list -> change list
 
+val load : t -> Update.t -> unit
+(** Notification-free bulk load: the same RIB mutations as {!apply} but
+    without computing which receivers' best routes changed — O(1) per
+    update instead of O(participants x candidates).  Only for initial
+    table builds, before any state derived from the server exists.
+    @raise Invalid_argument if the update's peer is not a participant. *)
+
+val fold_adj_in :
+  t -> via:Asn.t -> (Prefix.t -> Route.t -> 'a -> 'a) -> 'a -> 'a
+(** Folds over every route [via] currently announces, in increasing
+    prefix order.  One shared scan here replaces the per-spec
+    {!reachable_prefixes} materialization in the compiler's
+    export-vector pipeline. *)
+
+val fold_announced_overlapping :
+  t -> Prefix.t -> (Prefix.t -> 'a -> 'a) -> 'a -> 'a
+(** Folds over announced prefixes overlapping the argument (covering or
+    covered by it), without touching the rest of the table — covering
+    bindings shortest first, then the covered subtree in prefix order. *)
+
+val trivial_route_filter : t -> bool
+(** Whether the server was built with the default (all-accepting)
+    [route_filter] — callers may then skip per-(route, receiver) filter
+    calls in bulk scans. *)
+
+val route_filter_passes : t -> Route.t -> receiver:Asn.t -> bool
+(** The server's [route_filter] verdict for one route and receiver
+    (export-policy and loop checks NOT included). *)
+
 val candidates : t -> Prefix.t -> Route.t list
 (** Every route currently announced for the prefix, one per advertiser. *)
 

@@ -69,6 +69,12 @@ type subject = {
   rules : (Classifier.rule * Compile.provenance) array;
   bands : (int * int) list;  (* fast-path (floor, rule count), oldest first *)
   base_rules : int;
+  fastpath : bool;
+      (* the subject came from a live runtime, whose fast-path machinery
+         will install blocks in the [Runtime.extras_floor] band — a base
+         classifier reaching that band is then a hard layout violation.
+         A bare compile has no priority assignment yet, so the same
+         overlap is advisory. *)
   attribution_gap : int;  (* rules the provenance blocks fail to cover *)
 }
 
@@ -98,6 +104,7 @@ let subject_of_compiled compiled config =
     rules;
     bands = [];
     base_rules = Classifier.rule_count classifier;
+    fastpath = false;
     attribution_gap = gap;
   }
 
@@ -110,6 +117,7 @@ let subject_of_runtime rt =
     rules;
     bands = Runtime.extras_bands rt;
     base_rules = Runtime.base_rule_count rt;
+    fastpath = true;
     attribution_gap = gap;
   }
 
@@ -424,11 +432,16 @@ let isolation ?(only = fun _ -> true) subj =
                                inbound_delivery_ports config owner
                            | None -> [])
                        | None -> (
-                           match
-                             originator_of config (List.hd g.Compile.prefixes)
-                           with
-                           | Some owner -> inbound_delivery_ports config owner
-                           | None -> []))
+                           (* Migration can leave a group momentarily
+                              memberless without retiring it; an empty
+                              group has no originator to deliver to. *)
+                           match g.Compile.prefixes with
+                           | [] -> []
+                           | head :: _ -> (
+                               match originator_of config head with
+                               | Some owner ->
+                                   inbound_delivery_ports config owner
+                               | None -> [])))
                      g.Compile.default_variants
               in
               (match
@@ -1124,12 +1137,18 @@ let lints ?(deep = true) subj =
       {
         pass = "lints";
         code = "priority-band-overlap";
-        severity = Error;
+        (* In a live runtime the extras band is real machinery the base
+           table must stay clear of; a bare compile has no installed
+           priorities yet, so the overflow is a capacity advisory. *)
+        severity = (if subj.fastpath then Error else Warning);
         detail =
           Format.asprintf
             "base classifier (%d rules) reaches priority %d, overlapping \
-             the fast-path band at %d"
-            subj.base_rules base_top Runtime.extras_floor;
+             the fast-path band at %d%s"
+            subj.base_rules base_top Runtime.extras_floor
+            (if subj.fastpath then ""
+             else " (standalone compile: advisory — installing it under a \
+                   runtime would require a larger band layout)");
         rules = [];
         witness = None;
       };

@@ -1,0 +1,208 @@
+(* Packed export-vector bitsets: see bitset.mli.  Cells pack
+   [Sys.int_size] bits (63 on 64-bit) so a 500-participant,
+   ~10k-spec vector is ~160 words instead of a [Prefix.Set.t] per
+   spec. *)
+
+let bits_per_cell = Sys.int_size
+
+type t = { nbits : int; cells : int array }
+
+let create nbits =
+  if nbits < 0 then invalid_arg "Bitset.create: negative width";
+  let ncells = (nbits + bits_per_cell - 1) / bits_per_cell in
+  { nbits; cells = Array.make ncells 0 }
+
+let width v = v.nbits
+
+let set v i =
+  if i < 0 || i >= v.nbits then invalid_arg "Bitset.set: out of range";
+  let cell = i / bits_per_cell and bit = i mod bits_per_cell in
+  v.cells.(cell) <- v.cells.(cell) lor (1 lsl bit)
+
+let mem v i =
+  if i < 0 || i >= v.nbits then false
+  else
+    let cell = i / bits_per_cell and bit = i mod bits_per_cell in
+    v.cells.(cell) land (1 lsl bit) <> 0
+
+let equal a b =
+  a.nbits = b.nbits
+  &&
+  let n = Array.length a.cells in
+  let rec go i = i >= n || (a.cells.(i) = b.cells.(i) && go (i + 1)) in
+  go 0
+
+let compare a b =
+  let c = Stdlib.compare a.nbits b.nbits in
+  if c <> 0 then c
+  else
+    let n = Array.length a.cells in
+    let rec go i =
+      if i >= n then 0
+      else
+        let c = Stdlib.compare a.cells.(i) b.cells.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+(* FNV-ish multiply/xor mix: cells are mostly sparse, so plain
+   summation would collide constantly between vectors sharing a
+   popcount. *)
+let hash v =
+  let h = ref 0x9e3779b9 in
+  for i = 0 to Array.length v.cells - 1 do
+    let c = v.cells.(i) in
+    h := ((!h lxor c) * 0x01000193) land max_int
+  done;
+  (!h lxor v.nbits) land max_int
+
+let copy v = { nbits = v.nbits; cells = Array.copy v.cells }
+
+(* Clearing by the caller's set-bit list touches only the dirtied cells,
+   so a scratch buffer reused across a million sparse vectors costs
+   O(set bits), not O(width), per reset. *)
+let clear v i =
+  if i < 0 || i >= v.nbits then invalid_arg "Bitset.clear: out of range";
+  let cell = i / bits_per_cell and bit = i mod bits_per_cell in
+  v.cells.(cell) <- v.cells.(cell) land lnot (1 lsl bit)
+
+let popcount_cell c =
+  let rec go c acc = if c = 0 then acc else go (c land (c - 1)) (acc + 1) in
+  go c 0
+
+let cardinal v = Array.fold_left (fun acc c -> acc + popcount_cell c) 0 v.cells
+
+let fold f v init =
+  let acc = ref init in
+  for cell = 0 to Array.length v.cells - 1 do
+    let c = ref v.cells.(cell) in
+    let base = cell * bits_per_cell in
+    while !c <> 0 do
+      (* isolate lowest set bit; ctz via branch-free deBruijn is
+         overkill here — log2 of the isolated bit is fine. *)
+      let low = !c land - !c in
+      let bit =
+        let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+        log2 low 0
+      in
+      acc := f (base + bit) !acc;
+      c := !c lxor low
+    done
+  done;
+  !acc
+
+let iter f v = fold (fun i () -> f i) v ()
+let to_list v = List.rev (fold (fun i acc -> i :: acc) v [])
+
+let of_list ~width ids =
+  let v = create width in
+  List.iter (set v) ids;
+  v
+
+module Interner = struct
+  type bitset = t
+  type interned = { id : int; vector : bitset Lazy.t; ids : int list }
+
+  module H = Hashtbl.Make (struct
+    type t = bitset
+
+    let equal = equal
+    let hash = hash
+  end)
+
+  (* Probing by the (short, sorted) set-bit list costs O(popcount) per
+     lookup where probing by the packed vector costs O(width) — with
+     sparse vectors over thousands of specs that difference dominates
+     the whole grouping pass.  Full-traversal FNV over the elements, so
+     long lists don't degrade into the polymorphic hash's prefix
+     truncation. *)
+  module Ids = Hashtbl.Make (struct
+    type t = int list
+
+    let equal = List.equal Int.equal
+
+    let hash ids =
+      List.fold_left
+        (fun h i -> ((h lxor i) * 0x01000193) land max_int)
+        0x811c9dc5 ids
+  end)
+
+  type t = {
+    tbl : interned H.t;
+    by_ids : interned Ids.t;
+    by_rev : interned Ids.t;
+    mutable unsynced : interned list;
+        (* classes minted through the ids entry points whose packed
+           vectors (and so [tbl] slots) have not been needed yet *)
+    mutable next : int;
+  }
+
+  let create ?(expected = 256) () =
+    {
+      tbl = H.create expected;
+      by_ids = Ids.create expected;
+      by_rev = Ids.create expected;
+      unsynced = [];
+      next = 0;
+    }
+
+  (* The ids entry points never build the packed vector: the grouping
+     hot loop only consumes [id] and [ids], so materializing a
+     width-proportional array per distinct class (hundreds of words at
+     tens of thousands of specs) would be pure waste.  [tbl] is synced
+     lazily instead: the vector-keyed entry points force the pending
+     vectors first, so mixing entry points still dedupes correctly. *)
+  let sync t =
+    match t.unsynced with
+    | [] -> ()
+    | pending ->
+        List.iter (fun c -> H.replace t.tbl (Lazy.force c.vector) c) pending;
+        t.unsynced <- []
+
+  (* [ids] must be the ascending set-bit list and [rev_ids] its
+     reverse; both tables index the new class immediately, [tbl] only
+     on the next [sync]. *)
+  let stamp t ~width ids rev_ids =
+    let c = { id = t.next; vector = lazy (of_list ~width ids); ids } in
+    t.next <- t.next + 1;
+    Ids.replace t.by_ids ids c;
+    Ids.replace t.by_rev rev_ids c;
+    t.unsynced <- c :: t.unsynced;
+    c
+
+  let intern t v =
+    sync t;
+    match H.find_opt t.tbl v with
+    | Some c -> c
+    | None ->
+        (* key on a private copy: the caller's buffer stays mutable. *)
+        let vector = copy v in
+        let ids = to_list vector in
+        let c = { id = t.next; vector = Lazy.from_val vector; ids } in
+        t.next <- t.next + 1;
+        H.replace t.tbl vector c;
+        Ids.replace t.by_ids ids c;
+        Ids.replace t.by_rev (List.rev ids) c;
+        c
+
+  let intern_sorted t ~width ids =
+    match Ids.find_opt t.by_ids ids with
+    | Some c -> c
+    | None -> stamp t ~width ids (List.rev ids)
+
+  (* [rev_ids] must be the strictly-descending set-bit list — the
+     natural shape of a list consed while scanning ids upward.  Probing
+     keys on that shape directly, so the hot path (one lookup per
+     sparse vector) never sorts or reverses; the O(popcount) reverse
+     runs once per distinct class, on the miss path. *)
+  let intern_rev_sorted t ~width rev_ids =
+    match Ids.find_opt t.by_rev rev_ids with
+    | Some c -> c
+    | None -> stamp t ~width (List.rev rev_ids) rev_ids
+
+  let find_opt t v =
+    sync t;
+    H.find_opt t.tbl v
+
+  let cardinal t = Ids.length t.by_ids
+end

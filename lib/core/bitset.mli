@@ -1,0 +1,109 @@
+(** Packed bitsets for per-prefix export vectors (ISSUE 9).
+
+    A {!t} is a fixed-width bit vector backed by an [int array]
+    ([Sys.int_size] bits per cell).  The grouping pipeline in
+    {!Compile} builds one vector per prefix — bit [i] set iff output
+    spec [i] (or, in the high bit band, origin set [i]) covers the
+    prefix — and then groups prefixes by interning equal vectors into
+    one canonical FEC-class object, replacing the former
+    O(specs x prefixes) pairwise signature comparison.
+
+    Vectors are mutable during construction ({!set}) and treated as
+    immutable once interned; {!Interner} enforces that by keying on a
+    private copy. *)
+
+type t
+
+val create : int -> t
+(** [create width] is the all-zeros vector over [width] bits. *)
+
+val width : t -> int
+
+val set : t -> int -> unit
+(** [set v i] sets bit [i].  Raises [Invalid_argument] when [i] is
+    outside [0 .. width v - 1]. *)
+
+val mem : t -> int -> bool
+
+val clear : t -> int -> unit
+(** [clear v i] unsets bit [i] — O(1), so resetting a reused scratch
+    buffer by its known set-bit list is proportional to those bits, not
+    to the width.  Raises [Invalid_argument] outside the range. *)
+
+val equal : t -> t -> bool
+(** Structural equality over the full width (widths must agree for two
+    vectors ever to be equal). *)
+
+val compare : t -> t -> int
+(** Total order consistent with {!equal}: shorter widths first, then
+    lexicographic on the packed cells (cell 0 holds bits 0..62, so the
+    order is deterministic but not numeric). *)
+
+val hash : t -> int
+(** Mixing hash over the packed cells; equal vectors hash equal. *)
+
+val copy : t -> t
+
+val cardinal : t -> int
+(** Number of set bits. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f v init] folds [f] over the set bit indices in increasing
+    order. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending-index iteration over set bits. *)
+
+val to_list : t -> int list
+(** Set bit indices, ascending. *)
+
+val of_list : width:int -> int list -> t
+(** [of_list ~width ids] is the [width]-bit vector with exactly [ids]
+    set.  Raises [Invalid_argument] when an id is out of range. *)
+
+(** Canonicalization table: interning two {!equal} vectors yields the
+    physically same stamped value, so downstream grouping can key on a
+    dense id instead of re-hashing vectors.  Intern order assigns ids
+    densely from 0, which makes single-domain interning deterministic;
+    the sharded merge in {!Compile} re-sorts classes by their smallest
+    member so cross-domain id assignment never leaks into output. *)
+module Interner : sig
+  type bitset := t
+
+  type t
+
+  type interned = private { id : int; vector : bitset Lazy.t; ids : int list }
+  (** [ids] is the ascending set-bit list the class was interned under,
+      shared so callers never re-derive it.  [vector] is the packed
+      form, materialized on first force: the ids entry points never
+      build it, so a grouping pass that only consumes [id]/[ids] pays
+      O(popcount) per class, not O(width).  Forcing a vector interned
+      through {!intern_sorted}/{!intern_rev_sorted} with out-of-range
+      ids raises at force time, not intern time. *)
+
+  val create : ?expected:int -> unit -> t
+
+  val intern : t -> bitset -> interned
+  (** [intern tbl v] returns the canonical interned value equal to
+      [v], creating one (with a private copy of [v], so the caller may
+      keep mutating its buffer) on first sight. *)
+
+  val intern_sorted : t -> width:int -> int list -> interned
+  (** [intern_sorted tbl ~width ids] interns the vector whose ascending
+      set-bit list is [ids] without the caller materializing it: the
+      probe costs O(length ids) rather than O(width), and the packed
+      vector is built only on first sight.  [ids] must be strictly
+      ascending and in range; [width] must match the table's other
+      entries for equal sets to collapse. *)
+
+  val intern_rev_sorted : t -> width:int -> int list -> interned
+  (** [intern_rev_sorted tbl ~width rev_ids] is {!intern_sorted} for a
+      strictly-descending set-bit list — the natural shape of a list
+      consed while scanning ids upward, so a caller that accumulates
+      vectors band-by-band never sorts or reverses on the hit path.
+      The returned {!interned}'s [ids] field is ascending as always. *)
+
+  val find_opt : t -> bitset -> interned option
+
+  val cardinal : t -> int
+end

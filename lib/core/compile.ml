@@ -21,7 +21,10 @@ type group = {
   id : int;
   vnh : Ipv4.t;
   vmac : Mac.t;
-  prefixes : Prefix.t list;
+  (* sdx-owner: [prefixes] is rewritten only by the coordinating thread
+     (the incremental fast path's class split/merge), never from pool
+     domains; build fan-outs only read it. *)
+  mutable prefixes : Prefix.t list;
   default_variants : (Ipv4.t option * Asn.t list) list;
 }
 
@@ -30,6 +33,8 @@ type stats = {
   rule_count : int;
   elapsed_s : float;
   compose_s : float;
+  reachability_s : float;
+  group_s : float;
   seq_ops : int;
   memo_hits : int;
   fdd_build_s : float;
@@ -46,6 +51,8 @@ let zero_stats =
     rule_count = 0;
     elapsed_s = 0.;
     compose_s = 0.;
+    reachability_s = 0.;
+    group_s = 0.;
     seq_ops = 0;
     memo_hits = 0;
     fdd_build_s = 0.;
@@ -80,6 +87,13 @@ module Obs = struct
   let vnhs_retired = counter "sdx_compile_vnh_retired_total"
   let batch_exhausted = counter "sdx_compile_batch_exhausted_total"
 
+  (* Tombstoned fast-path groups still held for provenance attribution
+     (capped by [compact_retired]), and prefixes the incremental path
+     rebound into an already-interned class instead of minting a fresh
+     VNH for them. *)
+  let retired_tombstones = gauge "sdx_compile_retired_groups"
+  let batch_migrations = counter "sdx_compile_batch_migrations_total"
+
   (* The FDD intermediate representation: node population of the merged
      main manager, memo-cache hits across all shard managers, and live
      unique-table entries after the shard-merge pass. *)
@@ -89,14 +103,51 @@ module Obs = struct
 end
 
 (* An outbound clause together with the prefixes whose default behavior it
-   overrides — one element of the collection the MDS partition runs on. *)
+   overrides — one element of the collection the MDS partition runs on.
+   [prefix_set] is the clause's covered-prefix set materialized the
+   pre-ISSUE-9 way (a full [reachable_prefixes] scan per spec); it is
+   lazy because only the naive grouping oracle and the naive build
+   consume it — the export-vector pipeline derives coverage from the
+   interned class signatures instead.  [restriction] is the clause
+   predicate's destination restriction, precomputed once. *)
 type ospec = {
   spec_id : int;  (** position in collection order; keys per-shard caches *)
   sender : Participant.t;
   clause : Ppolicy.clause;
   via : Asn.t option;
-  prefix_set : Prefix.Set.t;
+  restriction : Prefix.t list option;
+  prefix_set : Prefix.Set.t Lazy.t;
 }
+
+(* Class signature: (via-spec membership, preference-ordered route
+   fingerprint, originator).  Equal signatures compile to identical rule
+   slices — membership pins the sender blocks, the fingerprint pins the
+   default variants and every diversion delivery port, the originator
+   pins SDX-originated delivery.  The polymorphic hash truncates after a
+   few list nodes (long memberships would collide constantly), so the
+   table hashes every element explicitly. *)
+module Class_key = struct
+  (* The full export-vector set-bit list (via-spec band ascending, then
+     the origin band) plus the default-route fingerprint: exactly the
+     pair the partition distinguishes cells by, so the interned-class
+     table is injective on live classes.  Keying on anything less — the
+     old (via band, fingerprint, first originator) triple — collided
+     classes that differ only in secondary originators, silently
+     migrating burst prefixes into the wrong class. *)
+  type t = int list * (Asn.t * Ipv4.t) list
+
+  let equal (a : t) (b : t) = a = b
+
+  let hash ((ids, fp) : t) =
+    let h = ref 0x811c9dc5 in
+    List.iter (fun i -> h := ((!h lxor i) * 0x01000193) land max_int) ids;
+    List.iter
+      (fun pair -> h := ((!h lxor Hashtbl.hash pair) * 0x01000193) land max_int)
+      fp;
+    !h
+end
+
+module Class_tbl = Hashtbl.Make (Class_key)
 
 module Pipeline_key = struct
   type t = Asn.t * Mods.t option
@@ -206,8 +257,23 @@ type t = {
      withdrawn: their VNHs are back on the free-list and their ARP
      bindings gone, but older fast-path blocks may still carry their
      (dead, shadowed) rules — kept as tombstones so provenance
-     attribution still resolves their ids. *)
+     attribution still resolves their ids.  [compact_retired] drops the
+     ones no live provenance references any more. *)
   mutable retired_groups_ : group list;
+  (* sdx-owner: [spec_groups] and [class_intern] are written only by the
+     coordinating thread (base compile, then the incremental fast path
+     between pool batches); build fan-outs never touch them. *)
+  (* Covering groups per via-spec id, in group order — replaces the
+     per-spec [Prefix.Set.mem] scan over every group when the grouping
+     pipeline produced class signatures ([None] under naive grouping). *)
+  spec_groups : (int, group list) Hashtbl.t option;
+  (* Canonical class table of the incremental fast path: signature
+     (via-spec membership, preference-ordered route fingerprint,
+     originator) to the live group carrying it.  Two prefixes with equal
+     signatures provably compile to identical rule slices, so a burst
+     prefix whose signature is already interned is rebound to the
+     existing class instead of minting a VNH and re-emitting rules. *)
+  class_intern : group Class_tbl.t;
 }
 
 let classifier t = t.classifier
@@ -905,16 +971,18 @@ let collect_ospecs config =
           let restriction = dst_restriction clause.pred in
           match clause.target with
           | Ppolicy.Peer via ->
-              let reachable =
-                Prefix.Set.of_list
-                  (Route_server.reachable_prefixes server ~receiver:sender.asn ~via)
-              in
               {
                 spec_id = fresh_id ();
                 sender;
                 clause;
                 via = Some via;
-                prefix_set = restrict_set restriction reachable;
+                restriction;
+                prefix_set =
+                  lazy
+                    (restrict_set restriction
+                       (Prefix.Set.of_list
+                          (Route_server.reachable_prefixes server
+                             ~receiver:sender.asn ~via)));
               }
           | Ppolicy.Drop | Ppolicy.Default | Ppolicy.Phys _ | Ppolicy.Redirect _ ->
               (* These clauses compile to rules matching the predicate
@@ -925,7 +993,8 @@ let collect_ospecs config =
                 sender;
                 clause;
                 via = None;
-                prefix_set = Prefix.Set.empty;
+                restriction;
+                prefix_set = lazy Prefix.Set.empty;
               })
         sender.outbound)
     (Config.participants config)
@@ -946,19 +1015,246 @@ let originator_of config prefix =
 (* ------------------------------------------------------------------ *)
 (* Group computation.                                                  *)
 
-let compute_groups config vnh_alloc ospecs =
+(* Groups from a deterministic partition: cells arrive sorted by their
+   smallest member with members in prefix order, so positional ids and
+   [Vnh.fresh] draws land identically however the partition was
+   computed. *)
+let groups_of_keyed_parts keys vnh_alloc parts =
+  List.mapi
+    (fun id (key, prefixes) ->
+      let vnh, vmac = Vnh.fresh vnh_alloc in
+      { id; vnh; vmac; prefixes; default_variants = Default_keys.variants keys key })
+    parts
+
+let groups_of_parts keys vnh_alloc parts =
+  groups_of_keyed_parts keys vnh_alloc
+    (List.map
+       (fun prefixes ->
+         (Default_keys.key_of_prefix keys (List.hd prefixes), prefixes))
+       parts)
+
+(* The pre-ISSUE-9 grouping, kept verbatim as the correctness oracle
+   (same role [compile_crossproduct] plays for composition): per-spec
+   reachability sets materialized eagerly, then the pairwise-signature
+   [Fec] partition. *)
+let compute_groups_naive config vnh_alloc ospecs =
+  let t_reach = Unix.gettimeofday () in
   let keys = Default_keys.create config in
   let origin_sets = List.map snd (originated_sets config) in
-  let sets = List.map (fun s -> s.prefix_set) ospecs @ origin_sets in
+  let sets = List.map (fun s -> Lazy.force s.prefix_set) ospecs @ origin_sets in
+  let reachability_s = Unix.gettimeofday () -. t_reach in
+  let t_group = Unix.gettimeofday () in
   let parts =
     Fec.partition ~sets ~default_key:(Default_keys.key_of_prefix keys)
   in
-  List.mapi
-    (fun id prefixes ->
-      let vnh, vmac = Vnh.fresh vnh_alloc in
-      let key = Default_keys.key_of_prefix keys (List.hd prefixes) in
-      { id; vnh; vmac; prefixes; default_variants = Default_keys.variants keys key })
-    parts
+  let groups = groups_of_parts keys vnh_alloc parts in
+  (List.map (fun g -> (g, None)) groups, reachability_s,
+   Unix.gettimeofday () -. t_group)
+
+(* The naive partition alone (no VNH draws, no group records) — the
+   oracle the bench compares the interned pipeline's output against,
+   and the timing baseline for its speedup figure. *)
+let group_partition_naive config =
+  let ospecs = collect_ospecs config in
+  let keys = Default_keys.create config in
+  let origin_sets = List.map snd (originated_sets config) in
+  let sets = List.map (fun s -> Lazy.force s.prefix_set) ospecs @ origin_sets in
+  Fec.partition ~sets ~default_key:(Default_keys.key_of_prefix keys)
+
+(* --- The sub-linear pipeline (ISSUE 9). ---------------------------- *)
+
+(* Reachability pass: sparse export vectors, produced per id band — for
+   each via-spec id (and, in the band above [nspecs], each origin set),
+   the list of prefixes it covers.  One job per diversion target scans
+   that target's Adj-RIB-in ONCE for all of its unrestricted specs (the
+   old path materialized a [Prefix.Set.t] per spec, re-running the
+   export checks per spec x route); destination-restricted specs
+   resolve through the prefix trie instead, so a clause covering a
+   handful of prefixes never pays a million-route scan.  Jobs only read
+   route-server state, so they fan out through [run]; each job conses
+   straight onto its own per-spec member lists (no per-route hashing),
+   and since every spec id belongs to exactly one via, the merge is a
+   plain array fill — independent of job completion order. *)
+let export_vectors config ospecs ~run =
+  let server = Config.server config in
+  let trivial_filter = Route_server.trivial_route_filter server in
+  let by_via : (Asn.t, ospec list ref) Hashtbl.t = Hashtbl.create 64 in
+  let via_order = ref [] in
+  List.iter
+    (fun spec ->
+      match spec.via with
+      | None -> ()
+      | Some via -> (
+          match Hashtbl.find_opt by_via via with
+          | Some l -> l := spec :: !l
+          | None ->
+              Hashtbl.replace by_via via (ref [ spec ]);
+              via_order := via :: !via_order))
+    ospecs;
+  let covers (spec : ospec) (route : Route.t) =
+    Route_server.loop_free route ~receiver:spec.sender.asn
+    && (trivial_filter
+       || Route_server.route_filter_passes server route
+            ~receiver:spec.sender.asn)
+  in
+  let via_job via () =
+    (* Export policy is a property of the (advertiser, receiver) pair,
+       not of individual routes: specs the via exports nothing to
+       contribute no bits at all. *)
+    let specs =
+      List.filter
+        (fun s ->
+          Route_server.exports_to server ~advertiser:via ~receiver:s.sender.asn)
+        (List.rev !(Hashtbl.find by_via via))
+    in
+    let restricted, unrestricted =
+      List.partition (fun s -> s.restriction <> None) specs
+    in
+    let unrestricted = List.map (fun s -> (s, ref [])) unrestricted in
+    if unrestricted <> [] then
+      Route_server.fold_adj_in server ~via
+        (fun prefix route () ->
+          List.iter
+            (fun (spec, members) ->
+              if covers spec route then members := prefix :: !members)
+            unrestricted)
+        ();
+    List.rev_append
+      (List.rev_map (fun (s, members) -> (s.spec_id, !members)) unrestricted)
+      (List.map
+         (fun spec ->
+           let seen = Hashtbl.create 64 in
+           let members = ref [] in
+           List.iter
+             (fun allowed ->
+               Route_server.fold_announced_overlapping server allowed
+                 (fun prefix () ->
+                   if not (Hashtbl.mem seen prefix) then begin
+                     Hashtbl.add seen prefix ();
+                     match
+                       List.find_opt
+                         (fun (r : Route.t) -> Asn.equal r.learned_from via)
+                         (Route_server.candidates server prefix)
+                     with
+                     | Some route ->
+                         if covers spec route then members := prefix :: !members
+                     | None -> ()
+                   end)
+                 ())
+             (Option.get spec.restriction);
+           (spec.spec_id, !members))
+         restricted)
+  in
+  let frags = run (List.rev_map via_job !via_order) in
+  let origin = originated_sets config in
+  let nspecs = List.length ospecs in
+  let per_id = Array.make (nspecs + List.length origin) [] in
+  List.iter (List.iter (fun (i, members) -> per_id.(i) <- members)) frags;
+  List.iteri
+    (fun j (_, set) ->
+      per_id.(nspecs + j) <- Prefix.Set.fold (fun p acc -> p :: acc) set [])
+    origin;
+  per_id
+
+(* Group pass: intern each prefix's set-bit list — equal vectors
+   collapse onto one canonical class id in O(set bits), replacing the
+   pairwise-signature hashing of [Fec.partition] (whose [int list] keys
+   degrade badly once vectors grow past the polymorphic hash's
+   traversal bound).  Per-prefix lists are accumulated by scanning the
+   id bands in ascending order, so every list arrives duplicate-free
+   and descending-sorted and the interner probes it as-is: no
+   per-prefix sort, and the packed bitset is materialized once per
+   distinct class, not per prefix.  Cells are keyed by (class id,
+   default key id) and re-sorted by smallest member, so the output is
+   structurally identical to the naive partition.  [grouped] carries
+   each class's full set-bit list (via band and origin band): [compile]
+   seeds the incremental class table with it and band-filters the
+   per-spec fan-out view. *)
+let compute_groups_interned config vnh_alloc ospecs ~run =
+  let t_reach = Unix.gettimeofday () in
+  let per_id = export_vectors config ospecs ~run in
+  let reachability_s = Unix.gettimeofday () -. t_reach in
+  let t_group = Unix.gettimeofday () in
+  let keys = Default_keys.create config in
+  let width = Array.length per_id in
+  (* Pivot the id-major fragment lists to prefix-major with one packed
+     int sort instead of a prefix-keyed hashtable: each (prefix, id)
+     pair packs into 62 bits — network 32, mask length 6, id 24 — so
+     sorting the flat array orders pairs by (prefix, id) and every
+     prefix's export vector is a contiguous run with ascending ids.
+     The scan then conses each run backwards (descending ids, the
+     interner's rev-sorted probe shape) and touches one cache line per
+     pair where the hashtable pivot chased a bucket pointer per pair. *)
+  let npairs =
+    Array.fold_left (fun n members -> n + List.length members) 0 per_id
+  in
+  let packed = Array.make (max npairs 1) 0 in
+  profile_stage "grp.pivot" (fun () ->
+      let pos = ref 0 in
+      Array.iteri
+        (fun i members ->
+          List.iter
+            (fun (p : Prefix.t) ->
+              let pkey = (Ipv4.to_int p.Prefix.network lsl 6) lor p.Prefix.len in
+              packed.(!pos) <- (pkey lsl 24) lor i;
+              incr pos)
+            members)
+        per_id;
+      Array.sort (fun (a : int) b -> Int.compare a b) packed);
+  let interner = Bitset.Interner.create ~expected:((npairs / 16) + 16) () in
+  let cells : (int * int, Prefix.t list ref) Hashtbl.t = Hashtbl.create 4096 in
+  let ids_of_class : (int, int list) Hashtbl.t = Hashtbl.create 1024 in
+  profile_stage "grp.scan" (fun () ->
+      let flush lo hi =
+        let pkey = packed.(lo) lsr 24 in
+        let prefix = Prefix.make (Ipv4.of_int (pkey lsr 6)) (pkey land 63) in
+        let rev_ids = ref [] in
+        for k = lo to hi - 1 do
+          rev_ids := (packed.(k) land 0xFFFFFF) :: !rev_ids
+        done;
+        let cls = Bitset.Interner.intern_rev_sorted interner ~width !rev_ids in
+        if not (Hashtbl.mem ids_of_class cls.Bitset.Interner.id) then
+          Hashtbl.add ids_of_class cls.Bitset.Interner.id
+            cls.Bitset.Interner.ids;
+        let key =
+          (cls.Bitset.Interner.id, Default_keys.key_of_prefix keys prefix)
+        in
+        match Hashtbl.find_opt cells key with
+        | Some members -> members := prefix :: !members
+        | None -> Hashtbl.replace cells key (ref [ prefix ])
+      in
+      if npairs > 0 then begin
+        let run_start = ref 0 in
+        for k = 1 to npairs do
+          if k = npairs || packed.(k) lsr 24 <> packed.(!run_start) lsr 24
+          then begin
+            flush !run_start k;
+            run_start := k
+          end
+        done
+      end);
+  let parts =
+    profile_stage "grp.parts" @@ fun () ->
+    List.sort
+      (fun (_, _, a) (_, _, b) ->
+        match (a, b) with
+        | p :: _, q :: _ -> Prefix.compare p q
+        | _ -> 0)
+      (Hashtbl.fold
+         (fun (cls_id, key_id) members acc ->
+           ( Hashtbl.find ids_of_class cls_id,
+             key_id,
+             List.sort Prefix.compare !members )
+           :: acc)
+         cells [])
+  in
+  let groups =
+    profile_stage "grp.mint" @@ fun () ->
+    groups_of_keyed_parts keys vnh_alloc
+      (List.map (fun (_, key_id, members) -> (key_id, members)) parts)
+  in
+  let grouped = List.map2 (fun (ids, _, _) g -> (g, Some ids)) parts groups in
+  (grouped, reachability_s, Unix.gettimeofday () -. t_group)
 
 (* ------------------------------------------------------------------ *)
 (* The optimized pipeline.                                             *)
@@ -974,9 +1270,15 @@ let drop_all_rule = Classifier.drop_all
    order: the output is structurally identical either way. *)
 let build_optimized t config ~run =
   let groups_by_spec spec =
-    List.filter
-      (fun g -> Prefix.Set.mem (List.hd g.prefixes) spec.prefix_set)
-      t.groups_
+    match t.spec_groups with
+    | Some tbl -> Option.value (Hashtbl.find_opt tbl spec.spec_id) ~default:[]
+    | None ->
+        (* Naive grouping left no class signatures behind; fall back to
+           the eager per-spec reachability sets. *)
+        List.filter
+          (fun g ->
+            Prefix.Set.mem (List.hd g.prefixes) (Lazy.force spec.prefix_set))
+          t.groups_
   in
   let sender_jobs =
     profile_stage "senderjobs" @@ fun () ->
@@ -1152,7 +1454,9 @@ let build_naive t config =
           | Some via_asn ->
               let groups =
                 List.filter
-                  (fun g -> Prefix.Set.mem (List.hd g.prefixes) spec.prefix_set)
+                  (fun g ->
+                    Prefix.Set.mem (List.hd g.prefixes)
+                      (Lazy.force spec.prefix_set))
                   t.groups_
               in
               List.fold_right
@@ -1188,19 +1492,73 @@ let register_arp t config =
         p.ports)
     (Config.participants config)
 
-let compile ?(optimized = true) ?(memoize = true) ?(ir = `Fdd) ?domains config
-    vnh_alloc =
+let compile ?(optimized = true) ?(memoize = true) ?(ir = `Fdd)
+    ?(grouping = `Interned) ?domains config vnh_alloc =
   let t0 = Unix.gettimeofday () in
-  let ospecs = profile_stage "ospecs" (fun () -> collect_ospecs config) in
-  (* Group computation allocates VNHs through [vnh_alloc]; it stays on
-     the coordinating domain, before any fan-out. *)
-  let groups_ =
-    profile_stage "groups" (fun () -> compute_groups config vnh_alloc ospecs)
+  let run jobs =
+    let exec pool =
+      if Parallel.size pool <= 1 then List.map (fun job -> job ()) jobs
+      else Parallel.map pool (fun job -> job ()) jobs
+    in
+    match domains with
+    | Some n when n <= 1 -> List.map (fun job -> job ()) jobs
+    | Some n -> Parallel.with_pool ~domains:n exec
+    | None -> exec (Parallel.global ())
   in
+  let ospecs = profile_stage "ospecs" (fun () -> collect_ospecs config) in
+  (* Group computation allocates VNHs through [vnh_alloc] on the
+     coordinating domain; only the interned pipeline's read-only
+     reachability scans fan out. *)
+  let grouped, reachability_s, group_s =
+    profile_stage "groups" (fun () ->
+        match grouping with
+        | `Interned -> compute_groups_interned config vnh_alloc ospecs ~run
+        | `Naive -> compute_groups_naive config vnh_alloc ospecs)
+  in
+  let groups_ = List.map fst grouped in
   let by_prefix = Hashtbl.create 1024 in
   List.iter
     (fun g -> List.iter (fun p -> Hashtbl.replace by_prefix p g) g.prefixes)
     groups_;
+  (* Interned grouping leaves its class signatures behind: the covering
+     groups per via-spec (what [build_optimized] fans out over — the
+     origin band is filtered off, origin bits name no clause), and the
+     canonical class table the incremental fast path migrates into,
+     keyed on the full set-bit list plus default fingerprint. *)
+  let nspecs = List.length ospecs in
+  let spec_groups =
+    match grouping with
+    | `Naive -> None
+    | `Interned ->
+        let tbl = Hashtbl.create 256 in
+        List.iter
+          (fun (g, mem) ->
+            List.iter
+              (fun i ->
+                if i < nspecs then
+                  Hashtbl.replace tbl i
+                    (g :: Option.value (Hashtbl.find_opt tbl i) ~default:[]))
+              (Option.value mem ~default:[]))
+          (List.rev grouped);
+        Some tbl
+  in
+  let class_intern = Class_tbl.create 1024 in
+  (match grouping with
+  | `Naive -> ()
+  | `Interned ->
+      let server = Config.server config in
+      List.iter
+        (fun (g, mem) ->
+          (* Every member of a cell shares one fingerprint id, so the
+             head's fingerprint is the class's. *)
+          let head = List.hd g.prefixes in
+          let fp =
+            List.map
+              (fun (r : Route.t) -> (r.learned_from, r.next_hop))
+              (Decision.sort (Route_server.candidates server head))
+          in
+          Class_tbl.replace class_intern (Option.value mem ~default:[], fp) g)
+        grouped);
   let epoch = Sync.Atomic.fetch_and_add epoch_counter 1 in
   let main_shard = fresh_shard () in
   (* Seed the coordinating domain's slot so jobs the submitter drains
@@ -1228,17 +1586,9 @@ let compile ?(optimized = true) ?(memoize = true) ?(ir = `Fdd) ?domains config
       blocks_ = [];
       batch_groups_ = [];
       retired_groups_ = [];
+      spec_groups;
+      class_intern;
     }
-  in
-  let run jobs =
-    let exec pool =
-      if Parallel.size pool <= 1 then List.map (fun job -> job ()) jobs
-      else Parallel.map pool (fun job -> job ()) jobs
-    in
-    match domains with
-    | Some n when n <= 1 -> List.map (fun job -> job ()) jobs
-    | Some n -> Parallel.with_pool ~domains:n exec
-    | None -> exec (Parallel.global ())
   in
   let classifier, blocks, merge_s, compose_s =
     if optimized then profile_stage "blocks" (fun () -> build_optimized t config ~run)
@@ -1263,6 +1613,8 @@ let compile ?(optimized = true) ?(memoize = true) ?(ir = `Fdd) ?domains config
       rule_count = Classifier.rule_count classifier;
       elapsed_s = elapsed;
       compose_s;
+      reachability_s;
+      group_s;
       seq_ops = sum (fun s -> s.seq_ops);
       memo_hits = sum (fun s -> s.memo_hits);
       fdd_build_s = sum_f (fun s -> s.build_s);
@@ -1297,8 +1649,10 @@ let compile ?(optimized = true) ?(memoize = true) ?(ir = `Fdd) ?domains config
 (* The pre-FDD composition pipeline, kept verbatim as the correctness
    oracle: same blocks, same job structure, but every composition is a
    classifier cross-product. *)
-let compile_crossproduct ?optimized ?memoize ?domains config vnh_alloc =
-  compile ?optimized ?memoize ~ir:`Crossproduct ?domains config vnh_alloc
+let compile_crossproduct ?optimized ?memoize ?grouping ?domains config vnh_alloc
+    =
+  compile ?optimized ?memoize ~ir:`Crossproduct ?grouping ?domains config
+    vnh_alloc
 
 let estimate_with_group_cost t cost_of_group =
   let cost_of_vmac = Hashtbl.create 64 in
@@ -1407,6 +1761,7 @@ type batch_delta = {
   batch_groups : group list;
   batch_provenance : (provenance * int) list;
   batch_retired : int;
+  batch_migrated : int;
   batch_touched_groups : int list;
   batch_elapsed_s : float;
 }
@@ -1415,14 +1770,19 @@ type batch_delta = {
    over the route-server state serve the whole burst.  Duplicate
    prefixes are coalesced (only the final route state matters within a
    burst), and prefixes with the same clause membership and default
-   fingerprint share one fresh VNH instead of burning one each.
+   fingerprint share one fresh VNH instead of burning one each.  A
+   prefix whose signature is already interned — from the base compile or
+   an earlier burst — migrates into the existing class: a [by_prefix]
+   rebind and two membership splices, no VNH draw and no new rules (the
+   class's VMAC-matched rules are signature-determined, so they already
+   forward the migrated prefix's traffic correctly).
 
    The function is transactional with respect to the compiler state:
-   every VNH the batch needs is reserved before the first mutation, so
-   an exhausted pool surfaces as [Error `Vnh_exhausted] with [t], the
-   ARP responder, and the allocator all unchanged — the runtime then
-   rolls forward into a full recompile instead of running with a
-   half-installed burst. *)
+   classification is pure, and every VNH the batch needs is reserved
+   before the first mutation, so an exhausted pool surfaces as
+   [Error `Vnh_exhausted] with [t], the ARP responder, and the allocator
+   all unchanged — the runtime then rolls forward into a full recompile
+   instead of running with a half-installed burst. *)
 let compile_update_batch t config vnh_alloc prefixes =
   let t0 = Unix.gettimeofday () in
   let server = Config.server config in
@@ -1451,62 +1811,97 @@ let compile_update_batch t config vnh_alloc prefixes =
         || originator_of config p <> None)
       prefixes
   in
-  (* Indices of the via-clauses covering [prefix] — prefixes agreeing on
-     this and on the default fingerprint get identical rule slices,
-     hence one shared group.  Coverage is recomputed against the live
-     Loc-RIBs (the same predicate [collect_ospecs] evaluates at base
-     compile time: the clause's destination restriction, plus a route
-     via the target the server actually exports to the sender) rather
-     than read from the stale base-compile prefix sets — so a route that
-     became reachable through a diversion target since the last
-     re-optimization diverts on the fast path exactly as a from-scratch
-     recompile would, and a withdrawn one stops diverting. *)
+  (* Ids of the via-clauses covering [prefix], recomputed against the
+     live Loc-RIBs — the same predicate the export-vector pass evaluates
+     at base compile time (destination restriction, export policy, loop
+     prevention, route filter) — so a route that became reachable
+     through a diversion target since the last re-optimization diverts
+     on the fast path exactly as a from-scratch recompile would, and a
+     withdrawn one stops diverting.  [spec_id] is collection-ordered, so
+     the result is ascending, matching the base class signatures. *)
   let ospec_arr = Array.of_list t.ospecs in
   let membership prefix =
-    List.concat
-      (List.mapi
-         (fun i spec ->
-           match spec.via with
-           | Some via ->
-               let allowed =
-                 match dst_restriction spec.clause.pred with
-                 | None -> true
-                 | Some allowed ->
-                     List.exists (Prefix.overlaps prefix) allowed
-               in
-               if
-                 allowed
-                 && List.exists
-                      (fun (r : Route.t) -> Asn.equal r.learned_from via)
-                      (Route_server.feasible server ~receiver:spec.sender.asn
-                         prefix)
-               then [ i ]
-               else []
-           | None -> [])
-         t.ospecs)
+    let cands = Route_server.candidates server prefix in
+    List.filter_map
+      (fun spec ->
+        match spec.via with
+        | None -> None
+        | Some via ->
+            let allowed =
+              match spec.restriction with
+              | None -> true
+              | Some allowed -> List.exists (Prefix.overlaps prefix) allowed
+            in
+            if
+              allowed
+              && Route_server.exports_to server ~advertiser:via
+                   ~receiver:spec.sender.asn
+              && List.exists
+                   (fun (r : Route.t) ->
+                     Asn.equal r.learned_from via
+                     && Route_server.loop_free r ~receiver:spec.sender.asn
+                     && Route_server.route_filter_passes server r
+                          ~receiver:spec.sender.asn)
+                   cands
+            then Some spec.spec_id
+            else None)
+      t.ospecs
   in
-  let sig_tbl = Hashtbl.create 16 in
+  let fingerprint prefix =
+    List.map
+      (fun (r : Route.t) -> (r.learned_from, r.next_hop))
+      (Decision.sort (Route_server.candidates server prefix))
+  in
+  (* Origin-band ids, in the same [nspecs + j] slots the base compile's
+     export-vector pass assigns: [originated_sets] iterates the static
+     participant config, so the band indexing is stable across compiles
+     and bursts. *)
+  let nspecs = Array.length ospec_arr in
+  let origin_sets = originated_sets config in
+  let origin_band prefix =
+    let rec go j = function
+      | [] -> []
+      | (_, set) :: rest ->
+          if Prefix.Set.mem prefix set then (nspecs + j) :: go (j + 1) rest
+          else go (j + 1) rest
+    in
+    go 0 origin_sets
+  in
+  (* Pure classification: split the burst into signature hits (rebinds
+     into live classes) and fresh classes (which need VNHs).  Nothing is
+     mutated until the whole burst is known to fit the VNH pool. *)
+  let migrations = ref [] in
+  let unchanged = ref 0 in
+  let sig_tbl = Class_tbl.create 16 in
   let order = ref [] in
   List.iter
     (fun prefix ->
-      let s =
-        ( membership prefix,
-          Default_keys.key_of_prefix keys prefix,
-          Option.map
-            (fun (p : Participant.t) -> p.asn)
-            (originator_of config prefix) )
-      in
-      match Hashtbl.find_opt sig_tbl s with
-      | Some members -> members := prefix :: !members
-      | None ->
-          let members = ref [ prefix ] in
-          Hashtbl.replace sig_tbl s members;
-          order := (s, members) :: !order)
+      let s = (membership prefix @ origin_band prefix, fingerprint prefix) in
+      match Class_tbl.find_opt t.class_intern s with
+      | Some g -> (
+          match Hashtbl.find_opt t.by_prefix prefix with
+          | Some g0 when g0.id = g.id ->
+              (* Routes changed in ways the signature doesn't see (e.g.
+                 an AS-path edit preserving preference order, loop
+                 checks, and next hops): the owner's rules are still
+                 exactly right. *)
+              incr unchanged
+          | _ -> migrations := (prefix, g) :: !migrations)
+      | None -> (
+          match Class_tbl.find_opt sig_tbl s with
+          | Some members -> members := prefix :: !members
+          | None ->
+              let members = ref [ prefix ] in
+              Class_tbl.replace sig_tbl s members;
+              order := (s, members) :: !order))
     alive;
+  let migrations = List.rev !migrations in
   let wanted = List.rev !order in
   (* Reserve every VNH up front; nothing has been mutated yet, so on
      exhaustion the reservations go straight back and the caller sees a
-     clean failure. *)
+     clean failure.  Migrations reuse their class's VNH and need no
+     reservation — which is why a churn pattern revisiting known classes
+     stops draining the pool at all. *)
   let reserve n =
     let rec go acc n =
       if n = 0 then Ok (List.rev acc)
@@ -1534,27 +1929,55 @@ let compile_update_batch t config vnh_alloc prefixes =
       | Some g -> Hashtbl.replace prior g.id g
       | None -> ())
     (alive @ dead);
+  (* Membership lists stay truthful under churn: every prefix leaving a
+     class is spliced out of its [prefixes] (and merged, sorted, into
+     the target's on migration), so the checker and the build-time views
+     read live membership, not a snapshot. *)
+  let remove_member (g : group) p =
+    g.prefixes <- List.filter (fun q -> not (Prefix.equal q p)) g.prefixes
+  in
+  let unbind p =
+    match Hashtbl.find_opt t.by_prefix p with
+    | Some g0 -> remove_member g0 p
+    | None -> ()
+  in
+  List.iter
+    (fun p ->
+      unbind p;
+      Hashtbl.remove t.by_prefix p)
+    dead;
+  List.iter
+    (fun (p, (g : group)) ->
+      unbind p;
+      g.prefixes <- List.merge Prefix.compare [ p ] g.prefixes;
+      Hashtbl.replace t.by_prefix p g)
+    migrations;
   let grouped =
     List.map2
-      (fun ((mem, key_id, _), members) (vnh, vmac) ->
+      (fun ((mem, _) as s, members) (vnh, vmac) ->
+        let key_id = Default_keys.key_of_prefix keys (List.hd !members) in
         let g =
           {
             id = t.next_group_id;
             vnh;
             vmac;
-            prefixes = List.rev !members;
+            prefixes = List.sort Prefix.compare !members;
             default_variants = Default_keys.variants keys key_id;
           }
         in
         t.next_group_id <- t.next_group_id + 1;
         t.batch_groups_ <- g :: t.batch_groups_;
-        List.iter (fun p -> Hashtbl.replace t.by_prefix p g) g.prefixes;
+        Class_tbl.replace t.class_intern s g;
+        List.iter
+          (fun p ->
+            unbind p;
+            Hashtbl.replace t.by_prefix p g)
+          g.prefixes;
         Sdx_arp.Responder.register t.arp_ vnh vmac;
         (g, mem))
       wanted reserved
   in
   let groups = List.map fst grouped in
-  List.iter (fun p -> Hashtbl.remove t.by_prefix p) dead;
   (* Retire previously-minted fast-path groups this burst left with no
      bound prefix: their rules (in older, lower-priority blocks) are
      shadowed by the new block, so the VNH goes back on the free-list
@@ -1566,17 +1989,8 @@ let compile_update_batch t config vnh_alloc prefixes =
   let retired =
     Hashtbl.fold
       (fun id g acc ->
-        let superseded =
-          Hashtbl.mem fastpath_ids id
-          && not
-               (List.exists
-                  (fun p ->
-                    match Hashtbl.find_opt t.by_prefix p with
-                    | Some g' -> g'.id = id
-                    | None -> false)
-                  g.prefixes)
-        in
-        if superseded then g :: acc else acc)
+        if Hashtbl.mem fastpath_ids id && g.prefixes = [] then g :: acc
+        else acc)
       prior []
   in
   List.iter
@@ -1592,7 +2006,19 @@ let compile_update_batch t config vnh_alloc prefixes =
       t.batch_groups_ <-
         List.filter (fun g -> not (Hashtbl.mem retired_ids g.id)) t.batch_groups_;
       t.retired_groups_ <- retired @ t.retired_groups_;
-      Sdx_obs.Registry.Counter.add Obs.vnhs_retired (List.length retired));
+      (* A retired class must also leave the canonical table: its VNH is
+         back on the free-list, so interning into it later would bind
+         prefixes to an unregistered VMAC. *)
+      let dead_keys =
+        Class_tbl.fold
+          (fun k (g : group) acc ->
+            if Hashtbl.mem retired_ids g.id then k :: acc else acc)
+          t.class_intern []
+      in
+      List.iter (fun k -> Class_tbl.remove t.class_intern k) dead_keys;
+      Sdx_obs.Registry.Counter.add Obs.vnhs_retired (List.length retired);
+      Sdx_obs.Registry.Gauge.set_int Obs.retired_tombstones
+        (List.length t.retired_groups_));
   (* The group's membership was just computed against the live Loc-RIBs
      (export policy, loop prevention, and route filter — the same
      predicate the base compiler applies), so every listed clause is
@@ -1608,14 +2034,17 @@ let compile_update_batch t config vnh_alloc prefixes =
   let sender_blocks_for g mem =
     List.filter_map
       (fun i ->
-        let spec = ospec_arr.(i) in
-        match spec.via with
-        | Some via ->
-            Some
-              ( Outbound
-                  { sender = spec.sender.asn; via = Some via; group = Some g.id },
-                fst (clause_group_rules t t.main_shard config spec g) )
-        | None -> None)
+        (* origin-band ids name no via-clause: nothing to build. *)
+        if i >= nspecs then None
+        else
+          let spec = ospec_arr.(i) in
+          match spec.via with
+          | Some via ->
+              Some
+                ( Outbound
+                    { sender = spec.sender.asn; via = Some via; group = Some g.id },
+                  fst (clause_group_rules t t.main_shard config spec g) )
+          | None -> None)
       mem
   in
   let blocks =
@@ -1636,11 +2065,14 @@ let compile_update_batch t config vnh_alloc prefixes =
   Sdx_obs.Registry.Counter.add Obs.batch_rules (Classifier.rule_count rules);
   Sdx_obs.Registry.Counter.add Obs.batch_prefixes (List.length prefixes);
   Sdx_obs.Registry.Counter.add Obs.batch_vnhs (List.length groups);
+  Sdx_obs.Registry.Counter.add Obs.batch_migrations (List.length migrations);
   Sdx_obs.Trace.record ~name:"compile_update_batch" ~start_s:t0 ~dur_s:elapsed
     ~attrs:
       [
         ("prefixes", string_of_int (List.length prefixes));
         ("groups", string_of_int (List.length groups));
+        ("migrated", string_of_int (List.length migrations));
+        ("unchanged", string_of_int !unchanged);
         ("rules", string_of_int (Classifier.rule_count rules));
       ]
     ();
@@ -1650,11 +2082,29 @@ let compile_update_batch t config vnh_alloc prefixes =
       batch_groups = groups;
       batch_provenance = List.map (fun (p, rs) -> (p, List.length rs)) blocks;
       batch_retired = List.length retired;
+      batch_migrated = List.length migrations;
       batch_touched_groups =
         (* Every provenance group whose obligations this burst may have
-           changed: the freshly minted ones plus each prefix's previous
-           owner (whose rules the new block now shadows or retires). *)
+           changed: the freshly minted ones, each migration's target
+           (its membership grew), plus each prefix's previous owner
+           (whose rules the new block now shadows or retires). *)
         List.map (fun g -> g.id) groups
+        @ List.map (fun (_, (g : group)) -> g.id) migrations
         @ Hashtbl.fold (fun id _ acc -> id :: acc) prior [];
       batch_elapsed_s = elapsed;
     }
+
+(* Tombstone compaction: keep only the retired groups some installed
+   block's provenance still names.  The runtime calls this after every
+   burst install with the live id set from its provenance table, so the
+   tombstone list is bounded by the installed blocks instead of growing
+   with total churn. *)
+let compact_retired t ~live =
+  let keep = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace keep id ()) live;
+  let before = List.length t.retired_groups_ in
+  t.retired_groups_ <-
+    List.filter (fun (g : group) -> Hashtbl.mem keep g.id) t.retired_groups_;
+  let after = List.length t.retired_groups_ in
+  Sdx_obs.Registry.Gauge.set_int Obs.retired_tombstones after;
+  before - after

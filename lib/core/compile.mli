@@ -21,7 +21,9 @@ type group = {
   id : int;
   vnh : Ipv4.t;
   vmac : Mac.t;
-  prefixes : Prefix.t list;
+  mutable prefixes : Prefix.t list;
+      (** live membership, in prefix order — the incremental fast path
+          splices prefixes in and out as they migrate between classes *)
   default_variants : (Ipv4.t option * Asn.t list) list;
       (** the best-route next hop shared by each listed set of receivers;
           [None] means those receivers have no resolvable next hop (e.g.
@@ -39,6 +41,13 @@ type stats = {
           engines implement differently (group computation, reachability
           collection, and ARP registration are engine-independent), so
           FDD-vs-crossproduct comparisons divide these *)
+  reachability_s : float;
+      (** wall-clock of the per-prefix export-vector (reachability)
+          pass — under naive grouping, of forcing the per-spec
+          reachability sets *)
+  group_s : float;
+      (** wall-clock of the grouping pass proper (vector interning and
+          VNH assignment, or the [Fec] partition) *)
   seq_ops : int;  (** sequential compositions performed (either IR) *)
   memo_hits : int;  (** §4.3: reuses of a cached pipeline compilation *)
   fdd_build_s : float;
@@ -75,6 +84,7 @@ val compile :
   ?optimized:bool ->
   ?memoize:bool ->
   ?ir:[ `Fdd | `Crossproduct ] ->
+  ?grouping:[ `Interned | `Naive ] ->
   ?domains:int ->
   Config.t ->
   Vnh.t ->
@@ -97,6 +107,17 @@ val compile :
     per-packet-identical classifiers; block boundaries and provenance
     are the same.
 
+    [grouping] selects the prefix-grouping pipeline: [`Interned] (the
+    default) builds one packed export vector per prefix and groups by
+    interning equal vectors into canonical FEC classes — sub-linear in
+    (specs x prefixes) because each diversion target's Adj-RIB-in is
+    scanned once for all of its clauses; [`Naive] is the pre-ISSUE-9
+    per-spec reachability materialization plus pairwise-signature
+    partition, kept as the grouping oracle.  Both produce structurally
+    identical groups (same ids, members, VNHs, variants), but only
+    [`Interned] seeds the class table the incremental fast path
+    migrates prefixes through.
+
     [domains] controls the pool the independent rule blocks of the
     optimized path are fanned across: [Some 1] forces a fully sequential
     build, [Some n] uses a private n-domain pool for this compilation,
@@ -106,9 +127,23 @@ val compile :
     and blocks are concatenated in input order. *)
 
 val compile_crossproduct :
-  ?optimized:bool -> ?memoize:bool -> ?domains:int -> Config.t -> Vnh.t -> t
+  ?optimized:bool ->
+  ?memoize:bool ->
+  ?grouping:[ `Interned | `Naive ] ->
+  ?domains:int ->
+  Config.t ->
+  Vnh.t ->
+  t
 (** [compile ~ir:`Crossproduct]: the sequential cross-product engine the
     FDD core is benchmarked (and property-tested) against. *)
+
+val group_partition_naive : Config.t -> Prefix.t list list
+(** The naive grouping pipeline's partition alone (per-spec reachability
+    sets + pairwise-signature [Fec] partition), with no VNH draws or
+    group records: members sorted by prefix, cells sorted by smallest
+    member.  The oracle the bench compares
+    [List.map (fun g -> g.prefixes) (groups t)] against, and the timing
+    baseline for the grouping speedup. *)
 
 val classifier : t -> Classifier.t
 val groups : t -> group list
@@ -190,10 +225,15 @@ type batch_delta = {
       (** fast-path groups the burst fully superseded: their VNHs went
           back to the allocator's free-list and their ARP bindings were
           removed *)
+  batch_migrated : int;
+      (** prefixes rebound into an already-interned class (from the base
+          compile or an earlier burst) instead of minting a VNH: no new
+          rules were emitted for them *)
   batch_touched_groups : int list;
       (** dirty-set for incremental verification: ids of every group
           whose obligations this burst may have changed — the fresh
-          groups plus each touched prefix's previous owner *)
+          groups, each migration's target, plus each touched prefix's
+          previous owner *)
   batch_elapsed_s : float;
 }
 
@@ -207,11 +247,21 @@ val compile_update_batch :
     prefixes): one {e Default_keys} instance and one route-server pass
     serve every prefix, duplicates are coalesced to their final state,
     and prefixes sharing clause membership and default fingerprint share
-    one fresh VNH.  Fully-withdrawn prefixes are unbound instead of
-    grouped, retiring their superseded VNHs.  Must be called after the
-    burst's updates have been applied to the route server.
+    one fresh VNH.  A prefix whose signature is already interned (base
+    compile or earlier burst) migrates into that class: a binding rebind
+    and membership splice, no VNH draw and no new rules.
+    Fully-withdrawn prefixes are unbound instead of grouped, retiring
+    their superseded VNHs.  Must be called after the burst's updates
+    have been applied to the route server.
 
     Transactional: [Error `Vnh_exhausted] means the pool could not cover
     the burst and {e nothing} — bindings, groups, ARP entries, allocator
     — was changed; the caller is expected to fall back to a full
     re-optimization. *)
+
+val compact_retired : t -> live:int list -> int
+(** Drops retired-group tombstones whose ids are not in [live] (the
+    group ids still referenced by installed provenance blocks) and
+    returns how many were dropped.  Never re-registers anything: a
+    compacted tombstone's VNH and ARP binding were already released at
+    retirement. *)

@@ -153,5 +153,14 @@ let announce t ~peer ~port ?as_path prefix =
   in
   Route_server.apply t.server (Update.announce route)
 
+let preload t ~peer ~port ?as_path prefix =
+  let p = participant t peer in
+  let port = Participant.port p port in
+  let as_path = Option.value as_path ~default:[ peer ] in
+  let route =
+    Route.make ~prefix ~next_hop:port.ip ~as_path ~learned_from:peer ()
+  in
+  Route_server.load t.server (Update.announce route)
+
 let withdraw t ~peer prefix =
   Route_server.apply t.server (Update.withdraw ~peer prefix)

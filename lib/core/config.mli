@@ -56,4 +56,8 @@ val announce : t -> peer:Asn.t -> port:int -> ?as_path:Asn.t list -> Prefix.t ->
     interface to the route server.  [as_path] defaults to the
     participant's own ASN. *)
 
+val preload : t -> peer:Asn.t -> port:int -> ?as_path:Asn.t list -> Prefix.t -> unit
+(** Like {!announce} but via {!Route_server.load}: no best-route change
+    diffing, for bulk initial table loads before anything is compiled. *)
+
 val withdraw : t -> peer:Asn.t -> Prefix.t -> Route_server.change

@@ -17,6 +17,13 @@ type t = {
   rejected : (Asn.t * Prefix.t) list;
   ceiling : int;  (* per-instance fast-path priority ceiling *)
   mutable reoptimizes : int;
+  (* Cumulative fast-path churn since [create]: groups minted by bursts,
+     prefixes migrated into already-interned classes (no rules emitted),
+     and groups retired.  Survives re-optimization — these describe the
+     workload, not the current table. *)
+  mutable churn_minted : int;
+  mutable churn_migrated : int;
+  mutable churn_retired : int;
   (* Cumulative dirty-set of fast-path block installs since the last
      [consume_dirty], for incremental verification; [None] whenever the
      whole table was rebuilt (create/reoptimize/fallback) since then, in
@@ -155,6 +162,9 @@ let create ?(optimized = true) ?rpki ?domains ?vnh_pool
       rejected;
       ceiling = extras_ceiling;
       reoptimizes = 0;
+      churn_minted = 0;
+      churn_migrated = 0;
+      churn_retired = 0;
       last_dirty = None;
     }
   in
@@ -312,6 +322,29 @@ let handle_burst t updates =
             let floor = next_extras_floor t in
             t.extras <-
               (batch.batch_rules, floor, batch.batch_provenance) :: t.extras;
+            t.churn_minted <-
+              t.churn_minted + List.length batch.Compile.batch_groups;
+            t.churn_migrated <- t.churn_migrated + batch.Compile.batch_migrated;
+            t.churn_retired <- t.churn_retired + batch.Compile.batch_retired;
+            (* Cap the tombstone list: only retired groups still named by
+               an installed block's provenance need to stay resolvable
+               (base-compile groups never retire, so scanning the extras
+               blocks is enough). *)
+            let live =
+              List.concat_map
+                (fun (_, _, provs) ->
+                  List.filter_map
+                    (fun ((p : Compile.provenance), _) ->
+                      match p with
+                      | Compile.Outbound { group; _ } -> group
+                      | Compile.Group_default { group } -> Some group
+                      | Compile.Untagged _ | Compile.Catch_all
+                      | Compile.Unattributed ->
+                          None)
+                    provs)
+                t.extras
+            in
+            ignore (Compile.compact_retired t.compiled ~live);
             let count = Classifier.rule_count batch.batch_rules in
             (* The new block heads [classifier t], so its rules occupy
                global indices 0..count-1 and every previously dirty rule
@@ -399,6 +432,21 @@ let handle_update t update =
 let fast_path_block_count t = List.length t.extras
 let vnh t = t.vnh
 let reoptimize_count t = t.reoptimizes
+
+type churn = {
+  churn_groups_minted : int;
+  churn_prefixes_migrated : int;
+  churn_groups_retired : int;
+}
+
+let churn t =
+  {
+    churn_groups_minted = t.churn_minted;
+    churn_prefixes_migrated = t.churn_migrated;
+    churn_groups_retired = t.churn_retired;
+  }
+
+let retired_tombstone_count t = List.length (Compile.retired_groups t.compiled)
 
 let set_policies t asn ~inbound ~outbound =
   let config =

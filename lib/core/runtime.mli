@@ -135,6 +135,28 @@ val reoptimize_count : t -> int
     ladder (priority ceiling, VNH pressure, fast-path fallback, band
     overlap). *)
 
+type churn = {
+  churn_groups_minted : int;
+      (** groups minted by fast-path bursts since creation *)
+  churn_prefixes_migrated : int;
+      (** prefixes rebound into an already-interned class — the bursts
+          that cost zero rules *)
+  churn_groups_retired : int;
+      (** fast-path groups fully superseded (VNH released, ARP entry
+          removed) *)
+}
+
+val churn : t -> churn
+(** Cumulative fast-path churn accounting.  Survives re-optimization:
+    these totals describe the update workload, not the current table. *)
+
+val retired_tombstone_count : t -> int
+(** Retired-group tombstones currently held for provenance attribution.
+    The runtime compacts the list after every block install
+    ({!Compile.compact_retired}), keeping only tombstones some installed
+    fast-path block still names, so this stays bounded by the live
+    extras stack rather than growing with total churn. *)
+
 val reoptimize : t -> Compile.stats
 (** Background re-optimization: recomputes groups and the classifier
     from scratch and clears the incremental rule stack. *)

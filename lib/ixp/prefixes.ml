@@ -4,14 +4,19 @@ open Sdx_net
    ranges and the 172.16/12 VNH pool): the i-th prefix occupies the i-th
    /22-aligned block, as a /22, /23, or /24 depending on i mod 4 — the
    blocks are disjoint by construction, and the length mix loosely mirrors
-   a real table's aggregate/deaggregate split. *)
+   a real table's aggregate/deaggregate split.  Indices past the /3's
+   524,288 blocks spill into a second band of /23-aligned blocks carved
+   from 64.0.0.0/3 (also unused elsewhere in the tree), so the 1M-prefix
+   sweep fits while every pre-existing index keeps its exact prefix. *)
 let base = 0x20000000
-let space = 1 lsl (29 - 10) (* number of /22 blocks in a /3 *)
+let space0 = 1 lsl (29 - 10) (* number of /22 blocks in a /3 *)
+let overflow_base = 0x40000000
+let space = space0 + (1 lsl (29 - 9)) (* + /23 blocks in the second /3 *)
 
 let nth i =
   if i < 0 || i >= space then
     invalid_arg (Printf.sprintf "Prefixes.nth: %d out of range" i)
-  else
+  else if i < space0 then
     let block = base + (i lsl 10) in
     let len =
       match i mod 4 with
@@ -19,6 +24,11 @@ let nth i =
       | 1 | 2 -> 24
       | _ -> 23
     in
+    Prefix.make (Ipv4.of_int block) len
+  else
+    let j = i - space0 in
+    let block = overflow_base + (j lsl 9) in
+    let len = match j mod 4 with 0 -> 23 | _ -> 24 in
     Prefix.make (Ipv4.of_int block) len
 
 let table n = List.init n nth

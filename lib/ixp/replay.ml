@@ -183,6 +183,10 @@ type soak_result = {
   soak_vnh_capacity : int;
   soak_peak_extra_rules : int;
   soak_peak_fastpath_blocks : int;
+  soak_groups_minted : int;
+  soak_group_migrations : int;
+  soak_groups_retired : int;
+  soak_retired_tombstones : int;
   soak_elapsed_s : float;
   soak_updates_per_s : float;
 }
@@ -343,6 +347,7 @@ let soak ?(config = default_soak_config) ?check ?check_incremental rng
   run_checkpoint ();
   let elapsed = Unix.gettimeofday () -. t0 in
   let vnh = Vnh.stats (Runtime.vnh runtime) in
+  let churn = Runtime.churn runtime in
   {
     soak_updates = !updates_done;
     soak_bursts = !bursts;
@@ -361,6 +366,10 @@ let soak ?(config = default_soak_config) ?check ?check_incremental rng
     soak_vnh_capacity = vnh.Vnh.capacity;
     soak_peak_extra_rules = !peak_extras;
     soak_peak_fastpath_blocks = !peak_blocks;
+    soak_groups_minted = churn.Runtime.churn_groups_minted;
+    soak_group_migrations = churn.Runtime.churn_prefixes_migrated;
+    soak_groups_retired = churn.Runtime.churn_groups_retired;
+    soak_retired_tombstones = Runtime.retired_tombstone_count runtime;
     soak_elapsed_s = elapsed;
     soak_updates_per_s =
       (if elapsed > 0. then float_of_int !updates_done /. elapsed else 0.);
@@ -375,11 +384,13 @@ let pp_soak_result fmt r =
      inline checks: %d (%d errors)@,\
      re-optimizations: %d@,\
      VNHs: %d reclaimed, peak %d live of %d@,\
-     peak fast path: %d rules in %d blocks@]"
+     peak fast path: %d rules in %d blocks@,\
+     groups: %d minted, %d migrations, %d retired (%d tombstones held)@]"
     r.soak_updates r.soak_bursts r.soak_updates_per_s r.soak_elapsed_s
     r.soak_withdraw_storms r.soak_session_flaps r.soak_duplicate_trains
     r.soak_same_prefix_trains r.soak_checkpoints r.soak_check_errors
     r.soak_equiv_divergences r.soak_incremental_checks r.soak_incremental_errors
     r.soak_reoptimizations r.soak_vnh_reclaimed
     r.soak_vnh_peak_live r.soak_vnh_capacity r.soak_peak_extra_rules
-    r.soak_peak_fastpath_blocks
+    r.soak_peak_fastpath_blocks r.soak_groups_minted r.soak_group_migrations
+    r.soak_groups_retired r.soak_retired_tombstones

@@ -106,6 +106,13 @@ type soak_result = {
   soak_vnh_capacity : int;
   soak_peak_extra_rules : int;
   soak_peak_fastpath_blocks : int;
+  soak_groups_minted : int;  (** groups minted by fast-path bursts *)
+  soak_group_migrations : int;
+      (** prefixes rebound into an already-interned class (zero rules) *)
+  soak_groups_retired : int;  (** fast-path groups fully superseded *)
+  soak_retired_tombstones : int;
+      (** retired-group tombstones still held at the end — bounded by
+          the live extras stack, not by total churn *)
   soak_elapsed_s : float;
   soak_updates_per_s : float;
 }

@@ -284,8 +284,7 @@ let build rng ~participants ~prefixes ?(dual_homed_fraction = 0.0)
             if i = b.owner then [ asn; b.origin ] else [ asn; owner_asn; b.origin ]
           in
           List.iter
-            (fun prefix ->
-              ignore (Config.announce config ~peer:asn ~port:0 ~as_path prefix))
+            (fun prefix -> Config.preload config ~peer:asn ~port:0 ~as_path prefix)
             b.block_prefixes)
         b.announcer_idxs)
     layout.blocks;

@@ -109,6 +109,42 @@ let iter_matches addr f t =
   in
   go t 0
 
+(* Overlap = one prefix contains the other: walk the query prefix's
+   path collecting covering bindings, then fold the whole subtree under
+   it (the covered bindings).  Cost is O(len + |subtree|), independent
+   of the trie's total population — the point of the export-vector
+   pipeline's restricted-spec fast path. *)
+let fold_overlapping prefix f t init =
+  let addr = Prefix.network prefix and len = Prefix.length prefix in
+  let rec subtree t depth path acc =
+    match t with
+    | Leaf -> acc
+    | Node { value; left; right } ->
+        let acc =
+          match value with
+          | Some v -> f (Prefix.make (Ipv4.of_int path) depth) v acc
+          | None -> acc
+        in
+        let acc = subtree left (depth + 1) path acc in
+        if depth = 32 then acc
+        else subtree right (depth + 1) (path lor (1 lsl (31 - depth))) acc
+  in
+  let rec walk t depth acc =
+    match t with
+    | Leaf -> acc
+    | Node { value; left; right } ->
+        if depth = len then subtree t depth (Ipv4.to_int addr) acc
+        else
+          let acc =
+            match value with
+            | Some v -> f (Prefix.make addr depth) v acc
+            | None -> acc
+          in
+          if bit addr depth = 0 then walk left (depth + 1) acc
+          else walk right (depth + 1) acc
+  in
+  walk t 0 init
+
 let update prefix f t =
   match f (find_opt prefix t) with
   | Some v -> add prefix v t

@@ -30,6 +30,15 @@ val iter_matches : Ipv4.t -> ('a -> unit) -> 'a t -> unit
     Unlike {!matches} it allocates nothing — this is the per-packet hot
     path of the data-plane match engine. *)
 
+val fold_overlapping :
+  Prefix.t -> (Prefix.t -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** [fold_overlapping p f t init] folds over every binding whose prefix
+    overlaps [p] — contains it or is contained by it (including [p]
+    itself).  Covering bindings are visited shortest-prefix first, then
+    the subtree under [p] in increasing prefix order.  Costs
+    O(length of [p] + size of the overlapped subtree), independent of
+    the trie's total population. *)
+
 val update : Prefix.t -> ('a option -> 'a option) -> 'a t -> 'a t
 (** [update p f t] applies [f] to the current binding for [p]; [f]
     returning [None] removes the binding. *)

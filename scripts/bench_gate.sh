@@ -8,15 +8,22 @@
 #
 # `bench json` (FDD sweep, current): fails (exit 1) when any sweep point
 # reports `identical_to_crossproduct: false` (the FDD engine must agree
-# with the cross-product oracle everywhere), when the headline `speedup`
-# (composition-stage, cross-product over sharded FDD, at the largest
-# point) is below the 3x floor, or when a `check_errors` field is
-# present and non-zero.  Absolute rule/group counts are NOT compared to
-# the baseline: the committed baseline is a full-scale (--scale 1)
-# sweep while CI runs the default scale, so the grids differ by design.
-# Warns when the candidate's speedup is under a quarter of the
-# baseline's (the ratio grows with workload size, so candidates at
-# smaller scales legitimately report less).
+# with the cross-product oracle everywhere) or
+# `identical_to_group_naive: false` (the interned grouping must agree
+# with the naive per-spec-set oracle everywhere), when the headline
+# `speedup` (composition-stage, cross-product over sharded FDD, at the
+# headline point) is below the 3x floor, when the headline
+# `group_speedup` (naive grouping over export-vector interning) is below
+# 10x at full scale (>= 50k headline prefixes; 0.5x — millisecond-level
+# timer noise tolerance — at the smaller CI scale), when the
+# `reachability_s`/`group_s` phase keys
+# are missing, or when a `check_errors` field is present and non-zero.
+# Absolute rule/group counts are NOT compared to the baseline: the
+# committed baseline is a full-scale (--scale 1) sweep while CI runs the
+# default scale, so the grids differ by design.  Warns when the
+# candidate's speedup is under a quarter of the baseline's (the ratio
+# grows with workload size, so candidates at smaller scales legitimately
+# report less).
 #
 # `bench json` (compile, pre-FDD): fails on correctness drift — `rules`,
 # `groups`, or `identical_to_sequential` differing from the baseline —
@@ -45,7 +52,11 @@
 # carries the inline-check keys (every burst commit must verify), and on
 # `reoptimizations` or `vnh_reclaimed` of zero — a soak that never
 # re-optimized or never reclaimed a VNH did not exercise the lifecycle
-# it exists to test.  When the report carries the sanitizer keys
+# it exists to test.  When the report carries the group-churn keys
+# (`group_migrations`), additionally fails on `group_migrations` = 0 —
+# a soak in which no prefix ever migrated into an interned class ran
+# with incremental group maintenance inert.  When the report carries
+# the sanitizer keys
 # (`sanitizer_races`, `sanitizer_overhead_x`), additionally fails on
 # `sanitizer_races` != 0 — the sdx_race detector must stay silent on
 # the unmutated runtime — and warns when the instrumented-vs-plain
@@ -184,6 +195,19 @@ if grep -q '"updates_per_s"' "$candidate"; then
         fi
     done
 
+    # --- incremental group-maintenance keys (present once the report
+    #     carries them): migrations must actually have happened, or the
+    #     soak silently ran with class migration inert. ---
+    migrations=$(field "$candidate" group_migrations)
+    if [ -n "$migrations" ]; then
+        if [ "$migrations" = "0" ]; then
+            echo "bench gate: FAIL group_migrations=0 (incremental class migration never fired)"
+            fail=1
+        else
+            echo "bench gate: ok   group_migrations=$migrations (minted $(field "$candidate" groups_minted), retired $(field "$candidate" groups_retired), tombstones $(field "$candidate" retired_tombstones))"
+        fi
+    fi
+
     san_races=$(field "$candidate" sanitizer_races)
     if [ -n "$san_races" ]; then
         if [ "$san_races" != "0" ]; then
@@ -241,6 +265,35 @@ if grep -q '"identical_to_crossproduct"' "$candidate"; then
         fail=1
     else
         echo "bench gate: ok   speedup=${speedup}x (floor 3x, cross-product/FDD compose)"
+    fi
+
+    # --- group-phase keys (ISSUE 9; required on current candidates) ---
+    for key in reachability_s group_s naive_group_s group_speedup; do
+        require "$key" "$(field "$candidate" "$key")"
+    done
+
+    if grep -q '"identical_to_group_naive": false' "$candidate"; then
+        echo "bench gate: FAIL a sweep point's interned grouping diverged from the naive oracle"
+        fail=1
+    else
+        echo "bench gate: ok   identical_to_group_naive=true (all points)"
+    fi
+
+    # The >=10x grouping floor is stated at the full-scale 500x50k
+    # headline; smaller-scale candidates (CI runs the default scale)
+    # only have to stay within 2x of the naive pipeline — at a few
+    # thousand prefixes both phases run in single-digit milliseconds,
+    # so the ratio is timer noise, not a regression signal.
+    gspeed=$(field "$candidate" group_speedup)
+    px=$(field "$candidate" prefixes)
+    require "prefixes" "$px"
+    gfloor=0.5
+    if [ "$px" -ge 50000 ]; then gfloor=10.0; fi
+    if ! awk -v s="$gspeed" -v f="$gfloor" 'BEGIN { exit !(s >= f) }'; then
+        echo "bench gate: FAIL group speedup ${gspeed}x is below the ${gfloor}x floor (headline ${px} prefixes)"
+        fail=1
+    else
+        echo "bench gate: ok   group_speedup=${gspeed}x (floor ${gfloor}x at ${px} prefixes)"
     fi
 
     errors=$(field "$candidate" check_errors)

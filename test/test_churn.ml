@@ -155,7 +155,174 @@ let test_burst_survives_exhausted_pool () =
     (Format.asprintf "state verifies clean after fallback: %s"
        (pp_errors report))
     false
+    (Check.has_errors report);
+  (* The failed batch is transactional: it must not have recorded any
+     group churn before rolling forward. *)
+  let churn = Runtime.churn runtime in
+  check_int "failed batch minted nothing" 0 churn.Runtime.churn_groups_minted;
+  check_int "failed batch migrated nothing" 0
+    churn.Runtime.churn_prefixes_migrated
+
+(* ------------------------------------------------------------------ *)
+(* Interned grouping: class migration, retirement, and the naive
+   oracle (ISSUE 9).                                                   *)
+
+(* Withdrawing B's p3 route leaves p3 with exactly p4's signature (only
+   C announces it, same candidate fingerprint), so the fast path must
+   migrate p3 into p4's already-interned class: a VNH rebind with zero
+   new rules. *)
+let test_migration_rebind_without_rules () =
+  let runtime = Fig1.make_runtime () in
+  let gid p =
+    (Option.get (Compile.group_of_prefix (Runtime.compiled runtime) p))
+      .Compile.id
+  in
+  check_bool "p3 and p4 start in different classes" true
+    (gid Fig1.p3 <> gid Fig1.p4);
+  let stats = Runtime.withdraw runtime ~peer:Fig1.asn_b Fig1.p3 in
+  check_bool "withdrawal moved the best path" true stats.Runtime.best_changed;
+  check_int "migration installed no rules" 0 stats.Runtime.extra_rules;
+  check_int "p3 joined p4's class" (gid Fig1.p4) (gid Fig1.p3);
+  let churn = Runtime.churn runtime in
+  check_int "one migration" 1 churn.Runtime.churn_prefixes_migrated;
+  check_int "no group minted" 0 churn.Runtime.churn_groups_minted;
+  check_int "no group retired" 0 churn.Runtime.churn_groups_retired;
+  let report = Check.runtime runtime in
+  check_bool
+    (Format.asprintf "state verifies clean after migration: %s"
+       (pp_errors report))
+    false
     (Check.has_errors report)
+
+(* A novel announcement mints a fast-path class; fully withdrawing it
+   retires the class.  The tombstone must survive while the minting
+   block's provenance still names it and vanish with the stack at the
+   next re-optimization — while the cumulative churn totals persist. *)
+let test_withdraw_storm_retires_and_compacts () =
+  let runtime = Fig1.make_runtime () in
+  let p6 = Fig1.pfx "20.0.6.0/24" in
+  ignore (Runtime.announce runtime ~peer:Fig1.asn_b ~port:0 p6);
+  let churn = Runtime.churn runtime in
+  check_int "novel signature minted a class" 1 churn.Runtime.churn_groups_minted;
+  ignore (Runtime.withdraw runtime ~peer:Fig1.asn_b p6);
+  let churn = Runtime.churn runtime in
+  check_int "full withdrawal retired the class" 1
+    churn.Runtime.churn_groups_retired;
+  check_bool "tombstone held while provenance references it" true
+    (Runtime.retired_tombstone_count runtime >= 1);
+  let report = Check.runtime runtime in
+  check_bool
+    (Format.asprintf "state verifies clean after retirement: %s"
+       (pp_errors report))
+    false
+    (Check.has_errors report);
+  ignore (Runtime.reoptimize runtime);
+  check_int "re-optimization clears the tombstones" 0
+    (Runtime.retired_tombstone_count runtime);
+  let churn = Runtime.churn runtime in
+  check_int "churn totals survive re-optimization" 1
+    churn.Runtime.churn_groups_retired
+
+(* Two classes that differ only in their origin-band bits — same
+   via-clause membership, same default fingerprint (after the
+   withdrawal), same FIRST originator — must stay distinct through the
+   fast path.  A class table keyed on anything less than the full
+   export vector (the pre-fix key used the first originator only)
+   collides them, migrating q1 into q2's class even though only q2 is
+   originated by B.  The compiler is driven directly (no [Runtime]):
+   [Runtime.create] also announces a placeholder route per originator,
+   which would hide the collision inside the fingerprint. *)
+let test_secondary_originator_classes_stay_distinct () =
+  let pfx = Prefix.of_string in
+  let q1 = pfx "30.0.1.0/24" and q2 = pfx "30.0.2.0/24" in
+  let asn = Sdx_bgp.Asn.of_int in
+  let asn_a = asn 100
+  and asn_b = asn 200
+  and asn_c = asn 300
+  and asn_d = asn 400 in
+  let part asn octet ?originated () =
+    Participant.make ~asn
+      ~ports:
+        [
+          ( Mac.of_string (Printf.sprintf "0a:00:00:00:00:%02x" octet),
+            Ipv4.of_string (Printf.sprintf "172.0.1.%d" octet) );
+        ]
+      ?originated ()
+  in
+  let config =
+    Config.make
+      [
+        part asn_a 1 ~originated:[ q1; q2 ] ();
+        part asn_b 2 ~originated:[ q2 ] ();
+        part asn_c 3 ();
+        part asn_d 4 ();
+      ]
+  in
+  let far = asn 65001 in
+  List.iter
+    (fun (peer, prefix, as_path) ->
+      ignore (Config.announce config ~peer ~port:0 ~as_path prefix))
+    [
+      (asn_c, q1, [ asn_c; far ]);
+      (asn_c, q2, [ asn_c; far ]);
+      (asn_d, q1, [ asn_d ]);
+    ];
+  let vnh = Vnh.create () in
+  let compiled = Compile.compile config vnh in
+  let gid p = (Option.get (Compile.group_of_prefix compiled p)).Compile.id in
+  check_bool "q1 and q2 start in different classes" true (gid q1 <> gid q2);
+  (* After the withdrawal q1's candidate set equals q2's, so everything
+     except the origin band matches q2's interned class. *)
+  ignore (Config.withdraw config ~peer:asn_d q1);
+  (match Compile.compile_update_batch compiled config vnh [ q1 ] with
+  | Error `Vnh_exhausted -> Alcotest.fail "VNH pool exhausted"
+  | Ok batch ->
+      check_int "novel signature minted a class" 1
+        (List.length batch.Compile.batch_groups);
+      check_int "nothing migrated" 0 batch.Compile.batch_migrated);
+  check_bool "q1 stays out of q2's class" true (gid q1 <> gid q2);
+  check_bool "q1's class holds exactly q1" true
+    ((Option.get (Compile.group_of_prefix compiled q1)).Compile.prefixes
+    = [ q1 ])
+
+(* The interned export-vector pipeline must produce the same partition
+   as the naive oracle (per-spec reachability sets + pairwise Fec
+   partition), and the same classifier when compiled under either
+   grouping, on randomly churned RIBs. *)
+let prop_interned_matches_naive =
+  QCheck.Test.make ~count:25
+    ~name:"interned grouping = naive oracle on random churned RIBs"
+    QCheck.(
+      triple (int_range 1 10_000) (int_range 2 16) (int_range 5 120))
+    (fun (seed, participants, prefixes) ->
+      let rng = Rng.create ~seed in
+      let w = Workload.build rng ~participants ~prefixes () in
+      (* Churn the RIBs away from the freshly built state first. *)
+      List.iter
+        (fun u ->
+          ignore (Sdx_bgp.Route_server.apply (Config.server w.Workload.config) u))
+        (Workload.burst rng w ~size:(5 + Rng.int rng 20));
+      let interned = Compile.compile w.Workload.config (Vnh.create ()) in
+      let parts =
+        List.map
+          (fun (g : Compile.group) -> g.Compile.prefixes)
+          (Compile.groups interned)
+      in
+      let naive_parts = Compile.group_partition_naive w.Workload.config in
+      if parts <> naive_parts then
+        QCheck.Test.fail_reportf
+          "seed %d (%d participants, %d prefixes): interned partition (%d \
+           cells) differs from the naive oracle (%d cells)"
+          seed participants prefixes (List.length parts)
+          (List.length naive_parts);
+      let naive =
+        Compile.compile ~grouping:`Naive w.Workload.config (Vnh.create ())
+      in
+      if Compile.classifier interned <> Compile.classifier naive then
+        QCheck.Test.fail_reportf
+          "seed %d: classifiers differ between `Interned and `Naive grouping"
+          seed;
+      true)
 
 (* ------------------------------------------------------------------ *)
 (* Soak: random churn across both lifecycle boundaries.                *)
@@ -247,6 +414,16 @@ let () =
         [
           Alcotest.test_case "exhausted pool falls forward" `Quick
             test_burst_survives_exhausted_pool;
+        ] );
+      ( "grouping",
+        [
+          Alcotest.test_case "single-prefix rebind migrates without rules"
+            `Quick test_migration_rebind_without_rules;
+          Alcotest.test_case "withdrawal retires and compaction caps tombstones"
+            `Quick test_withdraw_storm_retires_and_compacts;
+          Alcotest.test_case "secondary-originator classes stay distinct"
+            `Quick test_secondary_originator_classes_stay_distinct;
+          QCheck_alcotest.to_alcotest prop_interned_matches_naive;
         ] );
       ( "soak",
         [
