@@ -1327,6 +1327,230 @@ let run_soak ~seed ~updates ~participants ~prefixes ~pool_bits
   end
 
 (* ------------------------------------------------------------------ *)
+(* Sharded fabric: edge sweep and two-phase consistent updates         *)
+
+let run_fabric ~seed ~scale ~packets ~updates ~domains ~out =
+  let module Fabric = Sdx_fabric.Fabric in
+  let module Ftopo = Sdx_fabric.Topology in
+  let module Network = Sdx_fabric.Network in
+  let module Parallel = Sdx_core.Parallel in
+  section "Sharded fabric: edge/core split with versioned transit bands (4.1)";
+  note
+    "the logical classifier drives N edge switches plus a tag-only core; \
+     every packet vector is re-walked over the sharded tables and checked \
+     against the single big switch";
+  let prefixes = max 200 (int_of_float (4_000.0 *. scale)) in
+  let participants = 40 in
+  let rng = Rng.create ~seed in
+  let w = Workload.build rng ~participants ~prefixes () in
+  let runtime = Workload.runtime w in
+  let port_count = Sdx_core.Config.port_count w.Workload.config in
+  let ports = List.init port_count (fun i -> i + 1) in
+  let flow_arr = Array.of_list (Sdx_core.Runtime.flows runtime) in
+  let prng = Rng.create ~seed:(seed + 7919) in
+  let pkts = Array.init packets (fun _ -> synth_packet prng flow_arr) in
+  let domains =
+    if domains > 0 then domains else Parallel.default_domains ()
+  in
+  let logical_rules =
+    Sdx_policy.Classifier.rule_count (Sdx_core.Runtime.classifier runtime)
+  in
+  (* Oracle: the same packets over the degenerate single-switch layout,
+     through the same pure reader. *)
+  let oracle_net = Network.create runtime in
+  let oracle_read =
+    Fabric.reader (Fabric.snapshots (Network.fabric oracle_net))
+  in
+  let canon outs = List.sort compare outs in
+  let m_oracle = min packets 20_000 in
+  let oracle = Array.init m_oracle (fun i -> canon (oracle_read pkts.(i))) in
+  Format.printf "  %6s %8s %13s %13s %11s %9s %16s %9s@." "edges" "workers"
+    "logical rules" "largest edge" "core rules" "total" "aggregate pkt/s"
+    "mismatch";
+  let sweep =
+    List.map
+      (fun edges ->
+        let topology = Ftopo.edge_core ~edges ~ports in
+        let net = Network.create ~topology runtime in
+        let fab = Network.fabric net in
+        let counts = Fabric.rule_counts fab in
+        let largest_edge =
+          List.fold_left
+            (fun m (s, n) -> if s = 0 then m else max m n)
+            0 counts
+        in
+        let core_rules = List.assoc 0 counts in
+        let snap = Fabric.snapshots fab in
+        (* One reader domain per edge: the parallelism sharding buys. *)
+        let workers = max 1 (min domains edges) in
+        let wall, per_worker_bad =
+          Parallel.with_pool ~domains:workers (fun pool ->
+              let t0 = Unix.gettimeofday () in
+              let bad =
+                Parallel.map pool
+                  (fun _ ->
+                    let read = Fabric.reader snap in
+                    let bad = ref 0 in
+                    for i = 0 to packets - 1 do
+                      let r = read pkts.(i) in
+                      if i < m_oracle && canon r <> oracle.(i) then incr bad
+                    done;
+                    !bad)
+                  (List.init workers Fun.id)
+              in
+              (Unix.gettimeofday () -. t0, bad))
+        in
+        let mismatches = List.fold_left ( + ) 0 per_worker_bad in
+        let aggregate = float_of_int (workers * packets) /. wall in
+        Format.printf "  %6d %8d %13d %13d %11d %9d %16.0f %9d@." edges
+          workers logical_rules largest_edge core_rules
+          (Fabric.total_rules fab) aggregate mismatches;
+        (edges, workers, largest_edge, core_rules, Fabric.total_rules fab,
+         aggregate, mismatches))
+      [ 1; 2; 4 ]
+  in
+  let field f = List.map f sweep in
+  let find_edges e =
+    List.find (fun (edges, _, _, _, _, _, _) -> edges = e) sweep
+  in
+  let _, _, e1_largest, _, _, e1_pps, _ = find_edges 1 in
+  let _, _, e4_largest, _, _, e4_pps, _ = find_edges 4 in
+  let total_mismatches =
+    List.fold_left ( + ) 0 (field (fun (_, _, _, _, _, _, m) -> m))
+  in
+  (* Churn soak over the 2-edge fabric: every 8th burst commits through
+     the two-phase protocol with probe traffic injected inside each phase
+     window; the consistency monitor must stay at zero. *)
+  section "Two-phase consistent updates under churn (2 edges + core)";
+  let soak_net = Network.create ~topology:(Ftopo.edge_core ~edges:2 ~ports) runtime in
+  let soak_fab = Network.fabric soak_net in
+  let probes = Array.sub pkts 0 (min packets 64) in
+  let probe () =
+    Array.iter (fun p -> ignore (Network.inject_at_port soak_net p)) probes
+  in
+  let commits = ref 0 and commit_mods = ref 0 and bursts_seen = ref 0 in
+  let on_commit () =
+    incr bursts_seen;
+    if !bursts_seen mod 8 <> 0 then 0
+    else begin
+      let before = Fabric.mixed_version_packets soak_fab in
+      let stats =
+        Network.commit soak_net ~on_phase:(function
+          | Fabric.Installed _ | Fabric.Flipped _ | Fabric.Collected _ ->
+              probe ()
+          | Fabric.Synced_member _ -> ())
+      in
+      incr commits;
+      commit_mods := !commit_mods + Fabric.total_mods stats;
+      Fabric.mixed_version_packets soak_fab - before
+    end
+  in
+  let check _rt =
+    let report = Sdx_check.Check.runtime runtime in
+    let lint_errors =
+      List.filter
+        (fun (f : Sdx_check.Check.finding) ->
+          f.severity = Sdx_check.Check.Error)
+        (Sdx_check.Check.network_lints soak_net)
+    in
+    List.length (Sdx_check.Check.errors report) + List.length lint_errors
+  in
+  let srng = Rng.create ~seed:(seed + 1) in
+  let config =
+    {
+      Replay.default_soak_config with
+      target_updates = updates;
+      checkpoint_every = max 1 (updates / 4);
+      check_every = 0;
+    }
+  in
+  let r = Replay.soak ~config ~check ~on_commit srng w runtime in
+  Format.printf "  %a@." Replay.pp_soak_result r;
+  (* Converge the data plane on the final ruleset and re-verify. *)
+  Network.sync soak_net;
+  probe ();
+  let mixed = Fabric.mixed_version_packets soak_fab in
+  let misses = Fabric.transit_misses soak_fab in
+  let final_errors = check runtime in
+  note
+    "%d two-phase commits (%d flow-mods) under %d bursts; %d probe \
+     packets walked; mixed-version packets: %d; transit misses: %d; \
+     check errors: %d"
+    !commits !commit_mods r.Replay.soak_bursts (Fabric.packets soak_fab)
+    mixed misses final_errors;
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"participants\": %d,\n\
+    \  \"prefixes\": %d,\n\
+    \  \"packets\": %d,\n\
+    \  \"logical_rules\": %d,\n\
+    \  \"sweep\": [\n%s  ],\n\
+    \  \"edge1_largest_rules\": %d,\n\
+    \  \"edge4_largest_rules\": %d,\n\
+    \  \"edge1_aggregate_pps\": %.0f,\n\
+    \  \"edge4_aggregate_pps\": %.0f,\n\
+    \  \"equiv_mismatches\": %d,\n\
+    \  \"soak_updates\": %d,\n\
+    \  \"soak_bursts\": %d,\n\
+    \  \"commits\": %d,\n\
+    \  \"commit_flow_mods\": %d,\n\
+    \  \"probe_packets\": %d,\n\
+    \  \"mixed_version_packets\": %d,\n\
+    \  \"transit_misses\": %d,\n\
+    \  \"check_errors\": %d,\n\
+    \  \"workers\": %d\n\
+     }\n"
+    participants prefixes packets logical_rules
+    (String.concat ",\n"
+       (List.map
+          (fun (edges, workers, largest, core, total, pps, bad) ->
+            Printf.sprintf
+              "    {\"sweep_edges\": %d, \"sweep_workers\": %d, \
+               \"sweep_largest_edge_rules\": %d, \"sweep_core_rules\": %d, \
+               \"sweep_total_rules\": %d, \"sweep_aggregate_pps\": %.0f, \
+               \"sweep_mismatches\": %d}"
+              edges workers largest core total pps bad)
+          sweep)
+     ^ "\n")
+    e1_largest e4_largest e1_pps e4_pps total_mismatches r.Replay.soak_updates
+    r.soak_bursts !commits !commit_mods (Fabric.packets soak_fab) mixed misses
+    final_errors domains;
+  close_out oc;
+  note "wrote %s (mismatches=%d, mixed=%d, edge rules %d -> %d)" out
+    total_mismatches mixed e1_largest e4_largest;
+  (* Contracts: sharded delivery must equal the big switch, the protocol
+     must keep the consistency monitor at zero, and sharding must shrink
+     the per-edge tables. *)
+  if total_mismatches > 0 then begin
+    note "ERROR: sharded delivery diverges from the single big switch; failing";
+    exit 1
+  end;
+  if mixed > 0 || r.Replay.soak_commit_errors > 0 then begin
+    note "ERROR: the consistency monitor counted mixed-version packets; failing";
+    exit 1
+  end;
+  if final_errors > 0 then begin
+    note "ERROR: sdx_check reported error findings on the sharded fabric; failing";
+    exit 1
+  end;
+  if e4_largest >= e1_largest then begin
+    note "ERROR: 4-edge fabric does not shrink per-edge rule tables; failing";
+    exit 1
+  end;
+  if e4_pps < e1_pps then begin
+    if domains >= 4 then begin
+      note "ERROR: aggregate throughput fell with more edges; failing";
+      exit 1
+    end
+    else
+      note
+        "WARN: aggregate throughput fell with more edges (only %d worker \
+         domain(s) available; scaling needs one per edge)"
+        domains
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let run_bechamel () =
@@ -1406,6 +1630,8 @@ let run_all ~seed ~scale ~samples ~repeats =
   run_par ~seed ~scale;
   run_dataplane ~seed ~scale ~packets:100_000 ~domains:0
     ~out:"BENCH_dataplane.json";
+  run_fabric ~seed ~scale ~packets:50_000 ~updates:2_000 ~domains:0
+    ~out:"BENCH_fabric.json";
   run_bechamel ();
   Format.printf "@.done.@."
 
@@ -1561,6 +1787,33 @@ let commands =
         $ Arg.(
             value
             & opt string "BENCH_churn.json"
+            & info [ "out" ] ~doc:"Output path for the JSON report."));
+    cmd "fabric"
+      "Sharded multi-switch fabric: edge sweep, delivery equivalence, and a \
+       two-phase consistent-update soak; writes BENCH_fabric.json."
+      Term.(
+        const (fun seed scale packets updates domains out ->
+            run_fabric ~seed ~scale ~packets ~updates ~domains ~out)
+        $ seed_t $ scale_t
+        $ Arg.(
+            value
+            & opt int 50_000
+            & info [ "packets" ] ~doc:"Packets walked per edge count.")
+        $ Arg.(
+            value
+            & opt int 2_000
+            & info [ "updates" ]
+                ~doc:"BGP updates churned through the two-phase soak.")
+        $ Arg.(
+            value
+            & opt int 0
+            & info [ "domains" ]
+                ~doc:
+                  "Worker domains for the per-edge reader sweep (0 = \
+                   SDX_DOMAINS or the recommended domain count).")
+        $ Arg.(
+            value
+            & opt string "BENCH_fabric.json"
             & info [ "out" ] ~doc:"Output path for the JSON report."));
     cmd "bechamel" "Bechamel micro-benchmarks."
       Term.(const run_bechamel $ const ());

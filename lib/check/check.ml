@@ -1305,6 +1305,75 @@ let runtime_incremental ?fabric rt =
   | Some dirty -> run_incremental ~dirty (subject_of_runtime rt)
   | None -> runtime ?fabric rt
 
+(* ------------------------------------------------------------------ *)
+(* Live-network lints: dynamic counters the static passes cannot see.  *)
+
+let network_lints net =
+  let fab = Network.fabric net in
+  let counter_findings =
+    List.filter_map
+      (fun f -> f)
+      [
+        (match Network.steering_drops net with
+        | 0 -> None
+        | n ->
+            Some
+              {
+                pass = "lints";
+                code = "steering-chain-drops";
+                severity = Warning;
+                detail =
+                  Printf.sprintf
+                    "%d packet(s) silently dropped at the middlebox \
+                     steering-chain depth bound — a steering loop or an \
+                     over-long function chain"
+                    n;
+                rules = [];
+                witness = None;
+              });
+        (match Fabric.mixed_version_packets fab with
+        | 0 -> None
+        | n ->
+            Some
+              {
+                pass = "lints";
+                code = "mixed-version-packets";
+                severity = Error;
+                detail =
+                  Printf.sprintf
+                    "%d packet(s) crossed a mixed ruleset (version tag \
+                     with no transit rule, tag falling through to the \
+                     ingress band, both parities on one delivery tree, \
+                     or a tag leaking out of a delivered frame) — the \
+                     two-phase update invariant is broken"
+                    n;
+                rules = [];
+                witness = None;
+              });
+        (match Fabric.transit_misses fab with
+        | 0 -> None
+        | n ->
+            Some
+              {
+                pass = "lints";
+                code = "transit-miss";
+                severity = Error;
+                detail =
+                  Printf.sprintf
+                    "%d tagged frame(s) found no transit rule at some \
+                     switch — an edge stamped a version before its \
+                     transit band existed everywhere"
+                    n;
+                rules = [];
+                witness = None;
+              });
+      ]
+  in
+  (* The loop pass over the live sharded tables rides along: version
+     tags move loop freedom from the policy layer to the installed
+     per-switch rules, so walk what is actually installed. *)
+  counter_findings @ fabric_loops (Fabric.check_view fab)
+
 let errors r = List.filter (fun f -> f.severity = Error) r.findings
 let warnings r = List.filter (fun f -> f.severity = Warning) r.findings
 let has_errors r = errors r <> []

@@ -127,6 +127,15 @@ val fabric_loops : ?max_states:int -> Topology.fabric -> finding list
 (** Just the symbolic walk over one fabric's tables (also reachable via
     [run ~fabric]). *)
 
+val network_lints : Network.t -> finding list
+(** Dynamic lints over a live {!Sdx_fabric.Network}: packets lost at the
+    middlebox steering-chain depth bound (Warning,
+    ["steering-chain-drops"]), mixed-version packets the fabric's
+    consistency monitor counted (Error, ["mixed-version-packets"]) and
+    the tagged-frame transit misses among them (Error,
+    ["transit-miss"]) — plus a {!fabric_loops} walk over the live
+    per-switch tables (version-tagged transit rules included). *)
+
 val witness_of_pattern : Sdx_policy.Pattern.t -> Packet.t
 (** A concrete packet inside a pattern: constrained exact fields keep
     their value, prefix fields take their first address, free fields

@@ -24,6 +24,11 @@ type t = {
   mutable churn_minted : int;
   mutable churn_migrated : int;
   mutable churn_retired : int;
+  (* Bumped whenever the installable ruleset may have changed
+     (re-optimization, policy change, update burst).  Dataplane drivers
+     compare it against the generation they last committed, so a no-op
+     sync stays a no-op even under version-tagged fabric commits. *)
+  mutable generation : int;
   (* Cumulative dirty-set of fast-path block installs since the last
      [consume_dirty], for incremental verification; [None] whenever the
      whole table was rebuilt (create/reoptimize/fallback) since then, in
@@ -165,6 +170,7 @@ let create ?(optimized = true) ?rpki ?domains ?vnh_pool
       churn_minted = 0;
       churn_migrated = 0;
       churn_retired = 0;
+      generation = 0;
       last_dirty = None;
     }
   in
@@ -197,6 +203,7 @@ let extra_rule_count t =
 let rule_count t = base_rule_count t + extra_rule_count t
 
 let reoptimize t =
+  t.generation <- t.generation + 1;
   t.last_dirty <- None;
   Vnh.reset t.vnh;
   let compiled =
@@ -282,6 +289,7 @@ let fallback_recompile t reason =
    fast-path block.  Multiple updates to the same prefix therefore cost
    one rule slice (the final state), not one stacked block each. *)
 let handle_burst t updates =
+  t.generation <- t.generation + 1;
   let t0 = Unix.gettimeofday () in
   let changes =
     List.map
@@ -429,6 +437,7 @@ let handle_update t update =
   | [ stats ] -> stats
   | _ -> assert false
 
+let generation t = t.generation
 let fast_path_block_count t = List.length t.extras
 let vnh t = t.vnh
 let reoptimize_count t = t.reoptimizes

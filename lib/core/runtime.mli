@@ -135,6 +135,13 @@ val reoptimize_count : t -> int
     ladder (priority ceiling, VNH pressure, fast-path fallback, band
     overlap). *)
 
+val generation : t -> int
+(** Monotone counter bumped by anything that can change {!flows}
+    (bursts, policy changes, re-optimizations).  Dataplane drivers
+    remember the generation they last committed and skip redundant
+    syncs — important for the sharded fabric, whose version-tagged
+    commits rewrite transit rules even when nothing changed. *)
+
 type churn = {
   churn_groups_minted : int;
       (** groups minted by fast-path bursts since creation *)

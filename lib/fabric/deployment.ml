@@ -32,14 +32,28 @@ type state = {
   mutable network : Network.t;
 }
 
-let build participants routes =
+let build ?edges participants routes =
   let config = Sdx_core.Config.make participants in
   List.iter
     (fun (peer, port, prefix, as_path) ->
       ignore (Sdx_core.Config.announce config ~peer ~port ~as_path prefix))
     routes;
   let runtime = Sdx_core.Runtime.create config in
-  Network.create runtime
+  let topology =
+    Option.map
+      (fun edges ->
+        let ports =
+          List.init (Sdx_core.Config.port_count config) (fun i -> i + 1)
+        in
+        Topology.edge_core ~edges ~ports)
+      edges
+  in
+  Network.create ?topology runtime
+
+(* Every control-plane event funnels through here: the changed ruleset
+   reaches the (possibly sharded) data plane via the fabric's two-phase
+   consistent update, never a direct table write. *)
+let commit st = Network.sync st.network
 
 let apply_event st = function
   | Set_policies { asn; inbound; outbound } ->
@@ -54,7 +68,7 @@ let apply_event st = function
       ignore
         (Sdx_core.Runtime.set_policies (Network.runtime st.network) asn ~inbound
            ~outbound);
-      Network.sync st.network
+      commit st
   | Withdraw_route { peer; prefix } ->
       st.routes <-
         List.filter
@@ -62,21 +76,21 @@ let apply_event st = function
           st.routes;
       ignore
         (Sdx_core.Runtime.withdraw (Network.runtime st.network) ~peer prefix);
-      Network.sync st.network
+      commit st
   | Announce_route { peer; port; prefix; as_path } ->
       let as_path = Option.value as_path ~default:[ peer ] in
       st.routes <- (peer, port, prefix, as_path) :: st.routes;
       ignore
         (Sdx_core.Runtime.announce (Network.runtime st.network) ~peer ~port
            ~as_path prefix);
-      Network.sync st.network
+      commit st
 
-let run ?(sample_every = 1) (scenario : scenario) =
+let run ?(sample_every = 1) ?edges (scenario : scenario) =
   let st =
     {
       participants = scenario.participants;
       routes = scenario.seed_routes;
-      network = build scenario.participants scenario.seed_routes;
+      network = build ?edges scenario.participants scenario.seed_routes;
     }
   in
   let events = List.sort (fun (a, _) (b, _) -> Int.compare a b) scenario.events in

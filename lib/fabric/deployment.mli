@@ -43,9 +43,13 @@ type sample = { time : int; rates : (string * float) list }
 (** Delivery rate per sink name at one sampled second; sinks that
     received nothing report 0. *)
 
-val run : ?sample_every:int -> scenario -> sample list
+val run : ?sample_every:int -> ?edges:int -> scenario -> sample list
 (** Runs the scenario, sampling every [sample_every] seconds
-    (default 1). *)
+    (default 1).  With [edges] the network is built on a sharded
+    {!Topology.edge_core} fabric of that many edge switches; every
+    control-plane event then commits through the two-phase consistent
+    update ({!Network.sync} → {!Fabric.commit}), so mid-scenario
+    rule changes never expose a mixed ruleset to the sampled flows. *)
 
 val rate : sample -> string -> float
 (** Rate of one sink in a sample (0 when absent). *)

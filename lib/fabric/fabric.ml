@@ -1,0 +1,452 @@
+open Sdx_net
+open Sdx_policy
+open Sdx_openflow
+
+(* A sharded fabric: one software switch + OpenFlow connection per
+   topology switch, driven through a versioned two-phase consistent
+   update (Reitblatt et al., "Abstractions for Network Update") so that
+   no packet is ever processed by a mix of old and new rules.
+
+   Each logical rule is split into:
+
+   - an *ingress* copy, installed at its home edge (port-pinned rules)
+     or at every edge (port-unpinned rules), with remote outputs
+     rewritten to trunk ports and their frames re-addressed into the
+     {!Vtag} space carrying the current ruleset version;
+   - a *transit* copy of every dst-MAC rule, installed on every switch
+     in a priority band far above the ingress band, matching the tagged
+     address and forwarding toward (or delivering at) the destination's
+     home switch.
+
+   A commit to version v+1 then proceeds:
+
+   1. install the v+1 transit band everywhere, cookie-tagged v+1
+      (make-before-break: inert until something stamps v+1);
+      barrier every connection;
+   2. flip every ingress rule to stamp v+1 — an in-place overwrite,
+      since flipped rules keep their (priority, pattern); barrier;
+   3. delete the v transit band with one [delete_cookie] per switch;
+      barrier.
+
+   In-flight frames stamped v still match the v band until phase 3, and
+   phase 3 only starts after phase 2's barriers prove no edge stamps v
+   anymore. *)
+
+let transit_base = 16_000_000
+(* The transit bands sit above every ingress priority (the runtime's
+   bands top out in the tens of thousands); both parities share the
+   offset because their patterns are disjoint in the tag octet. *)
+
+let g_mixed = Sdx_obs.Registry.counter "sdx_fabric_mixed_version_packets_total"
+let g_transit_miss = Sdx_obs.Registry.counter "sdx_fabric_transit_misses_total"
+let g_commits = Sdx_obs.Registry.counter "sdx_fabric_commits_total"
+
+type member = { id : int; switch : Switch.t; connection : Connection.t }
+
+type commit_stats = {
+  version : int;  (** the version the commit moved the fabric to *)
+  install_mods : int;  (** phase-1 adds: the incoming transit band *)
+  flip_mods : int;  (** phase-2 mods: ingress flips, adds, deletes *)
+  gc_mods : int;  (** phase-3 deletes: the outgoing transit band *)
+  barriers : int;  (** barrier round-trips across all switches *)
+}
+
+let total_mods s = s.install_mods + s.flip_mods + s.gc_mods
+
+type phase =
+  | Installed of int  (** v+1 transit band everywhere, old rules live *)
+  | Flipped of int  (** every edge now stamps v+1 *)
+  | Collected of int  (** version-v transit band deleted *)
+  | Synced_member of int
+      (** [`Unsafe_single_phase] only: one switch cut over, others not *)
+
+type t = {
+  topo : Topology.t;
+  members : member list;  (* ascending switch id *)
+  by_id : (int, member) Hashtbl.t;
+  tags : Vtag.t;
+  trunked : bool;  (* false for the degenerate single-switch layout *)
+  mutable version : int;
+  mutable commits : int;
+  mutable next_xid : int;
+  mutable last_commit : commit_stats option;
+  mutable packets : int;
+  mutable mixed_version_packets : int;
+  mutable transit_misses : int;
+}
+
+let create ?capacity topo =
+  let members =
+    List.map
+      (fun id ->
+        let switch = Switch.create ?capacity () in
+        { id; switch; connection = Connection.create switch })
+      (Topology.switches topo)
+  in
+  let by_id = Hashtbl.create 8 in
+  List.iter (fun m -> Hashtbl.replace by_id m.id m) members;
+  {
+    topo;
+    members;
+    by_id;
+    tags = Vtag.create ();
+    trunked = Topology.spanning_tree_edges topo <> [];
+    version = 0;
+    commits = 0;
+    next_xid = 1;
+    last_commit = None;
+    packets = 0;
+    mixed_version_packets = 0;
+    transit_misses = 0;
+  }
+
+let topo t = t.topo
+let switches t = List.map (fun m -> m.id) t.members
+let member t s = Hashtbl.find t.by_id s
+
+let switch t s =
+  match Hashtbl.find_opt t.by_id s with
+  | Some m -> m.switch
+  | None -> invalid_arg (Printf.sprintf "Fabric.switch: unknown switch %d" s)
+
+let connection t s =
+  match Hashtbl.find_opt t.by_id s with
+  | Some m -> m.connection
+  | None -> invalid_arg (Printf.sprintf "Fabric.connection: unknown switch %d" s)
+
+let version t = t.version
+let commits t = t.commits
+let last_commit t = t.last_commit
+let packets t = t.packets
+let mixed_version_packets t = t.mixed_version_packets
+let transit_misses t = t.transit_misses
+
+let rule_counts t =
+  List.map (fun m -> (m.id, Table.size (Switch.table m.switch 0))) t.members
+
+let total_rules t = List.fold_left (fun n (_, c) -> n + c) 0 (rule_counts t)
+
+(* ------------------------------------------------------------------ *)
+(* Splitting the logical flow list per switch *)
+
+let blackhole = Sdx_core.Compile.blackhole_port
+
+(* The address a trunk frame must be re-addressed toward: the mod's own
+   rewrite if it has one, else the rule's pinned destination. *)
+let trunk_target (pattern : Pattern.t) (m : Mods.t) =
+  match m.Mods.dst_mac with
+  | Some mac -> mac
+  | None -> (
+      match pattern.Pattern.dst_mac with
+      | Some mac -> mac
+      | None ->
+          invalid_arg
+            "Fabric: trunk-crossing action names no destination MAC to tag")
+
+(* Rewrite one action atom for switch [s]: local ports stay; remote
+   ports leave on the trunk toward their home, with the frame stamped
+   [version]. *)
+let localize_mod t ~version s (pattern : Pattern.t) (m : Mods.t) =
+  match m.Mods.port with
+  | None -> m
+  | Some p when p = blackhole -> m
+  | Some p -> (
+      match Topology.home_of_port t.topo p with
+      | None -> m (* a port that no longer exists; harmless to keep *)
+      | Some home when home = s -> m
+      | Some home ->
+          let hop = Option.get (Topology.next_hop t.topo ~from:s ~toward:home) in
+          {
+            m with
+            port = Some (Topology.trunk_port t.topo ~from:s ~toward_neighbor:hop);
+            dst_mac = Some (Vtag.stamp t.tags ~version (trunk_target pattern m));
+          })
+
+let check_priority (f : Flow.t) =
+  if f.Flow.priority >= transit_base then
+    invalid_arg
+      (Printf.sprintf "Fabric: flow priority %d collides with the transit band"
+         f.Flow.priority)
+
+(* Ingress band at switch [s]: port-pinned rules at their home switch,
+   port-unpinned rules at every switch hosting physical ports. *)
+let ingress_flows t ~version s flows =
+  List.filter_map
+    (fun (f : Flow.t) ->
+      check_priority f;
+      let keep =
+        match f.pattern.Pattern.port with
+        | Some p -> Topology.home_of_port t.topo p = Some s
+        | None -> Topology.has_physical_ports t.topo s
+      in
+      if keep then
+        Some
+          {
+            f with
+            actions = List.map (localize_mod t ~version s f.pattern) f.actions;
+          }
+      else None)
+    flows
+
+(* Transit band at switch [s]: a copy of every dst-MAC rule, matching
+   the tagged address at [transit_base + priority], delivering locally
+   or re-stamping onto the next trunk.  Atoms that leave the destination
+   address untouched get it restored explicitly, so delivered frames
+   never leak a tag. *)
+let transit_flows t ~version s flows =
+  if not t.trunked then []
+  else
+    List.filter_map
+      (fun (f : Flow.t) ->
+        match (f.Flow.pattern.Pattern.port, f.Flow.pattern.Pattern.dst_mac) with
+        | None, Some m0 ->
+            let pattern =
+              { f.pattern with dst_mac = Some (Vtag.stamp t.tags ~version m0) }
+            in
+            let actions =
+              List.map
+                (fun (m : Mods.t) ->
+                  let m =
+                    if m.Mods.dst_mac = None then { m with dst_mac = Some m0 }
+                    else m
+                  in
+                  localize_mod t ~version s f.pattern m)
+                f.actions
+            in
+            Some { Flow.priority = transit_base + f.priority; pattern; actions }
+        | _ -> None)
+      flows
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase commit *)
+
+let barrier_all t =
+  List.iter
+    (fun m ->
+      let xid = t.next_xid in
+      t.next_xid <- xid + 1;
+      if not (Connection.barrier m.connection xid) then
+        failwith
+          (Printf.sprintf "Fabric: switch %d left barrier %d unanswered" m.id
+             xid))
+    t.members;
+  List.length t.members
+
+let tag_parity_of (f : Flow.t) =
+  match f.Flow.pattern.Pattern.dst_mac with
+  | Some mac -> Vtag.parity mac
+  | None -> None
+
+let commit ?(protocol = `Two_phase) ?(on_phase = fun (_ : phase) -> ()) t flows
+    =
+  let v = t.version and v' = t.version + 1 in
+  let stats =
+    match protocol with
+    | `Two_phase ->
+        (* Phase 1: make-before-break.  The v+1 transit band is inert
+           until an ingress rule stamps v+1, so installing it first is
+           safe; the cookie lets phase 3 collect the v band wholesale. *)
+        let install_mods =
+          List.fold_left
+            (fun acc m ->
+              acc
+              + Connection.sync_cookied m.connection ~cookie:v'
+                  (transit_flows t ~version:v' m.id flows))
+            0 t.members
+        in
+        let b1 = barrier_all t in
+        on_phase (Installed v');
+        (* Phase 2: flip the edges.  The target keeps the still-live v
+           transit band exactly as installed (it must serve frames
+           already in flight), adds the v+1 ingress band — flipped rules
+           overwrite in place since only their stamps changed — and
+           drops stale ingress entries. *)
+        let flip_mods =
+          List.fold_left
+            (fun acc m ->
+              let old_band =
+                List.filter
+                  (fun (f : Flow.t) ->
+                    f.Flow.priority >= transit_base
+                    && tag_parity_of f = Some (v land 1))
+                  (Connection.installed m.connection)
+              in
+              acc
+              + Connection.sync m.connection
+                  (ingress_flows t ~version:v' m.id flows
+                  @ transit_flows t ~version:v' m.id flows
+                  @ old_band))
+            0 t.members
+        in
+        let b2 = barrier_all t in
+        on_phase (Flipped v');
+        (* Phase 3: no edge stamps v anymore (the phase-2 barriers
+           proved it), so the v transit band is garbage. *)
+        let gc_mods =
+          List.fold_left
+            (fun acc m ->
+              let before = Connection.flow_mods_applied m.connection in
+              Connection.send m.connection (Message.delete_cookie v);
+              acc + (Connection.flow_mods_applied m.connection - before))
+            0 t.members
+        in
+        let b3 = barrier_all t in
+        on_phase (Collected v);
+        { version = v'; install_mods; flip_mods; gc_mods; barriers = b1 + b2 + b3 }
+    | `Unsafe_single_phase ->
+        (* Negative control for tests and benches: cut each switch over
+           to the final ruleset in one sync, switch by switch.  Between
+           the first and last sync an edge already stamping v+1 can send
+           frames to a switch whose v+1 transit band does not exist
+           yet — exactly the mixed-ruleset window the two-phase protocol
+           closes, and what {!process}'s detector counts. *)
+        let barriers = ref 0 in
+        let flip_mods =
+          List.fold_left
+            (fun acc m ->
+              let n =
+                Connection.sync m.connection
+                  (ingress_flows t ~version:v' m.id flows
+                  @ transit_flows t ~version:v' m.id flows)
+              in
+              barriers := !barriers + barrier_all t;
+              on_phase (Synced_member m.id);
+              acc + n)
+            0 t.members
+        in
+        {
+          version = v';
+          install_mods = 0;
+          flip_mods;
+          gc_mods = 0;
+          barriers = !barriers;
+        }
+  in
+  t.version <- v';
+  t.commits <- t.commits + 1;
+  t.last_commit <- Some stats;
+  Sdx_obs.Registry.Counter.incr g_commits;
+  stats
+
+(* ------------------------------------------------------------------ *)
+(* The data plane *)
+
+(* One packet walk shared by the counting and the pure readers.  [probe]
+   maps (switch id, packet) to the matching flow entry. *)
+let walk topo ~probe ~on_anomaly ~on_miss ~on_trunk_parity pkt =
+  let max_hops = 4 * Topology.switch_count topo in
+  let rec at_switch hops s (pkt : Packet.t) =
+    if hops > max_hops then begin
+      on_anomaly ();
+      []
+    end
+    else
+      let tagged = Vtag.is_tagged pkt.Packet.dst_mac in
+      match probe s pkt with
+      | None ->
+          if tagged then begin
+            on_miss ();
+            on_anomaly ()
+          end;
+          []
+      | Some (flow : Flow.t) ->
+          if tagged && flow.Flow.priority < transit_base then on_anomaly ();
+          List.concat_map
+            (fun (m : Mods.t) ->
+              let out = Mods.apply m pkt in
+              match m.Mods.port with
+              | None -> [ out ]
+              | Some p -> (
+                  match Topology.trunk_destination topo p with
+                  | Some (_owner, neighbor) ->
+                      (match Vtag.parity out.Packet.dst_mac with
+                      | Some parity -> on_trunk_parity parity
+                      | None -> on_anomaly () (* untagged frame on a trunk *));
+                      let in_port =
+                        Topology.trunk_port topo ~from:neighbor
+                          ~toward_neighbor:s
+                      in
+                      at_switch (hops + 1) neighbor { out with port = in_port }
+                  | None ->
+                      if p <> blackhole && Vtag.is_tagged out.Packet.dst_mac
+                      then on_anomaly () (* delivered frame leaks its tag *);
+                      [ out ]))
+            flow.Flow.actions
+  in
+  match Topology.home_of_port topo pkt.Packet.port with
+  | None -> None
+  | Some s0 -> Some (Packet.Set.elements (Packet.Set.of_list (at_switch 0 s0 pkt)))
+
+let process t pkt =
+  let anomaly = ref false and missed = ref false and parities = ref 0 in
+  let outs =
+    walk t.topo
+      ~probe:(fun s pkt -> Table.lookup (Switch.table (member t s).switch 0) pkt)
+      ~on_anomaly:(fun () -> anomaly := true)
+      ~on_miss:(fun () -> missed := true)
+      ~on_trunk_parity:(fun p -> parities := !parities lor (1 lsl p))
+      pkt
+  in
+  match outs with
+  | None -> []
+  | Some outs ->
+      t.packets <- t.packets + 1;
+      (* Both parities on one packet's delivery tree: the frame crossed
+         a mixed ruleset. *)
+      if !parities = 3 then anomaly := true;
+      if !missed then begin
+        t.transit_misses <- t.transit_misses + 1;
+        Sdx_obs.Registry.Counter.incr g_transit_miss
+      end;
+      if !anomaly then begin
+        t.mixed_version_packets <- t.mixed_version_packets + 1;
+        Sdx_obs.Registry.Counter.incr g_mixed
+      end;
+      outs
+
+(* Pure parallel readers: snapshots are built on the owning domain; each
+   worker domain then builds its own searcher cursors. *)
+type snap = {
+  snap_topo : Topology.t;
+  snap_tables : (int * Table.snapshot) list;
+}
+
+let snapshots t =
+  {
+    snap_topo = t.topo;
+    snap_tables =
+      List.map (fun m -> (m.id, Table.snapshot (Switch.table m.switch 0))) t.members;
+  }
+
+let reader snap =
+  let find = Hashtbl.create 8 in
+  List.iter
+    (fun (s, sn) -> Hashtbl.replace find s (Table.searcher sn))
+    snap.snap_tables;
+  fun pkt ->
+    match
+      walk snap.snap_topo
+        ~probe:(fun s pkt -> (Hashtbl.find find s) pkt)
+        ~on_anomaly:ignore ~on_miss:ignore ~on_trunk_parity:ignore pkt
+    with
+    | None -> []
+    | Some outs -> outs
+
+(* ------------------------------------------------------------------ *)
+
+(* A static view of the installed tables for the symbolic loop checker:
+   the checker walks {!Topology.fabric} values, so rebuild one from the
+   live switch tables. *)
+let check_view t =
+  let view = Topology.build t.topo [] in
+  List.iter
+    (fun m ->
+      let rules =
+        List.map
+          (fun (f : Flow.t) ->
+            { Classifier.pattern = f.Flow.pattern; action = f.Flow.actions })
+          (Table.entries (Switch.table m.switch 0))
+      in
+      Topology.set_table view m.id rules)
+    t.members;
+  view

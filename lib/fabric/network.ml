@@ -3,12 +3,15 @@ open Sdx_bgp
 
 type t = {
   runtime : Sdx_core.Runtime.t;
-  switch : Sdx_openflow.Switch.t;
-  connection : Sdx_openflow.Connection.t;
+  fabric : Fabric.t;
   routers : (Asn.t, Border_router.t) Hashtbl.t;
   middleboxes : (Asn.t, Middlebox.t) Hashtbl.t;
   telemetry : Telemetry.t;
   mutable last_sync_flow_mods : int;
+  (* Runtime generation of the last commit, so a sync with no
+     control-plane change sends nothing — the versioned fabric commit
+     would otherwise rewrite the transit bands every time. *)
+  mutable synced_generation : int;
 }
 
 (* Bound on middlebox re-injections per original packet, so a steering
@@ -21,13 +24,17 @@ type delivery = {
   packet : Packet.t;
 }
 
-(* Bring the switch's table to the runtime's current ruleset with
-   minimal flow-mods over the control channel. *)
-let install t =
-  t.last_sync_flow_mods <-
-    Sdx_openflow.Connection.sync t.connection (Sdx_core.Runtime.flows t.runtime)
+(* Bring every switch to the runtime's current ruleset through the
+   fabric's two-phase consistent update. *)
+let commit ?protocol ?on_phase t =
+  let stats =
+    Fabric.commit ?protocol ?on_phase t.fabric (Sdx_core.Runtime.flows t.runtime)
+  in
+  t.synced_generation <- Sdx_core.Runtime.generation t.runtime;
+  t.last_sync_flow_mods <- Fabric.total_mods stats;
+  stats
 
-let create ?switch_capacity runtime =
+let create ?switch_capacity ?topology runtime =
   let config = Sdx_core.Runtime.config runtime in
   let routers = Hashtbl.create 64 in
   List.iter
@@ -38,35 +45,46 @@ let create ?switch_capacity runtime =
           Hashtbl.replace routers p.asn
             (Border_router.create config ~asn:p.asn ~port:first.index))
     (Sdx_core.Config.participants config);
-  let switch = Sdx_openflow.Switch.create ?capacity:switch_capacity () in
+  let topo =
+    match topology with
+    | Some topo -> topo
+    | None ->
+        Topology.single
+          ~ports:
+            (List.init (Sdx_core.Config.port_count config) (fun i -> i + 1))
+  in
   let t =
     {
       runtime;
-      switch;
-      connection = Sdx_openflow.Connection.create switch;
+      fabric = Fabric.create ?capacity:switch_capacity topo;
       routers;
       middleboxes = Hashtbl.create 8;
       telemetry = Telemetry.create ();
       last_sync_flow_mods = 0;
+      synced_generation = min_int;
     }
   in
-  install t;
+  ignore (commit t);
   Hashtbl.iter (fun _ r -> Border_router.sync r runtime) routers;
   t
 
 let runtime t = t.runtime
-let switch t = t.switch
+let fabric t = t.fabric
+let topology t = Fabric.topo t.fabric
+let switch t = Fabric.switch t.fabric (List.hd (Fabric.switches t.fabric))
 
 let router t asn =
   match Hashtbl.find_opt t.routers asn with
   | Some r -> r
   | None -> raise Not_found
 
-let connection t = t.connection
+let connection t = Fabric.connection t.fabric (List.hd (Fabric.switches t.fabric))
 let last_sync_flow_mods t = t.last_sync_flow_mods
 
 let sync t =
-  install t;
+  if Sdx_core.Runtime.generation t.runtime <> t.synced_generation then
+    ignore (commit t)
+  else t.last_sync_flow_mods <- 0;
   Hashtbl.iter (fun _ r -> Border_router.sync r t.runtime) t.routers
 
 let deliveries_of_outputs t pkts =
@@ -101,7 +119,12 @@ let rec resolve t depth deliveries =
       match Hashtbl.find_opt t.middleboxes d.receiver with
       | None -> [ d ]
       | Some fn ->
-          if depth >= max_chain_depth then []
+          if depth >= max_chain_depth then begin
+            (* The chain is still steering at the bound: this packet is
+               lost, and silently so unless someone counts it. *)
+            Telemetry.record_steering_drop t.telemetry;
+            []
+          end
           else
             let router = Hashtbl.find t.routers d.receiver in
             List.concat_map
@@ -110,15 +133,15 @@ let rec resolve t depth deliveries =
                 | None -> []
                 | Some tagged ->
                     resolve t (depth + 1)
-                      (deliveries_of_outputs t
-                         (Sdx_openflow.Switch.process t.switch tagged)))
+                      (deliveries_of_outputs t (Fabric.process t.fabric tagged)))
               (fn d.packet))
     deliveries
 
 let inject_at_port t pkt =
-  resolve t 0 (deliveries_of_outputs t (Sdx_openflow.Switch.process t.switch pkt))
+  resolve t 0 (deliveries_of_outputs t (Fabric.process t.fabric pkt))
 
 let telemetry t = t.telemetry
+let steering_drops t = Telemetry.steering_drops t.telemetry
 
 let frame_of_delivery d = Codec.to_bytes d.packet
 

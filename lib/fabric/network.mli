@@ -1,6 +1,8 @@
-(** The wired IXP: border routers attached to the SDX fabric switch, with
-    the runtime's compiled classifier installed.  This is the end-to-end
-    path a packet takes in the deployment experiments. *)
+(** The wired IXP: border routers attached to the SDX fabric — one
+    switch in the default layout, or a sharded multi-switch {!Fabric}
+    when built with an explicit {!Topology} — with the runtime's
+    compiled classifier installed.  This is the end-to-end path a packet
+    takes in the deployment experiments. *)
 
 open Sdx_net
 open Sdx_bgp
@@ -13,34 +15,58 @@ type delivery = {
   packet : Packet.t;
 }
 
-val create : ?switch_capacity:int -> Sdx_core.Runtime.t -> t
-(** Builds one border router per physical participant port, installs the
-    classifier into a fresh switch, and syncs every router's FIB.
-    [switch_capacity] models the hardware rule budget of §4.2 ("even the
-    most high-end SDN switch hardware can barely hold half a million
-    rules"); installing beyond it raises
+val create :
+  ?switch_capacity:int -> ?topology:Topology.t -> Sdx_core.Runtime.t -> t
+(** Builds one border router per physical participant port, creates the
+    fabric ({!Topology.single} over the config's ports unless [topology]
+    says otherwise), and commits the classifier to it; then syncs every
+    router's FIB.  [switch_capacity] models the per-switch hardware rule
+    budget of §4.2 ("even the most high-end SDN switch hardware can
+    barely hold half a million rules"); installing beyond it raises
     {!Sdx_openflow.Table.Table_full}. *)
 
 val runtime : t -> Sdx_core.Runtime.t
+
+val fabric : t -> Fabric.t
+(** The sharded data plane behind this exchange. *)
+
+val topology : t -> Topology.t
+
 val switch : t -> Sdx_openflow.Switch.t
+(** The first (in the default layout: only) fabric switch. *)
+
 val router : t -> Asn.t -> Border_router.t
 (** The router on the participant's first port.
     @raise Not_found for remote participants. *)
 
 val sync : t -> unit
-(** Brings the switch to the runtime's current ruleset (minimal
-    flow-mods over the control channel) and refreshes every router FIB —
-    run after BGP updates or a re-optimization. *)
+(** Brings the data plane to the runtime's current ruleset and refreshes
+    every router FIB — run after BGP updates or a re-optimization.  A
+    changed ruleset goes through the two-phase {!commit}; an unchanged
+    one (same {!Sdx_core.Runtime.generation}) sends no flow-mods. *)
+
+val commit :
+  ?protocol:[ `Two_phase | `Unsafe_single_phase ] ->
+  ?on_phase:(Fabric.phase -> unit) ->
+  t ->
+  Fabric.commit_stats
+(** Unconditionally commits the runtime's current flows to the fabric
+    through the versioned update protocol (see {!Fabric.commit}). *)
 
 val connection : t -> Sdx_openflow.Connection.t
-(** The OpenFlow control channel to the fabric switch. *)
+(** The OpenFlow control channel to the first fabric switch. *)
 
 val last_sync_flow_mods : t -> int
 (** Flow modifications the most recent {!sync} (or {!create}) sent —
-    small after a single BGP update, large after a re-optimization. *)
+    zero for a no-op sync, small after a single BGP update, large after
+    a re-optimization. *)
 
 val telemetry : t -> Telemetry.t
 (** Traffic counters, updated by every {!inject}. *)
+
+val steering_drops : t -> int
+(** Packets lost because a middlebox steering chain hit the
+    re-injection depth bound ({!Telemetry.steering_drops}). *)
 
 val attach_middlebox : t -> Asn.t -> Middlebox.t -> unit
 (** Attaches a middlebox behind the participant's port: traffic the
@@ -53,10 +79,12 @@ val detach_middlebox : t -> Asn.t -> unit
 
 val inject : t -> from:Asn.t -> Packet.t -> delivery list
 (** Sends a packet originating in [from]'s network: its border router
-    tags and forwards it, then the fabric switch processes it.  A
-    delivery landing on a middlebox host is transformed and re-injected
-    (bounded depth guards against steering loops).  Returns the final
-    deliveries (empty when routed nowhere, dropped, or blackholed). *)
+    tags and forwards it, then the fabric processes it (hopping trunks
+    in a sharded layout).  A delivery landing on a middlebox host is
+    transformed and re-injected (bounded depth guards against steering
+    loops; packets lost at the bound are counted, see
+    {!steering_drops}).  Returns the final deliveries (empty when routed
+    nowhere, dropped, or blackholed). *)
 
 val inject_at_port : t -> Packet.t -> delivery list
 (** Processes a packet already located at a fabric port (packet.port),

@@ -8,6 +8,7 @@ open Sdx_obs
 let g_packets = Registry.counter "sdx_fabric_packets_total"
 let g_deliveries = Registry.counter "sdx_fabric_deliveries_total"
 let g_drops = Registry.counter "sdx_fabric_drops_total"
+let g_steering_drops = Registry.counter "sdx_fabric_steering_chain_drops_total"
 
 (* Per-exchange counters live in a private registry: one fabric
    simulation must not pollute another's matrix.  The typed-key tables
@@ -16,6 +17,7 @@ let g_drops = Registry.counter "sdx_fabric_drops_total"
 type t = {
   registry : Registry.t;
   total : Registry.Counter.t;
+  steering_drops : Registry.Counter.t;
   pairs : (Asn.t * Asn.t, Registry.Counter.t) Hashtbl.t;
   sources : (Ipv4.t * Asn.t, Registry.Counter.t) Hashtbl.t;
 }
@@ -25,6 +27,8 @@ let create () =
   {
     registry;
     total = Registry.counter ~registry "sdx_fabric_packets_total";
+    steering_drops =
+      Registry.counter ~registry "sdx_fabric_steering_chain_drops";
     pairs = Hashtbl.create 256;
     sources = Hashtbl.create 256;
   }
@@ -73,7 +77,12 @@ let record t ~src ~packet ~receivers =
           Registry.Counter.incr (source_counter t packet.Packet.src_ip r))
         rs
 
+let record_steering_drop t =
+  Registry.Counter.incr t.steering_drops;
+  Registry.Counter.incr g_steering_drops
+
 let value c = Registry.Counter.value c
+let steering_drops t = Registry.Counter.value t.steering_drops
 let tx t asn = value (asn_counter t "sdx_fabric_tx_packets" asn)
 let rx t asn = value (asn_counter t "sdx_fabric_rx_packets" asn)
 let dropped t asn = value (asn_counter t "sdx_fabric_dropped_packets" asn)

@@ -35,6 +35,15 @@ val rx : t -> Asn.t -> int
 val dropped : t -> Asn.t -> int
 (** A participant's packets that were dropped or blackholed. *)
 
+val record_steering_drop : t -> unit
+(** Accounts a packet discarded because its middlebox steering chain hit
+    the re-injection depth bound — a silent loss without this counter.
+    Also bumps the process-wide
+    [sdx_fabric_steering_chain_drops_total]. *)
+
+val steering_drops : t -> int
+(** Packets this exchange lost to the steering-chain depth bound. *)
+
 val matrix : t -> (Asn.t * Asn.t * int) list
 (** The traffic matrix: (sender, receiver, packets), descending. *)
 

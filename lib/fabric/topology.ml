@@ -83,8 +83,32 @@ let create ~switches ~links ~port_home =
     trunk_owner;
   }
 
+(* Degenerate layout: every port on one switch, no trunks. *)
+let single ~ports =
+  create ~switches:[ 0 ] ~links:[] ~port_home:(List.map (fun p -> (p, 0)) ports)
+
+(* The "Revisiting Open eXchange Points" deployment shape: a core hub
+   (switch 0) with [edges] leaf switches hanging off it, the physical
+   ports partitioned round-robin across the edges.  The core hosts no
+   physical port, so its table ends up holding tag-forwarding rules
+   only. *)
+let edge_core ~edges ~ports =
+  if edges < 1 then invalid_arg "Topology.edge_core: need at least one edge";
+  let switches = 0 :: List.init edges (fun i -> i + 1) in
+  let links = List.init edges (fun i -> (0, i + 1)) in
+  let port_home =
+    List.mapi (fun i p -> (p, 1 + (i mod edges))) (List.sort Int.compare ports)
+  in
+  create ~switches ~links ~port_home
+
 let switch_count t = List.length t.switches
 let switches t = t.switches
+
+let has_physical_ports t s =
+  Hashtbl.fold (fun _ home acc -> acc || home = s) t.port_home false
+
+let edge_switches t = List.filter (has_physical_ports t) t.switches
+let core_switches t = List.filter (fun s -> not (has_physical_ports t s)) t.switches
 let home_of_port t p = Hashtbl.find_opt t.port_home p
 let trunk_destination t p = Hashtbl.find_opt t.trunk_owner p
 let physical_ports t = Hashtbl.fold (fun p s acc -> (p, s) :: acc) t.port_home []

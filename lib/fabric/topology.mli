@@ -33,10 +33,28 @@ val create :
     @raise Invalid_argument on unknown switch ids, or if the link graph
     does not connect all switches. *)
 
+val single : ports:int list -> t
+(** The degenerate one-switch layout (switch 0 hosts every port, no
+    trunks) — what a {!Network} uses unless told otherwise. *)
+
+val edge_core : edges:int -> ports:int list -> t
+(** An edge+core star: switch 0 is a core hosting no physical port,
+    switches 1..[edges] are leaves with the [ports] partitioned
+    round-robin across them.  Participants' rules land on their edge;
+    the core forwards on destination tags only. *)
+
 val switch_count : t -> int
 
 val switches : t -> int list
 (** Switch ids, ascending. *)
+
+val has_physical_ports : t -> int -> bool
+
+val edge_switches : t -> int list
+(** Switches hosting at least one physical port, ascending. *)
+
+val core_switches : t -> int list
+(** Switches hosting none — pure transit. *)
 
 val home_of_port : t -> int -> int option
 

@@ -176,6 +176,8 @@ type soak_result = {
   soak_check_errors : int;
   soak_incremental_checks : int;
   soak_incremental_errors : int;
+  soak_commits : int;
+  soak_commit_errors : int;
   soak_equiv_divergences : int;
   soak_reoptimizations : int;
   soak_vnh_reclaimed : int;
@@ -191,8 +193,8 @@ type soak_result = {
   soak_updates_per_s : float;
 }
 
-let soak ?(config = default_soak_config) ?check ?check_incremental rng
-    (w : Workload.t) runtime =
+let soak ?(config = default_soak_config) ?check ?check_incremental ?on_commit
+    rng (w : Workload.t) runtime =
   let server = Config.server w.config in
   let specs = Array.of_list w.specs in
   let n_specs = Array.length specs in
@@ -207,6 +209,8 @@ let soak ?(config = default_soak_config) ?check ?check_incremental rng
   let check_errors = ref 0 in
   let incr_checks = ref 0 in
   let incr_errors = ref 0 in
+  let commits = ref 0 in
+  let commit_errors = ref 0 in
   let equiv = ref 0 in
   let peak_extras = ref 0 in
   let peak_blocks = ref 0 in
@@ -231,7 +235,16 @@ let soak ?(config = default_soak_config) ?check ?check_incremental rng
           ->
             incr incr_checks;
             incr_errors := !incr_errors + f runtime
-        | _ -> ())
+        | _ -> ());
+        (* Push the burst's ruleset into a live data plane (the sharded
+           soak commits it through the fabric's two-phase update and
+           probes for mixed-version packets); the callback reports how
+           many anomalies the commit exposed. *)
+        (match on_commit with
+        | Some f ->
+            incr commits;
+            commit_errors := !commit_errors + f ()
+        | None -> ())
   in
   let flush_pending () =
     let rec go () =
@@ -359,6 +372,8 @@ let soak ?(config = default_soak_config) ?check ?check_incremental rng
     soak_check_errors = !check_errors;
     soak_incremental_checks = !incr_checks;
     soak_incremental_errors = !incr_errors;
+    soak_commits = !commits;
+    soak_commit_errors = !commit_errors;
     soak_equiv_divergences = !equiv;
     soak_reoptimizations = Runtime.reoptimize_count runtime;
     soak_vnh_reclaimed = vnh.Vnh.reclaimed_total;
@@ -382,6 +397,7 @@ let pp_soak_result fmt r =
      %d same-prefix trains@,\
      checkpoints: %d (%d check errors, %d forwarding divergences)@,\
      inline checks: %d (%d errors)@,\
+     dataplane commits: %d (%d anomalies)@,\
      re-optimizations: %d@,\
      VNHs: %d reclaimed, peak %d live of %d@,\
      peak fast path: %d rules in %d blocks@,\
@@ -390,6 +406,7 @@ let pp_soak_result fmt r =
     r.soak_withdraw_storms r.soak_session_flaps r.soak_duplicate_trains
     r.soak_same_prefix_trains r.soak_checkpoints r.soak_check_errors
     r.soak_equiv_divergences r.soak_incremental_checks r.soak_incremental_errors
+    r.soak_commits r.soak_commit_errors
     r.soak_reoptimizations r.soak_vnh_reclaimed
     r.soak_vnh_peak_live r.soak_vnh_capacity r.soak_peak_extra_rules
     r.soak_peak_fastpath_blocks r.soak_groups_minted r.soak_group_migrations

@@ -98,6 +98,10 @@ type soak_result = {
       (** inline per-burst checks run via [check_incremental] *)
   soak_incremental_errors : int;
       (** error findings across all inline checks *)
+  soak_commits : int;  (** data-plane commits via the [on_commit] hook *)
+  soak_commit_errors : int;
+      (** anomalies those commits exposed (e.g. mixed-version packets
+          in a sharded fabric) *)
   soak_equiv_divergences : int;
       (** forwarding divergences vs. from-scratch recompiles *)
   soak_reoptimizations : int;
@@ -121,6 +125,7 @@ val soak :
   ?config:soak_config ->
   ?check:(Sdx_core.Runtime.t -> int) ->
   ?check_incremental:(Sdx_core.Runtime.t -> int) ->
+  ?on_commit:(unit -> int) ->
   Rng.t ->
   Workload.t ->
   Sdx_core.Runtime.t ->
@@ -133,8 +138,12 @@ val soak :
     commit, is expected to consume the runtime's dirty-set
     ({!Sdx_core.Runtime.consume_dirty}) and verify just the touched
     obligations — the bench wires in [Check.runtime_incremental], which
-    falls back to a full pass after table rebuilds.  Withdrawn sessions
-    are restored before the mandatory final checkpoint, so the result
+    falls back to a full pass after table rebuilds.  [on_commit], called
+    after every burst, pushes the new ruleset into a live data plane and
+    returns the anomalies observed — the sharded soak wires in a
+    two-phase fabric commit plus mid-phase probe traffic, keeping this
+    library free of any fabric dependency.  Withdrawn sessions are
+    restored before the mandatory final checkpoint, so the result
     reflects a settled table. *)
 
 val pp_soak_result : Format.formatter -> soak_result -> unit

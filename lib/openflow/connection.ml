@@ -2,7 +2,14 @@
 type t = {
   switch : Switch.t;
   table_id : int;
-  mutable to_controller : Message.t list;  (* reversed queue *)
+  (* Switch-to-controller queue as a two-list FIFO: [front] holds the
+     oldest messages in arrival order, [back] the newest in reverse.
+     [queue] and [recv] are O(1) amortized — each message is moved from
+     [back] to [front] exactly once — where a single reversed list made
+     every [recv] reverse the whole queue twice (O(n²) to drain). *)
+  mutable front : Message.t list;
+  mutable back : Message.t list;
+  mutable queued : int;
   mutable applied : int;
   cookies : (int, Flow.t list) Hashtbl.t;
   mutable next_buffer : int;
@@ -12,22 +19,32 @@ let create ?(table = 0) switch =
   {
     switch;
     table_id = table;
-    to_controller = [];
+    front = [];
+    back = [];
+    queued = 0;
     applied = 0;
     cookies = Hashtbl.create 16;
     next_buffer = 1;
   }
 
-let queue t msg = t.to_controller <- msg :: t.to_controller
+let queue t msg =
+  t.back <- msg :: t.back;
+  t.queued <- t.queued + 1
 
 let recv t =
-  match List.rev t.to_controller with
+  (match t.front with
+  | [] ->
+      t.front <- List.rev t.back;
+      t.back <- []
+  | _ :: _ -> ());
+  match t.front with
   | [] -> None
   | msg :: rest ->
-      t.to_controller <- List.rev rest;
+      t.front <- rest;
+      t.queued <- t.queued - 1;
       Some msg
 
-let pending t = List.length t.to_controller
+let pending t = t.queued
 let flow_mods_applied t = t.applied
 let table t = Switch.table t.switch t.table_id
 let installed t = Table.entries (table t)
@@ -70,19 +87,51 @@ let send t (msg : Message.t) =
       (* switch-to-controller messages are not valid on this side *)
       invalid_arg "Connection.send: not a controller-to-switch message"
 
+let barrier t xid =
+  send t (Message.Barrier_request xid);
+  (* The in-memory switch answers synchronously: the reply was appended
+     at the tail of the queue just now.  Consume it without disturbing
+     any earlier messages (packet-ins stay queued for the controller). *)
+  match t.back with
+  | Message.Barrier_reply x :: rest when x = xid ->
+      t.back <- rest;
+      t.queued <- t.queued - 1;
+      true
+  | _ -> false
+
 let process t pkt =
-  match Table.lookup (table t) pkt with
+  (* The packet-in decision must not touch hit counters: the real
+     (counter-bumping) lookups happen inside [Switch.process], so probing
+     with [Table.lookup] here would double-count the winning entry.  The
+     RCU snapshot is a pure view of the same table with identical
+     first-match semantics. *)
+  match Table.snapshot_lookup (Table.snapshot (table t)) pkt with
   | None ->
       let buffer_id = t.next_buffer in
       t.next_buffer <- t.next_buffer + 1;
       queue t (Message.Packet_in { buffer_id; packet = pkt });
       []
-  | Some _ ->
-      (* The lookup above bumped the entry's counter; process normally
-         for the multi-table/multicast semantics. *)
-      Switch.process t.switch pkt
+  | Some _ -> Switch.process t.switch pkt
+
+(* OpenFlow ADD overwrites on (priority, pattern), so a target listing
+   the same slot twice resolves to its last occurrence — the table can
+   never hold both, and diffing against the raw multiset would re-add
+   the duplicate on every sync, breaking idempotence. *)
+let normalize target =
+  let seen = Hashtbl.create 64 in
+  List.rev
+    (List.filter
+       (fun (f : Flow.t) ->
+         let key = (f.Flow.priority, f.Flow.pattern) in
+         if Hashtbl.mem seen key then false
+         else begin
+           Hashtbl.replace seen key ();
+           true
+         end)
+       (List.rev target))
 
 let sync t target =
+  let target = normalize target in
   (* Multiset diff on whole entries: additions first (make-before-break;
      priorities disambiguate during the transition), then strict deletes
      of the leftovers. *)
@@ -122,3 +171,24 @@ let sync t target =
   List.iter (fun f -> send t (Message.add f)) additions;
   List.iter (fun f -> send t (Message.delete f)) removals;
   List.length additions + List.length removals
+
+let sync_cookied t ?(cookie = 0) target =
+  let target = normalize target in
+  let mods = ref 0 in
+  let count_map flows =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun f -> Hashtbl.replace tbl f (1 + Option.value (Hashtbl.find_opt tbl f) ~default:0))
+      flows;
+    tbl
+  in
+  let existing = count_map (installed t) in
+  List.iter
+    (fun f ->
+      match Hashtbl.find_opt existing f with
+      | Some n when n > 0 -> Hashtbl.replace existing f (n - 1)
+      | _ ->
+          send t (Message.add ~cookie f);
+          incr mods)
+    target;
+  !mods

@@ -21,9 +21,19 @@ val send : t -> Message.t -> unit
     runs the packet through the switch. *)
 
 val recv : t -> Message.t option
-(** Next switch-to-controller message, if any. *)
+(** Next switch-to-controller message, if any.  The queue is a two-list
+    FIFO, so [queue]/[recv] are O(1) amortized. *)
 
 val pending : t -> int
+(** Queued switch-to-controller messages.  O(1). *)
+
+val barrier : t -> int -> bool
+(** Sends a [Barrier_request xid] and consumes the matching
+    [Barrier_reply] from the queue.  [true] when the switch answered —
+    always, for this in-memory channel — meaning every flow-mod sent
+    before the barrier has been applied.  Messages queued before the
+    barrier (packet-ins) are left for {!recv}. *)
+
 val flow_mods_applied : t -> int
 (** Total flow modifications applied over the channel's lifetime. *)
 
@@ -31,9 +41,21 @@ val installed : t -> Flow.t list
 
 val process : t -> Packet.t -> Packet.t list
 (** Data-plane arrival: like {!Switch.process}, but a table miss queues
-    a [Packet_in] for the controller. *)
+    a [Packet_in] for the controller.  The miss probe is pure (an RCU
+    snapshot lookup), so each matched packet bumps the winning entry's
+    hit counter exactly once — inside [Switch.process]. *)
 
 val sync : t -> Flow.t list -> int
 (** Make the installed rule set equal the target, sending one
-    [Flow_mod] per difference (adds before strict deletes).  Returns the
-    number of modifications sent; 0 when already in sync. *)
+    [Flow_mod] per difference (adds before strict deletes).  A target
+    listing the same (priority, pattern) slot twice resolves to its last
+    occurrence, mirroring sequential OpenFlow ADDs — so sync is
+    idempotent even on duplicate-entry targets.  Returns the number of
+    modifications sent; 0 when already in sync. *)
+
+val sync_cookied : t -> ?cookie:int -> Flow.t list -> int
+(** Additive half of {!sync}: installs whatever entries of the target
+    are missing, tagging each [Flow_mod] with [cookie] so the whole
+    block can later be garbage-collected with a single
+    [Message.delete_cookie].  Never deletes.  Returns the number of adds
+    sent — the make-before-break phase of a two-phase update. *)

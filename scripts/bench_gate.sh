@@ -46,6 +46,21 @@
 # host has >= 2 cores (`nproc`); single-core hosts cannot scale, so
 # there the floor is a warning.
 #
+# `bench fabric` (sharded multi-switch): fails on any
+# `equiv_mismatches` (sharded delivery must equal the single big
+# switch packet for packet), on any `mixed_version_packets` or
+# `transit_misses` (the two-phase protocol must keep the consistency
+# monitor at zero through the churn soak), on any `check_errors`, on
+# `commits` or `probe_packets` of zero (a soak that never committed or
+# never probed the mid-phase windows tested nothing), and on
+# `edge4_largest_rules` >= `edge1_largest_rules` (sharding must shrink
+# the per-edge tables).  The aggregate-throughput scaling floor
+# `edge4_aggregate_pps >= edge1_aggregate_pps` is enforced only when
+# the host has >= 4 cores (`nproc`); with fewer cores the per-edge
+# readers serialize and the extra trunk hop makes the sharded walk
+# strictly more work, so there the floor is a warning.  Warns when
+# `edge1_aggregate_pps` regressed by more than 25% vs the baseline.
+#
 # `bench soak` (churn): fails on any `check_errors` or
 # `equiv_divergences` (the soak must stay verified and equivalent to
 # from-scratch recompiles), on any `incremental_errors` when the report
@@ -155,6 +170,70 @@ if grep -q '"identical_to_linear"' "$candidate"; then
         else
             echo "bench gate: WARN aggregate_pps=$aggregate under 1.5x single_core_pps=$single (single-core host; scaling floor not enforced)"
         fi
+    fi
+
+    exit "$fail"
+fi
+
+if grep -q '"mixed_version_packets"' "$candidate"; then
+    # --- sharded fabric schema ---
+    for key in equiv_mismatches mixed_version_packets transit_misses check_errors; do
+        cand=$(field "$candidate" "$key")
+        require "$key" "$cand"
+        if [ "$cand" != "0" ]; then
+            echo "bench gate: FAIL $key=$cand (must be 0)"
+            fail=1
+        else
+            echo "bench gate: ok   $key=0"
+        fi
+    done
+
+    for key in commits probe_packets; do
+        cand=$(field "$candidate" "$key")
+        require "$key" "$cand"
+        if [ "$cand" = "0" ]; then
+            echo "bench gate: FAIL $key=0 (soak never exercised the two-phase protocol)"
+            fail=1
+        else
+            echo "bench gate: ok   $key=$cand"
+        fi
+    done
+
+    e1_rules=$(field "$candidate" edge1_largest_rules)
+    e4_rules=$(field "$candidate" edge4_largest_rules)
+    require "edge1_largest_rules" "$e1_rules"
+    require "edge4_largest_rules" "$e4_rules"
+    if [ "$e4_rules" -ge "$e1_rules" ]; then
+        echo "bench gate: FAIL edge4_largest_rules=$e4_rules does not shrink from edge1_largest_rules=$e1_rules"
+        fail=1
+    else
+        echo "bench gate: ok   per-edge rules shrink ($e1_rules -> $e4_rules across 1 -> 4 edges)"
+    fi
+
+    e1_pps=$(field "$candidate" edge1_aggregate_pps)
+    e4_pps=$(field "$candidate" edge4_aggregate_pps)
+    require "edge1_aggregate_pps" "$e1_pps"
+    require "edge4_aggregate_pps" "$e4_pps"
+    cores=$( (nproc 2>/dev/null || echo 1) | head -n 1)
+    if awk -v a="$e4_pps" -v b="$e1_pps" 'BEGIN { exit !(a >= b) }'; then
+        echo "bench gate: ok   aggregate throughput non-decreasing ($e1_pps -> $e4_pps pkt/s)"
+    elif [ "$cores" -ge 4 ]; then
+        echo "bench gate: FAIL edge4_aggregate_pps=$e4_pps fell below edge1_aggregate_pps=$e1_pps on a ${cores}-core host"
+        fail=1
+    else
+        echo "bench gate: WARN edge4_aggregate_pps=$e4_pps under edge1_aggregate_pps=$e1_pps (${cores}-core host; scaling floor not enforced)"
+    fi
+
+    base_pps=$(field "$baseline" edge1_aggregate_pps)
+    if [ -n "$base_pps" ]; then
+        awk -v base="$base_pps" -v cand="$e1_pps" 'BEGIN {
+            if (base > 0 && cand < base * 0.75) {
+                printf "bench gate: WARN edge1_aggregate_pps %.0f is %.0f%% below baseline %.0f\n",
+                    cand, (1 - cand / base) * 100, base
+            } else {
+                printf "bench gate: ok   edge1_aggregate_pps=%.0f (baseline %.0f)\n", cand, base
+            }
+        }'
     fi
 
     exit "$fail"

@@ -498,6 +498,274 @@ let test_topology_single_switch_degenerate () =
   check_bool "rules preserved" true (Topology.rule_count fabric 7 > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded fabric with two-phase consistent updates                    *)
+
+let test_edge_core_structure () =
+  let topo = Topology.edge_core ~edges:3 ~ports:[ 1; 2; 3; 4; 5 ] in
+  check_int "switches" 4 (Topology.switch_count topo);
+  check_bool "core hosts nothing" true (Topology.core_switches topo = [ 0 ]);
+  check_bool "edges host ports" true (Topology.edge_switches topo = [ 1; 2; 3 ]);
+  check_bool "round-robin" true (Topology.home_of_port topo 4 = Some 1);
+  check_int "star links" 3 (List.length (Topology.spanning_tree_edges topo));
+  check_bool "one edge minimum" true
+    (try
+       ignore (Topology.edge_core ~edges:0 ~ports:[ 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* A Fig1 network on a sharded fabric next to the same world on the
+   default single switch. *)
+let mk_sharded_world edges =
+  let runtime = Fig1.make_runtime () in
+  let single = Network.create (Sdx_core.Runtime.create (Fig1.make_config ())) in
+  let topology = Topology.edge_core ~edges ~ports:[ 1; 2; 3; 4; 5 ] in
+  let sharded = Network.create ~topology runtime in
+  (single, sharded)
+
+let delivery_key (d : Network.delivery) =
+  (Asn.to_int d.receiver, d.receiver_port, d.packet)
+
+let inject_sorted net ~from pkt =
+  List.sort compare (List.map delivery_key (Network.inject net ~from pkt))
+
+let probe_cases =
+  [
+    (Fig1.asn_a, "10.0.0.1", "20.0.1.9", 80);
+    (Fig1.asn_a, "10.0.0.1", "20.0.1.9", 443);
+    (Fig1.asn_a, "192.168.7.1", "20.0.2.9", 22);
+    (Fig1.asn_a, "10.0.0.1", "20.0.3.9", 8080);
+    (Fig1.asn_a, "10.0.0.1", "20.0.4.9", 443);
+    (Fig1.asn_a, "10.0.0.1", "20.0.5.9", 80);
+    (Fig1.asn_a, "10.0.0.1", "99.0.0.1", 80);
+    (Fig1.asn_b, "20.0.1.7", "20.0.4.9", 443);
+    (Fig1.asn_b, "20.0.2.7", "20.0.5.9", 9999);
+    (Fig1.asn_c, "20.0.4.7", "20.0.1.9", 80);
+    (Fig1.asn_d, "20.0.5.7", "20.0.3.9", 443);
+  ]
+
+let test_fabric_delivery_equivalence () =
+  List.iter
+    (fun edges ->
+      let single, sharded = mk_sharded_world edges in
+      List.iter
+        (fun (from, src, dst, dst_port) ->
+          let pkt = Packet.make ~src_ip:(ip src) ~dst_ip:(ip dst) ~dst_port () in
+          check_bool
+            (Printf.sprintf "%d edges: %s->%s:%d" edges src dst dst_port)
+            true
+            (inject_sorted single ~from pkt = inject_sorted sharded ~from pkt))
+        probe_cases;
+      check_int
+        (Printf.sprintf "%d edges: no mixed-version packets" edges)
+        0
+        (Fabric.mixed_version_packets (Network.fabric sharded)))
+    [ 1; 2; 4 ]
+
+(* qcheck: random headers, random shard count — delivery sets match the
+   single big switch packet for packet. *)
+let prop_sharded_matches_single =
+  let worlds = List.map (fun e -> (e, mk_sharded_world e)) [ 1; 2; 3 ] in
+  QCheck.Test.make ~count:300 ~name:"sharded fabric = single switch"
+    QCheck.(
+      quad (int_range 0 2)
+        (int_range 0 3)
+        (int_range 1 6)
+        (pair (int_range 0 255) small_nat))
+    (fun (world_i, sender_i, third_octet, (last_octet, port_seed)) ->
+      let _, (single, sharded) = List.nth worlds world_i in
+      let from =
+        List.nth [ Fig1.asn_a; Fig1.asn_b; Fig1.asn_c; Fig1.asn_d ] sender_i
+      in
+      let dst =
+        ip (Printf.sprintf "20.0.%d.%d" third_octet last_octet)
+      in
+      let pkt =
+        Packet.make ~src_ip:(ip "10.0.0.1") ~dst_ip:dst
+          ~dst_port:(List.nth [ 80; 443; 22; 4321 ] (port_seed mod 4))
+          ()
+      in
+      inject_sorted single ~from pkt = inject_sorted sharded ~from pkt
+      && Fabric.mixed_version_packets (Network.fabric sharded) = 0)
+
+let test_fabric_two_phase_commit_clean () =
+  let single, sharded = mk_sharded_world 2 in
+  let fab = Network.fabric sharded in
+  check_int "version after create" 1 (Fabric.version fab);
+  let probe msg =
+    List.iter
+      (fun (from, src, dst, dst_port) ->
+        let pkt = Packet.make ~src_ip:(ip src) ~dst_ip:(ip dst) ~dst_port () in
+        ignore (Network.inject sharded ~from pkt))
+      probe_cases;
+    check_int msg 0 (Fabric.mixed_version_packets fab)
+  in
+  (* A real control-plane change, committed with probe traffic injected
+     inside every phase window. *)
+  ignore
+    (Sdx_core.Runtime.withdraw (Network.runtime sharded) ~peer:Fig1.asn_d
+       Fig1.p5);
+  let phases = ref [] in
+  let stats =
+    Network.commit sharded ~on_phase:(fun ph ->
+        phases := ph :: !phases;
+        match ph with
+        | Fabric.Installed v -> probe (Printf.sprintf "clean at install v%d" v)
+        | Fabric.Flipped v -> probe (Printf.sprintf "clean at flip v%d" v)
+        | Fabric.Collected v -> probe (Printf.sprintf "clean after gc v%d" v)
+        | Fabric.Synced_member _ -> ())
+  in
+  check_int "moved to v2" 2 stats.Fabric.version;
+  check_int "fabric agrees" 2 (Fabric.version fab);
+  check_bool "installed the new transit band" true (stats.Fabric.install_mods > 0);
+  check_bool "collected the old transit band" true (stats.Fabric.gc_mods > 0);
+  check_bool "three phases fired" true
+    (match List.rev !phases with
+    | [ Fabric.Installed 2; Fabric.Flipped 2; Fabric.Collected 1 ] -> true
+    | _ -> false);
+  (* Converged state still matches the big switch after the same update
+     there. *)
+  ignore
+    (Sdx_core.Runtime.withdraw (Network.runtime single) ~peer:Fig1.asn_d
+       Fig1.p5);
+  Network.sync single;
+  (* The sharded commit above covered the data plane; this refreshes the
+     router FIBs and must send no further flow-mods. *)
+  Network.sync sharded;
+  check_int "commit already covered the generation" 0
+    (Network.last_sync_flow_mods sharded);
+  List.iter
+    (fun (from, src, dst, dst_port) ->
+      let pkt = Packet.make ~src_ip:(ip src) ~dst_ip:(ip dst) ~dst_port () in
+      check_bool "post-commit equivalence" true
+        (inject_sorted single ~from pkt = inject_sorted sharded ~from pkt))
+    probe_cases;
+  check_int "still no mixed packets" 0 (Fabric.mixed_version_packets fab)
+
+let test_fabric_unsafe_commit_detects_mixing () =
+  let _, sharded = mk_sharded_world 2 in
+  let fab = Network.fabric sharded in
+  ignore
+    (Sdx_core.Runtime.withdraw (Network.runtime sharded) ~peer:Fig1.asn_d
+       Fig1.p5);
+  (* Cut over switch by switch with no make-before-break: once the first
+     switch (the core) runs the new ruleset, frames stamped with the old
+     version find no transit rule there. *)
+  ignore
+    (Network.commit sharded ~protocol:`Unsafe_single_phase
+       ~on_phase:(fun ph ->
+         match ph with
+         | Fabric.Synced_member _ ->
+             List.iter
+               (fun (from, src, dst, dst_port) ->
+                 let pkt =
+                   Packet.make ~src_ip:(ip src) ~dst_ip:(ip dst) ~dst_port ()
+                 in
+                 ignore (Network.inject sharded ~from pkt))
+               probe_cases
+         | _ -> ()));
+  check_bool "monitor caught mixed-ruleset packets" true
+    (Fabric.mixed_version_packets fab > 0);
+  check_bool "including transit misses" true (Fabric.transit_misses fab > 0);
+  (* The same counters surface as sdx_check findings. *)
+  let findings = Sdx_check.Check.network_lints sharded in
+  check_bool "mixed-version lint is an error" true
+    (List.exists
+       (fun (f : Sdx_check.Check.finding) ->
+         f.code = "mixed-version-packets" && f.severity = Sdx_check.Check.Error)
+       findings);
+  check_bool "transit-miss lint present" true
+    (List.exists
+       (fun (f : Sdx_check.Check.finding) -> f.code = "transit-miss")
+       findings)
+
+let test_fabric_commit_skips_unchanged () =
+  let _, sharded = mk_sharded_world 2 in
+  Network.sync sharded;
+  check_int "no-op sync sends nothing" 0 (Network.last_sync_flow_mods sharded);
+  check_int "version unchanged" 1 (Fabric.version (Network.fabric sharded));
+  ignore
+    (Sdx_core.Runtime.withdraw (Network.runtime sharded) ~peer:Fig1.asn_d
+       Fig1.p5);
+  Network.sync sharded;
+  check_bool "real change commits" true (Network.last_sync_flow_mods sharded > 0);
+  check_int "version bumped" 2 (Fabric.version (Network.fabric sharded));
+  Network.sync sharded;
+  check_int "and settles again" 0 (Network.last_sync_flow_mods sharded)
+
+let test_fabric_sharding_shrinks_edges () =
+  let _, net1 = mk_sharded_world 1 in
+  let _, net4 = mk_sharded_world 4 in
+  let max_edge net =
+    List.fold_left
+      (fun acc (s, n) -> if s = 0 then acc else max acc n)
+      0
+      (Fabric.rule_counts (Network.fabric net))
+  in
+  check_bool "per-edge rules shrink with more edges" true
+    (max_edge net4 < max_edge net1);
+  (* The core forwards on tags only: every rule sits in a transit band. *)
+  let core = Fabric.switch (Network.fabric net4) 0 in
+  check_bool "core is populated" true (Sdx_openflow.Switch.rule_count core > 0);
+  List.iter
+    (fun (f : Sdx_openflow.Flow.t) ->
+      check_bool "core rule is transit" true (f.priority >= Fabric.transit_base))
+    (Sdx_openflow.Table.entries (Sdx_openflow.Switch.table core 0));
+  (* Loop freedom over the live sharded tables. *)
+  let loops =
+    List.filter
+      (fun (f : Sdx_check.Check.finding) ->
+        f.Sdx_check.Check.severity = Sdx_check.Check.Error)
+      (Sdx_check.Check.fabric_loops (Fabric.check_view (Network.fabric net4)))
+  in
+  check_int "no forwarding loops over trunks" 0 (List.length loops)
+
+let test_fabric_steering_drops_counted () =
+  (* Two middlebox hosts steering the same sources at each other: echo
+     functions ping-pong the packet forever, so the chain can only end
+     at the re-injection depth bound. *)
+  let open Sdx_core in
+  let open Sdx_policy in
+  let mac = Mac.of_string and pfx = Prefix.of_string in
+  let asn_e = Asn.of_int 20 and asn_m1 = Asn.of_int 30 and asn_m2 = Asn.of_int 40 in
+  let src_pfx = pfx "208.65.152.0/22" in
+  let eyeball =
+    Participant.make ~asn:asn_e ~ports:[ (mac "0a:00:00:00:00:12", ip "172.8.0.2") ] ()
+  in
+  let m1 =
+    Participant.make ~asn:asn_m1
+      ~ports:[ (mac "0a:00:00:00:00:13", ip "172.8.0.3") ]
+      ~outbound:[ Ppolicy.steer (Pred.src_ip src_pfx) asn_m2 ]
+      ()
+  in
+  let m2 =
+    Participant.make ~asn:asn_m2
+      ~ports:[ (mac "0a:00:00:00:00:14", ip "172.8.0.4") ]
+      ~outbound:[ Ppolicy.steer (Pred.src_ip src_pfx) asn_m1 ]
+      ()
+  in
+  let config = Config.make [ eyeball; m1; m2 ] in
+  ignore (Config.announce config ~peer:asn_e ~port:0 (pfx "73.0.0.0/8"));
+  let topology = Topology.edge_core ~edges:2 ~ports:[ 1; 2; 3 ] in
+  let net = Network.create ~topology (Runtime.create config) in
+  Network.attach_middlebox net asn_m1 (fun p -> [ p ]);
+  Network.attach_middlebox net asn_m2 (fun p -> [ p ]);
+  let pkt = Packet.make ~src_ip:(ip "208.65.152.9") ~dst_ip:(ip "73.1.1.1") () in
+  check_bool "loop degrades to a drop" true
+    (Network.inject net ~from:asn_m1 pkt = []);
+  check_bool "and the loss is counted" true (Network.steering_drops net > 0);
+  check_int "telemetry agrees" (Network.steering_drops net)
+    (Telemetry.steering_drops (Network.telemetry net));
+  let findings = Sdx_check.Check.network_lints net in
+  check_bool "steering-chain-drops lint" true
+    (List.exists
+       (fun (f : Sdx_check.Check.finding) ->
+         f.code = "steering-chain-drops"
+         && f.severity = Sdx_check.Check.Warning)
+       findings)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
   Alcotest.run "sdx_fabric"
@@ -550,4 +818,21 @@ let () =
           Alcotest.test_case "single switch degenerate" `Quick
             test_topology_single_switch_degenerate;
         ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "edge-core structure" `Quick test_edge_core_structure;
+          Alcotest.test_case "delivery equivalence" `Quick
+            test_fabric_delivery_equivalence;
+          Alcotest.test_case "two-phase commit clean" `Quick
+            test_fabric_two_phase_commit_clean;
+          Alcotest.test_case "unsafe commit detects mixing" `Quick
+            test_fabric_unsafe_commit_detects_mixing;
+          Alcotest.test_case "commit skips unchanged" `Quick
+            test_fabric_commit_skips_unchanged;
+          Alcotest.test_case "sharding shrinks edges" `Quick
+            test_fabric_sharding_shrinks_edges;
+          Alcotest.test_case "steering drops counted" `Quick
+            test_fabric_steering_drops_counted;
+        ]
+        @ qsuite [ prop_sharded_matches_single ] );
     ]

@@ -561,6 +561,25 @@ let test_connection_sync_diff () =
   check_int "removal" 2 (Connection.sync conn [ f 30 3 ]);
   check_int "final table" 1 (List.length (Connection.installed conn))
 
+let test_connection_sync_duplicate_slots () =
+  (* A target listing one (priority, pattern) slot twice must behave like
+     sequential OpenFlow ADDs — last occurrence wins — and stay
+     idempotent: the table can only ever hold one copy, so a naive
+     multiset diff would re-add the duplicate on every sync. *)
+  let conn = Connection.create (Switch.create ()) in
+  let f priority port = flow ~priority [ out port ] in
+  let target = [ f 10 1; f 20 2; f 10 7 ] in
+  ignore (Connection.sync conn target);
+  check_int "one copy per slot" 2 (List.length (Connection.installed conn));
+  check_int "resyncing duplicates is a no-op" 0 (Connection.sync conn target);
+  (* Last occurrence won the slot. *)
+  check_bool "last duplicate wins" true
+    (List.sort compare (Connection.installed conn)
+    = List.sort compare [ f 20 2; f 10 7 ]);
+  (* Equivalent deduplicated target: still nothing to do. *)
+  check_int "deduplicated target settles" 0
+    (Connection.sync conn [ f 10 7; f 20 2 ])
+
 let test_connection_sync_preserves_semantics () =
   let conn = Connection.create (Switch.create ()) in
   let c =
@@ -573,6 +592,75 @@ let test_connection_sync_preserves_semantics () =
   in
   check_bool "web" true (outs (Packet.make ~dst_port:80 ()) = [ 2 ]);
   check_bool "other" true (outs (Packet.make ~dst_port:22 ()) = [ 3 ])
+
+(* Regression: [Connection.process] once looked the packet up to decide
+   miss-vs-match and then ran [Switch.process], which looked it up again —
+   double-counting every hit.  The miss probe must be pure. *)
+let test_connection_process_counts_once () =
+  let sw = Switch.create () in
+  let conn = Connection.create sw in
+  let f = flow ~priority:50 [ out 3 ] in
+  Connection.send conn (Message.add f);
+  ignore (Connection.process conn (Packet.make ~dst_port:80 ()));
+  check_int "one lookup, one hit" 1
+    (Table.hits (Switch.table sw 0) ~priority:50 ~pattern:Pattern.all);
+  ignore (Connection.process conn (Packet.make ~dst_port:22 ()));
+  check_int "two hits after two packets" 2
+    (Table.hits (Switch.table sw 0) ~priority:50 ~pattern:Pattern.all)
+
+(* Regression: the switch-to-controller queue was a single list reversed
+   on every send AND every receive — O(n^2) per drain and, worse,
+   re-reversal could reorder.  The two-list FIFO must deliver in arrival
+   order under interleaved queue/recv. *)
+let test_connection_queue_fifo_interleaved () =
+  let conn = Connection.create (Switch.create ()) in
+  let probe i = ignore (Connection.process conn (Packet.make ~dst_port:i ())) in
+  let recv_port () =
+    match Connection.recv conn with
+    | Some (Message.Packet_in { packet; _ }) -> packet.Packet.dst_port
+    | _ -> Alcotest.fail "expected a packet-in"
+  in
+  probe 1;
+  probe 2;
+  probe 3;
+  check_int "pending" 3 (Connection.pending conn);
+  check_int "first out" 1 (recv_port ());
+  probe 4;
+  probe 5;
+  check_int "pending mid-drain" 4 (Connection.pending conn);
+  check_int "second" 2 (recv_port ());
+  check_int "third" 3 (recv_port ());
+  check_int "fourth" 4 (recv_port ());
+  check_int "fifth" 5 (recv_port ());
+  check_bool "drained" true (Connection.recv conn = None);
+  check_int "pending drained" 0 (Connection.pending conn)
+
+let test_connection_barrier_helper () =
+  let conn = Connection.create (Switch.create ()) in
+  (* Packet-ins queued before the barrier must survive it, in order. *)
+  ignore (Connection.process conn (Packet.make ~dst_port:7 ()));
+  Connection.send conn (Message.add (flow [ out 2 ]));
+  check_bool "barrier answered" true (Connection.barrier conn 99);
+  check_int "packet-in kept" 1 (Connection.pending conn);
+  (match Connection.recv conn with
+  | Some (Message.Packet_in { packet; _ }) ->
+      check_int "order preserved" 7 packet.Packet.dst_port
+  | _ -> Alcotest.fail "expected the pre-barrier packet-in");
+  check_bool "no stray reply" true (Connection.recv conn = None)
+
+let test_connection_sync_cookied () =
+  let conn = Connection.create (Switch.create ()) in
+  let f p port = flow ~priority:p ~pattern:(Pattern.make ~dst_port:port ()) [ out port ] in
+  ignore (Connection.sync conn [ f 10 1 ]);
+  (* Additive: installs only what is missing, never deletes. *)
+  check_int "adds the missing pair" 2
+    (Connection.sync_cookied conn ~cookie:42 [ f 10 1; f 20 2; f 30 3 ]);
+  check_int "three installed" 3 (List.length (Connection.installed conn));
+  check_int "idempotent" 0
+    (Connection.sync_cookied conn ~cookie:42 [ f 10 1; f 20 2; f 30 3 ]);
+  (* The cookie collects exactly the block it tagged. *)
+  Connection.send conn (Message.delete_cookie 42);
+  check_int "cookied block collected" 1 (List.length (Connection.installed conn))
 
 let test_connection_rejects_switch_messages () =
   let conn = Connection.create (Switch.create ()) in
@@ -627,8 +715,17 @@ let () =
           Alcotest.test_case "barrier/echo" `Quick test_connection_barrier_echo;
           Alcotest.test_case "packet in" `Quick test_connection_packet_in;
           Alcotest.test_case "sync diff" `Quick test_connection_sync_diff;
+          Alcotest.test_case "sync duplicate slots" `Quick
+            test_connection_sync_duplicate_slots;
           Alcotest.test_case "sync semantics" `Quick
             test_connection_sync_preserves_semantics;
+          Alcotest.test_case "process counts once" `Quick
+            test_connection_process_counts_once;
+          Alcotest.test_case "queue FIFO interleaved" `Quick
+            test_connection_queue_fifo_interleaved;
+          Alcotest.test_case "barrier helper" `Quick
+            test_connection_barrier_helper;
+          Alcotest.test_case "sync_cookied" `Quick test_connection_sync_cookied;
           Alcotest.test_case "rejects switch messages" `Quick
             test_connection_rejects_switch_messages;
         ] );
